@@ -1,0 +1,75 @@
+(* E6 — the paper's motivating claim, on the live stack: adaptive
+   replication gives both fault tolerance and efficiency. The same
+   request sequences are replayed under the static policy (wg = B(C)
+   forever) and the Basic counter policy; total message cost, server
+   work and makespan are compared. *)
+
+open Adaptive
+
+let params ~n ~lambda =
+  Model.make_params ~n ~lambda ~basic:(List.init (lambda + 1) Fun.id) ~k:32.0 ()
+
+let fresh_system ~adaptive =
+  let policy =
+    if adaptive then Live_policy.counter ~k:32.0 () else Paso.Policy.static
+  in
+  Paso.System.create { Paso.System.default_config with n = 10; lambda = 2; policy }
+
+let replay ~adaptive events =
+  let sys = fresh_system ~adaptive in
+  let o = Workload.Live_driver.replay sys ~head:"e6" events in
+  let joins = Sim.Stats.count (Paso.System.stats sys) "policy.joins" in
+  let leaves = Sim.Stats.count (Paso.System.stats sys) "policy.leaves" in
+  let violations = List.length (Paso.Semantics.check (Paso.System.history sys)) in
+  (o, joins, leaves, violations)
+
+let run () =
+  Util.section "E6  Live ablation: adaptive (Basic counter) vs static replication";
+  let p = params ~n:10 ~lambda:2 in
+  let rng = Sim.Rng.make 77 in
+  let cases =
+    [
+      ( "phased locality",
+        Workload.Reqgen.phased (Sim.Rng.split rng) p ~phases:6 ~phase_len:150
+          ~read_frac:0.85 );
+      ( "hotspot",
+        Workload.Reqgen.hotspot (Sim.Rng.split rng) p ~length:900 ~read_frac:0.8
+          ~zipf_s:1.4 );
+      ( "uniform",
+        Workload.Reqgen.uniform (Sim.Rng.split rng) p ~length:900 ~read_frac:0.5 );
+      ( "update-heavy",
+        Workload.Reqgen.uniform (Sim.Rng.split rng) p ~length:900 ~read_frac:0.15 );
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (wname, events) ->
+        let stat, _, _, v_s = replay ~adaptive:false events in
+        let adpt, joins, leaves, v_a = replay ~adaptive:true events in
+        let saving part_a part_s =
+          Printf.sprintf "%+.1f%%" (100.0 *. (part_a -. part_s) /. part_s)
+        in
+        [
+          [ wname; "static"; Util.f1 stat.Workload.Live_driver.msg_cost;
+            Util.f1 stat.Workload.Live_driver.work;
+            Util.f1 stat.Workload.Live_driver.mean_latency; "-"; "-";
+            string_of_int v_s ];
+          [ ""; "adaptive"; Util.f1 adpt.Workload.Live_driver.msg_cost;
+            Util.f1 adpt.Workload.Live_driver.work;
+            Util.f1 adpt.Workload.Live_driver.mean_latency;
+            Printf.sprintf "%d/%d" joins leaves;
+            saving adpt.Workload.Live_driver.msg_cost stat.Workload.Live_driver.msg_cost;
+            string_of_int v_a ];
+        ])
+      cases
+  in
+  Util.table
+    [ "workload"; "policy"; "msg-cost"; "work"; "mean latency"; "joins/leaves";
+      "msg-cost delta"; "sem-viol" ]
+    rows;
+  Printf.printf
+    "\nShape check: adaptive wins decisively under phased locality and hotspots\n\
+     (hot readers' reads become local); under uniform/update-heavy traffic it\n\
+     pays a bounded premium for joins that do not pay off - the price of\n\
+     adaptivity, which Theorem 2 bounds relative to OPT (not relative to\n\
+     static). Semantics stay clean under both policies.\n"

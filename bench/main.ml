@@ -1,0 +1,48 @@
+(* Benchmark harness: regenerates every quantitative artefact of
+   "Adaptive Algorithms for PASO Systems" (Westbrook & Zuck, 1994).
+
+     E1   Figure 1 (operation cost table)
+     E2   Theorem 2 (Basic algorithm, 3 + λ/K) and the q extension
+     E3   Theorem 3 (doubling/halving, 6 + 2λ/K)
+     E4   Theorem 4 (support selection / paging lower bounds, LRF)
+     E5   §4.3 read groups + Theorem 1 fault tolerance, live
+     E6   adaptive vs static replication, live ablation
+     E7   extensions: eager responses, live support selection, markers
+     E8   scaling: per-op cost vs ensemble size; simulator throughput
+     E9   open problem explored: PASO over a wide-area network
+     uB   Bechamel microbenchmarks
+
+   Run all:        dune exec bench/main.exe
+   Run a subset:   dune exec bench/main.exe -- E2 E4 *)
+
+let experiments =
+  [
+    ("E1", E1.run);
+    ("E2", E2.run);
+    ("E3", E3.run);
+    ("E4", E4.run);
+    ("E5", E5.run);
+    ("E6", E6.run);
+    ("E7", E7.run);
+    ("E8", E8.run);
+    ("E9", E9.run);
+    ("uB", Micro.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst experiments
+  in
+  Printf.printf
+    "PASO reproduction benchmarks - Westbrook & Zuck, PODC 1994 (TR-1013)\n";
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run -> run ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; available: %s\n" name
+            (String.concat " " (List.map fst experiments));
+          exit 2)
+    requested

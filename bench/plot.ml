@@ -1,0 +1,71 @@
+(* Minimal ASCII line/scatter charts for the benchmark output, so the
+   "figures" of the reproduction are visible in a terminal. *)
+
+let width = 64
+let height = 16
+
+let symbols = [| '*'; 'o'; '+'; 'x'; '#'; '@' |]
+
+(* Render one chart: each series is (name, [(x, y); ...]). Points are
+   scattered onto a grid; axes are scaled to the data. *)
+let chart ~title ~x_label ~y_label series =
+  let all_points = List.concat_map snd series in
+  if all_points = [] then ()
+  else begin
+    let xs = List.map fst all_points and ys = List.map snd all_points in
+    let fmin l = List.fold_left Float.min infinity l in
+    let fmax l = List.fold_left Float.max neg_infinity l in
+    let x0 = fmin xs and x1 = fmax xs in
+    let y0 = Float.min 0.0 (fmin ys) and y1 = fmax ys in
+    let x1 = if x1 = x0 then x0 +. 1.0 else x1 in
+    let y1 = if y1 = y0 then y0 +. 1.0 else y1 in
+    let grid = Array.make_matrix height width ' ' in
+    let col x =
+      int_of_float (Float.round ((x -. x0) /. (x1 -. x0) *. float_of_int (width - 1)))
+    in
+    let row y =
+      (height - 1)
+      - int_of_float (Float.round ((y -. y0) /. (y1 -. y0) *. float_of_int (height - 1)))
+    in
+    List.iteri
+      (fun si (_, points) ->
+        let sym = symbols.(si mod Array.length symbols) in
+        (* Connect consecutive points with linear interpolation so the
+           series reads as a line. *)
+        let rec draw = function
+          | (xa, ya) :: ((xb, yb) :: _ as rest) ->
+              let steps = max 1 (abs (col xb - col xa)) in
+              for k = 0 to steps do
+                let f = float_of_int k /. float_of_int steps in
+                let x = xa +. (f *. (xb -. xa)) and y = ya +. (f *. (yb -. ya)) in
+                grid.(max 0 (min (height - 1) (row y))).(max 0 (min (width - 1) (col x))) <-
+                  sym
+              done;
+              draw rest
+          | [ (x, y) ] ->
+              grid.(max 0 (min (height - 1) (row y))).(max 0 (min (width - 1) (col x))) <-
+                sym
+          | [] -> ()
+        in
+        draw (List.sort compare points))
+      series;
+    Printf.printf "\n%s\n" title;
+    Array.iteri
+      (fun r line ->
+        let y = y1 -. (float_of_int r /. float_of_int (height - 1) *. (y1 -. y0)) in
+        let label =
+          if r = 0 || r = height - 1 || r = height / 2 then Printf.sprintf "%8.2f |" y
+          else "         |"
+        in
+        Printf.printf "%s%s\n" label (String.init width (fun c -> line.(c))))
+      grid;
+    Printf.printf "         +%s\n" (String.make width '-');
+    Printf.printf "          %-8.6g%*s%8.6g   (%s; y: %s)\n" x0 (width - 16) "" x1 x_label
+      y_label;
+    Printf.printf "          legend: %s\n"
+      (String.concat "  "
+         (List.mapi
+            (fun i (name, _) ->
+              Printf.sprintf "%c = %s" symbols.(i mod Array.length symbols) name)
+            series))
+  end

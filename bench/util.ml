@@ -1,0 +1,54 @@
+(* Table rendering and measurement helpers shared by the experiments. *)
+
+let hr width = String.make width '-'
+
+let section title =
+  Printf.printf "\n%s\n%s\n%s\n" (hr 78) title (hr 78)
+
+let subsection title = Printf.printf "\n--- %s ---\n" title
+
+(* Print a table: header row + rows of strings, column widths fitted. *)
+let table header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    List.iteri
+      (fun c cell -> Printf.printf "%-*s  " (List.nth widths c) cell)
+      row;
+    print_newline ()
+  in
+  print_row header;
+  Printf.printf "%s\n" (hr (List.fold_left (fun a w -> a + w + 2) 0 widths));
+  List.iter print_row rows
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x
+let pct_delta measured expected =
+  if expected = 0.0 then "n/a"
+  else Printf.sprintf "%+.1f%%" (100.0 *. (measured -. expected) /. expected)
+
+(* Run one operation on a quiescent system and report the deltas the
+   paper's Figure 1 tabulates. *)
+type op_measure = { msg_cost : float; time : float; work : float; messages : int }
+
+let measure_op sys (issue : on_done:(unit -> unit) -> unit) =
+  Paso.System.run sys;
+  let stats = Paso.System.stats sys in
+  let c0 = Sim.Stats.total stats "net.msg_cost" in
+  let w0 = Sim.Stats.total stats "work.total" in
+  let m0 = Sim.Stats.count stats "net.msgs" in
+  let t0 = Paso.System.now sys in
+  let t_done = ref t0 in
+  issue ~on_done:(fun () -> t_done := Paso.System.now sys);
+  Paso.System.run sys;
+  {
+    msg_cost = Sim.Stats.total stats "net.msg_cost" -. c0;
+    time = !t_done -. t0;
+    work = Sim.Stats.total stats "work.total" -. w0;
+    messages = Sim.Stats.count stats "net.msgs" - m0;
+  }

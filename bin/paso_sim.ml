@@ -1,0 +1,313 @@
+(* paso-sim: command-line driver for the PASO reproduction.
+
+   Subcommands:
+     run          drive a live simulated PASO system with a workload
+     competitive  score the Basic algorithm against exact OPT
+     support      play the support-selection game (Theorem 4)
+
+   Examples:
+     paso-sim run --n 10 --lambda 2 --policy counter --workload phased --ops 600
+     paso-sim competitive --workload adversarial --join-cost 12 --lambda 1
+     paso-sim support --strategy lrf --failures adversarial --n 12 --lambda 2 *)
+
+open Cmdliner
+
+(* --- shared argument parsers --------------------------------------------- *)
+
+let n_arg = Arg.(value & opt int 8 & info [ "n"; "machines" ] ~docv:"N" ~doc:"Number of machines.")
+
+let lambda_arg =
+  Arg.(value & opt int 2 & info [ "lambda" ] ~docv:"L" ~doc:"Crash-failure tolerance λ.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let k_arg =
+  Arg.(value & opt float 8.0 & info [ "k"; "join-cost" ] ~docv:"K" ~doc:"Join (state-transfer) cost K.")
+
+let q_arg =
+  Arg.(value & opt float 1.0 & info [ "q"; "query-cost" ] ~docv:"Q" ~doc:"Query cost q of the store.")
+
+let length_arg =
+  Arg.(value & opt int 2000 & info [ "length"; "ops" ] ~doc:"Request-sequence length.")
+
+(* --- run ------------------------------------------------------------------ *)
+
+let storage_conv =
+  let parse s =
+    match Paso.Storage.kind_of_string s with
+    | Some k -> Ok k
+    | None -> Error (`Msg "expected hash, tree, linear or multi")
+  in
+  Arg.conv (parse, fun ppf k -> Fmt.string ppf (Paso.Storage.kind_name k))
+
+let run_cmd =
+  let storage =
+    Arg.(value & opt storage_conv Paso.Storage.Hash
+         & info [ "storage" ] ~doc:"Store: hash, tree, linear or multi.")
+  in
+  let policy =
+    Arg.(value & opt (enum [ ("static", `Static); ("counter", `Counter) ]) `Static
+         & info [ "policy" ] ~doc:"Replication policy: static or counter.")
+  in
+  let workload =
+    Arg.(value
+         & opt (enum [ ("uniform", `Uniform); ("hotspot", `Hotspot); ("phased", `Phased) ])
+             `Hotspot
+         & info [ "workload" ] ~doc:"Workload: uniform, hotspot or phased.")
+  in
+  let read_frac =
+    Arg.(value & opt float 0.7 & info [ "read-frac" ] ~doc:"Fraction of reads.")
+  in
+  let faults =
+    Arg.(value & flag & info [ "faults" ] ~doc:"Inject periodic crash/recovery faults.")
+  in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the protocol trace.") in
+  let eager =
+    Arg.(value & flag
+         & info [ "eager" ] ~doc:"Eager read responses (response-time optimisation).")
+  in
+  let repair =
+    Arg.(value
+         & opt (enum [ ("none", None); ("lrf", Some Paso.Repair.Lrf);
+                       ("fifo", Some Paso.Repair.Fifo_replace);
+                       ("random", Some Paso.Repair.Random_replace) ])
+             None
+         & info [ "repair" ]
+             ~doc:"Live support selection on crashes: none, lrf, fifo or random.")
+  in
+  let wan =
+    Arg.(value & opt int 0
+         & info [ "wan" ] ~docv:"CLUSTERS"
+             ~doc:"Run over a WAN with this many clusters (0 = the paper's LAN). \
+                   Machines are assigned round-robin; inter-cluster messages cost 20x.")
+  in
+  let go n lambda seed k storage policy workload read_frac length faults trace eager
+      repair wan =
+    let topology =
+      if wan <= 0 then Paso.System.Lan
+      else
+        Paso.System.Wan
+          {
+            clusters = Array.init n (fun m -> m mod wan);
+            remote =
+              Net.Cost_model.v
+                ~alpha:(20.0 *. Paso.System.default_config.Paso.System.cost.Net.Cost_model.alpha)
+                ~beta:(4.0 *. Paso.System.default_config.Paso.System.cost.Net.Cost_model.beta);
+          }
+    in
+    let pol =
+      match policy with
+      | `Static -> Paso.Policy.static
+      | `Counter ->
+          if wan > 0 then Adaptive.Live_policy.wan_counter ~k ~wan_factor:20.0 ()
+          else Adaptive.Live_policy.counter ~k ()
+    in
+    let sys =
+      Paso.System.create ~tracing:trace
+        {
+          Paso.System.default_config with
+          n;
+          lambda;
+          storage;
+          policy = pol;
+          seed;
+          eager_reads = eager;
+          repair;
+          topology;
+        }
+    in
+    let rng = Sim.Rng.make seed in
+    let p =
+      Adaptive.Model.make_params ~n ~lambda
+        ~basic:(List.init (lambda + 1) Fun.id) ~k ()
+    in
+    let events =
+      match workload with
+      | `Uniform -> Workload.Reqgen.uniform rng p ~length ~read_frac
+      | `Hotspot -> Workload.Reqgen.hotspot rng p ~length ~read_frac ~zipf_s:1.3
+      | `Phased ->
+          Workload.Reqgen.phased rng p ~phases:6 ~phase_len:(max 1 (length / 6))
+            ~read_frac
+    in
+    if faults then
+      Workload.Faultgen.apply sys
+        (Workload.Faultgen.random (Sim.Rng.split rng) ~n ~lambda ~horizon:1.0e7
+           ~mtbf:5.0e5 ~mttr:2.0e5);
+    let o = Workload.Live_driver.replay sys ~head:"cli" events in
+    if trace then Sim.Trace.dump Format.std_formatter (Paso.System.trace sys);
+    Printf.printf "ops run      %d (skipped %d)\n" o.Workload.Live_driver.ops_run
+      o.Workload.Live_driver.ops_skipped;
+    Printf.printf "messages     %d\n" o.Workload.Live_driver.messages;
+    Printf.printf "msg cost     %.0f\n" o.Workload.Live_driver.msg_cost;
+    Printf.printf "server work  %.1f\n" o.Workload.Live_driver.work;
+    Printf.printf "makespan     %.0f\n" o.Workload.Live_driver.makespan;
+    Printf.printf "crashes      %d, recoveries %d\n"
+      (Sim.Stats.count (Paso.System.stats sys) "faults.crashes")
+      (Sim.Stats.count (Paso.System.stats sys) "faults.recoveries");
+    Printf.printf "policy       joins %d, leaves %d\n"
+      (Sim.Stats.count (Paso.System.stats sys) "policy.joins")
+      (Sim.Stats.count (Paso.System.stats sys) "policy.leaves");
+    Printf.printf "repair       copies %d\n"
+      (Sim.Stats.count (Paso.System.stats sys) "repair.copies");
+    if wan > 0 then
+      Printf.printf "wan          cost %.0f (%d msgs)\n" (Paso.System.wan_cost sys)
+        (Sim.Stats.count (Paso.System.stats sys) "net.wan_msgs");
+    (match Paso.System.audit_replicas sys with
+    | [] -> print_endline "replicas     consistent"
+    | issues ->
+        Printf.printf "replicas     %d INCONSISTENT CLASSES\n" (List.length issues);
+        List.iter (fun (cls, d) -> Printf.printf "  %s: %s\n" cls d) issues;
+        exit 1);
+    match Paso.Semantics.check (Paso.System.history sys) with
+    | [] -> print_endline "semantics    clean"
+    | vs ->
+        Printf.printf "semantics    %d VIOLATIONS\n" (List.length vs);
+        List.iter (fun v -> Format.printf "  %a@." Paso.Semantics.pp_violation v) vs;
+        exit 1
+  in
+  let term =
+    Term.(const go $ n_arg $ lambda_arg $ seed_arg $ k_arg $ storage $ policy $ workload
+          $ read_frac $ length_arg $ faults $ trace $ eager $ repair $ wan)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Drive a live simulated PASO system with a workload.") term
+
+(* --- competitive ------------------------------------------------------------ *)
+
+let competitive_cmd =
+  let workload =
+    Arg.(value
+         & opt (enum [ ("uniform", `Uniform); ("hotspot", `Hotspot); ("phased", `Phased);
+                       ("adversarial", `Adversarial) ]) `Adversarial
+         & info [ "workload" ] ~doc:"Sequence family.")
+  in
+  let go n lambda seed k q workload length =
+    let p =
+      Adaptive.Model.make_params ~q ~n ~lambda
+        ~basic:(List.init (lambda + 1) Fun.id) ~k ()
+    in
+    let rng = Sim.Rng.make seed in
+    let seq =
+      match workload with
+      | `Adversarial ->
+          Workload.Reqgen.rent_to_buy_adversary p
+            ~cycles:(max 1 (length / (2 * int_of_float k)))
+      | `Uniform -> Workload.Reqgen.uniform rng p ~length ~read_frac:0.5
+      | `Hotspot -> Workload.Reqgen.hotspot rng p ~length ~read_frac:0.7 ~zipf_s:1.3
+      | `Phased ->
+          Workload.Reqgen.phased rng p ~phases:8 ~phase_len:(max 1 (length / 8))
+            ~read_frac:0.8
+    in
+    let r = Adaptive.Competitive.run_counter p seq in
+    Format.printf "%a@." Adaptive.Competitive.pp_result r;
+    if r.Adaptive.Competitive.ratio > r.Adaptive.Competitive.bound +. 1e-9 then begin
+      print_endline "BOUND VIOLATION";
+      exit 1
+    end
+  in
+  let term =
+    Term.(const go $ n_arg $ lambda_arg $ seed_arg $ k_arg $ q_arg $ workload $ length_arg)
+  in
+  Cmd.v
+    (Cmd.info "competitive"
+       ~doc:"Score the Basic algorithm against the exact offline optimum (Theorem 2).")
+    term
+
+(* --- support ----------------------------------------------------------------- *)
+
+let support_cmd =
+  let strategy =
+    Arg.(value
+         & opt (enum [ ("lrf", Adaptive.Support_selection.Lrf);
+                       ("lff", Adaptive.Support_selection.Lff);
+                       ("fifo", Adaptive.Support_selection.Fifo_replace);
+                       ("random", Adaptive.Support_selection.Random_replace);
+                       ("marking", Adaptive.Support_selection.Marking_replace);
+                       ("opt", Adaptive.Support_selection.Opt_replace) ])
+             Adaptive.Support_selection.Lrf
+         & info [ "strategy" ] ~doc:"Replacement strategy.")
+  in
+  let failures =
+    Arg.(value
+         & opt (enum [ ("cyclic", `Cyclic); ("adversarial", `Adversarial);
+                       ("random", `Random) ]) `Cyclic
+         & info [ "failures" ] ~doc:"Failure pattern.")
+  in
+  let go n lambda seed strategy failures length =
+    let fs =
+      match failures with
+      | `Cyclic -> Adaptive.Support_selection.cyclic_failures ~length ~n ~lambda ()
+      | `Adversarial ->
+          Adaptive.Support_selection.adversarial_failures ~length strategy ~n ~lambda
+      | `Random ->
+          let rng = Sim.Rng.make seed in
+          Array.init length (fun _ -> Sim.Rng.int rng n)
+    in
+    let o = Adaptive.Support_selection.run ~seed strategy ~n ~lambda ~failures:fs in
+    let opt =
+      Adaptive.Support_selection.run Adaptive.Support_selection.Opt_replace ~n ~lambda
+        ~failures:fs
+    in
+    Printf.printf "strategy %s: %d copies; OPT %d; ratio %.2f (k = n-lambda-1 = %d)\n"
+      (Adaptive.Support_selection.strategy_name strategy)
+      o.Adaptive.Support_selection.copies opt.Adaptive.Support_selection.copies
+      (float_of_int o.Adaptive.Support_selection.copies
+      /. float_of_int (max 1 opt.Adaptive.Support_selection.copies))
+      (n - lambda - 1)
+  in
+  let term =
+    Term.(const go $ n_arg $ lambda_arg $ seed_arg $ strategy $ failures $ length_arg)
+  in
+  Cmd.v
+    (Cmd.info "support" ~doc:"Play the support-selection game (Theorem 4).")
+    term
+
+(* --- paging ------------------------------------------------------------------ *)
+
+let paging_cmd =
+  let algo =
+    Arg.(value
+         & opt (enum [ ("lru", Adaptive.Paging.Lru); ("fifo", Adaptive.Paging.Fifo);
+                       ("lfu", Adaptive.Paging.Lfu); ("random", Adaptive.Paging.Random_evict);
+                       ("marking", Adaptive.Paging.Marking) ])
+             Adaptive.Paging.Lru
+         & info [ "algo" ] ~doc:"Online policy: lru, fifo, lfu, random or marking.")
+  in
+  let cache = Arg.(value & opt int 4 & info [ "cache" ] ~doc:"Cache size k.") in
+  let pattern =
+    Arg.(value
+         & opt (enum [ ("adversarial", `Adversarial); ("cyclic", `Cyclic);
+                       ("zipf", `Zipf) ]) `Cyclic
+         & info [ "pattern" ] ~doc:"Request pattern.")
+  in
+  let go seed algo cache pattern length =
+    let reqs =
+      match pattern with
+      | `Adversarial -> begin
+          try Adaptive.Paging.adversarial_sequence ~length algo ~cache
+          with Invalid_argument _ ->
+            Adaptive.Paging.cyclic_sequence ~length ~npages:(cache + 1) ()
+        end
+      | `Cyclic -> Adaptive.Paging.cyclic_sequence ~length ~npages:(cache + 1) ()
+      | `Zipf ->
+          let rng = Sim.Rng.make seed in
+          let z = Workload.Zipf.create ~n:(2 * cache) ~s:1.1 in
+          Array.init length (fun _ -> Workload.Zipf.sample z rng)
+    in
+    let online = Adaptive.Paging.run ~seed algo ~cache reqs in
+    let opt = Adaptive.Paging.run Adaptive.Paging.Belady ~cache reqs in
+    Printf.printf "%s: %d faults; OPT %d; ratio %.2f (k = %d)\n"
+      (Adaptive.Paging.algo_name algo) online opt
+      (float_of_int online /. float_of_int (max 1 opt))
+      cache
+  in
+  let term = Term.(const go $ seed_arg $ algo $ cache $ pattern $ length_arg) in
+  Cmd.v
+    (Cmd.info "paging" ~doc:"Run the paging substrate behind the Theorem 4 reduction.")
+    term
+
+let () =
+  let doc = "Simulated PASO memory: Westbrook & Zuck, PODC 1994 (TR-1013)." in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "paso-sim" ~version:"1.0.0" ~doc)
+          [ run_cmd; competitive_cmd; support_cmd; paging_cmd ]))

@@ -1,0 +1,57 @@
+type result = {
+  online : float;
+  opt : float;
+  ratio : float;
+  joins : int;
+  leaves : int;
+  bound : float;
+}
+
+let theoretical_bound (p : Model.params) =
+  let lk = float_of_int p.Model.lambda /. p.Model.k in
+  if p.Model.q = 1.0 then 3.0 +. lk else 3.0 +. (2.0 *. lk)
+
+let run_policy ?k_at ~bound ~make (p : Model.params) events =
+  Model.validate_sequence p events;
+  let adaptive = Model.adaptive_machines p in
+  let counters =
+    List.map (fun machine -> (machine, make ~machine)) adaptive
+  in
+  let online = ref 0.0 and joins = ref 0 and leaves = ref 0 in
+  let failed = ref 0 in
+  let step e =
+    match e with
+    | Model.Fail _ -> incr failed
+    | Model.Recover _ -> decr failed
+    | Model.Read m ->
+        (* Reads by basic machines are local and algorithm-independent;
+           only non-basic readers are accounted. *)
+        if not (List.mem m p.Model.basic) then begin
+          let c = List.assoc m counters in
+          let responders = p.Model.lambda + 1 - !failed in
+          let o = Counter.on_read c ~responders in
+          online := !online +. o.Counter.cost;
+          if o.Counter.joined then incr joins
+        end
+    | Model.Update _ ->
+        List.iter
+          (fun (_, c) ->
+            let o = Counter.on_update c in
+            online := !online +. o.Counter.cost;
+            if o.Counter.left then incr leaves)
+          counters
+  in
+  Array.iter step events;
+  let opt = Offline_opt.total_opt ?k_at p events in
+  let ratio = if opt = 0.0 then if !online = 0.0 then 1.0 else infinity else !online /. opt in
+  { online = !online; opt; ratio; joins = !joins; leaves = !leaves; bound }
+
+let run_counter p events =
+  run_policy
+    ~bound:(theoretical_bound p)
+    ~make:(fun ~machine:_ -> Counter.create ~k:p.Model.k ~q:p.Model.q ())
+    p events
+
+let pp_result ppf r =
+  Format.fprintf ppf "online=%.1f opt=%.1f ratio=%.3f (bound %.3f) joins=%d leaves=%d"
+    r.online r.opt r.ratio r.bound r.joins r.leaves

@@ -1,0 +1,39 @@
+(** Competitive-analysis harness (Appendix B, empirically): run the
+    online Basic algorithm and the exact offline optimum on the same
+    request sequence and report the ratio.
+
+    Costs are the adaptively-controllable marginal costs of
+    {!Model} — the basic support's fixed costs, identical under every
+    algorithm, are excluded, which makes the measured ratio the
+    sharpest empirical test of Theorems 2 and 3. *)
+
+type result = {
+  online : float;  (** Basic algorithm's total cost *)
+  opt : float;  (** exact offline optimum *)
+  ratio : float;  (** online / opt (1.0 when both are 0) *)
+  joins : int;
+  leaves : int;
+  bound : float;  (** the theorem's guarantee for these parameters *)
+}
+
+val theoretical_bound : Model.params -> float
+(** Theorem 2: [3 + λ/K] when [q = 1]; the §5.1 extension
+    [3 + 2λ/K] when [q > 1]. *)
+
+val run_counter : Model.params -> Model.event array -> result
+(** Basic algorithm on every non-basic machine vs. the exact OPT.
+    @raise Invalid_argument on an invalid sequence
+    (see {!Model.validate_sequence}). *)
+
+val run_policy :
+  ?k_at:(int -> float) ->
+  bound:float ->
+  make:(machine:int -> Counter.t) ->
+  Model.params ->
+  Model.event array ->
+  result
+(** Generalised driver: supply the per-machine online state (e.g. a
+    doubling/halving counter wrapper updates [K] via side effects) and
+    the applicable bound; OPT uses [k_at]. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,96 @@
+type event = Read of int | Ins of int | Del of int | Fail of int | Recover of int
+
+let to_model_events events =
+  Array.map
+    (function
+      | Read m -> Model.Read m
+      | Ins m | Del m -> Model.Update m
+      | Fail m -> Model.Fail m
+      | Recover m -> Model.Recover m)
+    events
+
+let ell_trace ~ell0 events =
+  let ell = ref ell0 in
+  Array.map
+    (fun e ->
+      (match e with
+      | Ins _ -> incr ell
+      | Del _ -> if !ell > 0 then decr ell
+      | Read _ | Fail _ | Recover _ -> ());
+      !ell)
+    events
+
+(* Snap the initial estimate to the true K; afterwards adjust only by
+   factors of two, as the paper prescribes. *)
+let adjust_k counter k_true =
+  let k_m = ref (Counter.k counter) in
+  let changed = ref false in
+  while k_true >= 2.0 *. !k_m do
+    k_m := 2.0 *. !k_m;
+    changed := true
+  done;
+  while k_true <= !k_m /. 2.0 do
+    k_m := !k_m /. 2.0;
+    changed := true
+  done;
+  if !changed then Counter.set_k counter !k_m
+
+let run (p : Model.params) ~k_of_ell ~ell0 events =
+  if ell0 < 0 then invalid_arg "Doubling.run: negative ell0";
+  let model_events = to_model_events events in
+  Model.validate_sequence p model_events;
+  let ells = ell_trace ~ell0 events in
+  let k_at i = k_of_ell ells.(i) in
+  Array.iteri
+    (fun i _ -> if k_at i <= 0.0 then invalid_arg "Doubling.run: k_of_ell must be positive")
+    events;
+  let k_min = Array.fold_left (fun acc ell -> Float.min acc (k_of_ell ell)) infinity ells in
+  let k_min = if k_min = infinity then k_of_ell ell0 else k_min in
+  let bound = 6.0 +. (2.0 *. float_of_int p.Model.lambda /. k_min) in
+  let adaptive = Model.adaptive_machines p in
+  let counters =
+    List.map
+      (fun machine -> (machine, Counter.create ~k:(k_of_ell ell0) ~q:p.Model.q ()))
+      adaptive
+  in
+  let online = ref 0.0 and joins = ref 0 and leaves = ref 0 in
+  let failed = ref 0 in
+  Array.iteri
+    (fun i e ->
+      let k_true = k_at i in
+      List.iter (fun (_, c) -> adjust_k c k_true) counters;
+      match e with
+      | Fail _ -> incr failed
+      | Recover _ -> decr failed
+      | Read m ->
+          if not (List.mem m p.Model.basic) then begin
+            let c = List.assoc m counters in
+            let responders = p.Model.lambda + 1 - !failed in
+            let o = Counter.on_read c ~responders in
+            (* A join pays the true current transfer cost, not the
+               power-of-two estimate. *)
+            let cost =
+              if o.Counter.joined then o.Counter.cost -. Counter.k c +. k_true
+              else o.Counter.cost
+            in
+            online := !online +. cost;
+            if o.Counter.joined then incr joins
+          end
+      | Ins _ | Del _ ->
+          List.iter
+            (fun (_, c) ->
+              let o = Counter.on_update c in
+              online := !online +. o.Counter.cost;
+              if o.Counter.left then incr leaves)
+            counters)
+    events;
+  let opt = Offline_opt.total_opt ~k_at p model_events in
+  let ratio = if opt = 0.0 then if !online = 0.0 then 1.0 else infinity else !online /. opt in
+  { Competitive.online = !online; opt; ratio; joins = !joins; leaves = !leaves; bound }
+
+let pp_event ppf = function
+  | Read m -> Format.fprintf ppf "R%d" m
+  | Ins m -> Format.fprintf ppf "I%d" m
+  | Del m -> Format.fprintf ppf "D%d" m
+  | Fail m -> Format.fprintf ppf "F%d" m
+  | Recover m -> Format.fprintf ppf "V%d" m

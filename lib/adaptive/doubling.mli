@@ -1,0 +1,44 @@
+(** The doubling/halving algorithm (§5.1, Theorem 3): the Basic
+    algorithm generalised to a class whose live-object count ℓ — and
+    therefore the join cost K = K(ℓ) — changes over time.
+
+    Each machine tracks an estimate [k_m] of the current join cost and
+    "resets itself every time the ratio between join cost and update
+    cost changes by a factor of 2": [k_m] doubles when the true K
+    reaches [2·k_m] and halves when it drops to [k_m/2], re-clamping
+    the counter. Theorem 3: [(6 + 2λ/K)]-competitive.
+
+    The offline optimum is computed by the exact time-varying-K DP, so
+    the reported ratio is against the true OPT. *)
+
+type event =
+  | Read of int
+  | Ins of int  (** insert: ℓ grows *)
+  | Del of int  (** read&del: ℓ shrinks *)
+  | Fail of int
+  | Recover of int
+
+val to_model_events : event array -> Model.event array
+(** [Ins]/[Del] both become {!Model.Update} (each costs group members
+    one unit). *)
+
+val ell_trace : ell0:int -> event array -> int array
+(** ℓ in force at each event (after applying the event). *)
+
+val adjust_k : Counter.t -> float -> unit
+(** Snap the counter's K estimate toward the true join cost by factors
+    of two (doubling when the truth reaches 2K, halving when it drops
+    to K/2), re-clamping the counter. *)
+
+val run :
+  Model.params ->
+  k_of_ell:(int -> float) ->
+  ell0:int ->
+  event array ->
+  Competitive.result
+(** Run the doubling/halving algorithm on every non-basic machine
+    against the exact time-varying OPT. [params.k] is ignored; the
+    reported bound is [6 + 2λ/K_min] with [K_min] the smallest join
+    cost over the run. [k_of_ell] must be positive. *)
+
+val pp_event : Format.formatter -> event -> unit

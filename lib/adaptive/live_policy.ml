@@ -1,0 +1,68 @@
+(* Shared plumbing for counter-family live policies. [tune] runs before
+   each event with the piggybacked class size, letting the doubling
+   policy adjust K; [wan_factor] scales the counter increment of reads
+   that crossed a wide-area link (1.0 = the paper's LAN rule). *)
+let make_policy ~name ~k ~q ~wan_factor ~tune =
+  let table : (int * string, Counter.t) Hashtbl.t = Hashtbl.create 32 in
+  let get machine cls =
+    let key = (machine, cls) in
+    match Hashtbl.find_opt table key with
+    | Some c -> c
+    | None ->
+        let c = Counter.create ~k ~q () in
+        Hashtbl.add table key c;
+        c
+  in
+  let on_event ~machine ~cls ~is_member event =
+    let c = get machine cls in
+    (* The system is the ground truth for membership: a crash-wiped or
+       evicted machine's counter must not believe it is still in. *)
+    Counter.force_member c is_member;
+    match event with
+    | Paso.Policy.Local_read { ell } ->
+        tune c ell;
+        let _ = Counter.on_read c ~responders:0 in
+        Paso.Policy.Stay
+    | Paso.Policy.Remote_read { responders; ell; wan } ->
+        tune c ell;
+        let responders =
+          if wan then
+            int_of_float (ceil (float_of_int responders *. wan_factor))
+          else responders
+        in
+        let o = Counter.on_read c ~responders in
+        if o.Counter.joined then Paso.Policy.Join else Paso.Policy.Stay
+    | Paso.Policy.Update { ell } ->
+        tune c ell;
+        let o = Counter.on_update c in
+        if o.Counter.left then Paso.Policy.Leave else Paso.Policy.Stay
+  in
+  let reset_machine ~machine =
+    let stale =
+      Hashtbl.fold (fun (m, cls) _ acc -> if m = machine then (m, cls) :: acc else acc)
+        table []
+    in
+    List.iter (Hashtbl.remove table) stale
+  in
+  (table, { Paso.Policy.name; on_event; reset_machine })
+
+let no_tune _ _ = ()
+
+let counter ~k ?(q = 1.0) () =
+  snd (make_policy ~name:"counter" ~k ~q ~wan_factor:1.0 ~tune:no_tune)
+
+let wan_counter ~k ~wan_factor ?(q = 1.0) () =
+  if wan_factor < 1.0 then invalid_arg "Live_policy.wan_counter: wan_factor < 1";
+  snd (make_policy ~name:"wan-counter" ~k ~q ~wan_factor ~tune:no_tune)
+
+let doubling ~k_of_ell ?(q = 1.0) () =
+  let tune c ell = Doubling.adjust_k c (k_of_ell ell) in
+  snd (make_policy ~name:"doubling" ~k:(k_of_ell 0) ~q ~wan_factor:1.0 ~tune)
+
+let counter_with_stats ~k ?(q = 1.0) () =
+  let table, policy = make_policy ~name:"counter" ~k ~q ~wan_factor:1.0 ~tune:no_tune in
+  let snapshot () =
+    Hashtbl.fold (fun (m, cls) c acc -> (m, cls, Counter.counter c) :: acc) table []
+    |> List.sort compare
+  in
+  (policy, snapshot)

@@ -1,0 +1,31 @@
+(** Adaptive replication policies for the live {!Paso.System}: the
+    §5.1 counter algorithms packaged behind the {!Paso.Policy}
+    interface, with one counter per (machine, class).
+
+    The live system reports [Local_read] / [Remote_read] / [Update]
+    events; the counter decides joins and leaves exactly as in the
+    abstract model. Machine crashes reset that machine's counters (its
+    memory is gone). *)
+
+val counter : k:float -> ?q:float -> unit -> Paso.Policy.t
+(** The Basic algorithm with fixed join cost [K] (in the §5 normalised
+    units). Sensible [K]: the expected class snapshot size divided by
+    the update cost — benches sweep it. *)
+
+val wan_counter : k:float -> wan_factor:float -> ?q:float -> unit -> Paso.Policy.t
+(** Link-aware Basic algorithm for the WAN topology: a read that had to
+    cross the wide area advances the counter [wan_factor] times faster
+    (mirroring its higher true cost), so replicas migrate across the
+    WAN after ~K/(factor·(λ+1)) expensive reads instead of paying them
+    K times. With [wan_factor = 1.0] it is exactly {!counter}. *)
+
+val doubling : k_of_ell:(int -> float) -> ?q:float -> unit -> Paso.Policy.t
+(** The doubling/halving algorithm (Theorem 3) live: the join-cost
+    estimate K tracks [k_of_ell ℓ] by factors of two, using the class
+    size piggybacked on each event. [k_of_ell] must be positive
+    everywhere. *)
+
+val counter_with_stats :
+  k:float -> ?q:float -> unit -> Paso.Policy.t * (unit -> (int * string * float) list)
+(** As {!counter}, also exposing a snapshot of all live counters
+    [(machine, class, c)] for inspection in demos and tests. *)

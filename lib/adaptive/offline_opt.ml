@@ -1,0 +1,63 @@
+(* Two-state DP. States: cost of the cheapest schedule ending out of /
+   in the write group. Leaving is free, joining costs k_at i, so at
+   each event
+
+     out' = min(out, in) + cost_out(e)
+     in'  = min(in, out + K_i) + cost_in(e)
+
+   where reads cost q in-state and q(λ+1−|F|) out-of-state, updates
+   cost 1 in-state and 0 out-of-state. *)
+
+let costs p ~failed ~machine = function
+  | Model.Read m when m = machine -> (Model.remote_read_cost p ~failed, p.Model.q)
+  | Model.Update _ -> (0.0, 1.0)
+  | Model.Read _ | Model.Fail _ | Model.Recover _ -> (0.0, 0.0)
+
+let run ?k_at p ~machine events =
+  let k_at = match k_at with Some f -> f | None -> fun _ -> p.Model.k in
+  let n = Array.length events in
+  let out = ref 0.0 and in_ = ref infinity in
+  (* Back-pointers for schedule reconstruction: at step i, was the
+     cheaper predecessor of out'/in' the out or the in state? *)
+  let out_from_in = Array.make n false in
+  let in_from_out = Array.make n false in
+  let failed = ref 0 in
+  for i = 0 to n - 1 do
+    let e = events.(i) in
+    (match e with
+    | Model.Fail _ -> incr failed
+    | Model.Recover _ -> decr failed
+    | Model.Read _ | Model.Update _ -> ());
+    let c_out, c_in = costs p ~failed:!failed ~machine e in
+    let ki = k_at i in
+    let out' = if !in_ < !out then !in_ +. c_out else !out +. c_out in
+    out_from_in.(i) <- !in_ < !out;
+    let join_path = !out +. ki in
+    let in' = if join_path < !in_ then join_path +. c_in else !in_ +. c_in in
+    in_from_out.(i) <- join_path < !in_;
+    out := out';
+    in_ := in'
+  done;
+  (!out, !in_, out_from_in, in_from_out)
+
+let machine_opt ?k_at p ~machine events =
+  let out, in_, _, _ = run ?k_at p ~machine events in
+  Float.min out in_
+
+let machine_opt_schedule ?k_at p ~machine events =
+  let out, in_, out_from_in, in_from_out = run ?k_at p ~machine events in
+  let n = Array.length events in
+  let sched = Array.make n false in
+  let best = Float.min out in_ in
+  let state = ref (in_ <= out) in
+  for i = n - 1 downto 0 do
+    sched.(i) <- !state;
+    state := if !state then not in_from_out.(i) else out_from_in.(i)
+  done;
+  (best, sched)
+
+let total_opt ?k_at p events =
+  List.fold_left
+    (fun acc machine -> acc +. machine_opt ?k_at p ~machine events)
+    0.0
+    (Model.adaptive_machines p)

@@ -1,0 +1,35 @@
+(** Exact offline optima for the §5 allocation problem, by dynamic
+    programming.
+
+    For one machine [M ∉ B(C)], the membership decision over a request
+    sequence is a two-state problem (in / out of [wg(C)]), with a read
+    costing [q] in-state and [q·(λ+1−|F|)] out-of-state, an update
+    costing 1 in-state and 0 out-of-state, joins costing the (possibly
+    time-varying) [K], and leaves free. The DP is exact, so measured
+    competitive ratios in the benchmarks are against the true OPT, not
+    a heuristic. *)
+
+val machine_opt :
+  ?k_at:(int -> float) ->
+  Model.params ->
+  machine:int ->
+  Model.event array ->
+  float
+(** Minimum marginal cost for [machine] over the global sequence.
+    [k_at i] is the join cost in force at event index [i] (defaults to
+    the constant [params.k]). The machine starts outside the write
+    group. *)
+
+val total_opt : ?k_at:(int -> float) -> Model.params -> Model.event array -> float
+(** Sum of {!machine_opt} over all non-basic machines — the optimal
+    adaptively-controllable cost. *)
+
+val machine_opt_schedule :
+  ?k_at:(int -> float) ->
+  Model.params ->
+  machine:int ->
+  Model.event array ->
+  float * bool array
+(** As {!machine_opt}, also returning the optimal membership schedule:
+    element [i] says whether the machine is in the group when event
+    [i] is served. *)

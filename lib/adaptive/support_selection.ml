@@ -1,0 +1,162 @@
+module IntSet = Set.Make (Int)
+
+type strategy = Lrf | Lff | Fifo_replace | Random_replace | Marking_replace | Opt_replace
+
+let strategy_name = function
+  | Lrf -> "LRF"
+  | Lff -> "LFF"
+  | Fifo_replace -> "FIFO"
+  | Random_replace -> "RAND"
+  | Marking_replace -> "MARK"
+  | Opt_replace -> "OPT"
+
+let paging_algo = function
+  | Lrf -> Paging.Lru
+  | Lff -> Paging.Lfu
+  | Fifo_replace -> Paging.Fifo
+  | Random_replace -> Paging.Random_evict
+  | Marking_replace -> Paging.Marking
+  | Opt_replace -> Paging.Belady
+
+type outcome = { copies : int; final_group : int list }
+
+type state = {
+  n : int;
+  mutable wg : IntSet.t;
+  mutable clock : int;
+  last_failure : int array; (* LRF; -1 = never failed *)
+  failure_count : int array; (* LFF *)
+  out_since : int array; (* FIFO: when the machine last left the group *)
+  mutable marked : IntSet.t; (* marking, over out-of-group machines *)
+  rng : Sim.Rng.t;
+  failures : int array; (* OPT looks ahead *)
+  next_failure : int array array; (* next_failure.(i).(m): first j >= i with failures.(j)=m, or max_int *)
+}
+
+let validate ~n ~lambda failures =
+  if lambda < 0 then invalid_arg "Support_selection: negative lambda";
+  if n < lambda + 2 then invalid_arg "Support_selection: need n >= lambda+2";
+  Array.iter
+    (fun m -> if m < 0 || m >= n then invalid_arg "Support_selection: failure out of range")
+    failures
+
+let make_state ?(seed = 1) ~n ~lambda ~with_future failures =
+  let next_failure =
+    if with_future then begin
+      let len = Array.length failures in
+      let table = Array.make (len + 1) [||] in
+      table.(len) <- Array.make n max_int;
+      for i = len - 1 downto 0 do
+        let row = Array.copy table.(i + 1) in
+        row.(failures.(i)) <- i;
+        table.(i) <- row
+      done;
+      table
+    end
+    else [||]
+  in
+  {
+    n;
+    wg = IntSet.of_list (List.init (lambda + 1) Fun.id);
+    clock = 0;
+    last_failure = Array.make n (-1);
+    failure_count = Array.make n 0;
+    (* Machines start outside in id order: ties on "out longest" break
+       toward the lowest id, matching the reduction's warm-up order. *)
+    out_since = Array.init n (fun m -> m - n);
+    marked = IntSet.empty;
+    rng = Sim.Rng.make seed;
+    failures;
+    next_failure;
+  }
+
+let candidates st = List.filter (fun m -> not (IntSet.mem m st.wg)) (List.init st.n Fun.id)
+
+let argmin_by f = function
+  | [] -> invalid_arg "argmin_by: empty"
+  | x :: rest -> List.fold_left (fun best y -> if f y < f best then y else best) x rest
+
+let choose st strategy ~step =
+  let outs = candidates st in
+  match strategy with
+  | Lrf -> argmin_by (fun m -> (st.last_failure.(m), m)) outs
+  | Lff -> argmin_by (fun m -> (st.failure_count.(m), m)) outs
+  | Fifo_replace -> argmin_by (fun m -> (st.out_since.(m), m)) outs
+  | Random_replace -> Sim.Rng.choice st.rng (Array.of_list outs)
+  | Marking_replace ->
+      let unmarked = List.filter (fun m -> not (IntSet.mem m st.marked)) outs in
+      let pool =
+        if unmarked = [] then begin
+          st.marked <- IntSet.empty;
+          outs
+        end
+        else unmarked
+      in
+      Sim.Rng.choice st.rng (Array.of_list pool)
+  | Opt_replace ->
+      (* Bring in the machine whose next failure is farthest. *)
+      argmin_by (fun m -> (-st.next_failure.(step + 1).(m), m)) outs
+
+let run ?seed strategy ~n ~lambda ~failures =
+  validate ~n ~lambda failures;
+  let st = make_state ?seed ~n ~lambda ~with_future:(strategy = Opt_replace) failures in
+  let copies = ref 0 in
+  Array.iteri
+    (fun step m ->
+      st.clock <- st.clock + 1;
+      st.last_failure.(m) <- st.clock;
+      st.failure_count.(m) <- st.failure_count.(m) + 1;
+      st.marked <- IntSet.add m st.marked;
+      if IntSet.mem m st.wg then begin
+        let j = choose st strategy ~step in
+        st.wg <- IntSet.add j (IntSet.remove m st.wg);
+        st.marked <- IntSet.remove j st.marked;
+        st.out_since.(m) <- st.clock;
+        incr copies
+      end)
+    failures;
+  { copies = !copies; final_group = IntSet.elements st.wg }
+
+let run_via_paging ?seed strategy ~n ~lambda ~failures =
+  validate ~n ~lambda failures;
+  let cache = n - lambda - 1 in
+  let warmup = Array.init cache (fun i -> lambda + 1 + i) in
+  let reqs = Array.append warmup failures in
+  let algo = paging_algo strategy in
+  let t =
+    match algo with
+    | Paging.Belady -> Paging.create ?seed ~future:reqs ~algo ~cache ()
+    | _ -> Paging.create ?seed ~algo ~cache ()
+  in
+  Array.iter (fun p -> ignore (Paging.access t p)) warmup;
+  let after_warmup = Paging.faults t in
+  Array.iter (fun p -> ignore (Paging.access t p)) failures;
+  Paging.faults t - after_warmup
+
+(* Theorem 4's adversary: with S = {0..n−λ−1} (so |S| = n−λ = k+1
+   "pages"), the write group always contains at least one member of S;
+   failing one forces a copy every single step for the online strategy,
+   while OPT can arrange to be hit only ~once per k steps. *)
+let adversarial_failures ?(length = 500) strategy ~n ~lambda =
+  (match strategy with
+  | Random_replace | Marking_replace | Opt_replace ->
+      invalid_arg "Support_selection.adversarial_failures: deterministic strategies only"
+  | Lrf | Lff | Fifo_replace -> ());
+  validate ~n ~lambda [||];
+  let st = make_state ~n ~lambda ~with_future:false [||] in
+  let s_limit = n - lambda in
+  Array.init length (fun step ->
+      let in_s = List.filter (fun m -> m < s_limit) (IntSet.elements st.wg) in
+      let m = match in_s with m :: _ -> m | [] -> assert false in
+      st.clock <- st.clock + 1;
+      st.last_failure.(m) <- st.clock;
+      st.failure_count.(m) <- st.failure_count.(m) + 1;
+      let j = choose st strategy ~step in
+      st.wg <- IntSet.add j (IntSet.remove m st.wg);
+      st.out_since.(m) <- st.clock;
+      m)
+
+let cyclic_failures ?(length = 500) ~n ~lambda () =
+  validate ~n ~lambda [||];
+  let s = n - lambda in
+  Array.init length (fun i -> i mod s)

@@ -1,0 +1,63 @@
+(** The Support Selection Problem (§5.2): maintain a write group of
+    size λ+1 online under machine failures, choosing replacements so
+    as to minimise the total state-copying cost.
+
+    Theorem 4 shows the problem is at least as hard as paging via the
+    correspondence {e page i is cached ⇔ machine Mᵢ ∉ wg(C)}: a
+    reference to page [i] is a failure of [Mᵢ]; a fault (uncached
+    reference = failure of a write-group member) forces a replacement
+    (= eviction of the page whose machine joins the group). Hence no
+    deterministic rule beats [(n−λ−1)]-competitive and no randomised
+    rule beats [Ω(log(n−λ−1))].
+
+    The paper's heuristic is {b LRF} — "if a machine in the write
+    group fails, replace it by the least recently failed machine" —
+    the analogue of LRU. We implement LRF and the analogues of FIFO,
+    random, marking and Belady's OPT, both natively and through the
+    reduction (tested to coincide). *)
+
+type strategy =
+  | Lrf  (** least recently failed — the paper's LRU analogue *)
+  | Lff  (** least frequently failed — the LFU analogue: the natural
+             "fewest lifetime crashes = most reliable" heuristic *)
+  | Fifo_replace
+  | Random_replace
+  | Marking_replace
+  | Opt_replace
+
+val strategy_name : strategy -> string
+
+val paging_algo : strategy -> Paging.algo
+(** The paging policy this strategy corresponds to under the
+    Theorem 4 reduction. *)
+
+type outcome = {
+  copies : int;  (** replacements performed (each costs one g(ℓ) state copy) *)
+  final_group : int list;
+}
+
+val run :
+  ?seed:int -> strategy -> n:int -> lambda:int -> failures:int array -> outcome
+(** Play the game: machines [0..n−1], initial write group [0..λ];
+    [failures.(i)] is the machine failing at step [i] (it recovers
+    immediately after the step, as in the reduction). A failure of a
+    group member forces the strategy to pick a replacement among
+    non-members.
+    @raise Invalid_argument if [n < λ+2] or a failure id is out of
+    range. *)
+
+val run_via_paging : ?seed:int -> strategy -> n:int -> lambda:int -> failures:int array -> int
+(** Copy count obtained by translating to paging (cache = n−λ−1,
+    request sequence = failures) and counting faults after the cold
+    start. Used to validate the reduction: equals [run].copies for the
+    deterministic strategies. *)
+
+val adversarial_failures :
+  ?length:int -> strategy -> n:int -> lambda:int -> int array
+(** The cruel adversary for a deterministic strategy: always fail a
+    write-group member, restricted to the page set that makes OPT
+    cheap (see Theorem 4's proof). *)
+
+val cyclic_failures : ?length:int -> n:int -> lambda:int -> unit -> int array
+(** Cycle failures over n−λ machines — the oblivious adversary used
+    against randomised strategies. *)

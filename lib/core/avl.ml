@@ -1,0 +1,99 @@
+module Imap = Map.Make (Int)
+
+type t =
+  | Leaf
+  | Node of { key : Value.t; bucket : Pobj.t Imap.t; l : t; r : t; h : int }
+
+let empty = Leaf
+
+let height = function Leaf -> 0 | Node { h; _ } -> h
+
+let node key bucket l r = Node { key; bucket; l; r; h = 1 + max (height l) (height r) }
+
+let balance_factor = function Leaf -> 0 | Node { l; r; _ } -> height l - height r
+
+let rotate_right = function
+  | Node { key; bucket; l = Node { key = lk; bucket = lb; l = ll; r = lr; _ }; r; _ } ->
+      node lk lb ll (node key bucket lr r)
+  | t -> t
+
+let rotate_left = function
+  | Node { key; bucket; l; r = Node { key = rk; bucket = rb; l = rl; r = rr; _ }; _ } ->
+      node rk rb (node key bucket l rl) rr
+  | t -> t
+
+let rebalance t =
+  match t with
+  | Leaf -> t
+  | Node { key; bucket; l; r; _ } ->
+      let bf = balance_factor t in
+      if bf > 1 then
+        let l = if balance_factor l < 0 then rotate_left l else l in
+        rotate_right (node key bucket l r)
+      else if bf < -1 then
+        let r = if balance_factor r > 0 then rotate_right r else r in
+        rotate_left (node key bucket l r)
+      else t
+
+let rec add_item tree k seq o =
+  match tree with
+  | Leaf -> node k (Imap.singleton seq o) Leaf Leaf
+  | Node { key; bucket; l; r; _ } ->
+      let c = Value.compare k key in
+      if c = 0 then node key (Imap.add seq o bucket) l r
+      else if c < 0 then rebalance (node key bucket (add_item l k seq o) r)
+      else rebalance (node key bucket l (add_item r k seq o))
+
+let rec min_node = function
+  | Leaf -> None
+  | Node { key; bucket; l; _ } -> (
+      match min_node l with None -> Some (key, bucket) | some -> some)
+
+let rec remove_key tree k =
+  match tree with
+  | Leaf -> Leaf
+  | Node { key; bucket; l; r; _ } ->
+      let c = Value.compare k key in
+      if c < 0 then rebalance (node key bucket (remove_key l k) r)
+      else if c > 0 then rebalance (node key bucket l (remove_key r k))
+      else begin
+        match (l, r) with
+        | Leaf, _ -> r
+        | _, Leaf -> l
+        | _ -> (
+            match min_node r with
+            | Some (sk, sb) -> rebalance (node sk sb l (remove_key r sk))
+            | None -> assert false)
+      end
+
+let rec remove_item tree k seq =
+  match tree with
+  | Leaf -> Leaf
+  | Node { key; bucket; l; r; _ } ->
+      let c = Value.compare k key in
+      if c < 0 then rebalance (node key bucket (remove_item l k seq) r)
+      else if c > 0 then rebalance (node key bucket l (remove_item r k seq))
+      else
+        let bucket = Imap.remove seq bucket in
+        if Imap.is_empty bucket then remove_key tree k else node key bucket l r
+
+let rec fold_range tree ~lo ~hi f acc =
+  match tree with
+  | Leaf -> acc
+  | Node { key; bucket; l; r; _ } ->
+      let acc = if Value.compare lo key < 0 then fold_range l ~lo ~hi f acc else acc in
+      let acc =
+        if Value.compare lo key <= 0 && Value.compare key hi <= 0 then f key bucket acc
+        else acc
+      in
+      if Value.compare key hi < 0 then fold_range r ~lo ~hi f acc else acc
+
+let rec fold_all tree f acc =
+  match tree with
+  | Leaf -> acc
+  | Node { key; bucket; l; r; _ } -> fold_all r f (f key bucket (fold_all l f acc))
+
+let rec is_balanced = function
+  | Leaf -> true
+  | Node { l; r; _ } ->
+      abs (height l - height r) <= 1 && is_balanced l && is_balanced r

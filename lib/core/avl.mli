@@ -1,0 +1,30 @@
+(** Immutable AVL tree keyed by {!Value.t}, with each key holding an
+    insertion-ordered bucket of objects (sequence number → object).
+    The ordered index underlying both the tree store and the
+    multi-index store. *)
+
+module Imap : Map.S with type key = int
+
+type t
+
+val empty : t
+
+val add_item : t -> Value.t -> int -> Pobj.t -> t
+(** [add_item t key seq obj]. *)
+
+val remove_item : t -> Value.t -> int -> t
+(** Remove the entry with this key and sequence number (no-op if
+    absent); drops the key when its bucket empties. *)
+
+val fold_range : t -> lo:Value.t -> hi:Value.t -> (Value.t -> Pobj.t Imap.t -> 'a -> 'a) -> 'a -> 'a
+(** Fold over buckets with key in [lo, hi] inclusive, in key order,
+    pruning out-of-range subtrees. *)
+
+val fold_all : t -> (Value.t -> Pobj.t Imap.t -> 'a -> 'a) -> 'a -> 'a
+(** Fold over all buckets in key order. *)
+
+val height : t -> int
+(** For balance tests. *)
+
+val is_balanced : t -> bool
+(** Every node's child heights differ by at most one. *)

@@ -1,0 +1,115 @@
+type op_kind = Insert | Read | Read_del
+
+type record = {
+  op_id : int;
+  machine : int;
+  kind : op_kind;
+  template : Template.t option;
+  obj : Pobj.t option;
+  issue : float;
+  mutable ret_time : float option;
+  mutable result : Pobj.t option;
+}
+
+type lifecycle = {
+  uid : Uid.t;
+  the_obj : Pobj.t;
+  cls : string;
+  insert_issue : float;
+  mutable first_store : float option;
+  mutable all_stored : float option;
+  mutable first_removal : float option;
+  mutable remove_ret : float option;
+  mutable removed_by : int option;
+  mutable lost_at : float option;
+}
+
+type t = {
+  mutable recs : record list; (* newest first *)
+  mutable next_op : int;
+  mutable completed : int;
+  lives : lifecycle Uid.Tbl.t;
+}
+
+let create () = { recs = []; next_op = 0; completed = 0; lives = Uid.Tbl.create 256 }
+
+let begin_op t ~machine ~kind ?template ?obj ~now () =
+  let r =
+    {
+      op_id = t.next_op;
+      machine;
+      kind;
+      template;
+      obj;
+      issue = now;
+      ret_time = None;
+      result = None;
+    }
+  in
+  t.next_op <- t.next_op + 1;
+  t.recs <- r :: t.recs;
+  r
+
+let end_op t r ~now ~result =
+  if r.ret_time = None then t.completed <- t.completed + 1;
+  r.ret_time <- Some now;
+  r.result <- result
+
+let note_inserted t o ~cls ~now =
+  let uid = Pobj.uid o in
+  if not (Uid.Tbl.mem t.lives uid) then
+    Uid.Tbl.add t.lives uid
+      {
+        uid;
+        the_obj = o;
+        cls;
+        insert_issue = now;
+        first_store = None;
+        all_stored = None;
+        first_removal = None;
+        remove_ret = None;
+        removed_by = None;
+        lost_at = None;
+      }
+
+let with_life t uid f =
+  match Uid.Tbl.find_opt t.lives uid with Some l -> f l | None -> ()
+
+let note_first_store t uid ~now =
+  with_life t uid (fun l -> if l.first_store = None then l.first_store <- Some now)
+
+let note_all_stored t uid ~now =
+  with_life t uid (fun l -> if l.all_stored = None then l.all_stored <- Some now)
+
+let note_removal t uid ~now =
+  with_life t uid (fun l -> if l.first_removal = None then l.first_removal <- Some now)
+
+let note_remove_ret t uid ~op_id ~now =
+  with_life t uid (fun l ->
+      if l.remove_ret = None then begin
+        l.remove_ret <- Some now;
+        l.removed_by <- Some op_id
+      end)
+
+let note_class_lost t ~cls ~now =
+  (* Only objects actually replicated before the loss die with it: an
+     insert still in flight is delivered reliably to the group's next
+     incarnation. *)
+  Uid.Tbl.iter
+    (fun _ l ->
+      match l.first_store with
+      | Some s
+        when l.cls = cls && s <= now && l.lost_at = None && l.first_removal = None ->
+          l.lost_at <- Some now
+      | Some _ | None -> ())
+    t.lives
+
+let records t = List.rev t.recs
+let lifecycle t uid = Uid.Tbl.find_opt t.lives uid
+
+let lifecycles t =
+  Uid.Tbl.fold (fun _ l acc -> l :: acc) t.lives []
+  |> List.sort (fun a b -> Uid.compare a.uid b.uid)
+
+let op_count t = t.next_op
+let completed_ops t = t.completed

@@ -1,0 +1,77 @@
+(** Recorded operation history, for the §2 semantics checker and for
+    measurement.
+
+    The system records every PASO operation's issue and return, plus
+    per-object lifecycle landmarks observed at the replica level:
+    the earliest replica [store] (after which the object is surely
+    findable by later-sequenced reads), the earliest replica removal
+    (after which it may be gone), the remover's return, and — outside
+    the paper's fault assumptions — the instant an object class lost
+    its last replica to crashes. *)
+
+type op_kind = Insert | Read | Read_del
+
+type record = {
+  op_id : int;
+  machine : int;
+  kind : op_kind;
+  template : Template.t option;  (** for [Read] / [Read_del] *)
+  obj : Pobj.t option;  (** the inserted object, for [Insert] *)
+  issue : float;
+  mutable ret_time : float option;  (** [None] while outstanding *)
+  mutable result : Pobj.t option;  (** returned object; [None] = fail *)
+}
+
+type lifecycle = {
+  uid : Uid.t;
+  the_obj : Pobj.t;
+  cls : string;
+  insert_issue : float;
+  mutable first_store : float option;
+  mutable all_stored : float option;
+      (** the insert's gcast completed: every current replica holds it *)
+  mutable first_removal : float option;
+  mutable remove_ret : float option;
+  mutable removed_by : int option;  (** op_id of the successful read&del *)
+  mutable lost_at : float option;  (** class lost all replicas (crashes > λ) *)
+}
+
+type t
+
+val create : unit -> t
+
+val begin_op :
+  t ->
+  machine:int ->
+  kind:op_kind ->
+  ?template:Template.t ->
+  ?obj:Pobj.t ->
+  now:float ->
+  unit ->
+  record
+
+val end_op : t -> record -> now:float -> result:Pobj.t option -> unit
+
+val note_inserted : t -> Pobj.t -> cls:string -> now:float -> unit
+(** The insert of this object was issued. *)
+
+val note_first_store : t -> Uid.t -> now:float -> unit
+val note_all_stored : t -> Uid.t -> now:float -> unit
+val note_removal : t -> Uid.t -> now:float -> unit
+val note_remove_ret : t -> Uid.t -> op_id:int -> now:float -> unit
+val note_class_lost : t -> cls:string -> now:float -> unit
+(** The class lost its last replica: every object of the class already
+    stored somewhere (and not yet removed) is now gone. Objects whose
+    inserts are still in flight are unaffected — reliable gcast
+    delivers them to the group's next incarnation. *)
+
+val records : t -> record list
+(** In op-id (issue) order. *)
+
+val lifecycle : t -> Uid.t -> lifecycle option
+val lifecycles : t -> lifecycle list
+
+val op_count : t -> int
+
+val completed_ops : t -> int
+(** Operations that have returned. *)

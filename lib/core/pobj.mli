@@ -1,0 +1,35 @@
+(** PASO objects: immutable tuples of ground values with a unique id.
+
+    There is no modify operation (§1): mutating a field is logically
+    destroying the old object and creating a new one. *)
+
+type t = private { uid : Uid.t; fields : Value.t array }
+
+val make : uid:Uid.t -> Value.t list -> t
+(** @raise Invalid_argument on an empty field list. *)
+
+val of_array : uid:Uid.t -> Value.t array -> t
+(** Takes ownership of the array (copies it). *)
+
+val uid : t -> Uid.t
+val arity : t -> int
+
+val field : t -> int -> Value.t
+(** @raise Invalid_argument if out of range. *)
+
+val fields : t -> Value.t list
+
+val size : t -> int
+(** Wire size in bytes: uid plus all fields. *)
+
+val signature : t -> string
+(** Comma-separated field type names, e.g. ["sym,int,int"]. *)
+
+val equal : t -> t -> bool
+(** Identity: equal uids. *)
+
+val equal_contents : t -> t -> bool
+(** Field-wise value equality, ignoring uid. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

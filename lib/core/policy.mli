@@ -1,0 +1,42 @@
+(** Replication-policy plug-in interface.
+
+    §5's adaptive algorithms decide, per machine and object class,
+    when a non-basic machine should join or leave the class's write
+    group. The live system reports each relevant access as an event;
+    the policy answers with a decision. Concrete policies (the Basic
+    counter algorithm, its query-cost extension, the doubling/halving
+    algorithm) live in the [adaptive] library; the core provides the
+    static (never adapt) policy. *)
+
+type event =
+  | Local_read of { ell : int }
+      (** a process on this machine read from the local replica holding
+          [ell] live objects *)
+  | Remote_read of { responders : int; ell : int; wan : bool }
+      (** a process on this machine read via gcast to the read group;
+          [responders] = |rg(C)| = λ+1−|F(C)| servers did the lookup;
+          [ell] is the class size piggybacked on the response (§5.1's
+          "piggyback the current value of K"); [wan] says the read had
+          to cross a wide-area link (no replica in the reader's
+          cluster) — always false on a LAN *)
+  | Update of { ell : int }
+      (** this machine, as a write-group member, applied a [store] or
+          [remove]; [ell] is its replica's size after the operation *)
+
+type decision = Stay | Join | Leave
+
+type t = {
+  name : string;
+  on_event : machine:int -> cls:string -> is_member:bool -> event -> decision;
+      (** Consulted after every event. The system ignores [Join] when
+          already a member and [Leave] when not a member or when the
+          machine is in the class's basic support B(C). *)
+  reset_machine : machine:int -> unit;
+      (** The machine crashed: forget its counters. *)
+}
+
+val static : t
+(** Never adapts: replicas stay exactly on the basic support. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp_decision : Format.formatter -> decision -> unit

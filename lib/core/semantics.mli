@@ -1,0 +1,34 @@
+(** Checker for the PASO semantics of §2, run over a recorded
+    {!History.t}.
+
+    Checked rules:
+    - {b A1/A2 lifecycle}: at most one insert per object (enforced by
+      uid construction, re-verified), at most one successful
+      [read&del] per object, and lifecycle landmarks in a consistent
+      temporal order (issue ≤ first store ≤ first removal).
+    - {b read return rule}: a returned object matches the criterion
+      and was (possibly) alive at some instant between issue and
+      return.
+    - {b read fail rule}: [fail] is illegal if some matching object
+      was {e surely} alive throughout [issue, return] — stored at
+      every replica before the issue and not touched by any removal
+      (or replica loss) until after the return.
+    - {b read&del rule}: additionally, the returned object dies: this
+      op is its unique remover, and the removal happened after the
+      issue.
+
+    The alive intervals are bracketed soundly: "surely alive" from the
+    earliest replica store to the earliest removal event, "possibly
+    alive" from the insert issue to the remover's return (or the
+    instant the class lost its last replica). A violation report is
+    therefore a genuine violation, and a clean report means no
+    violation is {e provable} from the recorded landmarks. *)
+
+type violation = { v_op : int option; rule : string; detail : string }
+
+val check : History.t -> violation list
+(** Empty list = history satisfies the semantics. Outstanding
+    (never-returned) operations — e.g. issued by crashed machines or
+    still blocked — are skipped, as §2 permits them to hang. *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,138 @@
+type msg =
+  | Store of { cls : string; obj : Pobj.t }
+  | Mem_read of { cls : string; tmpl : Template.t }
+  | Remove of { cls : string; tmpl : Template.t }
+  | Place_marker of { cls : string; mid : int; machine : int; tmpl : Template.t }
+  | Cancel_marker of { cls : string; mid : int }
+
+type marker = { mk_id : int; mk_machine : int; mk_tmpl : Template.t }
+
+type snapshot = (string * (Pobj.t list * marker list)) list
+
+type t = {
+  machine : int;
+  kind : Storage.kind;
+  stores : (string, Storage.t) Hashtbl.t;
+  marks : (string, marker list ref) Hashtbl.t; (* per class, oldest first *)
+}
+
+let create ~machine ~kind =
+  { machine; kind; stores = Hashtbl.create 8; marks = Hashtbl.create 8 }
+let machine t = t.machine
+let storage_kind t = t.kind
+
+let store_for t cls =
+  match Hashtbl.find_opt t.stores cls with
+  | Some s -> s
+  | None ->
+      let s = Store.create t.kind in
+      Hashtbl.add t.stores cls s;
+      s
+
+let marks_for t cls =
+  match Hashtbl.find_opt t.marks cls with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.add t.marks cls r;
+      r
+
+let handle t = function
+  | Store { cls; obj } ->
+      let s = store_for t cls in
+      let work = s.Storage.cost.insert_cost (s.Storage.size ()) in
+      s.Storage.insert obj;
+      (* Fire (and consume) the markers this object matches — the same
+         deterministic decision at every replica. *)
+      let r = marks_for t cls in
+      let woken, kept = List.partition (fun m -> Template.matches m.mk_tmpl obj) !r in
+      r := kept;
+      (None, work, woken)
+  | Mem_read { cls; tmpl } ->
+      let s = store_for t cls in
+      let work = s.Storage.cost.query_cost (s.Storage.size ()) in
+      (s.Storage.find tmpl, work, [])
+  | Remove { cls; tmpl } ->
+      let s = store_for t cls in
+      let work = s.Storage.cost.delete_cost (s.Storage.size ()) in
+      (s.Storage.remove_oldest tmpl, work, [])
+  | Place_marker { cls; mid; machine; tmpl } ->
+      let r = marks_for t cls in
+      if not (List.exists (fun m -> m.mk_id = mid) !r) then
+        r := !r @ [ { mk_id = mid; mk_machine = machine; mk_tmpl = tmpl } ];
+      (None, 1.0, [])
+  | Cancel_marker { cls; mid } ->
+      let r = marks_for t cls in
+      r := List.filter (fun m -> m.mk_id <> mid) !r;
+      (None, 1.0, [])
+
+let local_read t ~cls tmpl =
+  let s = store_for t cls in
+  let work = s.Storage.cost.query_cost (s.Storage.size ()) in
+  (s.Storage.find tmpl, work)
+
+let live_count t ~cls =
+  match Hashtbl.find_opt t.stores cls with
+  | Some s -> s.Storage.size ()
+  | None -> 0
+
+let query_work t ~cls =
+  let s = store_for t cls in
+  s.Storage.cost.query_cost (s.Storage.size ())
+
+let classes t =
+  Hashtbl.fold (fun cls _ acc -> cls :: acc) t.stores [] |> List.sort compare
+
+let markers t ~cls = match Hashtbl.find_opt t.marks cls with Some r -> !r | None -> []
+
+let marker_bytes ms =
+  List.fold_left (fun acc m -> acc + 8 + Template.size m.mk_tmpl) 0 ms
+
+let snapshot t ~classes =
+  let parts =
+    List.map
+      (fun cls ->
+        let objs =
+          match Hashtbl.find_opt t.stores cls with
+          | Some s -> s.Storage.to_list ()
+          | None -> []
+        in
+        (cls, (objs, markers t ~cls)))
+      (List.sort compare classes)
+  in
+  let bytes =
+    List.fold_left
+      (fun acc (cls, (objs, ms)) ->
+        acc + String.length cls + Storage.snapshot_bytes objs + marker_bytes ms)
+      0 parts
+  in
+  (parts, bytes)
+
+let install t snapshot =
+  List.iter
+    (fun (cls, (objs, ms)) ->
+      Hashtbl.replace t.stores cls (Store.load t.kind objs);
+      Hashtbl.replace t.marks cls (ref ms))
+    snapshot
+
+let evict t ~cls =
+  Hashtbl.remove t.stores cls;
+  Hashtbl.remove t.marks cls
+
+let wipe t =
+  Hashtbl.reset t.stores;
+  Hashtbl.reset t.marks
+
+let frame = 8
+
+let msg_size = function
+  | Store { cls; obj } -> frame + String.length cls + Pobj.size obj
+  | Mem_read { cls; tmpl } | Remove { cls; tmpl } ->
+      frame + String.length cls + Template.size tmpl
+  | Place_marker { cls; tmpl; _ } -> frame + 8 + String.length cls + Template.size tmpl
+  | Cancel_marker { cls; _ } -> frame + 8 + String.length cls
+
+let msg_class = function
+  | Store { cls; _ } | Mem_read { cls; _ } | Remove { cls; _ }
+  | Place_marker { cls; _ } | Cancel_marker { cls; _ } ->
+      cls

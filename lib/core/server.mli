@@ -1,0 +1,71 @@
+(** A memory server (§4.2): one per machine, managing one local store
+    per object class the machine currently replicates.
+
+    Supports the three atomic server operations — [store], [mem-read]
+    and [remove] — plus the state-transfer snapshot/install protocol
+    used on [g-join], erasure on [g-leave], and a full wipe on crash.
+    Each operation reports its abstract work cost ([I]/[Q]/[D] of the
+    store's cost profile, §5). *)
+
+type msg =
+  | Store of { cls : string; obj : Pobj.t }
+  | Mem_read of { cls : string; tmpl : Template.t }
+  | Remove of { cls : string; tmpl : Template.t }
+  | Place_marker of { cls : string; mid : int; machine : int; tmpl : Template.t }
+      (** leave a read-marker (§4.3): when an object matching [tmpl] is
+          stored into [cls], wake waiter [mid] on [machine] *)
+  | Cancel_marker of { cls : string; mid : int }
+
+type marker = { mk_id : int; mk_machine : int; mk_tmpl : Template.t }
+
+type snapshot = (string * (Pobj.t list * marker list)) list
+(** Per-class object lists (insertion order) and outstanding markers —
+    markers are replicated state like the objects, so they survive the
+    crash of any ≤ λ members. *)
+
+type t
+
+val create : machine:int -> kind:Storage.kind -> t
+
+val machine : t -> int
+val storage_kind : t -> Storage.kind
+
+val handle : t -> msg -> Pobj.t option * float * marker list
+(** Apply a replicated operation; returns (response, work units, woken
+    markers). [Store] responds [None] and reports (and removes, at
+    every replica deterministically) the markers its object matched;
+    [Mem_read]/[Remove] respond with the oldest matching object or
+    [None] for fail. *)
+
+val local_read : t -> cls:string -> Template.t -> Pobj.t option * float
+(** [mem-read] served from the local replica (no messages). *)
+
+val live_count : t -> cls:string -> int
+(** ℓ: live objects held for the class (0 if not replicated here). *)
+
+val query_work : t -> cls:string -> float
+(** Q(ℓ) for the class's local store, in abstract work units. *)
+
+val classes : t -> string list
+(** Classes with a local store, sorted. *)
+
+val snapshot : t -> classes:string list -> snapshot * int
+(** State-transfer snapshot of the given classes and its wire size. *)
+
+val install : t -> snapshot -> unit
+(** Install a snapshot (replacing any existing stores for those
+    classes), preserving insertion order. *)
+
+val markers : t -> cls:string -> marker list
+(** Outstanding markers for the class, oldest first. *)
+
+val evict : t -> cls:string -> unit
+(** Erase the class's local store (on [g-leave], §4.2). *)
+
+val wipe : t -> unit
+(** Crash: all local memory is erased. *)
+
+val msg_size : msg -> int
+(** Wire size of a server message, for the cost model. *)
+
+val msg_class : msg -> string

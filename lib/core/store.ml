@@ -1,0 +1,12 @@
+let create = function
+  | Storage.Hash -> Store_hash.create ()
+  | Storage.Tree -> Store_tree.create ()
+  | Storage.Linear -> Store_linear.create ()
+  | Storage.Multi -> Store_multi.create ()
+
+let load kind objs =
+  match kind with
+  | Storage.Hash -> Store_hash.load objs
+  | Storage.Tree -> Store_tree.load objs
+  | Storage.Linear -> Store_linear.load objs
+  | Storage.Multi -> Store_multi.load objs

@@ -1,0 +1,7 @@
+(** Store construction, dispatching on {!Storage.kind}. *)
+
+val create : Storage.kind -> Storage.t
+
+val load : Storage.kind -> Pobj.t list -> Storage.t
+(** Rebuild from a state-transfer snapshot, preserving insertion
+    order (the order objects were stored at the donor). *)

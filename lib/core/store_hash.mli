@@ -1,0 +1,8 @@
+(** Hash-table store: the structure for dictionary queries.
+    Fully-ground templates (all [Eq], no [where]) are answered in O(1)
+    via an index on the whole tuple; anything else falls back to an
+    insertion-order scan. I(ℓ) = Q(ℓ) = D(ℓ) = 1 in the abstract cost
+    model (§5 assumes a hash table for the Basic algorithm). *)
+
+val create : unit -> Storage.t
+val load : Pobj.t list -> Storage.t

@@ -1,0 +1,55 @@
+module Imap = Map.Make (Int)
+
+type state = { mutable items : Pobj.t Imap.t; mutable next_seq : int }
+
+let find_oldest state tmpl =
+  let exception Found of Pobj.t in
+  try
+    Imap.iter (fun _ o -> if Template.matches tmpl o then raise (Found o)) state.items;
+    None
+  with Found o -> Some o
+
+let make state =
+  let insert o =
+    state.items <- Imap.add state.next_seq o state.items;
+    state.next_seq <- state.next_seq + 1
+  in
+  let find tmpl = find_oldest state tmpl in
+  let remove_oldest tmpl =
+    match
+      Imap.fold
+        (fun seq o acc ->
+          match acc with
+          | Some _ -> acc
+          | None -> if Template.matches tmpl o then Some (seq, o) else None)
+        state.items None
+    with
+    | Some (seq, o) ->
+        state.items <- Imap.remove seq state.items;
+        Some o
+    | None -> None
+  in
+  let size () = Imap.cardinal state.items in
+  let to_list () = List.map snd (Imap.bindings state.items) in
+  let bytes () = Storage.snapshot_bytes (to_list ()) in
+  {
+    Storage.kind = Storage.Linear;
+    insert;
+    find;
+    remove_oldest;
+    size;
+    bytes;
+    to_list;
+    cost = Storage.cost_of_kind Storage.Linear;
+  }
+
+let create () = make { items = Imap.empty; next_seq = 0 }
+
+let load objs =
+  let state = { items = Imap.empty; next_seq = 0 } in
+  List.iter
+    (fun o ->
+      state.items <- Imap.add state.next_seq o state.items;
+      state.next_seq <- state.next_seq + 1)
+    objs;
+  make state

@@ -1,0 +1,7 @@
+(** Linear-list store: the structure for general pattern matching.
+    Every query scans in insertion order, so Q(ℓ) = D(ℓ) = Θ(ℓ). *)
+
+val create : unit -> Storage.t
+
+val load : Pobj.t list -> Storage.t
+(** Rebuild from a snapshot, preserving insertion order. *)

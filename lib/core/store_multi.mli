@@ -1,0 +1,17 @@
+(** Multi-index store: "several such data structures may be used for a
+    single class" (§5).
+
+    One object set, three access paths sharing sequence numbers:
+    - an exact-tuple hash index (dictionary queries: all-[Eq]
+      templates) — O(1);
+    - an ordered (AVL) index on the first field ([Eq]/[Range] first
+      specs) — O(log ℓ);
+    - the insertion-ordered sequence map (everything else) — O(ℓ).
+
+    Queries are routed to the cheapest applicable index; all paths
+    return the oldest match, so the multi store is observationally
+    identical to the single-index stores (property-tested). Inserts
+    and removals maintain every index, so I(ℓ) = D(ℓ) = O(log ℓ). *)
+
+val create : unit -> Storage.t
+val load : Pobj.t list -> Storage.t

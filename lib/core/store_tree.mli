@@ -1,0 +1,11 @@
+(** Ordered (AVL) store keyed on the first field: the structure for
+    range queries. Templates whose first field is [Eq] or [Range] touch
+    only the relevant subtree; others fall back to a full scan.
+    I(ℓ) = Q(ℓ) = D(ℓ) = log₂(ℓ+2) in the abstract cost model.
+
+    The AVL tree is implemented here from scratch (a substrate the
+    paper presumes); each key holds the insertion-ordered bucket of
+    objects sharing that first-field value. *)
+
+val create : unit -> Storage.t
+val load : Pobj.t list -> Storage.t

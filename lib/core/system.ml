@@ -1,0 +1,761 @@
+type topology = Lan | Wan of { clusters : int array; remote : Net.Cost_model.t }
+
+type config = {
+  n : int;
+  lambda : int;
+  classing : Obj_class.strategy;
+  storage : Storage.kind;
+  cost : Net.Cost_model.t;
+  topology : topology;
+  unit_work : float;
+  use_read_groups : bool;
+  eager_reads : bool;
+  policy : Policy.t;
+  init_delay : float;
+  group_map : (string -> string) option;
+  repair : Repair.strategy option;
+  seed : int;
+}
+
+let default_config =
+  {
+    n = 8;
+    lambda = 2;
+    classing = Obj_class.By_head;
+    storage = Storage.Hash;
+    cost = Net.Cost_model.default;
+    topology = Lan;
+    unit_work = 1.0;
+    use_read_groups = true;
+    eager_reads = false;
+    policy = Policy.static;
+    init_delay = 5000.0;
+    group_map = None;
+    repair = None;
+    seed = 42;
+  }
+
+type cls_state = { info : Obj_class.info; group : string; mutable basic : int list }
+
+type waiter = {
+  w_id : int;
+  w_machine : int;
+  w_tmpl : Template.t;
+  w_kind : [ `Read | `Take ];
+  w_notify : Pobj.t -> unit;
+  mutable w_state : [ `Idle | `Attempting of bool (* re-wake arrived *) ];
+}
+
+type t = {
+  cfg : config;
+  eng : Sim.Engine.t;
+  fabric : Net.Fabric.t;
+  sstats : Sim.Stats.t;
+  strace : Sim.Trace.t;
+  vs : (Server.msg, Pobj.t, Server.snapshot) Vsync.t;
+  servers : Server.t array;
+  classes : (string, cls_state) Hashtbl.t;
+  group_class : (string, string list ref) Hashtbl.t; (* group -> classes *)
+  serials : int array; (* per-machine uid serials; survive crashes *)
+  waiters : (int, waiter) Hashtbl.t;
+  mutable next_waiter : int;
+  repair_state : Repair.t;
+  hist : History.t;
+}
+
+let engine t = t.eng
+let stats t = t.sstats
+let trace t = t.strace
+let config t = t.cfg
+let history t = t.hist
+let now t = Sim.Engine.now t.eng
+let run t = Sim.Engine.run t.eng
+let run_until t horizon = Sim.Engine.run_until t.eng horizon
+let is_up t machine = Vsync.is_up t.vs machine
+
+let up_count t =
+  let c = ref 0 in
+  for m = 0 to t.cfg.n - 1 do
+    if Vsync.is_up t.vs m then incr c
+  done;
+  !c
+
+let tracef t fmt = Sim.Trace.emitf t.strace ~time:(now t) ~tag:"paso" fmt
+
+(* Deterministic B(C): λ+1 consecutive machines starting at a seeded
+   hash of the class name. *)
+let compute_basic cfg cls =
+  let h = Hashtbl.hash (cfg.seed, cls) in
+  let base = h mod cfg.n in
+  List.init (cfg.lambda + 1) (fun i -> (base + i) mod cfg.n) |> List.sort compare
+
+let group_of_class cfg cls =
+  "wg/" ^ (match cfg.group_map with Some f -> f cls | None -> cls)
+
+(* --- policy plumbing ---------------------------------------------------- *)
+
+let cls_state t cls = Hashtbl.find_opt t.classes cls
+
+let apply_policy t ~machine ~cls event =
+  match cls_state t cls with
+  | None -> ()
+  | Some cs ->
+      let is_member = Vsync.is_member t.vs ~group:cs.group ~node:machine in
+      let decision = t.cfg.policy.Policy.on_event ~machine ~cls ~is_member event in
+      let basic_member = List.mem machine cs.basic in
+      (match (decision, is_member, basic_member) with
+      | Policy.Join, false, _ ->
+          Sim.Stats.incr t.sstats "policy.joins";
+          tracef t "policy: machine %d joins wg(%s)" machine cls;
+          Vsync.join t.vs ~group:cs.group ~node:machine ~on_done:(fun () -> ())
+      | Policy.Leave, true, false ->
+          Sim.Stats.incr t.sstats "policy.leaves";
+          tracef t "policy: machine %d leaves wg(%s)" machine cls;
+          Vsync.leave t.vs ~group:cs.group ~node:machine ~on_done:(fun () -> ())
+      | (Policy.Stay | Policy.Join | Policy.Leave), _, _ -> ())
+
+(* Forward reference: the vsync deliver callback (built in [create])
+   must wake waiters, whose machinery is defined with the primitives
+   below. *)
+let wake_forward : (t -> int -> unit) ref = ref (fun _ _ -> ())
+
+(* --- construction ------------------------------------------------------- *)
+
+let create ?(tracing = false) cfg =
+  if cfg.lambda < 0 then invalid_arg "System.create: negative lambda";
+  if cfg.lambda + 1 > cfg.n then invalid_arg "System.create: lambda + 1 > n";
+  if cfg.unit_work < 0.0 then invalid_arg "System.create: negative unit_work";
+  let eng = Sim.Engine.create () in
+  let sstats = Sim.Stats.create () in
+  let strace = Sim.Trace.create () in
+  if tracing then Sim.Trace.enable strace;
+  let fabric =
+    match cfg.topology with
+    | Lan -> Net.Fabric.shared_bus eng cfg.cost sstats
+    | Wan { clusters; remote } ->
+        if Array.length clusters <> cfg.n then
+          invalid_arg "System.create: clusters array must have length n";
+        Net.Fabric.wan eng ~clusters ~local:cfg.cost ~remote sstats
+  in
+  let servers = Array.init cfg.n (fun machine -> Server.create ~machine ~kind:cfg.storage) in
+  let hist = History.create () in
+  let tref = ref None in
+  let deliver ~node ~group ~from:_ msg =
+    let resp, work_units, woken = Server.handle servers.(node) msg in
+    (match !tref with
+    | Some t -> begin
+        let tnow = now t in
+        (match (msg, resp) with
+        | Server.Store { obj; _ }, _ -> History.note_first_store hist (Pobj.uid obj) ~now:tnow
+        | Server.Remove _, Some o -> History.note_removal hist (Pobj.uid o) ~now:tnow
+        | ( ( Server.Remove _ | Server.Mem_read _ | Server.Place_marker _
+            | Server.Cancel_marker _ ),
+            _ ) ->
+            ());
+        (* §4.3 read-markers: every replica consumed the fired markers
+           deterministically; the group leader alone sends the wake-up
+           messages (one α-cost message per waiter). *)
+        (match (msg, woken) with
+        | Server.Store _, _ :: _ ->
+            let leader = match Vsync.members t.vs ~group with m :: _ -> m | [] -> -1 in
+            if node = leader then
+              List.iter
+                (fun mk ->
+                  Sim.Stats.incr t.sstats "paso.marker_wakeups";
+                  Vsync.send_direct t.vs ~from:node ~dst:mk.Server.mk_machine ~size:24
+                    (fun () -> !wake_forward t mk.Server.mk_id))
+                woken
+        | _ -> ());
+        match msg with
+        | Server.Store _ | Server.Remove _ ->
+            let cls = Server.msg_class msg in
+            apply_policy t ~machine:node ~cls
+              (Policy.Update { ell = Server.live_count servers.(node) ~cls })
+        | Server.Mem_read _ | Server.Place_marker _ | Server.Cancel_marker _ -> ()
+      end
+    | None -> ());
+    (resp, work_units *. cfg.unit_work)
+  in
+  let resp_size = function None -> 0 | Some o -> Pobj.size o in
+  let state_of ~node ~group =
+    let classes =
+      match !tref with
+      | Some t -> (
+          match Hashtbl.find_opt t.group_class group with Some c -> !c | None -> [])
+      | None -> []
+    in
+    Server.snapshot servers.(node) ~classes
+  in
+  let install_state ~node ~group:_ snapshot = Server.install servers.(node) snapshot in
+  let on_view ~node:_ _view = () in
+  let on_evict ~node ~group =
+    match !tref with
+    | Some t -> (
+        match Hashtbl.find_opt t.group_class group with
+        | Some classes -> List.iter (fun cls -> Server.evict servers.(node) ~cls) !classes
+        | None -> ())
+    | None -> ()
+  in
+  let on_group_lost ~group =
+    match !tref with
+    | Some t -> (
+        match Hashtbl.find_opt t.group_class group with
+        | Some classes ->
+            List.iter
+              (fun cls ->
+                Sim.Stats.incr sstats "faults.class_losses";
+                History.note_class_lost hist ~cls ~now:(Sim.Engine.now eng))
+              !classes
+        | None -> ())
+    | None -> ()
+  in
+  let vs =
+    Vsync.make ~engine:eng ~fabric ~stats:sstats ~trace:strace ~n:cfg.n
+      { deliver; resp_size; state_of; install_state; on_view; on_evict; on_group_lost }
+  in
+  let t =
+    {
+      cfg;
+      eng;
+      fabric;
+      sstats;
+      strace;
+      vs;
+      servers;
+      classes = Hashtbl.create 16;
+      group_class = Hashtbl.create 16;
+      serials = Array.make cfg.n 0;
+      waiters = Hashtbl.create 16;
+      next_waiter = 0;
+      repair_state = Repair.create ~n:cfg.n ~seed:(cfg.seed + 1);
+      hist;
+    }
+  in
+  tref := Some t;
+  t
+
+(* --- class management --------------------------------------------------- *)
+
+let universe t =
+  Hashtbl.fold (fun _ cs acc -> cs.info :: acc) t.classes []
+  |> List.sort (fun a b -> compare a.Obj_class.name b.Obj_class.name)
+
+let known_classes t = universe t
+let class_of_obj t o = Obj_class.class_of t.cfg.classing o
+
+let basic_support t ~cls =
+  match cls_state t cls with Some cs -> cs.basic | None -> compute_basic t.cfg cls
+
+let write_group t ~cls =
+  match cls_state t cls with
+  | Some cs -> Vsync.members t.vs ~group:cs.group
+  | None -> []
+
+let operational_basic t cs =
+  List.filter (fun m -> Vsync.is_member t.vs ~group:cs.group ~node:m) cs.basic
+
+let read_group t ~cls =
+  match cls_state t cls with
+  | None -> []
+  | Some cs ->
+      if not t.cfg.use_read_groups then Vsync.members t.vs ~group:cs.group
+      else begin
+        match operational_basic t cs with
+        | [] -> begin
+            (* Degenerate fallback: first λ+1 members. *)
+            let mems = Vsync.members t.vs ~group:cs.group in
+            List.filteri (fun i _ -> i <= t.cfg.lambda) mems
+          end
+        | basic_up -> basic_up
+      end
+
+let live_count t ~cls =
+  match write_group t ~cls with
+  | [] -> 0
+  | m :: _ -> Server.live_count t.servers.(m) ~cls
+
+let waiter_count t = Hashtbl.length t.waiters
+
+(* --- PASO primitives ---------------------------------------------------- *)
+
+(* Under the WAN topology, a reader prefers replicas in its own
+   cluster: any replica's answer is valid for a read, and this is the
+   natural wide-area refinement of the rg(C) optimisation (the paper's
+   closing open problem). Under the LAN topology the paper's rule —
+   operational basic support — applies unchanged. *)
+let read_restrict t cs ~machine =
+  let basic_rg members =
+    let basic_up = List.filter (fun m -> List.mem m cs.basic) members in
+    if basic_up <> [] then basic_up
+    else List.filteri (fun i _ -> i <= t.cfg.lambda) members
+  in
+  match t.cfg.topology with
+  | Lan -> basic_rg
+  | Wan { clusters; _ } ->
+      fun members ->
+        let near = List.filter (fun m -> clusters.(m) = clusters.(machine)) members in
+        if near <> [] then List.filteri (fun i _ -> i <= t.cfg.lambda) near
+        else basic_rg members
+
+let require_up t machine op =
+  if machine < 0 || machine >= t.cfg.n then invalid_arg (op ^ ": bad machine id");
+  if not (Vsync.is_up t.vs machine) then invalid_arg (op ^ ": machine is down")
+
+let rec ensure_class t info =
+  match Hashtbl.find_opt t.classes info.Obj_class.name with
+  | Some cs -> cs
+  | None ->
+      let cls = info.Obj_class.name in
+      let group = group_of_class t.cfg cls in
+      (* Classes sharing a group share its (deterministic) basic
+         support, so the support is keyed on the group name. *)
+      let basic =
+        match Hashtbl.find_opt t.group_class group with
+        | Some classes -> (
+            match cls_state t (List.hd !classes) with
+            | Some peer -> peer.basic
+            | None -> compute_basic t.cfg group)
+        | None -> compute_basic t.cfg group
+      in
+      let cs = { info; group; basic } in
+      Hashtbl.add t.classes cls cs;
+      (match Hashtbl.find_opt t.group_class group with
+      | Some classes -> classes := List.sort compare (cls :: !classes)
+      | None -> Hashtbl.add t.group_class group (ref [ cls ]));
+      tracef t "class %s created, B(C) = {%s}" cls
+        (String.concat "," (List.map string_of_int basic));
+      Sim.Stats.incr t.sstats "paso.classes";
+      List.iter
+        (fun m ->
+          if Vsync.is_up t.vs m then
+            Vsync.join t.vs ~group ~node:m ~on_done:(fun () -> ()))
+        basic;
+      arm_waiters_for_new_class t cls;
+      cs
+
+and insert t ~machine fields ~on_done =
+  require_up t machine "System.insert";
+  let serial = t.serials.(machine) in
+  t.serials.(machine) <- serial + 1;
+  let uid = Uid.make ~machine ~serial in
+  let o = Pobj.make ~uid fields in
+  let info = Obj_class.classify t.cfg.classing o in
+  let cs = ensure_class t info in
+  let r = History.begin_op t.hist ~machine ~kind:History.Insert ~obj:o ~now:(now t) () in
+  History.note_inserted t.hist o ~cls:info.Obj_class.name ~now:(now t);
+  Sim.Stats.incr t.sstats "ops.insert";
+  let msg = Server.Store { cls = info.Obj_class.name; obj = o } in
+  Vsync.gcast t.vs ~group:cs.group ~from:machine ~msg_size:(Server.msg_size msg)
+    ~on_done:(fun ~resp:_ ~work:_ ~responders ->
+      let tnow = now t in
+      if responders > 0 then History.note_all_stored t.hist uid ~now:tnow;
+      History.end_op t.hist r ~now:tnow ~result:None;
+      on_done ())
+    msg
+
+and read_gen t ~machine ~kind tmpl ~on_done =
+  let opname =
+    match kind with History.Read -> "System.read" | _ -> "System.read_del"
+  in
+  require_up t machine opname;
+  let r = History.begin_op t.hist ~machine ~kind ~template:tmpl ~now:(now t) () in
+  Sim.Stats.incr t.sstats
+    (match kind with History.Read -> "ops.read" | _ -> "ops.read_del");
+  let candidates =
+    Obj_class.sc_list t.cfg.classing ~universe:(universe t) tmpl
+    |> List.filter (Hashtbl.mem t.classes)
+  in
+  let finish result =
+    History.end_op t.hist r ~now:(now t) ~result;
+    on_done result
+  in
+  let rec go = function
+    | [] -> finish None
+    | cls :: rest -> begin
+        match cls_state t cls with
+        | None -> go rest
+        | Some cs -> begin
+            match kind with
+            | History.Read when Vsync.is_member t.vs ~group:cs.group ~node:machine ->
+                (* Local mem-read: no messages, just Q(ℓ) work. *)
+                let work = Server.query_work t.servers.(machine) ~cls *. t.cfg.unit_work in
+                Vsync.exec_local t.vs ~node:machine ~work (fun () ->
+                    let resp, _ = Server.local_read t.servers.(machine) ~cls tmpl in
+                    Sim.Stats.incr t.sstats "paso.local_reads";
+                    apply_policy t ~machine ~cls
+                      (Policy.Local_read
+                         { ell = Server.live_count t.servers.(machine) ~cls });
+                    match resp with Some o -> finish (Some o) | None -> go rest)
+            | History.Read ->
+                let msg = Server.Mem_read { cls; tmpl } in
+                let restrict =
+                  if t.cfg.use_read_groups then read_restrict t cs ~machine
+                  else fun members -> members
+                in
+                Sim.Stats.incr t.sstats "paso.remote_reads";
+                (* Does this read have to cross the wide area? It does
+                   iff no write-group member shares the reader's
+                   cluster. Always false on the LAN. *)
+                let crossed_wan =
+                  match t.cfg.topology with
+                  | Lan -> false
+                  | Wan { clusters; _ } ->
+                      not
+                        (List.exists
+                           (fun m -> clusters.(m) = clusters.(machine))
+                           (Vsync.members t.vs ~group:cs.group))
+                in
+                Vsync.gcast t.vs ~restrict ~eager:t.cfg.eager_reads ~group:cs.group
+                  ~from:machine
+                  ~msg_size:(Server.msg_size msg)
+                  ~on_done:(fun ~resp ~work:_ ~responders ->
+                    (* ell piggybacked on the response (§5.1). *)
+                    apply_policy t ~machine ~cls
+                      (Policy.Remote_read { responders; ell = live_count t ~cls; wan = crossed_wan });
+                    match resp with
+                    | Some o -> finish (Some o)
+                    | None ->
+                        (* A fail is only evidence of absence if someone
+                           actually served the lookup: zero responders
+                           means the whole (possibly restricted) read
+                           group crashed mid-gcast — retry against the
+                           survivors rather than report a spurious
+                           fail. *)
+                        if
+                          responders = 0
+                          && Vsync.members t.vs ~group:cs.group <> []
+                        then begin
+                          Sim.Stats.incr t.sstats "paso.read_retries";
+                          go (cls :: rest)
+                        end
+                        else go rest)
+                  msg
+            | History.Read_del | History.Insert ->
+                let msg = Server.Remove { cls; tmpl } in
+                Sim.Stats.incr t.sstats "paso.removes";
+                Vsync.gcast t.vs ~group:cs.group ~from:machine
+                  ~msg_size:(Server.msg_size msg)
+                  ~on_done:(fun ~resp ~work:_ ~responders:_ ->
+                    match resp with
+                    | Some o ->
+                        History.note_remove_ret t.hist (Pobj.uid o) ~op_id:r.History.op_id
+                          ~now:(now t);
+                        finish (Some o)
+                    | None -> go rest)
+                  msg
+          end
+      end
+  in
+  go candidates
+
+and read t ~machine tmpl ~on_done = read_gen t ~machine ~kind:History.Read tmpl ~on_done
+
+and read_del t ~machine tmpl ~on_done =
+  read_gen t ~machine ~kind:History.Read_del tmpl ~on_done
+
+(* --- blocking operations ------------------------------------------------ *)
+
+(* §4.3 read-markers, distributed: a parked waiter has a marker
+   replicated at every member of each candidate class's write group
+   (placed by a costed gcast). A store that matches consumes the marker
+   at every replica; the group leader sends one wake-up message to the
+   waiting machine, which retries. Total order per group makes the
+   protocol race-free: the retry after a (re-)placement is sequenced
+   after every insert the placement missed.
+
+   Invariant: a waiter in state [`Idle] has live markers in every known
+   candidate class. *)
+
+and marker_classes t tmpl =
+  Obj_class.sc_list t.cfg.classing ~universe:(universe t) tmpl
+  |> List.filter (Hashtbl.mem t.classes)
+
+and gcast_marker t ~machine msg =
+  match cls_state t (Server.msg_class msg) with
+  | Some cs when Vsync.is_up t.vs machine ->
+      Vsync.gcast t.vs ~group:cs.group ~from:machine ~msg_size:(Server.msg_size msg)
+        ~on_done:(fun ~resp:_ ~work:_ ~responders:_ -> ())
+        msg
+  | Some _ | None -> ()
+
+and place_markers t w =
+  List.iter
+    (fun cls ->
+      Sim.Stats.incr t.sstats "paso.marker_placements";
+      gcast_marker t ~machine:w.w_machine
+        (Server.Place_marker
+           { cls; mid = w.w_id; machine = w.w_machine; tmpl = w.w_tmpl }))
+    (marker_classes t w.w_tmpl)
+
+and cancel_markers t w =
+  if Vsync.is_up t.vs w.w_machine then
+    List.iter
+      (fun cls ->
+        gcast_marker t ~machine:w.w_machine
+          (Server.Cancel_marker { cls; mid = w.w_id }))
+      (marker_classes t w.w_tmpl)
+
+(* One place-and-retry cycle; entered when the waiter's markers are not
+   (known to be) live. *)
+and marker_cycle t w =
+  place_markers t w;
+  attempt t w ~fallback:`Park
+
+(* Run the non-blocking operation for a waiter. [fallback] says what a
+   plain failure means: [`Park] — markers are live, go idle; [`Cycle] —
+   no markers yet (the fast path), enter the marker cycle. *)
+and attempt t w ~fallback =
+  if Vsync.is_up t.vs w.w_machine then begin
+    w.w_state <- `Attempting false;
+    let op = match w.w_kind with `Read -> read | `Take -> read_del in
+    op t ~machine:w.w_machine w.w_tmpl ~on_done:(fun result ->
+        if Hashtbl.mem t.waiters w.w_id then begin
+          match result with
+          | Some o ->
+              Hashtbl.remove t.waiters w.w_id;
+              cancel_markers t w;
+              w.w_notify o
+          | None -> (
+              match (w.w_state, fallback) with
+              | `Attempting true, _ ->
+                  (* A wake consumed the markers mid-attempt. *)
+                  marker_cycle t w
+              | (`Attempting false | `Idle), `Cycle -> marker_cycle t w
+              | (`Attempting false | `Idle), `Park -> w.w_state <- `Idle)
+        end
+        else begin
+          (* The waiter vanished mid-attempt (its marker expired): a
+             successful take consumed an object with nobody to give it
+             to — compensate by re-inserting its contents. *)
+          match result with
+          | Some o when w.w_kind = `Take && Vsync.is_up t.vs w.w_machine ->
+              Sim.Stats.incr t.sstats "paso.expired_take_reinserts";
+              insert t ~machine:w.w_machine (Pobj.fields o) ~on_done:(fun () -> ())
+          | Some _ | None -> ()
+        end)
+  end
+
+and wake_waiter t mid =
+  match Hashtbl.find_opt t.waiters mid with
+  | None -> () (* satisfied, expired, or crashed meanwhile *)
+  | Some w -> (
+      match w.w_state with
+      | `Idle -> marker_cycle t w (* the fired marker is gone: re-arm and retry *)
+      | `Attempting _ -> w.w_state <- `Attempting true)
+
+(* Markers for templates that may match classes created later: when a
+   class appears, arm every parked waiter whose criterion covers it. *)
+and arm_waiters_for_new_class t cls =
+  Hashtbl.fold (fun _ w acc -> w :: acc) t.waiters []
+  |> List.sort (fun a b -> compare a.w_id b.w_id)
+  |> List.iter (fun w ->
+         if
+           Vsync.is_up t.vs w.w_machine
+           && List.mem cls (marker_classes t w.w_tmpl)
+         then begin
+           Sim.Stats.incr t.sstats "paso.marker_placements";
+           gcast_marker t ~machine:w.w_machine
+             (Server.Place_marker
+                { cls; mid = w.w_id; machine = w.w_machine; tmpl = w.w_tmpl })
+         end)
+
+let () = wake_forward := wake_waiter
+
+let fresh_waiter_id t =
+  let id = t.next_waiter in
+  t.next_waiter <- id + 1;
+  id
+
+let new_waiter t ~machine ~kind tmpl notify =
+  let w =
+    {
+      w_id = fresh_waiter_id t;
+      w_machine = machine;
+      w_tmpl = tmpl;
+      w_kind = kind;
+      w_notify = notify;
+      w_state = `Attempting false;
+    }
+  in
+  Hashtbl.replace t.waiters w.w_id w;
+  w
+
+let blocking_gen ?poll t ~machine ~kind tmpl ~on_done =
+  require_up t machine "System.blocking";
+  match poll with
+  | None ->
+      Sim.Stats.incr t.sstats "paso.markers";
+      (* Fast path first: if the object is already there, no marker
+         traffic; the first failure enters the marker cycle. *)
+      let w = new_waiter t ~machine ~kind tmpl on_done in
+      attempt t w ~fallback:`Cycle
+  | Some period ->
+      if period <= 0.0 then invalid_arg "System: poll period must be positive";
+      let op = match kind with `Read -> read | `Take -> read_del in
+      let rec loop () =
+        if Vsync.is_up t.vs machine then
+          op t ~machine tmpl ~on_done:(function
+            | Some o -> on_done o
+            | None ->
+                Sim.Stats.incr t.sstats "paso.poll_retries";
+                ignore (Sim.Engine.schedule t.eng ~delay:period loop))
+      in
+      loop ()
+
+let read_blocking ?poll t ~machine tmpl ~on_done =
+  blocking_gen ?poll t ~machine ~kind:`Read tmpl ~on_done
+
+let read_del_blocking ?poll t ~machine tmpl ~on_done =
+  blocking_gen ?poll t ~machine ~kind:`Take tmpl ~on_done
+
+(* Hybrid blocking (§4.3): leave a marker, expire it after [ttl]. The
+   marker keeps its id across lost take-races, so one expiry event
+   covers the whole wait. *)
+let blocking_ttl_gen t ~ttl ~machine ~kind tmpl ~on_done =
+  require_up t machine "System.blocking";
+  if ttl <= 0.0 then invalid_arg "System: ttl must be positive";
+  Sim.Stats.incr t.sstats "paso.markers";
+  let expiry = ref None in
+  let notify o =
+    (match !expiry with Some e -> Sim.Engine.cancel t.eng e | None -> ());
+    on_done (Some o)
+  in
+  let w = new_waiter t ~machine ~kind tmpl notify in
+  expiry :=
+    Some
+      (Sim.Engine.schedule t.eng ~delay:ttl (fun () ->
+           if Hashtbl.mem t.waiters w.w_id then begin
+             Hashtbl.remove t.waiters w.w_id;
+             cancel_markers t w;
+             Sim.Stats.incr t.sstats "paso.marker_expiries";
+             on_done None
+           end));
+  attempt t w ~fallback:`Cycle
+
+let read_blocking_ttl t ~ttl ~machine tmpl ~on_done =
+  blocking_ttl_gen t ~ttl ~machine ~kind:`Read tmpl ~on_done
+
+let read_del_blocking_ttl t ~ttl ~machine tmpl ~on_done =
+  blocking_ttl_gen t ~ttl ~machine ~kind:`Take tmpl ~on_done
+
+(* --- faults ------------------------------------------------------------- *)
+
+let operational_members t cs =
+  List.filter (fun m -> Vsync.is_up t.vs m) (Vsync.members t.vs ~group:cs.group)
+
+let sorted_classes t =
+  Hashtbl.fold (fun cls _ acc -> cls :: acc) t.classes [] |> List.sort compare
+
+(* Live support selection (§5.2): keep the class's support at λ+1 by
+   bringing in a replacement, which pays the state-transfer copy. *)
+let repair_class t strategy cls cs ~failed =
+  cs.basic <- List.filter (fun m -> m <> failed) cs.basic;
+  Repair.note_support_exit t.repair_state ~cls ~machine:failed ~now:(now t);
+  let members = Vsync.members t.vs ~group:cs.group in
+  let candidates =
+    List.filter
+      (fun m -> Vsync.is_up t.vs m && (not (List.mem m cs.basic)) && not (List.mem m members))
+      (List.init t.cfg.n Fun.id)
+  in
+  match Repair.choose t.repair_state strategy ~cls ~candidates with
+  | Some replacement ->
+      cs.basic <- List.sort compare (replacement :: cs.basic);
+      Sim.Stats.incr t.sstats "repair.copies";
+      tracef t "repair: machine %d replaces %d in support of %s" replacement failed cls;
+      Vsync.join t.vs ~group:cs.group ~node:replacement ~on_done:(fun () -> ())
+  | None -> tracef t "repair: no candidate to replace %d in %s" failed cls
+
+let crash t ~machine =
+  if machine < 0 || machine >= t.cfg.n then invalid_arg "System.crash: bad machine id";
+  if Vsync.is_up t.vs machine then begin
+    Sim.Stats.incr t.sstats "faults.crashes";
+    tracef t "machine %d crashes" machine;
+    Vsync.crash t.vs ~node:machine;
+    Server.wipe t.servers.(machine);
+    t.cfg.policy.Policy.reset_machine ~machine;
+    Repair.note_failure t.repair_state ~machine ~now:(now t);
+    (match t.cfg.repair with
+    | Some strategy ->
+        List.iter
+          (fun cls ->
+            match cls_state t cls with
+            | Some cs when List.mem machine cs.basic ->
+                repair_class t strategy cls cs ~failed:machine
+            | Some _ | None -> ())
+          (sorted_classes t)
+    | None -> ());
+    (* Markers are local memory: lost with the machine. *)
+    let stale =
+      Hashtbl.fold (fun id w acc -> if w.w_machine = machine then id :: acc else acc)
+        t.waiters []
+    in
+    List.iter (Hashtbl.remove t.waiters) stale;
+    (* Class-data loss (all replicas gone) is detected by the vsync
+       layer at the exact instant a group empties — see on_group_lost
+       in [create]. *)
+    ()
+  end
+
+let recover t ~machine =
+  if machine < 0 || machine >= t.cfg.n then invalid_arg "System.recover: bad machine id";
+  if not (Vsync.is_up t.vs machine) then begin
+    Sim.Stats.incr t.sstats "faults.recoveries";
+    tracef t "machine %d recovering (init phase %g)" machine t.cfg.init_delay;
+    Vsync.recover t.vs ~node:machine;
+    ignore
+      (Sim.Engine.schedule t.eng ~delay:t.cfg.init_delay (fun () ->
+           if Vsync.is_up t.vs machine then
+             List.iter
+               (fun cls ->
+                 match cls_state t cls with
+                 | Some cs when List.mem machine cs.basic ->
+                     Vsync.join t.vs ~group:cs.group ~node:machine ~on_done:(fun () -> ())
+                 | Some _ | None -> ())
+               (sorted_classes t)))
+  end
+
+let replicas t ~cls =
+  match cls_state t cls with
+  | None -> []
+  | Some cs ->
+      List.map
+        (fun m ->
+          let snapshot, _ = Server.snapshot t.servers.(m) ~classes:[ cls ] in
+          let uids =
+            match snapshot with [ (_, (objs, _)) ] -> List.map Pobj.uid objs | _ -> []
+          in
+          (m, uids))
+        (operational_members t cs)
+
+let audit_replicas t =
+  List.filter_map
+    (fun cls ->
+      match replicas t ~cls with
+      | [] | [ _ ] -> None
+      | (m0, ref_uids) :: rest ->
+          let bad =
+            List.filter_map
+              (fun (m, uids) ->
+                if uids <> ref_uids then
+                  Some
+                    (Printf.sprintf "machine %d holds %d objects vs %d at machine %d" m
+                       (List.length uids) (List.length ref_uids) m0)
+                else None)
+              rest
+          in
+          (match bad with [] -> None | d :: _ -> Some (cls, d)))
+    (sorted_classes t)
+
+let wan_cost t = Sim.Stats.total t.sstats "net.wan_cost"
+
+let check_fault_tolerance t =
+  let down = t.cfg.n - up_count t in
+  let k = min down t.cfg.lambda in
+  List.filter_map
+    (fun cls ->
+      match cls_state t cls with
+      | Some cs ->
+          let size = List.length (operational_members t cs) in
+          if size <= t.cfg.lambda - k then Some (cls, size) else None
+      | None -> None)
+    (sorted_classes t)

@@ -1,0 +1,191 @@
+(** The PASO system: §4's basic strategy, assembled.
+
+    A [System.t] is a simulated ensemble of [n] machines, each hosting
+    one memory server, connected by the bus LAN and coordinated through
+    virtually synchronous groups. Objects are partitioned into classes
+    by the configured strategy; each class [C] is replicated on the
+    write group [wg(C)], whose permanent core is a deterministic basic
+    support [B(C)] of λ+1 machines. The three PASO primitives follow
+    the macro expansions of Appendix A; reads use the read-group
+    optimisation when enabled; an adaptive {!Policy.t} may grow and
+    shrink write groups in response to the access pattern (§5).
+
+    All operations are asynchronous: they take completion callbacks and
+    make progress as the simulation runs ({!run} / {!run_until}). Every
+    operation is recorded in the {!History.t} for the §2 semantics
+    checker, and all costs land in the {!Sim.Stats.t}. *)
+
+type topology =
+  | Lan  (** the paper's single shared bus, priced by [config.cost] *)
+  | Wan of { clusters : int array; remote : Net.Cost_model.t }
+      (** the paper's closing open problem, explored: machines grouped
+          into clusters ([clusters.(m)]); intra-cluster messages priced
+          by [config.cost] on per-machine uplinks, inter-cluster ones
+          by [remote] *)
+
+type config = {
+  n : int;  (** machines *)
+  lambda : int;  (** max simultaneous crashes tolerated; λ+1 ≤ n *)
+  classing : Obj_class.strategy;
+  storage : Storage.kind;
+  cost : Net.Cost_model.t;
+  topology : topology;
+  unit_work : float;
+      (** duration of one abstract I/Q/D work unit, in the same units
+          as message costs *)
+  use_read_groups : bool;
+      (** gcast reads to rg(C) ⊆ wg(C), |rg| = λ+1−|F| (§4.3) *)
+  eager_reads : bool;
+      (** response-time optimisation: forward the first successful
+          remote-read response without waiting for the whole read
+          group to acknowledge (same message cost, lower latency) *)
+  policy : Policy.t;  (** adaptive replication policy (§5) *)
+  init_delay : float;
+      (** §3.1 initialisation phase: delay between machine recovery and
+          its re-joining of groups *)
+  group_map : (string -> string) option;
+      (** coalesce write groups: classes mapping to the same name share
+          one write group (the paper's wg : C → Names is many-to-one);
+          [None] gives each class its own group. Classes sharing a
+          group share its basic support and are state-transferred
+          together. *)
+  repair : Repair.strategy option;
+      (** live support selection (§5.2): when a supporting machine
+          crashes, immediately bring a replacement into the write
+          group (paying the state-transfer copy), chosen by this
+          strategy; the failed machine is dropped from the class's
+          basic support and does not re-join it on recovery *)
+  seed : int;  (** seeds basic-support placement *)
+}
+
+val default_config : config
+(** 8 machines, λ = 2, [By_head] classing, hash stores, default cost
+    model, read groups on, static policy, no repair. *)
+
+type t
+
+val create : ?tracing:bool -> config -> t
+(** @raise Invalid_argument if [lambda + 1 > n] or [lambda < 0]. *)
+
+(** {1 Simulation control} *)
+
+val run : t -> unit
+(** Run the simulation until quiescent. *)
+
+val run_until : t -> float -> unit
+
+val now : t -> float
+val engine : t -> Sim.Engine.t
+
+val stats : t -> Sim.Stats.t
+(** Cost accounting for the run. Keys: ["net.msgs"]/["net.msg_cost"]
+    (bus messages and their total §3.3 cost), ["work.total"] (server
+    processing), ["ops.insert"/"ops.read"/"ops.read_del"],
+    ["paso.local_reads"/"paso.remote_reads"/"paso.removes"],
+    ["paso.markers"/"paso.marker_placements"/"paso.marker_wakeups"/
+    "paso.marker_expiries"/"paso.poll_retries"/
+    "paso.expired_take_reinserts"], ["policy.joins"/"policy.leaves"],
+    ["repair.copies"], ["faults.crashes"/"faults.recoveries"/
+    "faults.class_losses"], and the ["vsync.*"] protocol counters
+    (gcasts, joins, leaves, view_changes, state_bytes, crashes,
+    recoveries, directs). *)
+
+val trace : t -> Sim.Trace.t
+val config : t -> config
+
+(** {1 PASO primitives} *)
+
+val insert : t -> machine:int -> Value.t list -> on_done:(unit -> unit) -> unit
+(** [insert]: gcast [store(o)] to [wg(obj-class(o))]. [on_done] fires
+    when the object is replicated at every write-group member. The
+    machine must be up.
+    @raise Invalid_argument if the machine is down or the id invalid. *)
+
+val read : t -> machine:int -> Template.t -> on_done:(Pobj.t option -> unit) -> unit
+(** Non-blocking [read]: walks [sc-list], serving locally where the
+    machine is a write-group member and gcasting to read groups
+    elsewhere; [None] = fail. *)
+
+val read_del : t -> machine:int -> Template.t -> on_done:(Pobj.t option -> unit) -> unit
+(** Non-blocking [read&del]: gcasts [remove] to the full write group of
+    each candidate class. *)
+
+val read_blocking :
+  ?poll:float -> t -> machine:int -> Template.t -> on_done:(Pobj.t -> unit) -> unit
+(** Blocking [read]. Default strategy is read-markers: on fail, a
+    marker waits for a matching insert and the read is retried (§4.3).
+    With [?poll], busy-waits with the given period instead. *)
+
+val read_del_blocking :
+  ?poll:float -> t -> machine:int -> Template.t -> on_done:(Pobj.t -> unit) -> unit
+(** Blocking [read&del], marker-based by default — the marker scheme
+    the paper defers to future work: conflicting woken takers are
+    serialised by the write group's total order, and losers re-arm. *)
+
+val read_blocking_ttl :
+  t -> ttl:float -> machine:int -> Template.t -> on_done:(Pobj.t option -> unit) -> unit
+(** The hybrid blocking strategy of §4.3: a read-marker that is left
+    and then {e expired}. Waits at most [ttl] virtual time for a match;
+    [None] on expiry. *)
+
+val read_del_blocking_ttl :
+  t -> ttl:float -> machine:int -> Template.t -> on_done:(Pobj.t option -> unit) -> unit
+
+(** {1 Faults} *)
+
+val crash : t -> machine:int -> unit
+(** Crash a machine: local memory erased, groups informed, its pending
+    operations orphaned. Idempotent. *)
+
+val recover : t -> machine:int -> unit
+(** Recover a machine; after the configured [init_delay] it re-joins
+    the write groups of the classes it basically supports. *)
+
+val is_up : t -> int -> bool
+val up_count : t -> int
+
+(** {1 Introspection} *)
+
+val history : t -> History.t
+val known_classes : t -> Obj_class.info list
+
+val class_of_obj : t -> Pobj.t -> string
+
+val basic_support : t -> cls:string -> int list
+(** B(C): the machines currently responsible for the class — the
+    initial λ+1 placement, as since amended by support repair. *)
+
+val write_group : t -> cls:string -> int list
+(** Current wg(C) membership. *)
+
+val read_group : t -> cls:string -> int list
+(** Current rg(C): operational basic-support members (all of wg when
+    read groups are disabled). Under {!Wan}, the rg actually used by a
+    read additionally prefers write-group members in the reader's own
+    cluster. *)
+
+val live_count : t -> cls:string -> int
+(** ℓ: live objects in the class, read from the lowest operational
+    replica (0 if none). *)
+
+val waiter_count : t -> int
+(** Outstanding blocking-operation markers. *)
+
+val replicas : t -> cls:string -> (int * Uid.t list) list
+(** Per operational write-group member, the uids its replica holds for
+    the class, in insertion order. *)
+
+val audit_replicas : t -> (string * string) list
+(** Replica-consistency audit: for every class, all operational
+    write-group members must hold identical object sequences (the
+    virtual-synchrony invariant). Returns the disagreeing classes with
+    a description; empty = consistent. Only meaningful at quiescence —
+    mid-gcast the replicas legitimately differ. *)
+
+val wan_cost : t -> float
+(** Total inter-cluster message cost so far (0 under {!Lan}). *)
+
+val check_fault_tolerance : t -> (string * int) list
+(** Classes currently violating the §4.1 fault-tolerance condition,
+    with their operational write-group sizes. Empty when ≤ λ machines
+    are down and all groups satisfy |wg(C)| > λ − k. *)

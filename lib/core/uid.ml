@@ -1,0 +1,30 @@
+type t = { machine : int; serial : int }
+
+let make ~machine ~serial = { machine; serial }
+
+let compare a b =
+  match Stdlib.compare a.machine b.machine with
+  | 0 -> Stdlib.compare a.serial b.serial
+  | c -> c
+
+let equal a b = compare a b = 0
+let hash t = (t.machine * 1000003) lxor t.serial
+let size = 16
+let pp ppf t = Format.fprintf ppf "%d.%d" t.machine t.serial
+let to_string t = Format.asprintf "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

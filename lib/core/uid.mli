@@ -1,0 +1,26 @@
+(** Unique object identifiers.
+
+    §4 assumes WLOG that every object is inserted at most once, "easily
+    guaranteed ... by attaching to each object some unique
+    identification signed by its creating process". A [Uid.t] is the
+    pair (creating machine, per-machine serial number). *)
+
+type t = { machine : int; serial : int }
+
+val make : machine:int -> serial:int -> t
+
+val compare : t -> t -> int
+(** Insertion-order-compatible per machine; total across machines. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val size : int
+(** Wire size in bytes of a uid. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,37 @@
+type t = Int of int | Float of float | Str of string | Bool of bool | Sym of string
+
+let type_name = function
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | Str _ -> "str"
+  | Bool _ -> "bool"
+  | Sym _ -> "sym"
+
+let same_type a b = type_name a = type_name b
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Str x, Str y -> Stdlib.compare x y
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Sym x, Sym y -> Stdlib.compare x y
+  | _ -> Stdlib.compare (type_name a) (type_name b)
+
+let equal a b = compare a b = 0
+
+let size = function
+  | Int _ -> 8
+  | Float _ -> 8
+  | Bool _ -> 1
+  | Str s -> 4 + String.length s
+  | Sym s -> 4 + String.length s
+
+let pp ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%S" s
+  | Bool b -> Format.pp_print_bool ppf b
+  | Sym s -> Format.pp_print_string ppf s
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,27 @@
+type t = {
+  engine : Sim.Engine.t;
+  model : Cost_model.t;
+  stats : Sim.Stats.t;
+  mutable free_at : float;
+  mutable msgs : int;
+  mutable cost : float;
+}
+
+let create engine model stats = { engine; model; stats; free_at = 0.0; msgs = 0; cost = 0.0 }
+
+let transmit t ~size deliver =
+  let cost = Cost_model.msg_cost t.model ~size in
+  let now = Sim.Engine.now t.engine in
+  let start = Float.max now t.free_at in
+  let finish = start +. cost in
+  t.free_at <- finish;
+  t.msgs <- t.msgs + 1;
+  t.cost <- t.cost +. cost;
+  Sim.Stats.incr t.stats "net.msgs";
+  Sim.Stats.add t.stats "net.msg_cost" cost;
+  ignore (Sim.Engine.schedule t.engine ~delay:(finish -. now) deliver)
+
+let message_count t = t.msgs
+let total_cost t = t.cost
+let busy_until t = t.free_at
+let cost_model t = t.model

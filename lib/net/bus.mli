@@ -1,0 +1,28 @@
+(** A bus-based LAN: one message at a time.
+
+    The paper (§5) notes that "on a bus-based local area network, the
+    total message cost is a lower bound on the time to complete the
+    run, since messages must be sent one-at-a-time". The bus serialises
+    transmissions in FIFO order: each occupies the medium for exactly
+    its {!Cost_model.msg_cost} and is delivered when its slot ends. *)
+
+type t
+
+val create : Sim.Engine.t -> Cost_model.t -> Sim.Stats.t -> t
+(** Message counts and costs are recorded into the given stats under
+    keys ["net.msgs"] (counter) and ["net.msg_cost"] (total). *)
+
+val transmit : t -> size:int -> (unit -> unit) -> unit
+(** [transmit bus ~size deliver] queues a transmission of [size] bytes;
+    [deliver] fires at the virtual time the transmission completes. *)
+
+val message_count : t -> int
+(** Messages transmitted (or queued) so far. *)
+
+val total_cost : t -> float
+(** Sum of message costs so far — the paper's total [msg-cost]. *)
+
+val busy_until : t -> float
+(** Virtual time at which the bus next becomes idle. *)
+
+val cost_model : t -> Cost_model.t

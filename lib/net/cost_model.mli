@@ -1,0 +1,28 @@
+(** The paper's §3.3 communication cost model.
+
+    Transmitting a message [msg] costs [α + β·|msg|]: a fixed startup
+    cost plus a length-proportional cost. No hardware multicast is
+    available, so a gcast to a group of size [g] with message size [m]
+    and response size [r] costs
+
+    {v α(2g + 1) + β(m·g + r) v}
+
+    — [g] point-to-point copies of the message, [g] empty "done" acks
+    to the group leader, and one response forwarded to the issuer. *)
+
+type t = { alpha : float; beta : float }
+
+val v : alpha:float -> beta:float -> t
+(** @raise Invalid_argument if either constant is negative. *)
+
+val default : t
+(** [α = 500, β = 1]: a startup cost worth 500 payload bytes, typical
+    of the Ethernet-era systems the paper targets. *)
+
+val msg_cost : t -> size:int -> float
+(** Cost of one point-to-point transmission of [size] bytes. *)
+
+val gcast_cost : t -> group_size:int -> msg_size:int -> resp_size:int -> float
+(** The paper's closed-form gcast cost (exact form, not the ≈). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+type wan_state = {
+  engine : Sim.Engine.t;
+  clusters : int array;
+  local : Cost_model.t;
+  remote : Cost_model.t;
+  stats : Sim.Stats.t;
+  uplink_free : float array; (* per-source serialisation *)
+  mutable msgs : int;
+  mutable cost : float;
+}
+
+type t = Shared of Bus.t | Wan of wan_state
+
+let shared_bus engine model stats = Shared (Bus.create engine model stats)
+
+let wan engine ~clusters ~local ~remote stats =
+  if Array.length clusters = 0 then invalid_arg "Fabric.wan: empty cluster map";
+  Wan
+    {
+      engine;
+      clusters;
+      local;
+      remote;
+      stats;
+      uplink_free = Array.make (Array.length clusters) 0.0;
+      msgs = 0;
+      cost = 0.0;
+    }
+
+let transmit t ~src ~dst ~size deliver =
+  match t with
+  | Shared bus -> Bus.transmit bus ~size deliver
+  | Wan w ->
+      let n = Array.length w.clusters in
+      if src < 0 || src >= n || dst < 0 || dst >= n then
+        invalid_arg "Fabric.transmit: machine out of range";
+      let crossing = w.clusters.(src) <> w.clusters.(dst) in
+      let model = if crossing then w.remote else w.local in
+      let cost = Cost_model.msg_cost model ~size in
+      let now = Sim.Engine.now w.engine in
+      let start = Float.max now w.uplink_free.(src) in
+      let finish = start +. cost in
+      w.uplink_free.(src) <- finish;
+      w.msgs <- w.msgs + 1;
+      w.cost <- w.cost +. cost;
+      Sim.Stats.incr w.stats "net.msgs";
+      Sim.Stats.add w.stats "net.msg_cost" cost;
+      if crossing then begin
+        Sim.Stats.incr w.stats "net.wan_msgs";
+        Sim.Stats.add w.stats "net.wan_cost" cost
+      end;
+      ignore (Sim.Engine.schedule w.engine ~delay:(finish -. now) deliver)
+
+let message_count = function Shared bus -> Bus.message_count bus | Wan w -> w.msgs
+let total_cost = function Shared bus -> Bus.total_cost bus | Wan w -> w.cost
+let is_wan = function Shared _ -> false | Wan _ -> true
+
+let same_cluster t a b =
+  match t with Shared _ -> true | Wan w -> w.clusters.(a) = w.clusters.(b)

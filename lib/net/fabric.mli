@@ -1,0 +1,46 @@
+(** Network fabric abstraction: where transmissions serialise and what
+    they cost.
+
+    The paper's model is a single-segment Ethernet — {!shared_bus}: all
+    transmissions serialise on one medium at cost [α + β·|msg|]
+    (see {!Bus}). Its closing open problem is the extension to
+    wide-area networks; {!wan} provides the natural WAN model to study
+    it: machines are partitioned into clusters, each machine's uplink
+    serialises its own outgoing traffic (transmissions from different
+    machines proceed in parallel), and the cost model depends on
+    whether a message stays inside a cluster or crosses the wide-area
+    link. FIFO per source — hence per (src, dst) pair — is preserved,
+    which is all the group layer needs (its per-group operation pump
+    supplies total order independently of transport timing).
+
+    Accounting: ["net.msgs"]/["net.msg_cost"] for everything, plus
+    ["net.wan_msgs"]/["net.wan_cost"] for inter-cluster traffic under
+    {!wan}. *)
+
+type t
+
+val shared_bus : Sim.Engine.t -> Cost_model.t -> Sim.Stats.t -> t
+(** The paper's one-message-at-a-time LAN. *)
+
+val wan :
+  Sim.Engine.t ->
+  clusters:int array ->
+  local:Cost_model.t ->
+  remote:Cost_model.t ->
+  Sim.Stats.t ->
+  t
+(** [clusters.(m)] is machine [m]'s cluster. [local] prices
+    intra-cluster messages, [remote] inter-cluster ones.
+    @raise Invalid_argument on an empty cluster array. *)
+
+val transmit : t -> src:int -> dst:int -> size:int -> (unit -> unit) -> unit
+(** Queue a transmission; the continuation fires when it completes.
+    @raise Invalid_argument for out-of-range machines under {!wan}. *)
+
+val message_count : t -> int
+val total_cost : t -> float
+
+val is_wan : t -> bool
+
+val same_cluster : t -> int -> int -> bool
+(** Always true for {!shared_bus}. *)

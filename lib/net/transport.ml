@@ -1,0 +1,57 @@
+type 'm node = {
+  mutable handler : (src:int -> 'm -> unit) option;
+  mutable up : bool;
+  mutable epoch : int; (* bumped on each crash; stale deliveries dropped *)
+}
+
+type 'm t = { engine : Sim.Engine.t; bus : Bus.t; nodes : 'm node array }
+
+let create engine bus ~n =
+  if n <= 0 then invalid_arg "Transport.create: n <= 0";
+  let nodes = Array.init n (fun _ -> { handler = None; up = true; epoch = 0 }) in
+  { engine; bus; nodes }
+
+let n t = Array.length t.nodes
+let engine t = t.engine
+let bus t = t.bus
+
+let check t i =
+  if i < 0 || i >= Array.length t.nodes then invalid_arg "Transport: bad node id"
+
+let set_handler t ~node f =
+  check t node;
+  t.nodes.(node).handler <- Some f
+
+let send t ~src ~dst ~size msg =
+  check t src;
+  check t dst;
+  let target = t.nodes.(dst) in
+  let epoch_at_send = target.epoch in
+  Bus.transmit t.bus ~size (fun () ->
+      if target.up && target.epoch = epoch_at_send then
+        match target.handler with
+        | Some handler -> handler ~src msg
+        | None -> ())
+
+let is_up t i =
+  check t i;
+  t.nodes.(i).up
+
+let set_down t i =
+  check t i;
+  let node = t.nodes.(i) in
+  if node.up then begin
+    node.up <- false;
+    node.epoch <- node.epoch + 1
+  end
+
+let set_up t i =
+  check t i;
+  t.nodes.(i).up <- true
+
+let up_nodes t =
+  let acc = ref [] in
+  for i = Array.length t.nodes - 1 downto 0 do
+    if t.nodes.(i).up then acc := i :: !acc
+  done;
+  !acc

@@ -1,0 +1,41 @@
+(** Reliable FIFO point-to-point messaging over the shared {!Bus}.
+
+    Nodes are numbered [0 .. n-1]. Each node has at most one registered
+    handler (its memory server). A node can be marked down (crashed):
+    messages addressed to a down node are silently dropped at delivery
+    time, and marking a node down atomically discards its in-flight
+    inbound messages — modelling the loss of all local state on crash.
+
+    FIFO order between any ordered pair of nodes follows from the bus
+    serialising transmissions in submission order. *)
+
+type 'm t
+
+val create : Sim.Engine.t -> Bus.t -> n:int -> 'm t
+(** [n] nodes, all initially up, with no handlers. *)
+
+val n : 'm t -> int
+val engine : 'm t -> Sim.Engine.t
+val bus : 'm t -> Bus.t
+
+val set_handler : 'm t -> node:int -> (src:int -> 'm -> unit) -> unit
+(** Replace the message handler of [node]. *)
+
+val send : 'm t -> src:int -> dst:int -> size:int -> 'm -> unit
+(** Queue a message on the bus. Delivered to [dst]'s handler when the
+    transmission slot completes, unless [dst] is down (or was down at
+    any point in between — its epoch advanced). Self-sends are legal
+    and still pay the bus cost: the paper's gcast cost formula charges
+    all [|g|] copies. *)
+
+val is_up : 'm t -> int -> bool
+
+val set_down : 'm t -> int -> unit
+(** Crash a node: drop in-flight messages to it, stop delivering until
+    it is brought back up. Idempotent. *)
+
+val set_up : 'm t -> int -> unit
+(** Recover a node. Its handler registration is retained. Idempotent. *)
+
+val up_nodes : 'm t -> int list
+(** Currently-up node ids, ascending. *)

@@ -1,0 +1,50 @@
+open Paso
+
+type t = { sys : System.t; name : string; parties : int }
+
+let head = "paso.barrier"
+let go_head = "paso.barrier.go"
+
+(* count tuple: (head, name, generation, arrived-so-far) *)
+let count_tuple name gen arrived =
+  [ Value.Sym head; Value.Str name; Value.Int gen; Value.Int arrived ]
+
+let count_tmpl name =
+  Template.make
+    [ Template.Eq (Value.Sym head); Template.Eq (Value.Str name); Template.Type_is "int";
+      Template.Type_is "int" ]
+
+let go_tuple name gen = [ Value.Sym go_head; Value.Str name; Value.Int gen ]
+
+let go_tmpl name gen =
+  Template.make
+    [ Template.Eq (Value.Sym go_head); Template.Eq (Value.Str name);
+      Template.Eq (Value.Int gen) ]
+
+let create sys ~name ~machine ~parties ~on_done =
+  if parties < 1 then invalid_arg "Barrier.create: parties < 1";
+  let t = { sys; name; parties } in
+  System.insert sys ~machine (count_tuple name 0 0) ~on_done:(fun () -> on_done t)
+
+let handle sys ~name ~parties = { sys; name; parties }
+
+let wait t ~machine ~on_done =
+  System.read_del_blocking t.sys ~machine (count_tmpl t.name) ~on_done:(fun o ->
+      let gen = match Pobj.field o 2 with Value.Int g -> g | _ -> assert false in
+      let arrived =
+        (match Pobj.field o 3 with Value.Int a -> a | _ -> assert false) + 1
+      in
+      if arrived = t.parties then begin
+        (* Last arrival: open the barrier and reset it for the next
+           generation. *)
+        System.insert t.sys ~machine (count_tuple t.name (gen + 1) 0)
+          ~on_done:(fun () -> ());
+        System.insert t.sys ~machine (go_tuple t.name gen) ~on_done:(fun () ->
+            on_done ())
+      end
+      else begin
+        System.insert t.sys ~machine (count_tuple t.name gen arrived)
+          ~on_done:(fun () -> ());
+        System.read_blocking t.sys ~machine (go_tmpl t.name gen)
+          ~on_done:(fun _ -> on_done ())
+      end)

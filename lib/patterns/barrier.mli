@@ -1,0 +1,19 @@
+(** A reusable cyclic barrier over PASO, coordinator-free: arrivals
+    consume-and-reinsert a count tuple; the last arrival of a round
+    posts a generation-stamped "go" tuple that waiters blocking-read
+    (read, not take — every party of the round sees it). Generations
+    make the barrier reusable: round [g]'s waiters match only the go
+    tuple of generation [g]. *)
+
+type t
+
+val create :
+  Paso.System.t -> name:string -> machine:int -> parties:int ->
+  on_done:(t -> unit) -> unit
+(** @raise Invalid_argument if [parties < 1]. *)
+
+val handle : Paso.System.t -> name:string -> parties:int -> t
+
+val wait : t -> machine:int -> on_done:(unit -> unit) -> unit
+(** Arrive and block until all [parties] of the current generation have
+    arrived. *)

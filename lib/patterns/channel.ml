@@ -1,0 +1,54 @@
+open Paso
+
+type t = { sys : System.t; name : string }
+
+let idx_head = "paso.chan.idx"
+let item_head = "paso.chan.item"
+
+(* (idx_head, name, "tail"|"head", next) *)
+let idx_tuple name which v =
+  [ Value.Sym idx_head; Value.Str name; Value.Sym which; Value.Int v ]
+
+let idx_tmpl name which =
+  Template.make
+    [ Template.Eq (Value.Sym idx_head); Template.Eq (Value.Str name);
+      Template.Eq (Value.Sym which); Template.Type_is "int" ]
+
+let item_tuple name seq v = [ Value.Sym item_head; Value.Str name; Value.Int seq; v ]
+
+let item_tmpl name seq =
+  Template.make
+    [ Template.Eq (Value.Sym item_head); Template.Eq (Value.Str name);
+      Template.Eq (Value.Int seq); Template.Any ]
+
+let create sys ~name ~machine ~on_done =
+  let t = { sys; name } in
+  System.insert sys ~machine (idx_tuple name "tail" 0) ~on_done:(fun () ->
+      System.insert sys ~machine (idx_tuple name "head" 0) ~on_done:(fun () ->
+          on_done t))
+
+let handle sys ~name = { sys; name }
+
+let idx_value o =
+  match Pobj.field o 3 with Value.Int v -> v | _ -> invalid_arg "corrupt index tuple"
+
+(* Claim the next slot of [which] by bumping its index tuple. *)
+let claim t ~machine ~which ~on_done =
+  System.read_del_blocking t.sys ~machine (idx_tmpl t.name which) ~on_done:(fun o ->
+      let seq = idx_value o in
+      System.insert t.sys ~machine (idx_tuple t.name which (seq + 1))
+        ~on_done:(fun () -> on_done seq))
+
+let send t ~machine v ~on_done =
+  claim t ~machine ~which:"tail" ~on_done:(fun seq ->
+      System.insert t.sys ~machine (item_tuple t.name seq v) ~on_done)
+
+let recv t ~machine ~on_done =
+  claim t ~machine ~which:"head" ~on_done:(fun seq ->
+      System.read_del_blocking t.sys ~machine (item_tmpl t.name seq)
+        ~on_done:(fun o -> on_done (Pobj.field o 3)))
+
+let length t ~machine ~on_done =
+  System.read_blocking t.sys ~machine (idx_tmpl t.name "tail") ~on_done:(fun tl ->
+      System.read_blocking t.sys ~machine (idx_tmpl t.name "head") ~on_done:(fun hd ->
+          on_done (idx_value tl - idx_value hd)))

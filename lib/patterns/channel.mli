@@ -1,0 +1,22 @@
+(** An ordered multi-producer multi-consumer channel over PASO — the
+    classic Linda "stream" built from index tuples. Producers claim
+    send slots by consuming-and-reinserting the tail-index tuple;
+    consumers likewise claim receive slots via the head index, then
+    take exactly the item with their slot's sequence number. Items are
+    therefore consumed exactly once and in send order, from any mix of
+    machines. *)
+
+type t
+
+val create : Paso.System.t -> name:string -> machine:int -> on_done:(t -> unit) -> unit
+val handle : Paso.System.t -> name:string -> t
+
+val send : t -> machine:int -> Paso.Value.t -> on_done:(unit -> unit) -> unit
+(** Append a value; completes when the item is replicated. *)
+
+val recv : t -> machine:int -> on_done:(Paso.Value.t -> unit) -> unit
+(** Take the next item in order; blocks until it is available. *)
+
+val length : t -> machine:int -> on_done:(int -> unit) -> unit
+(** Items sent and not yet claimed by a receiver (may be momentarily
+    stale under concurrency). *)

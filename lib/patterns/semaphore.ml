@@ -1,0 +1,29 @@
+open Paso
+
+type t = { sys : System.t; name : string }
+
+let head = "paso.sem"
+
+let permit name = [ Value.Sym head; Value.Str name ]
+
+let tmpl name =
+  Template.make [ Template.Eq (Value.Sym head); Template.Eq (Value.Str name) ]
+
+let create sys ~name ~machine ~permits ~on_done =
+  if permits < 1 then invalid_arg "Semaphore.create: permits < 1";
+  let t = { sys; name } in
+  let rec put k =
+    if k = 0 then on_done t
+    else System.insert sys ~machine (permit name) ~on_done:(fun () -> put (k - 1))
+  in
+  put permits
+
+let handle sys ~name = { sys; name }
+
+let acquire t ~machine ~on_done =
+  System.read_del_blocking t.sys ~machine (tmpl t.name) ~on_done:(fun _ -> on_done ())
+
+let try_acquire t ~machine ~on_done =
+  System.read_del t.sys ~machine (tmpl t.name) ~on_done:(fun r -> on_done (r <> None))
+
+let release t ~machine ~on_done = System.insert t.sys ~machine (permit t.name) ~on_done

@@ -1,0 +1,22 @@
+(** A counting semaphore over PASO: [n] permit tuples; [acquire] is a
+    blocking [read&del] (the write group's total order arbitrates
+    contention), [release] re-inserts a permit. Processes on any
+    machine may acquire and release; permits survive the crash of any
+    machine that is not holding them. *)
+
+type t
+
+val create :
+  Paso.System.t -> name:string -> machine:int -> permits:int ->
+  on_done:(t -> unit) -> unit
+(** @raise Invalid_argument if [permits < 1]. *)
+
+val handle : Paso.System.t -> name:string -> t
+
+val acquire : t -> machine:int -> on_done:(unit -> unit) -> unit
+(** Blocks (marker) until a permit is available. *)
+
+val try_acquire : t -> machine:int -> on_done:(bool -> unit) -> unit
+(** Non-blocking: [false] if no permit was available. *)
+
+val release : t -> machine:int -> on_done:(unit -> unit) -> unit

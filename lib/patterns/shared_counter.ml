@@ -1,0 +1,29 @@
+open Paso
+
+type t = { sys : System.t; name : string }
+
+let head = "paso.counter"
+
+let tuple name v = [ Value.Sym head; Value.Str name; Value.Int v ]
+
+let tmpl name =
+  Template.make
+    [ Template.Eq (Value.Sym head); Template.Eq (Value.Str name); Template.Type_is "int" ]
+
+let create sys ~name ~machine ?(initial = 0) () ~on_done =
+  let t = { sys; name } in
+  System.insert sys ~machine (tuple name initial) ~on_done:(fun () -> on_done t)
+
+let handle sys ~name = { sys; name }
+
+let value_of o =
+  match Pobj.field o 2 with Value.Int v -> v | _ -> invalid_arg "corrupt counter tuple"
+
+let add t ~machine ~delta ~on_done =
+  System.read_del_blocking t.sys ~machine (tmpl t.name) ~on_done:(fun o ->
+      let v = value_of o + delta in
+      System.insert t.sys ~machine (tuple t.name v) ~on_done:(fun () -> on_done v))
+
+let get t ~machine ~on_done =
+  System.read_blocking t.sys ~machine (tmpl t.name) ~on_done:(fun o ->
+      on_done (value_of o))

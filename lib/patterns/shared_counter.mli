@@ -1,0 +1,22 @@
+(** A shared atomic counter over PASO: the canonical tuple-space idiom
+    of mutating state by consuming and re-inserting a tuple. The
+    [read&del] of the counter tuple is the mutual exclusion — the
+    write group's total order serialises concurrent increments, so no
+    update is lost (property-tested). *)
+
+type t
+
+val create :
+  Paso.System.t -> name:string -> machine:int -> ?initial:int -> unit ->
+  on_done:(t -> unit) -> unit
+(** Install the counter tuple. [name] must be unique per counter. *)
+
+val handle : Paso.System.t -> name:string -> t
+(** Handle to an existing counter (e.g. created by another machine). *)
+
+val add : t -> machine:int -> delta:int -> on_done:(int -> unit) -> unit
+(** Atomically add [delta]; the callback receives the {e new} value.
+    Blocks (via a marker) while another machine holds the tuple. *)
+
+val get : t -> machine:int -> on_done:(int -> unit) -> unit
+(** Read the current value without consuming it. *)

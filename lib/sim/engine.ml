@@ -1,0 +1,44 @@
+type event_id = Event_heap.id
+
+type t = {
+  heap : (unit -> unit) Event_heap.t;
+  mutable clock : float;
+  mutable executed : int;
+}
+
+let create () = { heap = Event_heap.create (); clock = 0.0; executed = 0 }
+
+let now t = t.clock
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  Event_heap.add t.heap ~time:(t.clock +. delay) f
+
+let schedule_at t ~time f =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  Event_heap.add t.heap ~time f
+
+let cancel t eid = Event_heap.cancel t.heap eid
+
+let step t =
+  match Event_heap.pop t.heap with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- time;
+      t.executed <- t.executed + 1;
+      f ();
+      true
+
+let run t = while step t do () done
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match Event_heap.peek_time t.heap with
+    | Some time when time <= horizon -> ignore (step t)
+    | Some _ | None -> continue := false
+  done;
+  if t.clock < horizon then t.clock <- horizon
+
+let pending t = Event_heap.size t.heap
+let events_executed t = t.executed

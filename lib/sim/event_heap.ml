@@ -1,0 +1,115 @@
+type id = int
+
+type 'a entry = { time : float; seq : int; eid : id; payload : 'a }
+
+type 'a t = {
+  mutable arr : 'a entry option array;
+  mutable len : int;
+  mutable next_seq : int;
+  mutable next_id : id;
+  cancelled : (id, unit) Hashtbl.t;
+  mutable live : int; (* pending minus cancelled-but-not-yet-popped *)
+}
+
+let create () =
+  {
+    arr = Array.make 64 None;
+    len = 0;
+    next_seq = 0;
+    next_id = 0;
+    cancelled = Hashtbl.create 16;
+    live = 0;
+  }
+
+let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let get t i =
+  match t.arr.(i) with
+  | Some e -> e
+  | None -> assert false
+
+let swap t i j =
+  let tmp = t.arr.(i) in
+  t.arr.(i) <- t.arr.(j);
+  t.arr.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt (get t i) (get t parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && entry_lt (get t l) (get t !smallest) then smallest := l;
+  if r < t.len && entry_lt (get t r) (get t !smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let arr = Array.make (2 * Array.length t.arr) None in
+  Array.blit t.arr 0 arr 0 t.len;
+  t.arr <- arr
+
+let add t ~time payload =
+  if Float.is_nan time then invalid_arg "Event_heap.add: NaN time";
+  if t.len = Array.length t.arr then grow t;
+  let eid = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let e = { time; seq = t.next_seq; eid; payload } in
+  t.next_seq <- t.next_seq + 1;
+  t.arr.(t.len) <- Some e;
+  t.len <- t.len + 1;
+  t.live <- t.live + 1;
+  sift_up t (t.len - 1);
+  eid
+
+let cancel t eid =
+  if not (Hashtbl.mem t.cancelled eid) then begin
+    Hashtbl.add t.cancelled eid ();
+    t.live <- t.live - 1
+  end
+
+let pop_entry t =
+  if t.len = 0 then None
+  else begin
+    let e = get t 0 in
+    t.len <- t.len - 1;
+    t.arr.(0) <- t.arr.(t.len);
+    t.arr.(t.len) <- None;
+    if t.len > 0 then sift_down t 0;
+    Some e
+  end
+
+let rec pop t =
+  match pop_entry t with
+  | None -> None
+  | Some e ->
+      if Hashtbl.mem t.cancelled e.eid then begin
+        Hashtbl.remove t.cancelled e.eid;
+        pop t
+      end
+      else begin
+        t.live <- t.live - 1;
+        Some (e.time, e.payload)
+      end
+
+let rec peek_time t =
+  if t.len = 0 then None
+  else
+    let e = get t 0 in
+    if Hashtbl.mem t.cancelled e.eid then begin
+      Hashtbl.remove t.cancelled e.eid;
+      ignore (pop_entry t);
+      peek_time t
+    end
+    else Some e.time
+
+let size t = t.live
+let is_empty t = t.live = 0

@@ -1,0 +1,32 @@
+(** Binary min-heap of timed events with lazy cancellation.
+
+    Events are ordered by [(time, seq)] where [seq] is a strictly
+    increasing insertion counter, so events scheduled for the same
+    instant fire in insertion order. This determinism is essential for
+    reproducible simulation runs. *)
+
+type 'a t
+
+type id
+(** Handle for a scheduled event, usable with {!cancel}. *)
+
+val create : unit -> 'a t
+
+val add : 'a t -> time:float -> 'a -> id
+(** [add heap ~time payload] schedules [payload] at [time].
+    @raise Invalid_argument if [time] is NaN. *)
+
+val cancel : 'a t -> id -> unit
+(** Cancel a pending event. Cancelling an already-fired or
+    already-cancelled event is a no-op. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest pending (non-cancelled) event. *)
+
+val peek_time : 'a t -> float option
+(** Time of the earliest pending event, without removing it. *)
+
+val size : 'a t -> int
+(** Number of pending (non-cancelled) events. *)
+
+val is_empty : 'a t -> bool

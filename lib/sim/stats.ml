@@ -1,0 +1,99 @@
+type dist = { mutable xs : float list; mutable n : int; mutable sorted : float array option }
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  totals : (string, float ref) Hashtbl.t;
+  dists : (string, dist) Hashtbl.t;
+}
+
+let create () =
+  { counters = Hashtbl.create 32; totals = Hashtbl.create 32; dists = Hashtbl.create 32 }
+
+let incr t key =
+  match Hashtbl.find_opt t.counters key with
+  | Some r -> Stdlib.incr r
+  | None -> Hashtbl.add t.counters key (ref 1)
+
+let add t key v =
+  match Hashtbl.find_opt t.totals key with
+  | Some r -> r := !r +. v
+  | None -> Hashtbl.add t.totals key (ref v)
+
+let observe t key v =
+  match Hashtbl.find_opt t.dists key with
+  | Some d ->
+      d.xs <- v :: d.xs;
+      d.n <- d.n + 1;
+      d.sorted <- None
+  | None -> Hashtbl.add t.dists key { xs = [ v ]; n = 1; sorted = None }
+
+let count t key =
+  match Hashtbl.find_opt t.counters key with Some r -> !r | None -> 0
+
+let total t key =
+  match Hashtbl.find_opt t.totals key with Some r -> !r | None -> 0.0
+
+let dist_opt t key = Hashtbl.find_opt t.dists key
+
+let sorted_samples d =
+  match d.sorted with
+  | Some a -> a
+  | None ->
+      let a = Array.of_list d.xs in
+      Array.sort compare a;
+      d.sorted <- Some a;
+      a
+
+let mean t key =
+  match dist_opt t key with
+  | None -> None
+  | Some d -> Some (List.fold_left ( +. ) 0.0 d.xs /. float_of_int d.n)
+
+let max_sample t key =
+  match dist_opt t key with
+  | None -> None
+  | Some d -> Some (List.fold_left Float.max neg_infinity d.xs)
+
+let min_sample t key =
+  match dist_opt t key with
+  | None -> None
+  | Some d -> Some (List.fold_left Float.min infinity d.xs)
+
+let percentile t key p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile";
+  match dist_opt t key with
+  | None -> None
+  | Some d ->
+      let a = sorted_samples d in
+      let n = Array.length a in
+      if n = 0 then None
+      else
+        let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+        let idx = max 0 (min (n - 1) (rank - 1)) in
+        Some a.(idx)
+
+let samples t key = match dist_opt t key with Some d -> d.n | None -> 0
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.totals;
+  Hashtbl.reset t.dists
+
+let keys t =
+  let acc = Hashtbl.create 32 in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace acc k ()) t.counters;
+  Hashtbl.iter (fun k _ -> Hashtbl.replace acc k ()) t.totals;
+  Hashtbl.iter (fun k _ -> Hashtbl.replace acc k ()) t.dists;
+  Hashtbl.fold (fun k () l -> k :: l) acc [] |> List.sort compare
+
+let pp ppf t =
+  let pp_key ppf k =
+    let c = count t k and tot = total t k in
+    if c <> 0 then Format.fprintf ppf "%s: count=%d" k c
+    else if tot <> 0.0 then Format.fprintf ppf "%s: total=%.3f" k tot
+    else
+      match mean t k with
+      | Some m -> Format.fprintf ppf "%s: n=%d mean=%.3f" k (samples t k) m
+      | None -> Format.fprintf ppf "%s: (empty)" k
+  in
+  Format.fprintf ppf "@[<v>%a@]" (Format.pp_print_list pp_key) (keys t)

@@ -1,0 +1,45 @@
+(** Named counters and scalar accumulators for cost accounting.
+
+    The paper distinguishes three cost measures per operation:
+    [msg-cost], [time] and [work] (§4.3). Components of the simulator
+    record into a shared [Stats.t] under conventional keys so that
+    benchmarks can read them back after a run. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+(** Increment an integer counter by one. *)
+
+val add : t -> string -> float -> unit
+(** Add to a float accumulator. *)
+
+val observe : t -> string -> float -> unit
+(** Record a sample into a distribution (for mean / max / percentiles). *)
+
+val count : t -> string -> int
+(** Current value of an integer counter (0 if never incremented). *)
+
+val total : t -> string -> float
+(** Current value of a float accumulator (0.0 if never added to). *)
+
+val mean : t -> string -> float option
+(** Mean of the observed samples under this key, if any. *)
+
+val max_sample : t -> string -> float option
+val min_sample : t -> string -> float option
+
+val percentile : t -> string -> float -> float option
+(** [percentile t key p] with [p] in [0,100]; nearest-rank on the
+    recorded samples. *)
+
+val samples : t -> string -> int
+(** Number of recorded samples under this key. *)
+
+val reset : t -> unit
+
+val keys : t -> string list
+(** All keys with any recorded data, sorted. *)
+
+val pp : Format.formatter -> t -> unit

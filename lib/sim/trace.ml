@@ -1,0 +1,45 @@
+type record = { time : float; tag : string; message : string }
+
+type t = {
+  mutable buf : record list; (* newest first *)
+  mutable len : int;
+  capacity : int;
+  mutable on : bool;
+}
+
+let create ?(capacity = 4096) () = { buf = []; len = 0; capacity; on = false }
+let enable t = t.on <- true
+let disable t = t.on <- false
+let enabled t = t.on
+
+let emit t ~time ~tag message =
+  if t.on then begin
+    t.buf <- { time; tag; message } :: t.buf;
+    t.len <- t.len + 1;
+    if t.len > t.capacity then begin
+      (* Drop the oldest half to amortise the truncation cost. *)
+      let keep = t.capacity / 2 in
+      let rec take n = function
+        | x :: rest when n > 0 -> x :: take (n - 1) rest
+        | _ -> []
+      in
+      t.buf <- take keep t.buf;
+      t.len <- keep
+    end
+  end
+
+let emitf t ~time ~tag fmt =
+  if t.on then Format.kasprintf (fun s -> emit t ~time ~tag s) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let records t = List.rev t.buf
+let length t = t.len
+
+let clear t =
+  t.buf <- [];
+  t.len <- 0
+
+let pp_record ppf r = Format.fprintf ppf "[%10.3f] %-14s %s" r.time r.tag r.message
+
+let dump ppf t =
+  List.iter (fun r -> Format.fprintf ppf "%a@." pp_record r) (records t)

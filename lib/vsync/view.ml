@@ -1,0 +1,18 @@
+type t = { group : string; view_id : int; members : int list }
+
+let make ~group ~view_id ~members =
+  { group; view_id; members = List.sort_uniq compare members }
+
+let size t = List.length t.members
+let mem t node = List.mem node t.members
+let leader t = match t.members with [] -> None | m :: _ -> Some m
+
+let equal a b =
+  a.group = b.group && a.view_id = b.view_id && a.members = b.members
+
+let pp ppf t =
+  Format.fprintf ppf "%s@@v%d{%a}" t.group t.view_id
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+       Format.pp_print_int)
+    t.members

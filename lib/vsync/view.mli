@@ -1,0 +1,22 @@
+(** A group view: the membership of a named group at an instant, as in
+    ISIS virtual synchrony. View ids increase monotonically per group;
+    all members observe the same sequence of views, interleaved
+    consistently with message deliveries. *)
+
+type t = { group : string; view_id : int; members : int list }
+(** [members] is sorted ascending. *)
+
+val make : group:string -> view_id:int -> members:int list -> t
+(** Sorts and dedups [members]. *)
+
+val size : t -> int
+
+val mem : t -> int -> bool
+
+val leader : t -> int option
+(** Lowest-numbered member: the group's designated leader, used for
+    ack-gathering and as state-transfer donor. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

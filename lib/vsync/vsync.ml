@@ -1,0 +1,456 @@
+module View = View
+module IntSet = Set.Make (Int)
+
+type ('msg, 'resp, 'state) callbacks = {
+  deliver : node:int -> group:string -> from:int -> 'msg -> 'resp option * float;
+  resp_size : 'resp option -> int;
+  state_of : node:int -> group:string -> 'state * int;
+  install_state : node:int -> group:string -> 'state -> unit;
+  on_view : node:int -> View.t -> unit;
+  on_evict : node:int -> group:string -> unit;
+  on_group_lost : group:string -> unit;
+}
+
+type 'resp inflight = {
+  mutable waiting : IntSet.t;
+  mutable resp : 'resp option; (* first non-fail response seen *)
+  mutable work : float;
+  if_responders : int;
+  if_leader : int;
+  if_issuer : int;
+  if_issuer_epoch : int;
+  if_eager : bool;
+  mutable processed : int; (* members that actually ran deliver *)
+  mutable resp_sent : bool; (* eager mode: response already forwarded *)
+  mutable completed : bool;
+  if_on_done : resp:'resp option -> work:float -> responders:int -> unit;
+}
+
+type ('msg, 'resp) op =
+  | Op_gcast of {
+      oc_from : int;
+      oc_epoch : int;
+      oc_msg : 'msg;
+      oc_size : int;
+      oc_eager : bool;
+      oc_restrict : int list -> int list;
+      oc_done : resp:'resp option -> work:float -> responders:int -> unit;
+    }
+  | Op_join of { oj_node : int; oj_epoch : int; oj_done : unit -> unit }
+  | Op_leave of { ol_node : int; ol_done : unit -> unit }
+  | Op_crash_remove of { ox_node : int }
+
+type ('msg, 'resp) gstate = {
+  gname : string;
+  mutable members : IntSet.t;
+  mutable view_id : int;
+  mutable busy : bool;
+  mutable inflight : 'resp inflight option;
+  mutable joining : int option; (* node whose state transfer is in flight *)
+  urgent : ('msg, 'resp) op Queue.t;
+  normal : ('msg, 'resp) op Queue.t;
+}
+
+type ('msg, 'resp, 'state) t = {
+  eng : Sim.Engine.t;
+  fabric : Net.Fabric.t;
+  stats : Sim.Stats.t;
+  trace : Sim.Trace.t;
+  nodes : int;
+  cbs : ('msg, 'resp, 'state) callbacks;
+  up : bool array;
+  epoch : int array;
+  busy_until : float array; (* each node is a serial processor *)
+  groups : (string, ('msg, 'resp) gstate) Hashtbl.t;
+}
+
+let view_note_size = 16
+
+let make ~engine ~fabric ~stats ~trace ~n cbs =
+  if n <= 0 then invalid_arg "Vsync.make: n <= 0";
+  {
+    eng = engine;
+    fabric;
+    stats;
+    trace;
+    nodes = n;
+    cbs;
+    up = Array.make n true;
+    epoch = Array.make n 0;
+    busy_until = Array.make n 0.0;
+    groups = Hashtbl.create 16;
+  }
+
+let n t = t.nodes
+let engine t = t.eng
+
+let check_node t i =
+  if i < 0 || i >= t.nodes then invalid_arg "Vsync: bad node id"
+
+let is_up t i =
+  check_node t i;
+  t.up.(i)
+
+let group_state t name =
+  match Hashtbl.find_opt t.groups name with
+  | Some g -> g
+  | None ->
+      let g =
+        {
+          gname = name;
+          members = IntSet.empty;
+          view_id = 0;
+          busy = false;
+          inflight = None;
+          joining = None;
+          urgent = Queue.create ();
+          normal = Queue.create ();
+        }
+      in
+      Hashtbl.add t.groups name g;
+      g
+
+let members t ~group =
+  match Hashtbl.find_opt t.groups group with
+  | Some g -> IntSet.elements g.members
+  | None -> []
+
+let view t ~group =
+  match Hashtbl.find_opt t.groups group with
+  | Some g -> View.make ~group ~view_id:g.view_id ~members:(IntSet.elements g.members)
+  | None -> View.make ~group ~view_id:0 ~members:[]
+
+let is_member t ~group ~node =
+  match Hashtbl.find_opt t.groups group with
+  | Some g -> IntSet.mem node g.members
+  | None -> false
+
+let groups_of t ~node =
+  Hashtbl.fold
+    (fun name g acc -> if IntSet.mem node g.members then name :: acc else acc)
+    t.groups []
+  |> List.sort compare
+
+let tracef t fmt = Sim.Trace.emitf t.trace ~time:(Sim.Engine.now t.eng) ~tag:"vsync" fmt
+
+(* Transmit on the fabric; run [k] at delivery only if [dst] is still up
+   in the same incarnation as when the message was sent. *)
+let send_to t ~src ~dst ~size k =
+  let e = t.epoch.(dst) in
+  Net.Fabric.transmit t.fabric ~src ~dst ~size (fun () ->
+      if t.up.(dst) && t.epoch.(dst) = e then k ())
+
+(* Transmit for cost only; [k] always runs at delivery time (used for
+   acks, whose bookkeeping lives in the control plane). *)
+let send_raw t ~src ~dst ~size k = Net.Fabric.transmit t.fabric ~src ~dst ~size k
+
+let alive t node e = t.up.(node) && t.epoch.(node) = e
+
+(* --- view installation ------------------------------------------------ *)
+
+let notify_view t g ~extra =
+  g.view_id <- g.view_id + 1;
+  Sim.Stats.incr t.stats "vsync.view_changes";
+  let v = View.make ~group:g.gname ~view_id:g.view_id ~members:(IntSet.elements g.members) in
+  tracef t "view %a" View.pp v;
+  let targets =
+    match extra with
+    | Some x when not (IntSet.mem x g.members) -> IntSet.add x g.members
+    | _ -> g.members
+  in
+  let src = match IntSet.min_elt_opt g.members with Some l -> l | None -> 0 in
+  IntSet.iter
+    (fun m -> send_to t ~src ~dst:m ~size:view_note_size (fun () -> t.cbs.on_view ~node:m v))
+    targets
+
+(* --- the per-group op pump --------------------------------------------- *)
+
+let rec pump t g =
+  if not g.busy then begin
+    let op =
+      if not (Queue.is_empty g.urgent) then Some (Queue.pop g.urgent)
+      else if not (Queue.is_empty g.normal) then Some (Queue.pop g.normal)
+      else None
+    in
+    match op with
+    | None -> ()
+    | Some op ->
+        g.busy <- true;
+        exec t g op
+  end
+
+and finish t g =
+  g.busy <- false;
+  g.inflight <- None;
+  g.joining <- None;
+  pump t g
+
+and exec t g = function
+  | Op_gcast { oc_from; oc_epoch; oc_msg; oc_size; oc_eager; oc_restrict; oc_done } ->
+      if not (alive t oc_from oc_epoch) then finish t g (* orphaned request *)
+      else exec_gcast t g ~from_:oc_from ~epoch:oc_epoch ~msg:oc_msg ~size:oc_size
+             ~eager:oc_eager ~restrict:oc_restrict ~on_done:oc_done
+  | Op_join { oj_node; oj_epoch; oj_done } ->
+      if not (alive t oj_node oj_epoch) then finish t g
+      else exec_join t g ~node:oj_node ~on_done:oj_done
+  | Op_leave { ol_node; ol_done } -> exec_leave t g ~node:ol_node ~on_done:ol_done
+  | Op_crash_remove { ox_node } ->
+      (* Membership was already removed eagerly at crash time (a dead
+         machine is not a member); this op is the ordered view-change
+         notification to the survivors. *)
+      tracef t "crash view-change for node %d in %s" ox_node g.gname;
+      notify_view t g ~extra:None;
+      finish t g
+
+and exec_gcast t g ~from_ ~epoch ~msg ~size ~eager ~restrict ~on_done =
+  Sim.Stats.incr t.stats "vsync.gcasts";
+  (* A crashed member whose view change is still queued must not be
+     targeted: its copy would be dropped and never acknowledged. *)
+  let all = List.filter (fun m -> t.up.(m)) (IntSet.elements g.members) in
+  let mems =
+    let chosen = List.filter (fun m -> List.mem m all) (restrict all) in
+    if chosen = [] then all else chosen
+  in
+  match mems with
+  | [] ->
+      (* Empty group: nothing to deliver to; the issuer learns failure.
+         (The fault-tolerance condition rules this out in valid runs.) *)
+      ignore
+        (Sim.Engine.schedule t.eng ~delay:0.0 (fun () ->
+             if alive t from_ epoch then on_done ~resp:None ~work:0.0 ~responders:0));
+      finish t g
+  | _ ->
+      let infl =
+        {
+          waiting = IntSet.of_list mems;
+          resp = None;
+          work = 0.0;
+          if_responders = List.length mems;
+          if_leader = List.hd mems;
+          if_issuer = from_;
+          if_issuer_epoch = epoch;
+          if_eager = eager;
+          processed = 0;
+          resp_sent = false;
+          completed = false;
+          if_on_done = on_done;
+        }
+      in
+      g.inflight <- Some infl;
+      let deliver_at m () =
+        let resp, w = t.cbs.deliver ~node:m ~group:g.gname ~from:from_ msg in
+        infl.processed <- infl.processed + 1;
+        (match (infl.resp, resp) with None, Some r -> infl.resp <- Some r | _ -> ());
+        if infl.if_eager && (not infl.resp_sent) && infl.resp <> None then begin
+          (* Response-time optimisation: forward the first success now;
+             ack-gathering and the group flush continue behind it. *)
+          infl.resp_sent <- true;
+          let resp = infl.resp in
+          (* The eager response comes from the member that produced it;
+             charge its uplink. *)
+          send_to t ~src:m ~dst:infl.if_issuer ~size:(t.cbs.resp_size resp) (fun () ->
+              if t.epoch.(infl.if_issuer) = infl.if_issuer_epoch then
+                infl.if_on_done ~resp ~work:infl.work
+                  ~responders:infl.if_responders)
+        end;
+        infl.work <- infl.work +. w;
+        Sim.Stats.add t.stats "work.total" w;
+        let now = Sim.Engine.now t.eng in
+        let start = Float.max now t.busy_until.(m) in
+        let fin = start +. w in
+        t.busy_until.(m) <- fin;
+        (* After processing, send the empty "done" ack to the leader. *)
+        ignore
+          (Sim.Engine.schedule t.eng ~delay:(fin -. now) (fun () ->
+               send_raw t ~src:m ~dst:infl.if_leader ~size:0 (fun () ->
+                   infl.waiting <- IntSet.remove m infl.waiting;
+                   check_complete t g infl)))
+      in
+      List.iter (fun m -> send_to t ~src:from_ ~dst:m ~size (deliver_at m)) mems
+
+and check_complete t g infl =
+  if (not infl.completed) && IntSet.is_empty infl.waiting then begin
+    infl.completed <- true;
+    let resp = infl.resp in
+    let rsize = t.cbs.resp_size resp in
+    (* The group is stable again; the response travels independently. *)
+    (match g.inflight with Some cur when cur == infl -> finish t g | Some _ | None -> ());
+    if not infl.resp_sent then
+      send_to t ~src:infl.if_leader ~dst:infl.if_issuer ~size:rsize (fun () ->
+          if t.epoch.(infl.if_issuer) = infl.if_issuer_epoch then
+            (* Report the members that actually processed the message:
+               crashed targets did no work and hold no copy. *)
+            infl.if_on_done ~resp ~work:infl.work ~responders:infl.processed)
+  end
+
+and exec_join t g ~node ~on_done =
+  Sim.Stats.incr t.stats "vsync.joins";
+  if IntSet.mem node g.members then begin
+    ignore (Sim.Engine.schedule t.eng ~delay:0.0 on_done);
+    finish t g
+  end
+  else if IntSet.is_empty g.members then begin
+    g.members <- IntSet.singleton node;
+    tracef t "join node %d -> %s (first member)" node g.gname;
+    notify_view t g ~extra:None;
+    ignore (Sim.Engine.schedule t.eng ~delay:0.0 on_done);
+    finish t g
+  end
+  else begin
+    let donor = IntSet.min_elt g.members in
+    let state, size = t.cbs.state_of ~node:donor ~group:g.gname in
+    Sim.Stats.add t.stats "vsync.state_bytes" (float_of_int size);
+    tracef t "join node %d -> %s: state transfer %d bytes from donor %d" node g.gname
+      size donor;
+    g.joining <- Some node;
+    send_to t ~src:donor ~dst:node ~size (fun () ->
+        t.cbs.install_state ~node ~group:g.gname state;
+        g.members <- IntSet.add node g.members;
+        notify_view t g ~extra:None;
+        on_done ();
+        finish t g)
+  end
+
+and exec_leave t g ~node ~on_done =
+  Sim.Stats.incr t.stats "vsync.leaves";
+  if IntSet.mem node g.members then begin
+    g.members <- IntSet.remove node g.members;
+    t.cbs.on_evict ~node ~group:g.gname;
+    tracef t "leave node %d <- %s" node g.gname;
+    if IntSet.is_empty g.members && g.joining = None then begin
+      tracef t "group %s lost its state (last member left)" g.gname;
+      t.cbs.on_group_lost ~group:g.gname
+    end;
+    notify_view t g ~extra:(Some node)
+  end;
+  ignore (Sim.Engine.schedule t.eng ~delay:0.0 on_done);
+  finish t g
+
+(* --- public operations -------------------------------------------------- *)
+
+let gcast t ?(restrict = fun members -> members) ?(eager = false) ~group ~from ~msg_size
+    ~on_done msg =
+  check_node t from;
+  if msg_size < 0 then invalid_arg "Vsync.gcast: negative msg_size";
+  if t.up.(from) then begin
+    let g = group_state t group in
+    Queue.push
+      (Op_gcast
+         {
+           oc_from = from;
+           oc_epoch = t.epoch.(from);
+           oc_msg = msg;
+           oc_size = msg_size;
+           oc_eager = eager;
+           oc_restrict = restrict;
+           oc_done = on_done;
+         })
+      g.normal;
+    pump t g
+  end
+
+let join t ~group ~node ~on_done =
+  check_node t node;
+  if t.up.(node) then begin
+    let g = group_state t group in
+    Queue.push (Op_join { oj_node = node; oj_epoch = t.epoch.(node); oj_done = on_done }) g.normal;
+    pump t g
+  end
+
+let leave t ~group ~node ~on_done =
+  check_node t node;
+  if t.up.(node) then begin
+    let g = group_state t group in
+    Queue.push (Op_leave { ol_node = node; ol_done = on_done }) g.normal;
+    pump t g
+  end
+
+let send_direct t ~from ~dst ~size k =
+  check_node t from;
+  check_node t dst;
+  Sim.Stats.incr t.stats "vsync.directs";
+  send_to t ~src:from ~dst ~size k
+
+let state_transfer_target t ~group =
+  match Hashtbl.find_opt t.groups group with
+  | Some g -> g.joining
+  | None -> None
+
+let exec_local t ~node ~work k =
+  check_node t node;
+  if work < 0.0 then invalid_arg "Vsync.exec_local: negative work";
+  Sim.Stats.add t.stats "work.total" work;
+  let e = t.epoch.(node) in
+  let now = Sim.Engine.now t.eng in
+  let start = Float.max now t.busy_until.(node) in
+  let fin = start +. work in
+  t.busy_until.(node) <- fin;
+  (* The continuation dies with the machine: if the node crashes before
+     the processing completes, the local operation is orphaned, exactly
+     like a remote operation whose issuer crashed. *)
+  ignore
+    (Sim.Engine.schedule t.eng ~delay:(fin -. now) (fun () ->
+         if t.up.(node) && t.epoch.(node) = e then k ()))
+
+let node_busy_until t node =
+  check_node t node;
+  t.busy_until.(node)
+
+let crash t ~node =
+  check_node t node;
+  if t.up.(node) then begin
+    t.up.(node) <- false;
+    t.epoch.(node) <- t.epoch.(node) + 1;
+    Sim.Stats.incr t.stats "vsync.crashes";
+    tracef t "crash node %d" node;
+    (* Iterate groups in deterministic (sorted) order. *)
+    let names = Hashtbl.fold (fun k _ acc -> k :: acc) t.groups [] |> List.sort compare in
+    let handle name =
+      let g = Hashtbl.find t.groups name in
+      (* A dead machine stops being a member immediately — §4.2's
+         restarted server "determines which groups it belongs to" and
+         must re-join from scratch. Only the view-change notification
+         is deferred (ordered against in-flight traffic). *)
+      let was_member = IntSet.mem node g.members in
+      if was_member then begin
+        g.members <- IntSet.remove node g.members;
+        tracef t "crash-remove node %d from %s" node g.gname;
+        Queue.push (Op_crash_remove { ox_node = node }) g.urgent
+      end;
+      (* Abort an in-flight state transfer to the crashed joiner. Note:
+         [finish] pumps, so this may start the next queued op. *)
+      let joiner_died = match g.joining with Some j -> j = node | None -> false in
+      (* The loss check must precede the flush below: completing the
+         in-flight gcast pumps the queue, and a queued fresh join would
+         repopulate the group with EMPTY state. State survives only in
+         a live in-flight transfer to a live joiner — so the death of
+         the joiner of an already-empty group is itself a loss (the
+         snapshot was the last copy). *)
+      if
+        (was_member || joiner_died)
+        && IntSet.is_empty g.members
+        && (g.joining = None || joiner_died)
+      then begin
+        tracef t "group %s lost its state (last member crashed)" g.gname;
+        t.cbs.on_group_lost ~group:g.gname
+      end;
+      if joiner_died then finish t g;
+      (* A member that will never ack is not awaited (ISIS flush). *)
+      (match g.inflight with
+      | Some infl when IntSet.mem node infl.waiting ->
+          infl.waiting <- IntSet.remove node infl.waiting;
+          check_complete t g infl
+      | Some _ | None -> ());
+      pump t g
+    in
+    List.iter handle names
+  end
+
+let recover t ~node =
+  check_node t node;
+  if not t.up.(node) then begin
+    t.up.(node) <- true;
+    t.busy_until.(node) <- Sim.Engine.now t.eng;
+    Sim.Stats.incr t.stats "vsync.recoveries";
+    tracef t "recover node %d" node
+  end

@@ -1,0 +1,163 @@
+(** Virtually synchronous process groups over the simulated LAN,
+    modelled on ISIS (§3.2 of the paper).
+
+    Guarantees provided, matching the paper's assumptions:
+    - [gcast] is reliable and totally ordered per group: every member
+      installed in the view at gcast time processes the message, and all
+      members process all gcasts to the group in the same order.
+    - Groups are stable during a gcast: [g-join] / [g-leave] / crash
+      view changes are serialised against in-flight gcasts (flush).
+    - Membership events are observed by all members in the same order,
+      consistently ordered with message deliveries.
+    - A joining member receives a state snapshot from a donor (the
+      group leader) before any further group communication is
+      processed — so its state is consistent on entry.
+
+    Cost fidelity: a gcast to a group of size [g] puts on the bus
+    exactly [g] copies of the message, [g] empty acknowledgements to
+    the leader, and one response back to the issuer — term for term the
+    paper's formula [α(2g+1) + β(m·g + r)]. Server processing time is
+    modelled by the [deliver] callback's returned work duration; each
+    node is a serial processor (work queues at a busy server).
+
+    Substitution note (documented in DESIGN.md): the ordering and
+    failure-detection {e control plane} is played by the simulator
+    itself — the natural idealisation of a bus LAN, where the bus is a
+    physical sequencer — while every {e data-path} message pays real
+    bus cost. This reproduces the paper's cost accounting exactly and
+    its ordering semantics by construction. *)
+
+module View = View
+
+type ('msg, 'resp, 'state) t
+
+type ('msg, 'resp, 'state) callbacks = {
+  deliver : node:int -> group:string -> from:int -> 'msg -> 'resp option * float;
+      (** Process one gcast copy at [node]; returns the node's response
+          and the processing time (work) it took. Called in total
+          order; may mutate server state. *)
+  resp_size : 'resp option -> int;
+      (** Wire size of a response ([fail] is size 0). *)
+  state_of : node:int -> group:string -> 'state * int;
+      (** Snapshot the group-relevant state of a donor node, with its
+          wire size in bytes. *)
+  install_state : node:int -> group:string -> 'state -> unit;
+      (** Install a snapshot at a joining node, before it observes any
+          group traffic. *)
+  on_view : node:int -> View.t -> unit;
+      (** A new view was installed at [node]. *)
+  on_evict : node:int -> group:string -> unit;
+      (** [node] left [group] voluntarily: erase the group's local
+          information (§4.2). Not called on crash — the whole local
+          memory is lost then anyway. *)
+  on_group_lost : group:string -> unit;
+      (** The group just lost its last member with no state transfer in
+          flight: its replicated state is gone. Fired at the exact
+          instant of the loss (a later fresh join starts empty). This
+          can only happen outside the paper's fault assumptions (more
+          than λ effective failures). *)
+}
+
+val make :
+  engine:Sim.Engine.t ->
+  fabric:Net.Fabric.t ->
+  stats:Sim.Stats.t ->
+  trace:Sim.Trace.t ->
+  n:int ->
+  ('msg, 'resp, 'state) callbacks ->
+  ('msg, 'resp, 'state) t
+(** The fabric decides where transmissions serialise and what they
+    cost: the paper's shared bus, or the WAN extension (its closing
+    open problem) with per-source uplinks and cluster-dependent
+    costs. *)
+
+val n : ('msg, 'resp, 'state) t -> int
+val engine : ('msg, 'resp, 'state) t -> Sim.Engine.t
+
+val members : ('msg, 'resp, 'state) t -> group:string -> int list
+(** Current view membership (sorted; [[]] for an unknown group). *)
+
+val view : ('msg, 'resp, 'state) t -> group:string -> View.t
+
+val is_member : ('msg, 'resp, 'state) t -> group:string -> node:int -> bool
+
+val groups_of : ('msg, 'resp, 'state) t -> node:int -> string list
+(** Sorted group names [node] currently belongs to. *)
+
+val is_up : ('msg, 'resp, 'state) t -> int -> bool
+
+val gcast :
+  ('msg, 'resp, 'state) t ->
+  ?restrict:(int list -> int list) ->
+  ?eager:bool ->
+  group:string ->
+  from:int ->
+  msg_size:int ->
+  on_done:(resp:'resp option -> work:float -> responders:int -> unit) ->
+  'msg ->
+  unit
+(** Broadcast [msg] to the group. [on_done] fires when the single
+    forwarded response is delivered back to [from], with the response
+    (or [None] for an empty group / all-fail), the total processing
+    work the gcast caused across members, and the number of members it
+    was delivered to. If [from] crashes before the response arrives,
+    [on_done] is never called. The issuer need not be a member.
+
+    [?restrict] implements the paper's read-group optimisation
+    (§4.3): it is applied to the member list at execution time (after
+    any queued membership changes) and must return a subset; copies go
+    only to that subset. Only meaningful for read-only messages.
+
+    [?eager] (default false) is the response-time optimisation the
+    paper's §5 points to (its reference [13]): the first non-fail
+    response is forwarded to the issuer immediately instead of after
+    all members have acknowledged. Message costs are unchanged — the
+    same copies, acks and single response are sent — only the response
+    no longer waits for the slowest member. The group still flushes
+    fully before the next operation. Only sound for read-only
+    messages. *)
+
+val join :
+  ('msg, 'resp, 'state) t -> group:string -> node:int -> on_done:(unit -> unit) -> unit
+(** [g-join]: serialised behind in-flight group traffic; performs state
+    transfer from the leader (one bus message of the snapshot's size),
+    then installs the new view everywhere. Joining a group one is
+    already in completes immediately. *)
+
+val leave :
+  ('msg, 'resp, 'state) t -> group:string -> node:int -> on_done:(unit -> unit) -> unit
+(** [g-leave]: serialised like {!join}; triggers [on_evict]. *)
+
+val send_direct :
+  ('msg, 'resp, 'state) t -> from:int -> dst:int -> size:int -> (unit -> unit) -> unit
+(** One point-to-point message outside any group (costed on the bus);
+    the continuation runs at delivery unless [dst] crashed in the
+    meantime. Used for marker wake-ups. [from] is accounting only. *)
+
+val state_transfer_target : ('msg, 'resp, 'state) t -> group:string -> int option
+(** The node currently receiving a join-time state snapshot of the
+    group, if a transfer is in flight. Such a node will hold the
+    group's state on arrival even if every current member crashes
+    meanwhile — the crash handler of the layer above consults this
+    before declaring a class's data lost. *)
+
+val exec_local : ('msg, 'resp, 'state) t -> node:int -> work:float -> (unit -> unit) -> unit
+(** Run [work] units of purely local processing on [node]'s serial
+    processor (queued behind any in-progress processing), then invoke
+    the continuation — unless the node crashes first, in which case the
+    continuation is orphaned (local processing dies with the machine).
+    Used for local [mem-read]s, which involve no messages (Figure 1,
+    row 2). Accounted under ["work.total"]. *)
+
+val node_busy_until : ('msg, 'resp, 'state) t -> int -> float
+(** Virtual time at which the node's processor becomes idle. *)
+
+val crash : ('msg, 'resp, 'state) t -> node:int -> unit
+(** Crash a machine: its local memory is lost, it is dropped from all
+    group views (urgent view changes, flushed against in-flight
+    gcasts), in-flight requests it issued are orphaned. Idempotent. *)
+
+val recover : ('msg, 'resp, 'state) t -> node:int -> unit
+(** Mark the machine operational again. It belongs to no groups until
+    it re-joins them (its initialisation phase, §3.1, is driven by the
+    layer above). *)

@@ -1,0 +1,65 @@
+type fault = { at : float; action : [ `Crash of int | `Recover of int ] }
+
+let periodic ~n ~lambda ~horizon ~period ~down_time =
+  if n < 1 || period <= 0.0 || down_time <= 0.0 then invalid_arg "Faultgen.periodic";
+  let faults = ref [] in
+  let down = ref 0 in
+  let t = ref period in
+  let next = ref 0 in
+  while !t < horizon do
+    if !down < lambda then begin
+      let m = !next mod n in
+      next := !next + 1;
+      faults := { at = !t; action = `Crash m } :: !faults;
+      faults := { at = !t +. down_time; action = `Recover m } :: !faults;
+      (* Conservatively treat the machine as down for the whole window
+         when deciding whether another crash may start. *)
+      down := !down + 1;
+      if down_time <= period then down := !down - 1
+    end;
+    t := !t +. period
+  done;
+  List.sort (fun a b -> compare a.at b.at) !faults
+
+let random rng ~n ~lambda ~horizon ~mtbf ~mttr =
+  if n < 1 || mtbf <= 0.0 || mttr <= 0.0 then invalid_arg "Faultgen.random";
+  let faults = ref [] in
+  let up_again = Array.make n 0.0 in
+  let t = ref 0.0 in
+  let continue = ref true in
+  while !continue do
+    t := !t +. Sim.Rng.exponential rng ~mean:mtbf;
+    if !t >= horizon then continue := false
+    else begin
+      let down_now = Array.exists (fun u -> u > !t) up_again in
+      let down_count =
+        Array.fold_left (fun acc u -> if u > !t then acc + 1 else acc) 0 up_again
+      in
+      ignore down_now;
+      if down_count < lambda then begin
+        let live =
+          List.filter (fun m -> up_again.(m) <= !t) (List.init n Fun.id)
+        in
+        match live with
+        | [] -> ()
+        | _ ->
+            let m = List.nth live (Sim.Rng.int rng (List.length live)) in
+            let dt = Sim.Rng.exponential rng ~mean:mttr in
+            up_again.(m) <- !t +. dt;
+            faults := { at = !t; action = `Crash m } :: !faults;
+            faults := { at = !t +. dt; action = `Recover m } :: !faults
+      end
+    end
+  done;
+  List.sort (fun a b -> compare a.at b.at) !faults
+
+let apply sys faults =
+  let eng = Paso.System.engine sys in
+  List.iter
+    (fun f ->
+      ignore
+        (Sim.Engine.schedule_at eng ~time:f.at (fun () ->
+             match f.action with
+             | `Crash m -> Paso.System.crash sys ~machine:m
+             | `Recover m -> Paso.System.recover sys ~machine:m)))
+    faults

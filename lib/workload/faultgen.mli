@@ -1,0 +1,27 @@
+(** Crash/recovery schedules for the live simulated system (§3.1's
+    fault model: machines crash, lose memory, re-join after an
+    initialisation phase). *)
+
+type fault = { at : float; action : [ `Crash of int | `Recover of int ] }
+
+val periodic :
+  n:int -> lambda:int -> horizon:float -> period:float -> down_time:float -> fault list
+(** Deterministic round-robin: every [period] one machine crashes and
+    recovers [down_time] later, cycling over machines, never exceeding
+    λ simultaneous failures. Sorted by time. *)
+
+val random :
+  Sim.Rng.t ->
+  n:int ->
+  lambda:int ->
+  horizon:float ->
+  mtbf:float ->
+  mttr:float ->
+  fault list
+(** Poisson-ish crashes: exponential inter-crash times with mean
+    [mtbf] across the ensemble; each down for an exponential time of
+    mean [mttr]. At most λ down at once (crashes that would exceed λ
+    are skipped). Sorted by time. *)
+
+val apply : Paso.System.t -> fault list -> unit
+(** Schedule every fault on the system's engine (call before running). *)

@@ -1,0 +1,86 @@
+open Paso
+
+type outcome = {
+  ops_run : int;
+  ops_skipped : int;
+  msg_cost : float;
+  messages : int;
+  work : float;
+  makespan : float;
+  mean_latency : float;
+}
+
+let replay ?(prefill = 8) sys ~head events =
+  let stats = System.stats sys in
+  let tmpl = Template.headed head [ Template.Any ] in
+  let run = ref 0 and skipped = ref 0 in
+  let parity = ref 0 in
+  let fields i = [ Value.Sym head; Value.Int i ] in
+  let serial = ref 0 in
+  let start_cost = Sim.Stats.total stats "net.msg_cost" in
+  let start_msgs = Sim.Stats.count stats "net.msgs" in
+  let start_work = Sim.Stats.total stats "work.total" in
+  let start_time = System.now sys in
+  let latency_sum = ref 0.0 in
+  let timed k =
+    let t0 = System.now sys in
+    fun _ ->
+      latency_sum := !latency_sum +. (System.now sys -. t0);
+      k ()
+  in
+  let rec go i =
+    if i < Array.length events then begin
+      let continue () = go (i + 1) in
+      match events.(i) with
+      | Adaptive.Model.Read m ->
+          if System.is_up sys m then begin
+            incr run;
+            System.read sys ~machine:m tmpl ~on_done:(timed continue)
+          end
+          else begin
+            incr skipped;
+            continue ()
+          end
+      | Adaptive.Model.Update m ->
+          if System.is_up sys m then begin
+            incr run;
+            incr parity;
+            if !parity mod 2 = 1 then begin
+              incr serial;
+              let k = timed continue in
+              System.insert sys ~machine:m (fields !serial) ~on_done:(fun () -> k ())
+            end
+            else System.read_del sys ~machine:m tmpl ~on_done:(timed continue)
+          end
+          else begin
+            incr skipped;
+            continue ()
+          end
+      | Adaptive.Model.Fail m ->
+          if System.is_up sys m then System.crash sys ~machine:m;
+          continue ()
+      | Adaptive.Model.Recover m ->
+          if not (System.is_up sys m) then System.recover sys ~machine:m;
+          continue ()
+    end
+  in
+  (* Prefill, then replay. *)
+  let rec prefill_loop j k =
+    if j < prefill then begin
+      incr serial;
+      System.insert sys ~machine:0 (fields !serial) ~on_done:(fun () ->
+          prefill_loop (j + 1) k)
+    end
+    else k ()
+  in
+  prefill_loop 0 (fun () -> go 0);
+  System.run sys;
+  {
+    ops_run = !run;
+    ops_skipped = !skipped;
+    msg_cost = Sim.Stats.total stats "net.msg_cost" -. start_cost;
+    messages = Sim.Stats.count stats "net.msgs" - start_msgs;
+    work = Sim.Stats.total stats "work.total" -. start_work;
+    makespan = System.now sys -. start_time;
+    mean_latency = !latency_sum /. float_of_int (max 1 !run);
+  }

@@ -1,0 +1,74 @@
+open Adaptive
+
+let pick_op rng ~read_frac ~machine =
+  if Sim.Rng.float rng 1.0 < read_frac then Model.Read machine else Model.Update machine
+
+let uniform rng (p : Model.params) ~length ~read_frac =
+  Array.init length (fun _ ->
+      pick_op rng ~read_frac ~machine:(Sim.Rng.int rng p.Model.n))
+
+let hotspot rng (p : Model.params) ~length ~read_frac ~zipf_s =
+  let perm = Array.init p.Model.n Fun.id in
+  Sim.Rng.shuffle rng perm;
+  let z = Zipf.create ~n:p.Model.n ~s:zipf_s in
+  Array.init length (fun _ ->
+      pick_op rng ~read_frac ~machine:perm.(Zipf.sample z rng))
+
+let phased rng (p : Model.params) ~phases ~phase_len ~read_frac =
+  let adaptive = Array.of_list (Model.adaptive_machines p) in
+  if Array.length adaptive = 0 then invalid_arg "Reqgen.phased: no non-basic machines";
+  Array.init (phases * phase_len) (fun i ->
+      let hot = adaptive.(i / phase_len mod Array.length adaptive) in
+      if Sim.Rng.float rng 1.0 < read_frac then Model.Read hot
+      else Model.Update (Sim.Rng.int rng p.Model.n))
+
+let rent_to_buy_adversary (p : Model.params) ~cycles =
+  (match Model.adaptive_machines p with
+  | [] -> invalid_arg "Reqgen.rent_to_buy_adversary: no non-basic machines"
+  | victim :: _ ->
+      let updater = List.hd p.Model.basic in
+      let remote = p.Model.q *. float_of_int (p.Model.lambda + 1) in
+      let reads_to_join = int_of_float (ceil (p.Model.k /. remote)) in
+      let updates_to_leave = int_of_float (ceil p.Model.k) in
+      let cycle =
+        List.init reads_to_join (fun _ -> Model.Read victim)
+        @ List.init updates_to_leave (fun _ -> Model.Update updater)
+      in
+      Array.concat (List.init cycles (fun _ -> Array.of_list cycle)))
+
+let with_failures rng (p : Model.params) ~fail_every ~down_for events =
+  if fail_every < 1 || down_for < 1 then invalid_arg "Reqgen.with_failures: bad periods";
+  let out = ref [] in
+  let down = Hashtbl.create 4 in
+  (* pending recoveries: machine -> events remaining *)
+  let basic = Array.of_list p.Model.basic in
+  Array.iteri
+    (fun i e ->
+      (* Recoveries due before this event. *)
+      let due =
+        Hashtbl.fold (fun m left acc -> if left <= 0 then m :: acc else acc) down []
+        |> List.sort compare
+      in
+      List.iter
+        (fun m ->
+          Hashtbl.remove down m;
+          out := Model.Recover m :: !out)
+        due;
+      Hashtbl.iter (fun m left -> Hashtbl.replace down m (left - 1)) down;
+      if (i + 1) mod fail_every = 0 && Hashtbl.length down < p.Model.lambda then begin
+        let live =
+          Array.to_list basic |> List.filter (fun m -> not (Hashtbl.mem down m))
+        in
+        if live <> [] then begin
+          let victim = List.nth live (Sim.Rng.int rng (List.length live)) in
+          Hashtbl.replace down victim down_for;
+          out := Model.Fail victim :: !out
+        end
+      end;
+      out := e :: !out)
+    events;
+  (* Recover everyone still down so the sequence is self-contained. *)
+  Hashtbl.fold (fun m _ acc -> m :: acc) down []
+  |> List.sort compare
+  |> List.iter (fun m -> out := Model.Recover m :: !out);
+  Array.of_list (List.rev !out)

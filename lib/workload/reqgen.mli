@@ -1,0 +1,54 @@
+(** Request-sequence generators for the §5 abstract model.
+
+    Four families, matching the regimes the paper's analysis spans:
+    - {!uniform}: every machine equally likely — no locality, adaptive
+      replication should stay close to static;
+    - {!hotspot}: Zipf-skewed issuers — a few machines dominate, so
+      joining their write groups wins;
+    - {!phased}: read locality that {e moves}: one machine reads
+      heavily for a phase, then the hot seat changes — the regime
+      adaptive algorithms are built for;
+    - {!rent_to_buy_adversary}: the classic worst case for counter
+      algorithms: drive the counter to just past the join threshold,
+      then flood updates until it leaves, repeatedly. Empirical ratio
+      approaches the [3 + λ/K] guarantee. *)
+
+val uniform :
+  Sim.Rng.t -> Adaptive.Model.params -> length:int -> read_frac:float ->
+  Adaptive.Model.event array
+
+val hotspot :
+  Sim.Rng.t ->
+  Adaptive.Model.params ->
+  length:int ->
+  read_frac:float ->
+  zipf_s:float ->
+  Adaptive.Model.event array
+(** Issuers drawn Zipf over a random permutation of machines. *)
+
+val phased :
+  Sim.Rng.t ->
+  Adaptive.Model.params ->
+  phases:int ->
+  phase_len:int ->
+  read_frac:float ->
+  Adaptive.Model.event array
+(** Each phase picks one non-basic machine as the hot reader; the
+    other events are updates from uniformly random machines. *)
+
+val rent_to_buy_adversary :
+  Adaptive.Model.params -> cycles:int -> Adaptive.Model.event array
+(** Deterministic worst case against the Basic algorithm on one
+    machine: per cycle, exactly enough remote reads to trigger the
+    join, then exactly enough updates to force the leave. *)
+
+val with_failures :
+  Sim.Rng.t ->
+  Adaptive.Model.params ->
+  fail_every:int ->
+  down_for:int ->
+  Adaptive.Model.event array ->
+  Adaptive.Model.event array
+(** Interleave Fail/Recover of basic-support machines into a sequence:
+    every [fail_every] events a random live basic machine fails and
+    recovers [down_for] events later. Keeps at most λ down at once. *)

@@ -1,0 +1,14 @@
+(** Zipf-distributed sampling over [0 .. n−1]: item [i] has probability
+    proportional to [1/(i+1)^s]. Used for hotspot access patterns —
+    the skewed read locality that makes adaptive replication pay off. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** @raise Invalid_argument if [n < 1] or [s < 0]. [s = 0] is
+    uniform. *)
+
+val sample : t -> Sim.Rng.t -> int
+
+val pmf : t -> int -> float
+(** Probability of item [i]. *)

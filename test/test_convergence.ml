@@ -1,0 +1,223 @@
+(* Randomised whole-system convergence: arbitrary interleavings of
+   PASO operations, crashes and recoveries (never more than λ down)
+   must leave, at quiescence,
+     - all replicas of every class identical (virtual synchrony),
+     - a history satisfying the §2 semantics,
+     - the fault-tolerance condition intact,
+   across classing strategies, storage kinds and policies. This is the
+   closest thing to a model check the simulator affords: ~400 random
+   schedules per run of the suite. *)
+
+open Paso
+
+type step =
+  | S_insert of int * int (* machine hint, head hint *)
+  | S_read of int * int
+  | S_take of int * int
+  | S_crash of int
+  | S_recover
+  | S_advance
+
+let heads = [| "a"; "b"; "c" |]
+
+let gen_step =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun (m, h) -> S_insert (m, h)) (pair small_nat small_nat);
+        map (fun (m, h) -> S_read (m, h)) (pair small_nat small_nat);
+        map (fun (m, h) -> S_take (m, h)) (pair small_nat small_nat);
+        map (fun m -> S_crash m) small_nat;
+        return S_recover;
+        return S_advance;
+      ])
+
+let run_schedule ?group_map ?topology ?(eager = false) ~n ~lambda ~classing ~storage
+    ~policy steps =
+  let sys =
+    System.create
+      {
+        System.default_config with
+        n;
+        lambda;
+        classing;
+        storage;
+        policy;
+        group_map;
+        eager_reads = eager;
+        topology =
+          (match topology with Some t -> t | None -> System.default_config.System.topology);
+      }
+  in
+  let down = ref [] in
+  let tmpl h = Template.headed heads.(h mod Array.length heads) [ Template.Any ] in
+  let fields i h =
+    [ Value.Sym heads.(h mod Array.length heads); Value.Int i ]
+  in
+  List.iteri
+    (fun i step ->
+      let up = List.filter (System.is_up sys) (List.init n Fun.id) in
+      match step with
+      | S_insert (m, h) -> begin
+          match up with
+          | [] -> ()
+          | _ ->
+              let m = List.nth up (m mod List.length up) in
+              System.insert sys ~machine:m (fields i h) ~on_done:(fun () -> ())
+        end
+      | S_read (m, h) -> begin
+          match up with
+          | [] -> ()
+          | _ ->
+              let m = List.nth up (m mod List.length up) in
+              System.read sys ~machine:m (tmpl h) ~on_done:(fun _ -> ())
+        end
+      | S_take (m, h) -> begin
+          match up with
+          | [] -> ()
+          | _ ->
+              let m = List.nth up (m mod List.length up) in
+              System.read_del sys ~machine:m (tmpl h) ~on_done:(fun _ -> ())
+        end
+      | S_crash m ->
+          if List.length !down < lambda then begin
+            match up with
+            | [] -> ()
+            | _ ->
+                let m = List.nth up (m mod List.length up) in
+                System.crash sys ~machine:m;
+                down := m :: !down
+          end
+      | S_recover -> begin
+          match !down with
+          | m :: rest ->
+              System.recover sys ~machine:m;
+              down := rest
+          | [] -> ()
+        end
+      | S_advance -> System.run_until sys (System.now sys +. 20000.0))
+    steps;
+  (* Everyone comes back; the system drains. *)
+  List.iter (fun m -> System.recover sys ~machine:m) !down;
+  System.run sys;
+  sys
+
+let convergence_prop ?group_map ?topology ?eager ~name ~classing ~storage ~policy_maker () =
+  QCheck2.Test.make ~name ~count:80
+    QCheck2.Gen.(list_size (int_range 10 120) gen_step)
+    (fun steps ->
+      let sys =
+        run_schedule ?group_map ?topology ?eager ~n:8 ~lambda:2 ~classing ~storage
+          ~policy:(policy_maker ()) steps
+      in
+      let replica_issues = System.audit_replicas sys in
+      let sem_issues = Semantics.check (System.history sys) in
+      let ft_issues = System.check_fault_tolerance sys in
+      if replica_issues <> [] then
+        QCheck2.Test.fail_reportf "replicas diverged: %s/%s"
+          (fst (List.hd replica_issues))
+          (snd (List.hd replica_issues))
+      else if sem_issues <> [] then
+        QCheck2.Test.fail_reportf "semantics: %s"
+          (Format.asprintf "%a" Semantics.pp_violation (List.hd sem_issues))
+      else if ft_issues <> [] then
+        QCheck2.Test.fail_reportf "fault-tolerance condition violated for %s"
+          (fst (List.hd ft_issues))
+      else true)
+
+let props =
+  [
+    convergence_prop ~name:"convergence: head classing, hash store, static"
+      ~classing:Obj_class.By_head ~storage:Storage.Hash
+      ~policy_maker:(fun () -> Policy.static) ();
+    convergence_prop ~name:"convergence: signature classing, tree store, static"
+      ~classing:Obj_class.By_signature ~storage:Storage.Tree
+      ~policy_maker:(fun () -> Policy.static) ();
+    convergence_prop ~name:"convergence: single class, linear store, static"
+      ~classing:Obj_class.Single_class ~storage:Storage.Linear
+      ~policy_maker:(fun () -> Policy.static) ();
+    convergence_prop ~name:"convergence: arity classing, multi store, static"
+      ~classing:Obj_class.By_arity ~storage:Storage.Multi
+      ~policy_maker:(fun () -> Policy.static) ();
+    convergence_prop ~name:"convergence: head classing, hash store, counter policy"
+      ~classing:Obj_class.By_head ~storage:Storage.Hash
+      ~policy_maker:(fun () -> Adaptive.Live_policy.counter ~k:4.0 ()) ();
+    convergence_prop ~name:"convergence: head classing, multi store, doubling policy"
+      ~classing:Obj_class.By_head ~storage:Storage.Multi
+      ~policy_maker:(fun () ->
+        Adaptive.Live_policy.doubling
+          ~k_of_ell:(fun ell -> Float.max 2.0 (float_of_int ell)) ()) ();
+    convergence_prop ~name:"convergence: coalesced write groups"
+      ~group_map:(fun _ -> "shared") ~classing:Obj_class.By_head ~storage:Storage.Hash
+      ~policy_maker:(fun () -> Policy.static) ();
+    convergence_prop ~name:"convergence: eager reads"
+      ~eager:true ~classing:Obj_class.By_head ~storage:Storage.Hash
+      ~policy_maker:(fun () -> Policy.static) ();
+    convergence_prop ~name:"convergence: WAN topology, counter policy"
+      ~topology:
+        (System.Wan
+           { clusters = Array.init 8 (fun m -> m mod 2);
+             remote = Net.Cost_model.v ~alpha:5000.0 ~beta:4.0 })
+      ~classing:Obj_class.By_head ~storage:Storage.Hash
+      ~policy_maker:(fun () -> Adaptive.Live_policy.counter ~k:4.0 ()) ();
+  ]
+
+(* Repair-enabled convergence needs its own runner (different config). *)
+let repair_prop =
+  QCheck2.Test.make ~name:"convergence: LRF repair under crash schedules" ~count:60
+    QCheck2.Gen.(list_size (int_range 10 120) gen_step)
+    (fun steps ->
+      let sys =
+        let n = 8 and lambda = 2 in
+        let base =
+          { System.default_config with n; lambda; repair = Some Repair.Lrf }
+        in
+        let sys = System.create base in
+        let down = ref [] in
+        List.iteri
+          (fun i step ->
+            let up = List.filter (System.is_up sys) (List.init n Fun.id) in
+            match (step, up) with
+            | S_insert (m, h), _ :: _ ->
+                let m = List.nth up (m mod List.length up) in
+                System.insert sys ~machine:m
+                  [ Value.Sym heads.(h mod 3); Value.Int i ]
+                  ~on_done:(fun () -> ())
+            | S_read (m, h), _ :: _ ->
+                let m = List.nth up (m mod List.length up) in
+                System.read sys ~machine:m
+                  (Template.headed heads.(h mod 3) [ Template.Any ])
+                  ~on_done:(fun _ -> ())
+            | S_take (m, h), _ :: _ ->
+                let m = List.nth up (m mod List.length up) in
+                System.read_del sys ~machine:m
+                  (Template.headed heads.(h mod 3) [ Template.Any ])
+                  ~on_done:(fun _ -> ())
+            | S_crash m, _ :: _ when List.length !down < lambda ->
+                let m = List.nth up (m mod List.length up) in
+                System.crash sys ~machine:m;
+                down := m :: !down
+            | S_recover, _ -> begin
+                match !down with
+                | m :: rest ->
+                    System.recover sys ~machine:m;
+                    down := rest
+                | [] -> ()
+              end
+            | S_advance, _ -> System.run_until sys (System.now sys +. 20000.0)
+            | _ -> ())
+          steps;
+        List.iter (fun m -> System.recover sys ~machine:m) !down;
+        System.run sys;
+        sys
+      in
+      System.audit_replicas sys = []
+      && Semantics.check (System.history sys) = []
+      && System.check_fault_tolerance sys = [])
+
+let () =
+  Alcotest.run "convergence"
+    [
+      ("random schedules", List.map QCheck_alcotest.to_alcotest props);
+      ("with repair", [ QCheck_alcotest.to_alcotest repair_prop ]);
+    ]

@@ -1,0 +1,134 @@
+(* Model-based testing: in the absence of faults and concurrency (one
+   operation at a time, run to quiescence), the distributed PASO system
+   must behave exactly like a trivial sequential tuple space — same
+   results, same objects, same order — for every storage kind. The
+   reference implementation is twenty lines of list manipulation;
+   450 random schedules are compared per run of the suite. *)
+
+open Paso
+
+(* --- the sequential reference ------------------------------------------------ *)
+
+module Reference = struct
+  type t = {
+    mutable space : Pobj.t list; (* insertion order *)
+    serials : int array;
+  }
+
+  let create ~n = { space = []; serials = Array.make n 0 }
+
+  let insert t ~machine fields =
+    let serial = t.serials.(machine) in
+    t.serials.(machine) <- serial + 1;
+    let o = Pobj.make ~uid:(Uid.make ~machine ~serial) fields in
+    t.space <- t.space @ [ o ];
+    o
+
+  let read t tmpl = List.find_opt (Template.matches tmpl) t.space
+
+  let take t tmpl =
+    match read t tmpl with
+    | Some o ->
+        t.space <- List.filter (fun x -> not (Pobj.equal x o)) t.space;
+        Some o
+    | None -> None
+end
+
+(* --- schedule generation ------------------------------------------------------ *)
+
+type op =
+  | Op_ins of int * int * int (* machine, head, value *)
+  | Op_read of int * int * [ `Any | `Exact of int | `Range of int * int | `Even ]
+  | Op_take of int * int * [ `Any | `Exact of int | `Range of int * int | `Even ]
+
+let heads = [| "a"; "b"; "c" |]
+
+let gen_spec =
+  QCheck2.Gen.(
+    oneof
+      [
+        return `Any;
+        map (fun v -> `Exact (v mod 20)) small_nat;
+        map (fun (lo, len) -> `Range (lo mod 20, (lo mod 20) + (len mod 10))) (pair small_nat small_nat);
+        return `Even;
+      ])
+
+let gen_op ~n =
+  QCheck2.Gen.(
+    oneof
+      [
+        map
+          (fun (m, h, v) -> Op_ins (m mod n, h mod 3, v mod 20))
+          (triple small_nat small_nat small_nat);
+        map (fun ((m, h), s) -> Op_read (m mod n, h mod 3, s)) (pair (pair small_nat small_nat) gen_spec);
+        map (fun ((m, h), s) -> Op_take (m mod n, h mod 3, s)) (pair (pair small_nat small_nat) gen_spec);
+      ])
+
+let tmpl_of h spec =
+  let second =
+    match spec with
+    | `Any -> Template.Any
+    | `Exact v -> Template.Eq (Value.Int v)
+    | `Range (lo, hi) -> Template.Range (Value.Int lo, Value.Int hi)
+    | `Even -> Template.Pred ("even", function Value.Int i -> i mod 2 = 0 | _ -> false)
+  in
+  Template.headed heads.(h) [ second ]
+
+(* --- the comparison ------------------------------------------------------------ *)
+
+let equivalence_prop ~name ~storage =
+  let n = 6 in
+  QCheck2.Test.make ~name ~count:150
+    QCheck2.Gen.(list_size (int_range 1 60) (gen_op ~n))
+    (fun ops ->
+      let sys = System.create { System.default_config with n; lambda = 2; storage } in
+      let reference = Reference.create ~n in
+      let mismatch = ref None in
+      List.iter
+        (fun op ->
+          match op with
+          | Op_ins (m, h, v) ->
+              let fields = [ Value.Sym heads.(h); Value.Int v ] in
+              let expected = Reference.insert reference ~machine:m fields in
+              System.insert sys ~machine:m fields ~on_done:(fun () -> ());
+              System.run sys;
+              ignore expected
+          | Op_read (m, h, spec) ->
+              let tmpl = tmpl_of h spec in
+              let expected = Reference.read reference tmpl in
+              System.read sys ~machine:m tmpl ~on_done:(fun got ->
+                  if
+                    Option.map Pobj.uid got <> Option.map Pobj.uid expected
+                    && !mismatch = None
+                  then mismatch := Some ("read", expected, got));
+              System.run sys
+          | Op_take (m, h, spec) ->
+              let tmpl = tmpl_of h spec in
+              let expected = Reference.take reference tmpl in
+              System.read_del sys ~machine:m tmpl ~on_done:(fun got ->
+                  if
+                    Option.map Pobj.uid got <> Option.map Pobj.uid expected
+                    && !mismatch = None
+                  then mismatch := Some ("take", expected, got));
+              System.run sys)
+        ops;
+      match !mismatch with
+      | None -> true
+      | Some (kind, expected, got) ->
+          QCheck2.Test.fail_reportf "%s diverged: reference=%s system=%s" kind
+            (match expected with Some o -> Pobj.to_string o | None -> "fail")
+            (match got with Some o -> Pobj.to_string o | None -> "fail"))
+
+let () =
+  Alcotest.run "model_ref"
+    [
+      ( "system == sequential reference",
+        List.map
+          (fun (name, storage) ->
+            QCheck_alcotest.to_alcotest
+              (equivalence_prop
+                 ~name:("equivalence with " ^ name ^ " store")
+                 ~storage))
+          [ ("hash", Storage.Hash); ("tree", Storage.Tree); ("linear", Storage.Linear);
+            ("multi", Storage.Multi) ] );
+    ]

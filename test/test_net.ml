@@ -1,0 +1,243 @@
+(* Tests for the network model: cost model, serialising bus, transport. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let cm alpha beta = Net.Cost_model.v ~alpha ~beta
+
+(* --- Cost_model ---------------------------------------------------------- *)
+
+let test_msg_cost () =
+  let m = cm 500.0 1.0 in
+  check_float "alpha + beta*size" 628.0 (Net.Cost_model.msg_cost m ~size:128);
+  check_float "empty message costs alpha" 500.0 (Net.Cost_model.msg_cost m ~size:0)
+
+let test_gcast_cost_formula () =
+  (* msg-cost(gcast) = α(2g+1) + β(m·g + r), §3.3. *)
+  let m = cm 500.0 2.0 in
+  let g = 5 and msg = 100 and resp = 40 in
+  let expect = (500.0 *. 11.0) +. (2.0 *. ((100.0 *. 5.0) +. 40.0)) in
+  check_float "closed form" expect
+    (Net.Cost_model.gcast_cost m ~group_size:g ~msg_size:msg ~resp_size:resp)
+
+let test_gcast_cost_zero_group () =
+  let m = cm 500.0 1.0 in
+  check_float "g=0 leaves only the response" (500.0 +. 40.0)
+    (Net.Cost_model.gcast_cost m ~group_size:0 ~msg_size:100 ~resp_size:40)
+
+let test_cost_model_validation () =
+  Alcotest.check_raises "negative alpha"
+    (Invalid_argument "Cost_model.v: negative constant") (fun () ->
+      ignore (cm (-1.0) 0.0));
+  let m = cm 1.0 1.0 in
+  Alcotest.check_raises "negative size"
+    (Invalid_argument "Cost_model.msg_cost: negative size") (fun () ->
+      ignore (Net.Cost_model.msg_cost m ~size:(-1)))
+
+(* --- Bus ------------------------------------------------------------------ *)
+
+let make_bus ?(alpha = 10.0) ?(beta = 1.0) () =
+  let eng = Sim.Engine.create () in
+  let stats = Sim.Stats.create () in
+  let bus = Net.Bus.create eng (cm alpha beta) stats in
+  (eng, stats, bus)
+
+let test_bus_serialises () =
+  let eng, _, bus = make_bus () in
+  (* Two messages of cost 10+5=15 each, submitted together: the second
+     is delivered only after the first's slot — the paper's
+     one-message-at-a-time bus. *)
+  let t1 = ref 0.0 and t2 = ref 0.0 in
+  Net.Bus.transmit bus ~size:5 (fun () -> t1 := Sim.Engine.now eng);
+  Net.Bus.transmit bus ~size:5 (fun () -> t2 := Sim.Engine.now eng);
+  Sim.Engine.run eng;
+  check_float "first at its cost" 15.0 !t1;
+  check_float "second serialised" 30.0 !t2
+
+let test_bus_idle_gap () =
+  let eng, _, bus = make_bus () in
+  let t2 = ref 0.0 in
+  Net.Bus.transmit bus ~size:0 (fun () -> ());
+  ignore
+    (Sim.Engine.schedule eng ~delay:100.0 (fun () ->
+         Net.Bus.transmit bus ~size:0 (fun () -> t2 := Sim.Engine.now eng)));
+  Sim.Engine.run eng;
+  check_float "bus idle in between" 110.0 !t2
+
+let test_bus_accounting () =
+  let eng, stats, bus = make_bus () in
+  Net.Bus.transmit bus ~size:5 (fun () -> ());
+  Net.Bus.transmit bus ~size:10 (fun () -> ());
+  Sim.Engine.run eng;
+  Alcotest.(check int) "message count" 2 (Net.Bus.message_count bus);
+  check_float "total cost" 35.0 (Net.Bus.total_cost bus);
+  Alcotest.(check int) "stats msgs" 2 (Sim.Stats.count stats "net.msgs");
+  check_float "stats cost" 35.0 (Sim.Stats.total stats "net.msg_cost")
+
+(* --- Transport ------------------------------------------------------------ *)
+
+let make_transport ?(n = 4) () =
+  let eng, stats, bus = (make_bus ()) in
+  ignore stats;
+  let tr = Net.Transport.create eng bus ~n in
+  (eng, tr)
+
+let test_transport_delivery () =
+  let eng, tr = make_transport () in
+  let got = ref [] in
+  Net.Transport.set_handler tr ~node:1 (fun ~src msg -> got := (src, msg) :: !got);
+  Net.Transport.send tr ~src:0 ~dst:1 ~size:8 "hello";
+  Sim.Engine.run eng;
+  Alcotest.(check (list (pair int string))) "delivered with src" [ (0, "hello") ] !got
+
+let test_transport_fifo_per_pair () =
+  let eng, tr = make_transport () in
+  let got = ref [] in
+  Net.Transport.set_handler tr ~node:2 (fun ~src:_ msg -> got := msg :: !got);
+  List.iter (fun m -> Net.Transport.send tr ~src:0 ~dst:2 ~size:1 m) [ "a"; "b"; "c" ];
+  Sim.Engine.run eng;
+  Alcotest.(check (list string)) "FIFO" [ "a"; "b"; "c" ] (List.rev !got)
+
+let test_transport_down_drops () =
+  let eng, tr = make_transport () in
+  let got = ref 0 in
+  Net.Transport.set_handler tr ~node:1 (fun ~src:_ _ -> incr got);
+  Net.Transport.set_down tr 1;
+  Net.Transport.send tr ~src:0 ~dst:1 ~size:1 "x";
+  Sim.Engine.run eng;
+  Alcotest.(check int) "dropped" 0 !got
+
+let test_transport_crash_drops_inflight () =
+  let eng, tr = make_transport () in
+  let got = ref 0 in
+  Net.Transport.set_handler tr ~node:1 (fun ~src:_ _ -> incr got);
+  (* Message enters the bus, then the destination crashes before the
+     delivery instant: the message must be lost (crash erases state). *)
+  Net.Transport.send tr ~src:0 ~dst:1 ~size:100 "x";
+  ignore (Sim.Engine.schedule eng ~delay:1.0 (fun () -> Net.Transport.set_down tr 1));
+  Sim.Engine.run eng;
+  Alcotest.(check int) "in-flight dropped on crash" 0 !got
+
+let test_transport_recovery_epoch () =
+  let eng, tr = make_transport () in
+  let got = ref 0 in
+  Net.Transport.set_handler tr ~node:1 (fun ~src:_ _ -> incr got);
+  Net.Transport.send tr ~src:0 ~dst:1 ~size:100 "x";
+  (* Crash and recover before the delivery instant: the old message was
+     addressed to the previous incarnation and must still be dropped. *)
+  ignore
+    (Sim.Engine.schedule eng ~delay:1.0 (fun () ->
+         Net.Transport.set_down tr 1;
+         Net.Transport.set_up tr 1));
+  Sim.Engine.run eng;
+  Alcotest.(check int) "stale incarnation message dropped" 0 !got;
+  (* But the recovered node receives fresh messages. *)
+  Net.Transport.send tr ~src:0 ~dst:1 ~size:1 "y";
+  Sim.Engine.run eng;
+  Alcotest.(check int) "fresh message delivered" 1 !got
+
+let test_transport_up_nodes () =
+  let _, tr = make_transport ~n:5 () in
+  Net.Transport.set_down tr 2;
+  Net.Transport.set_down tr 4;
+  Alcotest.(check (list int)) "up nodes" [ 0; 1; 3 ] (Net.Transport.up_nodes tr);
+  Alcotest.(check bool) "is_up" false (Net.Transport.is_up tr 2)
+
+(* --- Fabric ----------------------------------------------------------------- *)
+
+let make_wan ?(clusters = [| 0; 0; 1; 1 |]) () =
+  let eng = Sim.Engine.create () in
+  let stats = Sim.Stats.create () in
+  let fabric =
+    Net.Fabric.wan eng ~clusters ~local:(cm 10.0 1.0) ~remote:(cm 1000.0 2.0) stats
+  in
+  (eng, stats, fabric)
+
+let test_fabric_shared_matches_bus () =
+  let eng = Sim.Engine.create () in
+  let stats = Sim.Stats.create () in
+  let f = Net.Fabric.shared_bus eng (cm 10.0 1.0) stats in
+  let t1 = ref 0.0 and t2 = ref 0.0 in
+  Net.Fabric.transmit f ~src:0 ~dst:1 ~size:5 (fun () -> t1 := Sim.Engine.now eng);
+  Net.Fabric.transmit f ~src:2 ~dst:3 ~size:5 (fun () -> t2 := Sim.Engine.now eng);
+  Sim.Engine.run eng;
+  check_float "first" 15.0 !t1;
+  check_float "shared bus serialises across sources" 30.0 !t2;
+  Alcotest.(check bool) "not wan" false (Net.Fabric.is_wan f);
+  Alcotest.(check bool) "same cluster trivially" true (Net.Fabric.same_cluster f 0 3)
+
+let test_fabric_wan_parallel_sources () =
+  let eng, _, f = make_wan () in
+  let t1 = ref 0.0 and t2 = ref 0.0 in
+  Net.Fabric.transmit f ~src:0 ~dst:1 ~size:5 (fun () -> t1 := Sim.Engine.now eng);
+  Net.Fabric.transmit f ~src:2 ~dst:3 ~size:5 (fun () -> t2 := Sim.Engine.now eng);
+  Sim.Engine.run eng;
+  check_float "source 0" 15.0 !t1;
+  check_float "source 2 in parallel" 15.0 !t2
+
+let test_fabric_wan_serialises_per_source () =
+  let eng, _, f = make_wan () in
+  let t2 = ref 0.0 in
+  Net.Fabric.transmit f ~src:0 ~dst:1 ~size:5 (fun () -> ());
+  Net.Fabric.transmit f ~src:0 ~dst:3 ~size:0 (fun () -> t2 := Sim.Engine.now eng);
+  Sim.Engine.run eng;
+  (* local 15 first, then remote 1000 on the same uplink. *)
+  check_float "uplink serialises" 1015.0 !t2
+
+let test_fabric_wan_pricing_and_stats () =
+  let eng, stats, f = make_wan () in
+  Net.Fabric.transmit f ~src:0 ~dst:1 ~size:10 (fun () -> ());
+  Net.Fabric.transmit f ~src:0 ~dst:2 ~size:10 (fun () -> ());
+  Sim.Engine.run eng;
+  check_float "total = local 20 + remote 1020" 1040.0 (Net.Fabric.total_cost f);
+  Alcotest.(check int) "msgs" 2 (Sim.Stats.count stats "net.msgs");
+  Alcotest.(check int) "wan msgs" 1 (Sim.Stats.count stats "net.wan_msgs");
+  check_float "wan cost" 1020.0 (Sim.Stats.total stats "net.wan_cost");
+  Alcotest.(check bool) "clusters" true
+    (Net.Fabric.same_cluster f 0 1 && not (Net.Fabric.same_cluster f 0 2))
+
+let test_fabric_validation () =
+  let eng = Sim.Engine.create () in
+  let stats = Sim.Stats.create () in
+  Alcotest.check_raises "empty clusters" (Invalid_argument "Fabric.wan: empty cluster map")
+    (fun () ->
+      ignore (Net.Fabric.wan eng ~clusters:[||] ~local:(cm 1.0 1.0) ~remote:(cm 1.0 1.0) stats));
+  let _, _, f = make_wan () in
+  Alcotest.check_raises "bad machine"
+    (Invalid_argument "Fabric.transmit: machine out of range") (fun () ->
+      Net.Fabric.transmit f ~src:0 ~dst:9 ~size:1 (fun () -> ()))
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "cost_model",
+        [
+          Alcotest.test_case "msg cost" `Quick test_msg_cost;
+          Alcotest.test_case "gcast closed form" `Quick test_gcast_cost_formula;
+          Alcotest.test_case "gcast empty group" `Quick test_gcast_cost_zero_group;
+          Alcotest.test_case "validation" `Quick test_cost_model_validation;
+        ] );
+      ( "bus",
+        [
+          Alcotest.test_case "serialises transmissions" `Quick test_bus_serialises;
+          Alcotest.test_case "idle gaps" `Quick test_bus_idle_gap;
+          Alcotest.test_case "cost accounting" `Quick test_bus_accounting;
+        ] );
+      ( "fabric",
+        [
+          Alcotest.test_case "shared matches bus" `Quick test_fabric_shared_matches_bus;
+          Alcotest.test_case "wan parallel sources" `Quick test_fabric_wan_parallel_sources;
+          Alcotest.test_case "wan per-source serialisation" `Quick
+            test_fabric_wan_serialises_per_source;
+          Alcotest.test_case "wan pricing and stats" `Quick test_fabric_wan_pricing_and_stats;
+          Alcotest.test_case "validation" `Quick test_fabric_validation;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "delivery with src" `Quick test_transport_delivery;
+          Alcotest.test_case "FIFO per pair" `Quick test_transport_fifo_per_pair;
+          Alcotest.test_case "down node drops" `Quick test_transport_down_drops;
+          Alcotest.test_case "crash drops in-flight" `Quick test_transport_crash_drops_inflight;
+          Alcotest.test_case "epoch guards recovery" `Quick test_transport_recovery_epoch;
+          Alcotest.test_case "up_nodes" `Quick test_transport_up_nodes;
+        ] );
+    ]

@@ -1,0 +1,260 @@
+(* Tests for the coordination-pattern library: counters, semaphores,
+   barriers, channels — each exercised concurrently from many machines,
+   with the §2 semantics checker run over every scenario. *)
+
+open Paso
+
+let make ?(n = 8) ?(lambda = 2) () =
+  System.create { System.default_config with n; lambda }
+
+let check_clean sys =
+  Alcotest.(check int) "semantics clean" 0
+    (List.length (Semantics.check (System.history sys)))
+
+(* --- Shared_counter ---------------------------------------------------------- *)
+
+let test_counter_concurrent_increments () =
+  let sys = make () in
+  let finished = ref 0 in
+  Patterns.Shared_counter.create sys ~name:"hits" ~machine:0 () ~on_done:(fun c ->
+      (* 12 increments racing from different machines. *)
+      for i = 1 to 12 do
+        Patterns.Shared_counter.add c ~machine:(i mod 8) ~delta:1
+          ~on_done:(fun _ -> incr finished)
+      done);
+  System.run sys;
+  Alcotest.(check int) "all increments done" 12 !finished;
+  let final = ref (-1) in
+  Patterns.Shared_counter.get
+    (Patterns.Shared_counter.handle sys ~name:"hits")
+    ~machine:3
+    ~on_done:(fun v -> final := v);
+  System.run sys;
+  Alcotest.(check int) "no lost update" 12 !final;
+  check_clean sys
+
+let test_counter_observed_values_unique () =
+  let sys = make () in
+  let seen = ref [] in
+  Patterns.Shared_counter.create sys ~name:"c" ~machine:0 ~initial:100 ()
+    ~on_done:(fun c ->
+      for i = 1 to 10 do
+        Patterns.Shared_counter.add c ~machine:(i mod 8) ~delta:1
+          ~on_done:(fun v -> seen := v :: !seen)
+      done);
+  System.run sys;
+  let sorted = List.sort_uniq compare !seen in
+  Alcotest.(check int) "10 distinct values" 10 (List.length sorted);
+  Alcotest.(check (list int)) "values are 101..110" (List.init 10 (fun i -> 101 + i)) sorted
+
+let test_counter_negative_delta () =
+  let sys = make () in
+  let final = ref 0 in
+  Patterns.Shared_counter.create sys ~name:"c" ~machine:0 ~initial:10 ()
+    ~on_done:(fun c ->
+      Patterns.Shared_counter.add c ~machine:1 ~delta:(-4) ~on_done:(fun v -> final := v));
+  System.run sys;
+  Alcotest.(check int) "decrement" 6 !final
+
+(* --- Semaphore ---------------------------------------------------------------- *)
+
+let test_semaphore_limits_concurrency () =
+  let sys = make () in
+  let holding = ref 0 and peak = ref 0 and completed = ref 0 in
+  Patterns.Semaphore.create sys ~name:"s" ~machine:0 ~permits:2 ~on_done:(fun sem ->
+      for i = 1 to 6 do
+        Patterns.Semaphore.acquire sem ~machine:(i mod 8) ~on_done:(fun () ->
+            incr holding;
+            peak := max !peak !holding;
+            (* Hold the permit for a while, then release. *)
+            ignore
+              (Sim.Engine.schedule (System.engine sys) ~delay:50000.0 (fun () ->
+                   decr holding;
+                   incr completed;
+                   Patterns.Semaphore.release sem ~machine:(i mod 8)
+                     ~on_done:(fun () -> ()))))
+      done);
+  System.run sys;
+  Alcotest.(check int) "all six critical sections ran" 6 !completed;
+  Alcotest.(check bool) (Printf.sprintf "peak %d <= 2" !peak) true (!peak <= 2);
+  check_clean sys
+
+let test_semaphore_try_acquire () =
+  let sys = make () in
+  let results = ref [] in
+  Patterns.Semaphore.create sys ~name:"s" ~machine:0 ~permits:1 ~on_done:(fun sem ->
+      Patterns.Semaphore.try_acquire sem ~machine:1 ~on_done:(fun ok ->
+          results := ok :: !results;
+          Patterns.Semaphore.try_acquire sem ~machine:2 ~on_done:(fun ok ->
+              results := ok :: !results)));
+  System.run sys;
+  Alcotest.(check (list bool)) "first wins, second fails" [ false; true ] !results
+
+let test_semaphore_validation () =
+  let sys = make () in
+  Alcotest.check_raises "zero permits" (Invalid_argument "Semaphore.create: permits < 1")
+    (fun () ->
+      Patterns.Semaphore.create sys ~name:"s" ~machine:0 ~permits:0
+        ~on_done:(fun _ -> ()))
+
+(* --- Barrier ------------------------------------------------------------------- *)
+
+let test_barrier_releases_together () =
+  let sys = make () in
+  let released = ref 0 in
+  Patterns.Barrier.create sys ~name:"b" ~machine:0 ~parties:4 ~on_done:(fun b ->
+      for m = 1 to 3 do
+        Patterns.Barrier.wait b ~machine:m ~on_done:(fun () -> incr released)
+      done);
+  System.run sys;
+  Alcotest.(check int) "three of four arrived: nobody through" 0 !released;
+  Patterns.Barrier.wait
+    (Patterns.Barrier.handle sys ~name:"b" ~parties:4)
+    ~machine:4
+    ~on_done:(fun () -> incr released);
+  System.run sys;
+  Alcotest.(check int) "fourth arrival releases all" 4 !released;
+  check_clean sys
+
+let test_barrier_is_cyclic () =
+  let sys = make () in
+  let rounds = Array.make 3 0 in
+  Patterns.Barrier.create sys ~name:"b" ~machine:0 ~parties:2 ~on_done:(fun b ->
+      (* Two parties cross the barrier three times in lockstep. *)
+      let rec party m round =
+        if round < 3 then
+          Patterns.Barrier.wait b ~machine:m ~on_done:(fun () ->
+              rounds.(round) <- rounds.(round) + 1;
+              party m (round + 1))
+      in
+      party 1 0;
+      party 2 0);
+  System.run sys;
+  Alcotest.(check (array int)) "each generation crossed by both" [| 2; 2; 2 |] rounds
+
+(* --- Channel ------------------------------------------------------------------- *)
+
+let test_channel_in_order () =
+  let sys = make () in
+  let got = ref [] in
+  Patterns.Channel.create sys ~name:"ch" ~machine:0 ~on_done:(fun ch ->
+      (* One producer on machine 1, one consumer on machine 5. *)
+      let rec produce i =
+        if i <= 5 then
+          Patterns.Channel.send ch ~machine:1 (Value.Int i) ~on_done:(fun () ->
+              produce (i + 1))
+      in
+      let rec consume k =
+        if k <= 5 then
+          Patterns.Channel.recv ch ~machine:5 ~on_done:(fun v ->
+              got := v :: !got;
+              consume (k + 1))
+      in
+      produce 1;
+      consume 1);
+  System.run sys;
+  Alcotest.(check (list int)) "FIFO across machines"
+    [ 1; 2; 3; 4; 5 ]
+    (List.rev_map (function Value.Int i -> i | _ -> -1) !got);
+  check_clean sys
+
+let test_channel_multiple_consumers_exactly_once () =
+  let sys = make () in
+  let got = ref [] in
+  Patterns.Channel.create sys ~name:"ch" ~machine:0 ~on_done:(fun ch ->
+      List.iter
+        (fun i -> Patterns.Channel.send ch ~machine:0 (Value.Int i) ~on_done:(fun () -> ()))
+        [ 10; 20; 30; 40 ];
+      (* Four consumers on different machines race. *)
+      for m = 1 to 4 do
+        Patterns.Channel.recv ch ~machine:m ~on_done:(fun v -> got := v :: !got)
+      done);
+  System.run sys;
+  let values = List.sort compare (List.map (function Value.Int i -> i | _ -> -1) !got) in
+  Alcotest.(check (list int)) "each item delivered exactly once" [ 10; 20; 30; 40 ] values;
+  check_clean sys
+
+let test_channel_consumer_blocks_until_send () =
+  let sys = make () in
+  let got = ref None in
+  Patterns.Channel.create sys ~name:"ch" ~machine:0 ~on_done:(fun ch ->
+      Patterns.Channel.recv ch ~machine:2 ~on_done:(fun v -> got := Some v));
+  System.run sys;
+  Alcotest.(check bool) "blocked on empty channel" true (!got = None);
+  Patterns.Channel.send
+    (Patterns.Channel.handle sys ~name:"ch")
+    ~machine:3 (Value.Str "late") ~on_done:(fun () -> ());
+  System.run sys;
+  Alcotest.(check bool) "woken by send" true (!got = Some (Value.Str "late"))
+
+let test_channel_length () =
+  let sys = make () in
+  let len = ref (-1) in
+  Patterns.Channel.create sys ~name:"ch" ~machine:0 ~on_done:(fun ch ->
+      Patterns.Channel.send ch ~machine:1 (Value.Int 1) ~on_done:(fun () ->
+          Patterns.Channel.send ch ~machine:1 (Value.Int 2) ~on_done:(fun () ->
+              Patterns.Channel.recv ch ~machine:2 ~on_done:(fun _ ->
+                  Patterns.Channel.length ch ~machine:3 ~on_done:(fun l -> len := l)))));
+  System.run sys;
+  Alcotest.(check int) "2 sent - 1 received" 1 !len
+
+(* --- patterns under faults ------------------------------------------------------ *)
+
+let test_counter_survives_crashes () =
+  let sys = make ~n:8 ~lambda:2 () in
+  let final = ref (-1) in
+  Patterns.Shared_counter.create sys ~name:"c" ~machine:0 () ~on_done:(fun c ->
+      let rec step i =
+        if i <= 6 then begin
+          let up = List.filter (System.is_up sys) (List.init 8 Fun.id) in
+          let m = List.nth up (i mod List.length up) in
+          Patterns.Shared_counter.add c ~machine:m ~delta:1 ~on_done:(fun v ->
+              if i = 3 then begin
+                (* Crash a machine mid-sequence; the counter tuple is
+                   replicated and survives. *)
+                let victim =
+                  List.find (fun x -> x <> m && System.is_up sys x) (List.init 8 Fun.id)
+                in
+                System.crash sys ~machine:victim
+              end;
+              if i = 6 then final := v;
+              step (i + 1))
+        end
+      in
+      step 1);
+  System.run sys;
+  Alcotest.(check int) "six increments despite a crash" 6 !final;
+  check_clean sys
+
+let () =
+  Alcotest.run "patterns"
+    [
+      ( "shared_counter",
+        [
+          Alcotest.test_case "concurrent increments" `Quick test_counter_concurrent_increments;
+          Alcotest.test_case "observed values unique" `Quick
+            test_counter_observed_values_unique;
+          Alcotest.test_case "negative delta" `Quick test_counter_negative_delta;
+          Alcotest.test_case "survives crashes" `Quick test_counter_survives_crashes;
+        ] );
+      ( "semaphore",
+        [
+          Alcotest.test_case "limits concurrency" `Quick test_semaphore_limits_concurrency;
+          Alcotest.test_case "try_acquire" `Quick test_semaphore_try_acquire;
+          Alcotest.test_case "validation" `Quick test_semaphore_validation;
+        ] );
+      ( "barrier",
+        [
+          Alcotest.test_case "releases together" `Quick test_barrier_releases_together;
+          Alcotest.test_case "cyclic generations" `Quick test_barrier_is_cyclic;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "in order across machines" `Quick test_channel_in_order;
+          Alcotest.test_case "exactly-once to racing consumers" `Quick
+            test_channel_multiple_consumers_exactly_once;
+          Alcotest.test_case "consumer blocks until send" `Quick
+            test_channel_consumer_blocks_until_send;
+          Alcotest.test_case "length" `Quick test_channel_length;
+        ] );
+    ]

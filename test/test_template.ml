@@ -1,0 +1,123 @@
+(* Tests for search criteria (templates). *)
+
+open Paso
+
+let uid = Uid.make ~machine:0 ~serial:0
+let obj fields = Pobj.make ~uid fields
+let vi i = Value.Int i
+let vs s = Value.Sym s
+
+let test_exact_match () =
+  let t = Template.exact [ vs "a"; vi 1 ] in
+  Alcotest.(check bool) "matches" true (Template.matches t (obj [ vs "a"; vi 1 ]));
+  Alcotest.(check bool) "value mismatch" false (Template.matches t (obj [ vs "a"; vi 2 ]));
+  Alcotest.(check bool) "arity mismatch" false (Template.matches t (obj [ vs "a" ]))
+
+let test_any_and_type () =
+  let t = Template.make [ Template.Any; Template.Type_is "int" ] in
+  Alcotest.(check bool) "wildcard + type" true (Template.matches t (obj [ vs "x"; vi 3 ]));
+  Alcotest.(check bool) "wrong type" false
+    (Template.matches t (obj [ vs "x"; Value.Str "3" ]))
+
+let test_range () =
+  let t = Template.make [ Template.Range (vi 10, vi 20) ] in
+  Alcotest.(check bool) "inside" true (Template.matches t (obj [ vi 15 ]));
+  Alcotest.(check bool) "lower bound inclusive" true (Template.matches t (obj [ vi 10 ]));
+  Alcotest.(check bool) "upper bound inclusive" true (Template.matches t (obj [ vi 20 ]));
+  Alcotest.(check bool) "below" false (Template.matches t (obj [ vi 9 ]));
+  Alcotest.(check bool) "above" false (Template.matches t (obj [ vi 21 ]));
+  Alcotest.(check bool) "different type never in range" false
+    (Template.matches t (obj [ Value.Str "15" ]))
+
+let test_range_validation () =
+  Alcotest.check_raises "mixed types"
+    (Invalid_argument "Template: range endpoints of different types") (fun () ->
+      ignore (Template.make [ Template.Range (vi 1, Value.Str "2") ]));
+  Alcotest.check_raises "inverted"
+    (Invalid_argument "Template: empty range (lo > hi)") (fun () ->
+      ignore (Template.make [ Template.Range (vi 2, vi 1) ]))
+
+let test_field_predicate () =
+  let even = Template.Pred ("even", function Value.Int i -> i mod 2 = 0 | _ -> false) in
+  let t = Template.make [ even ] in
+  Alcotest.(check bool) "even" true (Template.matches t (obj [ vi 4 ]));
+  Alcotest.(check bool) "odd" false (Template.matches t (obj [ vi 5 ]))
+
+let test_where_clause () =
+  let t =
+    Template.make
+      ~where:
+        ( "sum<10",
+          fun o ->
+            match (Pobj.field o 0, Pobj.field o 1) with
+            | Value.Int a, Value.Int b -> a + b < 10
+            | _ -> false )
+      [ Template.Type_is "int"; Template.Type_is "int" ]
+  in
+  Alcotest.(check bool) "where holds" true (Template.matches t (obj [ vi 3; vi 4 ]));
+  Alcotest.(check bool) "where fails" false (Template.matches t (obj [ vi 6; vi 6 ]))
+
+let test_headed () =
+  let t = Template.headed "task" [ Template.Any ] in
+  Alcotest.(check bool) "headed match" true (Template.matches t (obj [ vs "task"; vi 1 ]));
+  Alcotest.(check bool) "other head" false (Template.matches t (obj [ vs "other"; vi 1 ]))
+
+let test_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Template.make: empty spec list")
+    (fun () -> ignore (Template.make []))
+
+let test_size_grows_with_content () =
+  let small = Template.make [ Template.Any ] in
+  let big = Template.make [ Template.Eq (Value.Str (String.make 100 'x')); Template.Any ] in
+  Alcotest.(check bool) "bigger template bigger wire size" true
+    (Template.size big > Template.size small)
+
+(* Property: an all-Eq template built from an object's fields matches it. *)
+let gen_fields =
+  QCheck2.Gen.(
+    list_size (int_range 1 6)
+      (oneof
+         [
+           map (fun i -> Value.Int i) small_int;
+           map (fun s -> Value.Sym s) (small_string ?gen:None);
+           map (fun b -> Value.Bool b) bool;
+         ]))
+
+let prop_exact_self_match =
+  QCheck2.Test.make ~name:"exact template matches its own object" ~count:300 gen_fields
+    (fun fields ->
+      let o = obj fields in
+      Template.matches (Template.exact fields) o)
+
+(* Property: widening any spec to Any preserves matching. *)
+let prop_widening =
+  QCheck2.Test.make ~name:"widening a spec to Any preserves match" ~count:300
+    QCheck2.Gen.(pair gen_fields (int_bound 5))
+    (fun (fields, idx) ->
+      let o = obj fields in
+      let specs = List.map (fun v -> Template.Eq v) fields in
+      let idx = idx mod List.length specs in
+      let widened = List.mapi (fun i s -> if i = idx then Template.Any else s) specs in
+      Template.matches (Template.make widened) o)
+
+let () =
+  Alcotest.run "template"
+    [
+      ( "matching",
+        [
+          Alcotest.test_case "exact" `Quick test_exact_match;
+          Alcotest.test_case "wildcard and type" `Quick test_any_and_type;
+          Alcotest.test_case "ranges" `Quick test_range;
+          Alcotest.test_case "range validation" `Quick test_range_validation;
+          Alcotest.test_case "field predicates" `Quick test_field_predicate;
+          Alcotest.test_case "where clause" `Quick test_where_clause;
+          Alcotest.test_case "headed convenience" `Quick test_headed;
+          Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+          Alcotest.test_case "wire size" `Quick test_size_grows_with_content;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_exact_self_match;
+          QCheck_alcotest.to_alcotest prop_widening;
+        ] );
+    ]
