@@ -4,11 +4,14 @@
      run          drive a live simulated PASO system with a workload
      competitive  score the Basic algorithm against exact OPT
      support      play the support-selection game (Theorem 4)
+     check        fuzz whole-system schedules against the invariant pack
 
    Examples:
      paso-sim run --n 10 --lambda 2 --policy counter --workload phased --ops 600
      paso-sim competitive --workload adversarial --join-cost 12 --lambda 1
-     paso-sim support --strategy lrf --failures adversarial --n 12 --lambda 2 *)
+     paso-sim support --strategy lrf --failures adversarial --n 12 --lambda 2
+     paso-sim check --schedules 1500 --matrix --shrink
+     paso-sim check --replay check-artifacts/schedule-0007.json *)
 
 open Cmdliner
 
@@ -152,17 +155,17 @@ let run_cmd =
     if wan > 0 then
       Printf.printf "wan          cost %.0f (%d msgs)\n" (Paso.System.wan_cost sys)
         (Sim.Stats.count (Paso.System.stats sys) "net.wan_msgs");
-    (match Paso.System.audit_replicas sys with
+    (match Check.Invariants.replica_consistency sys @ Check.Invariants.quiescence sys with
     | [] -> print_endline "replicas     consistent"
     | issues ->
-        Printf.printf "replicas     %d INCONSISTENT CLASSES\n" (List.length issues);
-        List.iter (fun (cls, d) -> Printf.printf "  %s: %s\n" cls d) issues;
+        Printf.printf "replicas     %d INCONSISTENT/WEDGED CLASSES\n" (List.length issues);
+        List.iter (fun r -> Format.printf "  %a@." Check.Invariants.pp_report r) issues;
         exit 1);
-    match Paso.Semantics.check (Paso.System.history sys) with
+    match Check.Invariants.semantics sys with
     | [] -> print_endline "semantics    clean"
     | vs ->
         Printf.printf "semantics    %d VIOLATIONS\n" (List.length vs);
-        List.iter (fun v -> Format.printf "  %a@." Paso.Semantics.pp_violation v) vs;
+        List.iter (fun r -> Format.printf "  %a@." Check.Invariants.pp_report r) vs;
         exit 1
   in
   let term =
@@ -261,6 +264,214 @@ let support_cmd =
     (Cmd.info "support" ~doc:"Play the support-selection game (Theorem 4).")
     term
 
+(* --- check -------------------------------------------------------------------- *)
+
+let check_cmd =
+  let schedules =
+    Arg.(value & opt int 400
+         & info [ "schedules" ] ~docv:"N" ~doc:"Random schedules to run.")
+  in
+  let matrix =
+    Arg.(value & flag
+         & info [ "matrix" ]
+             ~doc:"Sweep the coverage matrix (classing strategies, storage kinds, \
+                   policies, coalesced groups, eager reads, WAN, repair) instead of a \
+                   single configuration.")
+  in
+  let classing =
+    Arg.(value & opt string "head"
+         & info [ "classing" ] ~doc:"Classing: single, arity, head or signature.")
+  in
+  let storage =
+    Arg.(value & opt string "hash"
+         & info [ "storage" ] ~doc:"Store: hash, tree, linear or multi.")
+  in
+  let policy =
+    Arg.(value & opt string "static"
+         & info [ "policy" ] ~doc:"Policy: static, counter[:K] or doubling.")
+  in
+  let coalesce =
+    Arg.(value & flag & info [ "coalesce" ] ~doc:"Map every class to one write group.")
+  in
+  let eager = Arg.(value & flag & info [ "eager" ] ~doc:"Eager read responses.") in
+  let wan =
+    Arg.(value & opt int 0
+         & info [ "wan" ] ~docv:"CLUSTERS" ~doc:"WAN topology with this many clusters (0 = LAN).")
+  in
+  let repair =
+    Arg.(value & opt string "none"
+         & info [ "repair" ] ~doc:"Support repair: none, lrf, fifo or random.")
+  in
+  let out =
+    Arg.(value & opt string "check-artifacts"
+         & info [ "out" ] ~docv:"DIR" ~doc:"Directory for failing-schedule artifacts.")
+  in
+  let shrink =
+    Arg.(value & flag
+         & info [ "shrink" ] ~doc:"Delta-debug each failing schedule down to a minimal one.")
+  in
+  let replay =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Replay a failing-schedule artifact instead of fuzzing; verifies the \
+                   recorded trace digest and violations reproduce.")
+  in
+  let arm_conv =
+    let parse s =
+      let sub a b = String.sub s a (b - a) in
+      match String.index_opt s '=' with
+      | None -> Error (`Msg "expected SITE=ACTION[@SKIP[xTIMES]]")
+      | Some i -> (
+          let site = sub 0 i in
+          let action, spec =
+            match String.index_from_opt s (i + 1) '@' with
+            | None -> (sub (i + 1) (String.length s), None)
+            | Some j -> (sub (i + 1) j, Some (sub (j + 1) (String.length s)))
+          in
+          match
+            match spec with
+            | None -> Some (0, -1)
+            | Some spec -> (
+                match String.split_on_char 'x' spec with
+                | [ skip ] -> Option.map (fun k -> (k, -1)) (int_of_string_opt skip)
+                | [ skip; times ] ->
+                    Option.bind (int_of_string_opt skip) (fun k ->
+                        Option.map (fun t -> (k, t)) (int_of_string_opt times))
+                | _ -> None)
+          with
+          | Some (arm_skip, arm_times) ->
+              Ok { Check.Schedule.arm_site = site; arm_skip; arm_times; arm_action = action }
+          | None -> Error (`Msg "expected SITE=ACTION[@SKIP[xTIMES]]"))
+    in
+    let print ppf (a : Check.Schedule.arm) =
+      Fmt.pf ppf "%s=%s@%dx%d" a.arm_site a.arm_action a.arm_skip a.arm_times
+    in
+    Arg.conv (parse, print)
+  in
+  let arms =
+    Arg.(value & opt_all arm_conv []
+         & info [ "arm" ] ~docv:"SITE=ACTION[@SKIP[xTIMES]]"
+             ~doc:"Arm a failpoint in every schedule, e.g. \
+                   $(b,vsync.gcast.deliver=crash-hit-node@3x1). Repeatable.")
+  in
+  let pp_first_violation ppf (o : Check.Runner.outcome) =
+    match o.violations with
+    | r :: _ -> Check.Invariants.pp_report ppf r
+    | [] -> Fmt.string ppf "(no violation)"
+  in
+  let do_replay file =
+    match Check.Artifact.load file with
+    | Error e ->
+        Printf.eprintf "cannot load %s: %s\n" file e;
+        exit 2
+    | Ok a ->
+        let o1 = Check.Runner.run a.a_config a.a_steps in
+        let o2 = Check.Runner.run a.a_config a.a_steps in
+        Printf.printf "config       %s\n" (Check.Schedule.label a.a_config);
+        Printf.printf "steps        %d\n" (List.length a.a_steps);
+        Printf.printf "determinism  %s\n"
+          (if o1.trace_digest = o2.trace_digest then "ok (two runs, identical traces)"
+           else "BROKEN: two runs of the same schedule diverged");
+        Printf.printf "trace digest %s (recorded %s)\n" o1.trace_digest a.a_trace_digest;
+        List.iter
+          (fun r -> Format.printf "  %a@." Check.Invariants.pp_report r)
+          o1.violations;
+        if o1.trace_digest <> o2.trace_digest then exit 3;
+        let same_invs =
+          List.map (fun (r : Check.Invariants.report) -> r.inv) o1.violations
+          = List.map fst a.a_violations
+        in
+        if o1.trace_digest = a.a_trace_digest && same_invs then begin
+          Printf.printf "reproduced   yes (identical trace, same violations)\n";
+          exit 0
+        end
+        else begin
+          Printf.printf "reproduced   NO\n";
+          exit 1
+        end
+  in
+  let do_campaign n lambda seed schedules use_matrix classing storage policy coalesce
+      eager wan repair out use_shrink arms =
+    let configs =
+      if use_matrix then Check.Fuzz.matrix ~n ~lambda ()
+      else
+        [
+          {
+            Check.Schedule.default with
+            n;
+            lambda;
+            classing;
+            storage;
+            policy;
+            coalesce;
+            eager;
+            wan_clusters = wan;
+            repair;
+          };
+        ]
+    in
+    let configs = List.map (fun c -> { c with Check.Schedule.arms }) configs in
+    let failures =
+      Check.Fuzz.campaign ~configs ~schedules ~seed
+        ~on_schedule:(fun i _ _ ->
+          if (i + 1) mod 250 = 0 then
+            Printf.printf "  ... %d/%d schedules\n%!" (i + 1) schedules)
+        ()
+    in
+    match failures with
+    | [] ->
+        Printf.printf "checked %d schedules across %d config(s): all invariants hold\n"
+          schedules (List.length configs)
+    | fs ->
+        if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+        List.iter
+          (fun (f : Check.Fuzz.failure) ->
+            let file = Filename.concat out (Printf.sprintf "schedule-%04d.json" f.f_index) in
+            Check.Artifact.save file
+              (Check.Artifact.of_outcome f.f_config f.f_steps f.f_outcome);
+            Format.printf "FAIL schedule %d [%s]: %a@.  steps %d, artifact %s@." f.f_index
+              (Check.Schedule.label f.f_config)
+              pp_first_violation f.f_outcome (List.length f.f_steps) file;
+            if use_shrink then
+              match Check.Shrink.schedule ~config:f.f_config ~steps:f.f_steps () with
+              | Some steps' when List.length steps' < List.length f.f_steps ->
+                  let o = Check.Runner.run f.f_config steps' in
+                  let sfile =
+                    Filename.concat out
+                      (Printf.sprintf "schedule-%04d.shrunk.json" f.f_index)
+                  in
+                  Check.Artifact.save sfile (Check.Artifact.of_outcome f.f_config steps' o);
+                  Printf.printf "  shrunk %d -> %d steps, artifact %s\n"
+                    (List.length f.f_steps) (List.length steps') sfile
+              | _ -> Printf.printf "  shrink found no smaller failing schedule\n")
+          fs;
+        Printf.printf "checked %d schedules: %d FAILED (artifacts in %s/)\n" schedules
+          (List.length fs) out;
+        exit 1
+  in
+  let go n lambda seed schedules use_matrix classing storage policy coalesce eager wan
+      repair out use_shrink replay arms =
+    match replay with
+    | Some file -> do_replay file
+    | None -> (
+        try
+          do_campaign n lambda seed schedules use_matrix classing storage policy coalesce
+            eager wan repair out use_shrink arms
+        with Invalid_argument msg ->
+          Printf.eprintf "paso-sim check: %s\n" msg;
+          exit 2)
+  in
+  let term =
+    Term.(const go $ n_arg $ lambda_arg $ seed_arg $ schedules $ matrix $ classing
+          $ storage $ policy $ coalesce $ eager $ wan $ repair $ out $ shrink $ replay
+          $ arms)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Fuzz whole-system schedules (with optional fault injection) against the \
+             invariant pack; write replayable artifacts for failures.")
+    term
+
 (* --- paging ------------------------------------------------------------------ *)
 
 let paging_cmd =
@@ -310,4 +521,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "paso-sim" ~version:"1.0.0" ~doc)
-          [ run_cmd; competitive_cmd; support_cmd; paging_cmd ]))
+          [ run_cmd; competitive_cmd; support_cmd; check_cmd; paging_cmd ]))

@@ -1,0 +1,189 @@
+type t = {
+  a_config : Schedule.config;
+  a_steps : Schedule.step list;
+  a_violations : (string * string) list;
+  a_trace_digest : string;
+}
+
+let of_outcome config steps (o : Runner.outcome) =
+  {
+    a_config = config;
+    a_steps = steps;
+    a_violations =
+      List.map (fun (r : Invariants.report) -> (r.inv, r.detail)) o.violations;
+    a_trace_digest = o.trace_digest;
+  }
+
+(* ---- encoding ---- *)
+
+let num i = Json.Num (float_of_int i)
+
+let step_to_json (s : Schedule.step) =
+  let name = Schedule.step_name s in
+  Json.Arr
+    (Json.Str name
+    ::
+    (match s with
+    | Insert (m, h) | Read (m, h) | Take (m, h) -> [ num m; num h ]
+    | Crash m -> [ num m ]
+    | Recover | Advance -> []))
+
+let arm_to_json (a : Schedule.arm) =
+  Json.Obj
+    [
+      ("site", Json.Str a.arm_site);
+      ("skip", num a.arm_skip);
+      ("times", num a.arm_times);
+      ("action", Json.Str a.arm_action);
+    ]
+
+let config_to_json (c : Schedule.config) =
+  Json.Obj
+    [
+      ("n", num c.n);
+      ("lambda", num c.lambda);
+      ("classing", Json.Str c.classing);
+      ("storage", Json.Str c.storage);
+      ("policy", Json.Str c.policy);
+      ("coalesce", Json.Bool c.coalesce);
+      ("eager", Json.Bool c.eager);
+      ("wan", num c.wan_clusters);
+      ("repair", Json.Str c.repair);
+      ("seed", num c.seed);
+      ("arms", Json.Arr (List.map arm_to_json c.arms));
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("version", num 1);
+      ("config", config_to_json t.a_config);
+      ("steps", Json.Arr (List.map step_to_json t.a_steps));
+      ( "violations",
+        Json.Arr
+          (List.map
+             (fun (inv, detail) -> Json.Arr [ Json.Str inv; Json.Str detail ])
+             t.a_violations) );
+      ("trace_digest", Json.Str t.a_trace_digest);
+    ]
+
+(* ---- decoding ---- *)
+
+let ( let* ) = Result.bind
+
+let field v name conv =
+  match Json.get v name with
+  | Some x -> (
+      match conv x with
+      | Ok _ as ok -> ok
+      | Error e -> Error (Printf.sprintf "field %S: %s" name e))
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let step_of_json v =
+  let* parts = Json.to_list v in
+  match parts with
+  | Json.Str name :: rest -> (
+      let two conv =
+        match rest with
+        | [ a; b ] ->
+            let* a = Json.to_int a in
+            let* b = Json.to_int b in
+            Ok (conv a b)
+        | _ -> Error (Printf.sprintf "step %S wants two arguments" name)
+      in
+      match name with
+      | "insert" -> two (fun m h -> Schedule.Insert (m, h))
+      | "read" -> two (fun m h -> Schedule.Read (m, h))
+      | "take" -> two (fun m h -> Schedule.Take (m, h))
+      | "crash" -> (
+          match rest with
+          | [ m ] ->
+              let* m = Json.to_int m in
+              Ok (Schedule.Crash m)
+          | _ -> Error "step \"crash\" wants one argument")
+      | "recover" -> if rest = [] then Ok Schedule.Recover else Error "recover is nullary"
+      | "advance" -> if rest = [] then Ok Schedule.Advance else Error "advance is nullary"
+      | _ -> Error (Printf.sprintf "unknown step %S" name))
+  | _ -> Error "a step is a [name, ...] array"
+
+let arm_of_json v =
+  let* arm_site = field v "site" Json.to_str in
+  let* arm_skip = field v "skip" Json.to_int in
+  let* arm_times = field v "times" Json.to_int in
+  let* arm_action = field v "action" Json.to_str in
+  Ok { Schedule.arm_site; arm_skip; arm_times; arm_action }
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let config_of_json v =
+  let* n = field v "n" Json.to_int in
+  let* lambda = field v "lambda" Json.to_int in
+  let* classing = field v "classing" Json.to_str in
+  let* storage = field v "storage" Json.to_str in
+  let* policy = field v "policy" Json.to_str in
+  let* coalesce = field v "coalesce" Json.to_bool in
+  let* eager = field v "eager" Json.to_bool in
+  let* wan_clusters = field v "wan" Json.to_int in
+  let* repair = field v "repair" Json.to_str in
+  let* seed = field v "seed" Json.to_int in
+  let* arms = field v "arms" Json.to_list in
+  let* arms = map_result arm_of_json arms in
+  Ok
+    {
+      Schedule.n;
+      lambda;
+      classing;
+      storage;
+      policy;
+      coalesce;
+      eager;
+      wan_clusters;
+      repair;
+      seed;
+      arms;
+    }
+
+let violation_of_json v =
+  let* parts = Json.to_list v in
+  match parts with
+  | [ Json.Str inv; Json.Str detail ] -> Ok (inv, detail)
+  | _ -> Error "a violation is a [invariant, detail] string pair"
+
+let of_json v =
+  let* version = field v "version" Json.to_int in
+  if version <> 1 then Error (Printf.sprintf "unsupported artifact version %d" version)
+  else
+    let* a_config = field v "config" config_of_json in
+    let* steps = field v "steps" Json.to_list in
+    let* a_steps = map_result step_of_json steps in
+    let* violations = field v "violations" Json.to_list in
+    let* a_violations = map_result violation_of_json violations in
+    let* a_trace_digest = field v "trace_digest" Json.to_str in
+    Ok { a_config; a_steps; a_violations; a_trace_digest }
+
+(* ---- files ---- *)
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.pretty (to_json t));
+      output_char oc '\n')
+
+let load path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | text ->
+      let* v = Json.of_string text in
+      of_json v

@@ -1,0 +1,6 @@
+(* The deterministic fault-injection registry. The implementation lives
+   in [Sim.Failpoint] (the one library every layer already depends on,
+   so sites can be planted in net/vsync/core without a dependency
+   cycle); [Check.Failpoint] is the canonical name for users of the
+   checking subsystem. *)
+include Sim.Failpoint

@@ -1,0 +1,49 @@
+let gen_steps rng ~len =
+  List.init len (fun _ ->
+      match Sim.Rng.int rng 6 with
+      | 0 -> Schedule.Insert (Sim.Rng.int rng 64, Sim.Rng.int rng 8)
+      | 1 -> Schedule.Read (Sim.Rng.int rng 64, Sim.Rng.int rng 8)
+      | 2 -> Schedule.Take (Sim.Rng.int rng 64, Sim.Rng.int rng 8)
+      | 3 -> Schedule.Crash (Sim.Rng.int rng 64)
+      | 4 -> Schedule.Recover
+      | _ -> Schedule.Advance)
+
+let matrix ?(n = 8) ?(lambda = 2) () =
+  let base = { Schedule.default with n; lambda } in
+  [
+    { base with classing = "head"; storage = "hash" };
+    { base with classing = "signature"; storage = "tree" };
+    { base with classing = "single"; storage = "linear" };
+    { base with classing = "arity"; storage = "multi" };
+    { base with policy = "counter:4" };
+    { base with storage = "multi"; policy = "doubling" };
+    { base with coalesce = true };
+    { base with eager = true };
+    { base with wan_clusters = 2; policy = "counter:4" };
+    { base with repair = "lrf" };
+  ]
+
+type failure = {
+  f_index : int;
+  f_config : Schedule.config;
+  f_steps : Schedule.step list;
+  f_outcome : Runner.outcome;
+}
+
+let campaign ~configs ~schedules ~seed ?(on_schedule = fun _ _ _ -> ()) () =
+  if configs = [] then invalid_arg "Check.Fuzz.campaign: no configs";
+  let failures = ref [] in
+  for i = 0 to schedules - 1 do
+    let config =
+      let c = List.nth configs (i mod List.length configs) in
+      { c with Schedule.seed = (seed * 65599) + i }
+    in
+    let rng = Sim.Rng.make ((seed * 1_000_003) + i) in
+    let len = 10 + Sim.Rng.int rng 111 in
+    let steps = gen_steps rng ~len in
+    let outcome = Runner.run config steps in
+    on_schedule i config outcome;
+    if outcome.Runner.violations <> [] then
+      failures := { f_index = i; f_config = config; f_steps = steps; f_outcome = outcome } :: !failures
+  done;
+  List.rev !failures

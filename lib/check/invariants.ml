@@ -1,0 +1,40 @@
+open Paso
+
+type report = { inv : string; detail : string }
+
+let pp_report ppf r = Format.fprintf ppf "[%s] %s" r.inv r.detail
+
+let replica_consistency sys =
+  List.map
+    (fun (cls, what) ->
+      { inv = "replica-consistency"; detail = Printf.sprintf "class %s: %s" cls what })
+    (System.audit_replicas sys)
+
+let semantics sys =
+  List.map
+    (fun (v : Semantics.violation) ->
+      {
+        inv = "semantics/" ^ v.rule;
+        detail = Format.asprintf "%a" Semantics.pp_violation v;
+      })
+    (Semantics.check (System.history sys))
+
+let fault_tolerance sys =
+  List.map
+    (fun (cls, size) ->
+      {
+        inv = "fault-tolerance";
+        detail =
+          Printf.sprintf "class %s: operational write group of %d violates |wg| > λ−k" cls
+            size;
+      })
+    (System.check_fault_tolerance sys)
+
+let quiescence sys =
+  List.map
+    (fun (group, what) ->
+      { inv = "quiescence"; detail = Printf.sprintf "group %s wedged: %s" group what })
+    (System.check_quiescent sys)
+
+let all sys =
+  replica_consistency sys @ semantics sys @ fault_tolerance sys @ quiescence sys

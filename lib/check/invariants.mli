@@ -1,0 +1,35 @@
+(** The invariant pack: every whole-system correctness property the
+    repo knows how to audit, shared by the unit tests, the QCheck
+    convergence suites, the CLI [check] subcommand and CI.
+
+    All checks are meaningful at {e quiescence} (after [System.run]
+    has drained); mid-run the replicas legitimately disagree and
+    groups are legitimately busy. *)
+
+type report = { inv : string; detail : string }
+(** [inv] is a stable machine-readable name — ["replica-consistency"],
+    ["semantics/<rule>"], ["fault-tolerance"], ["quiescence"] — used
+    by the shrinker to decide that a reduced schedule still fails {e
+    the same way}; [detail] is for humans. *)
+
+val replica_consistency : Paso.System.t -> report list
+(** Virtual synchrony: all operational write-group members of every
+    class hold identical object sequences. *)
+
+val semantics : Paso.System.t -> report list
+(** The §2 semantics checker over the recorded history; one report per
+    violation, named ["semantics/<rule>"]. *)
+
+val fault_tolerance : Paso.System.t -> report list
+(** §4.1: with [k ≤ λ] machines down, every write group keeps more
+    than [λ − k] members. *)
+
+val quiescence : Paso.System.t -> report list
+(** No wedged groups: every write group's operation pump is idle. A
+    busy group at quiescence means an in-flight gcast awaits an
+    acknowledgement that can never arrive. *)
+
+val all : Paso.System.t -> report list
+(** The four packs above, concatenated in the order listed. *)
+
+val pp_report : Format.formatter -> report -> unit

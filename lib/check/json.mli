@@ -1,0 +1,38 @@
+(** Minimal JSON encoder/decoder for schedule artifacts.
+
+    The repo deliberately carries no third-party JSON dependency; the
+    artifacts written by {!Artifact} are small and fully under our
+    control, so a strict, no-frills implementation suffices. Numbers
+    are doubles (integral values print without a decimal point);
+    strings are ASCII-escaped on output and accept the standard escape
+    sequences (including [\uXXXX], decoded to UTF-8) on input. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering. *)
+
+val pretty : t -> string
+(** Two-space-indented rendering, for the files humans diff. *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of a single JSON value (trailing whitespace allowed,
+    trailing garbage is an error). *)
+
+(** {1 Accessors} — all total, returning [Error] with a path-less
+    message on shape mismatch. *)
+
+val get : t -> string -> t option
+(** Field of an [Obj]. *)
+
+val to_int : t -> (int, string) result
+val to_float : t -> (float, string) result
+val to_bool : t -> (bool, string) result
+val to_str : t -> (string, string) result
+val to_list : t -> (t list, string) result

@@ -1,0 +1,50 @@
+open Paso
+
+let drop_insert h =
+  let completed_return (r : History.record) =
+    match (r.result, r.ret_time) with Some o, Some _ -> Some (Pobj.uid o) | _ -> None
+  in
+  match List.find_map completed_return (History.records h) with
+  | Some uid ->
+      History.forget h uid;
+      true
+  | None -> false
+
+let reorder_return h =
+  match
+    List.find_opt (fun (r : History.record) -> r.ret_time <> None) (History.records h)
+  with
+  | Some r ->
+      r.ret_time <- Some (r.issue -. 1.0);
+      true
+  | None -> false
+
+let resurrect h =
+  (* A victim: an object whose remover returned, i.e. surely dead from
+     [remove_ret] on. A target: a completed read-like operation issued
+     after the death whose criterion matches the corpse. *)
+  let dead =
+    List.filter_map
+      (fun (l : History.lifecycle) ->
+        match l.remove_ret with Some rr -> Some (l, rr) | None -> None)
+      (History.lifecycles h)
+  in
+  let target (l : History.lifecycle) rr =
+    List.find_opt
+      (fun (r : History.record) ->
+        r.kind <> History.Insert
+        && r.ret_time <> None
+        && r.issue > rr
+        && match r.template with Some t -> Template.matches t l.the_obj | None -> false)
+      (History.records h)
+  in
+  let rec go = function
+    | [] -> false
+    | (l, rr) :: rest -> (
+        match target l rr with
+        | Some r ->
+            r.result <- Some l.the_obj;
+            true
+        | None -> go rest)
+  in
+  go dead

@@ -1,0 +1,22 @@
+(** Mutation testing for the {!Paso.Semantics} checker itself.
+
+    Each mutation corrupts a {e valid} recorded history in a way the
+    §2 semantics forbid; a checker worth trusting must then report a
+    violation. Each returns [false] when the history contains no
+    mutable material (e.g. no completed operation), so property tests
+    can discard unlucky schedules instead of vacuously passing. *)
+
+val drop_insert : Paso.History.t -> bool
+(** Erase the lifecycle of an object some operation returned, as if it
+    were never inserted. The checker must flag the returning operation
+    (["A2-insert-first"]). *)
+
+val reorder_return : Paso.History.t -> bool
+(** Move a completed operation's return before its issue. The checker
+    must flag it (["wf-return-order"]). *)
+
+val resurrect : Paso.History.t -> bool
+(** Make a completed operation return an object that died (was
+    removed) before the operation was even issued. The checker must
+    flag it (["read-alive"], or ["A2-unique-removal"] when the victim
+    is itself a read&del). *)

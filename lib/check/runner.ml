@@ -1,0 +1,181 @@
+open Paso
+
+type outcome = {
+  violations : Invariants.report list;
+  trace_digest : string;
+  ops : int;
+  completed : int;
+  final_time : float;
+}
+
+let heads = [| "a"; "b"; "c" |]
+
+(* ---- config decoding ---- *)
+
+let classing_of_string = function
+  | "single" -> Obj_class.Single_class
+  | "arity" -> Obj_class.By_arity
+  | "head" -> Obj_class.By_head
+  | "signature" -> Obj_class.By_signature
+  | s -> invalid_arg ("Check.Runner: unknown classing " ^ s)
+
+let storage_of_string s =
+  match Storage.kind_of_string s with
+  | Some k -> k
+  | None -> invalid_arg ("Check.Runner: unknown storage kind " ^ s)
+
+let policy_of_string s =
+  match String.split_on_char ':' s with
+  | [ "static" ] -> Policy.static
+  | [ "counter" ] -> Adaptive.Live_policy.counter ~k:4.0 ()
+  | [ "counter"; k ] -> (
+      match float_of_string_opt k with
+      | Some k when k > 0.0 -> Adaptive.Live_policy.counter ~k ()
+      | _ -> invalid_arg ("Check.Runner: bad counter constant in " ^ s))
+  | [ "doubling" ] ->
+      Adaptive.Live_policy.doubling
+        ~k_of_ell:(fun ell -> Float.max 2.0 (float_of_int ell))
+        ()
+  | _ -> invalid_arg ("Check.Runner: unknown policy " ^ s)
+
+let repair_of_string = function
+  | "none" -> None
+  | "lrf" -> Some Repair.Lrf
+  | "fifo" -> Some Repair.Fifo_replace
+  | "random" -> Some Repair.Random_replace
+  | s -> invalid_arg ("Check.Runner: unknown repair strategy " ^ s)
+
+let system_config (c : Schedule.config) : System.config =
+  {
+    System.default_config with
+    n = c.n;
+    lambda = c.lambda;
+    classing = classing_of_string c.classing;
+    storage = storage_of_string c.storage;
+    policy = policy_of_string c.policy;
+    eager_reads = c.eager;
+    group_map = (if c.coalesce then Some (fun _ -> "shared") else None);
+    repair = repair_of_string c.repair;
+    seed = c.seed;
+    topology =
+      (if c.wan_clusters > 1 then
+         System.Wan
+           {
+             clusters = Array.init c.n (fun m -> m mod c.wan_clusters);
+             remote = Net.Cost_model.v ~alpha:5000.0 ~beta:4.0;
+           }
+       else System.default_config.System.topology);
+  }
+
+(* ---- arm installation ---- *)
+
+(* [down] is shared with the step loop so that failpoint-induced
+   crashes are recovered in the drain phase like scheduled ones. *)
+let install_arm sys ~down ~corrupt (a : Schedule.arm) =
+  let fps = System.failpoints sys in
+  let crash m =
+    if m >= 0 && m < (System.config sys).System.n && System.is_up sys m then begin
+      System.crash sys ~machine:m;
+      down := m :: !down
+    end
+  in
+  let handler : Sim.Failpoint.info -> Sim.Failpoint.effect_ =
+    match String.split_on_char ':' a.arm_action with
+    | [ "crash-hit-node" ] -> fun info -> crash info.Sim.Failpoint.fp_node; Sim.Failpoint.Nothing
+    | [ "crash-aux-node" ] -> fun info -> crash info.Sim.Failpoint.fp_aux; Sim.Failpoint.Nothing
+    | [ "crash-node"; i ] -> (
+        match int_of_string_opt i with
+        | Some m -> fun _ -> crash m; Sim.Failpoint.Nothing
+        | None -> invalid_arg ("Check.Runner: bad machine in arm action " ^ a.arm_action))
+    | [ "delay"; d ] -> (
+        match float_of_string_opt d with
+        | Some d when d >= 0.0 -> fun _ -> Sim.Failpoint.Delay d
+        | _ -> invalid_arg ("Check.Runner: bad delay in arm action " ^ a.arm_action))
+    | [ "corrupt-history" ] -> fun _ -> corrupt := true; Sim.Failpoint.Nothing
+    | _ -> invalid_arg ("Check.Runner: unknown arm action " ^ a.arm_action)
+  in
+  let times = if a.arm_times < 0 then None else Some a.arm_times in
+  Sim.Failpoint.arm fps ~site:a.arm_site ~skip:a.arm_skip ?times handler
+
+(* ---- the drive loop (mirrors test_convergence's schedule runner) ---- *)
+
+let run_with_system (c : Schedule.config) steps =
+  let fps = Sim.Failpoint.create () in
+  let sys = System.create ~tracing:true ~failpoints:fps (system_config c) in
+  let down = ref [] in
+  let corrupt = ref false in
+  List.iter (install_arm sys ~down ~corrupt) c.arms;
+  let tmpl h = Template.headed heads.(h mod Array.length heads) [ Template.Any ] in
+  let fields i h = [ Value.Sym heads.(h mod Array.length heads); Value.Int i ] in
+  List.iteri
+    (fun i (step : Schedule.step) ->
+      ignore (Sim.Failpoint.hit fps ~site:"check.step" ~node:i ());
+      let up = List.filter (System.is_up sys) (List.init c.n Fun.id) in
+      match step with
+      | Insert (m, h) -> begin
+          match up with
+          | [] -> ()
+          | _ ->
+              let m = List.nth up (m mod List.length up) in
+              System.insert sys ~machine:m (fields i h) ~on_done:(fun () -> ())
+        end
+      | Read (m, h) -> begin
+          match up with
+          | [] -> ()
+          | _ ->
+              let m = List.nth up (m mod List.length up) in
+              System.read sys ~machine:m (tmpl h) ~on_done:(fun _ -> ())
+        end
+      | Take (m, h) -> begin
+          match up with
+          | [] -> ()
+          | _ ->
+              let m = List.nth up (m mod List.length up) in
+              System.read_del sys ~machine:m (tmpl h) ~on_done:(fun _ -> ())
+        end
+      | Crash m ->
+          if List.length !down < c.lambda then begin
+            match up with
+            | [] -> ()
+            | _ ->
+                let m = List.nth up (m mod List.length up) in
+                System.crash sys ~machine:m;
+                down := m :: !down
+          end
+      | Recover -> begin
+          match !down with
+          | m :: rest ->
+              System.recover sys ~machine:m;
+              down := rest
+          | [] -> ()
+        end
+      | Advance -> System.run_until sys (System.now sys +. 20000.0))
+    steps;
+  (* Drain: everyone comes back (failpoint casualties included), the
+     system runs to quiescence. *)
+  List.iter
+    (fun m -> if not (System.is_up sys m) then System.recover sys ~machine:m)
+    (List.sort_uniq compare !down);
+  System.run sys;
+  if !corrupt then ignore (Mutate.reorder_return (System.history sys));
+  let rendered =
+    let b = Buffer.create 4096 in
+    List.iter
+      (fun r -> Buffer.add_string b (Format.asprintf "%a@." Sim.Trace.pp_record r))
+      (Sim.Trace.records (System.trace sys));
+    Buffer.contents b
+  in
+  let h = System.history sys in
+  ( {
+      violations = Invariants.all sys;
+      trace_digest = Digest.to_hex (Digest.string rendered);
+      ops = History.op_count h;
+      completed = History.completed_ops h;
+      final_time = System.now sys;
+    },
+    sys )
+
+let run c steps = fst (run_with_system c steps)
+
+let failure_signature o =
+  match o.violations with [] -> None | r :: _ -> Some r.Invariants.inv

@@ -1,0 +1,27 @@
+(** Deterministic execution of a {!Schedule}: build the system, arm
+    the failpoints, drive the steps, drain, audit.
+
+    Determinism contract (tested): the outcome — including the
+    {!outcome.trace_digest} over the full event trace — is a pure
+    function of the [(config, steps)] pair. Replaying a schedule from
+    an artifact therefore reproduces the original run byte for byte. *)
+
+type outcome = {
+  violations : Invariants.report list;  (** empty = the run is clean *)
+  trace_digest : string;  (** hex digest of the rendered event trace *)
+  ops : int;  (** operations issued *)
+  completed : int;  (** operations that returned *)
+  final_time : float;  (** virtual time at quiescence *)
+}
+
+val run : Schedule.config -> Schedule.step list -> outcome
+(** @raise Invalid_argument on a malformed config (unknown classing /
+    storage / policy / repair name, or an unknown arm action). *)
+
+val run_with_system : Schedule.config -> Schedule.step list -> outcome * Paso.System.t
+(** As {!run}, also exposing the quiescent system for deeper
+    inspection (tests use it to audit stats and groups). *)
+
+val failure_signature : outcome -> string option
+(** The [inv] name of the first violation, if any — the shrinker's
+    definition of "still fails the same way". *)

@@ -1,0 +1,67 @@
+type step =
+  | Insert of int * int
+  | Read of int * int
+  | Take of int * int
+  | Crash of int
+  | Recover
+  | Advance
+
+type arm = { arm_site : string; arm_skip : int; arm_times : int; arm_action : string }
+
+type config = {
+  n : int;
+  lambda : int;
+  classing : string;
+  storage : string;
+  policy : string;
+  coalesce : bool;
+  eager : bool;
+  wan_clusters : int;
+  repair : string;
+  seed : int;
+  arms : arm list;
+}
+
+let default =
+  {
+    n = 8;
+    lambda = 2;
+    classing = "head";
+    storage = "hash";
+    policy = "static";
+    coalesce = false;
+    eager = false;
+    wan_clusters = 0;
+    repair = "none";
+    seed = 0;
+    arms = [];
+  }
+
+let label c =
+  let b = Buffer.create 64 in
+  Buffer.add_string b
+    (Printf.sprintf "n=%d λ=%d %s/%s/%s" c.n c.lambda c.classing c.storage c.policy);
+  if c.coalesce then Buffer.add_string b " coalesced";
+  if c.eager then Buffer.add_string b " eager";
+  if c.wan_clusters > 1 then Buffer.add_string b (Printf.sprintf " wan=%d" c.wan_clusters);
+  if c.repair <> "none" then Buffer.add_string b (Printf.sprintf " repair=%s" c.repair);
+  if c.arms <> [] then
+    Buffer.add_string b
+      (Printf.sprintf " arms=[%s]" (String.concat ";" (List.map (fun a -> a.arm_site) c.arms)));
+  Buffer.contents b
+
+let step_name = function
+  | Insert _ -> "insert"
+  | Read _ -> "read"
+  | Take _ -> "take"
+  | Crash _ -> "crash"
+  | Recover -> "recover"
+  | Advance -> "advance"
+
+let pp_step ppf = function
+  | Insert (m, h) -> Format.fprintf ppf "insert(m=%d,h=%d)" m h
+  | Read (m, h) -> Format.fprintf ppf "read(m=%d,h=%d)" m h
+  | Take (m, h) -> Format.fprintf ppf "take(m=%d,h=%d)" m h
+  | Crash m -> Format.fprintf ppf "crash(m=%d)" m
+  | Recover -> Format.fprintf ppf "recover"
+  | Advance -> Format.fprintf ppf "advance"

@@ -1,0 +1,53 @@
+(* ddmin with complement reduction: at granularity [g], split the
+   input into [g] chunks and try dropping each chunk; adopting any
+   still-failing complement coarsens the granularity back, exhausting
+   all complements refines it, and the walk ends 1-minimal (or out of
+   budget). *)
+let ddmin ?(max_tests = 400) ~failing items =
+  let tests = ref 0 in
+  let still_fails l =
+    !tests < max_tests
+    && begin
+         incr tests;
+         failing l
+       end
+  in
+  let chunks g l =
+    let len = List.length l in
+    let size = (len + g - 1) / g in
+    let rec go acc cur k = function
+      | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+      | x :: rest ->
+          if k = size then go (List.rev cur :: acc) [ x ] 1 rest
+          else go acc (x :: cur) (k + 1) rest
+    in
+    go [] [] 0 l
+  in
+  let rec go items g =
+    let len = List.length items in
+    if len <= 1 then items
+    else
+      let g = min g len in
+      let cs = Array.of_list (chunks g items) in
+      let complement skip =
+        List.concat (List.filteri (fun j _ -> j <> skip) (Array.to_list cs))
+      in
+      let rec try_drop i =
+        if i >= Array.length cs then None
+        else
+          let cand = complement i in
+          if still_fails cand then Some cand else try_drop (i + 1)
+      in
+      match try_drop 0 with
+      | Some smaller -> go smaller (max 2 (g - 1))
+      | None -> if g < len then go items (min len (2 * g)) else items
+  in
+  go items 2
+
+let schedule ?max_tests ~config ~steps () =
+  let signature steps' = Runner.failure_signature (Runner.run config steps') in
+  match signature steps with
+  | None -> None
+  | Some sign ->
+      let failing steps' = signature steps' = Some sign in
+      Some (ddmin ?max_tests ~failing steps)

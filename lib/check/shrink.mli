@@ -1,0 +1,24 @@
+(** Delta-debugging reduction of failing schedules (Zeller's ddmin,
+    complement-reduction variant).
+
+    A reduced schedule must fail {e the same way} — same first
+    invariant name ({!Runner.failure_signature}) — so shrinking cannot
+    wander from, say, a replica divergence to an unrelated wedge. *)
+
+val ddmin : ?max_tests:int -> failing:('a list -> bool) -> 'a list -> 'a list
+(** Generic list reduction: repeatedly drop chunks while [failing]
+    holds, refining granularity until 1-minimal (no single element can
+    be removed) or the [max_tests] predicate-evaluation budget
+    (default 400) runs out. [failing input] must be true; the result
+    still satisfies [failing] and is never longer than the input. *)
+
+val schedule :
+  ?max_tests:int ->
+  config:Schedule.config ->
+  steps:Schedule.step list ->
+  unit ->
+  Schedule.step list option
+(** Shrink a failing schedule under its own config. [None] when the
+    full schedule does not fail at all (nothing to shrink); otherwise
+    a sub-list of [steps], as short as the budget allows, that still
+    produces the same first invariant violation. *)

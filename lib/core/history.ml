@@ -106,6 +106,7 @@ let note_class_lost t ~cls ~now =
 
 let records t = List.rev t.recs
 let lifecycle t uid = Uid.Tbl.find_opt t.lives uid
+let forget t uid = Uid.Tbl.remove t.lives uid
 
 let lifecycles t =
   Uid.Tbl.fold (fun _ l acc -> l :: acc) t.lives []

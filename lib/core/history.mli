@@ -71,6 +71,12 @@ val records : t -> record list
 val lifecycle : t -> Uid.t -> lifecycle option
 val lifecycles : t -> lifecycle list
 
+val forget : t -> Uid.t -> unit
+(** Erase an object's lifecycle, as if its insert were never recorded.
+    {e Mutation-testing support only} (see [Check.Mutate]): corrupting
+    a valid history this way must make {!Semantics.check} flag any
+    operation that returned the object. Never called by the system. *)
+
 val op_count : t -> int
 
 val completed_ops : t -> int

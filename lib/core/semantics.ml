@@ -48,6 +48,21 @@ let check_lifecycles h =
       !v)
     (History.lifecycles h)
 
+(* Well-formedness: an operation returns no earlier than it was issued.
+   Real runs satisfy this by construction; the rule catches recording
+   bugs (and is a mutation-test target for the checker itself). *)
+let check_well_formed h =
+  List.concat_map
+    (fun (r : History.record) ->
+      match r.ret_time with
+      | Some ret when ret < r.issue ->
+          [
+            violation ~op:r.op_id "wf-return-order"
+              (Printf.sprintf "returned at %g, before its issue at %g" ret r.issue);
+          ]
+      | Some _ | None -> [])
+    (History.records h)
+
 let check_unique_removal h =
   let removers = Uid.Tbl.create 64 in
   List.concat_map
@@ -152,4 +167,5 @@ let check_fails h =
     (History.records h)
 
 let check h =
-  check_lifecycles h @ check_unique_removal h @ check_returns h @ check_fails h
+  check_well_formed h @ check_lifecycles h @ check_unique_removal h @ check_returns h
+  @ check_fails h

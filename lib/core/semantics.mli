@@ -2,6 +2,8 @@
     {!History.t}.
 
     Checked rules:
+    - {b well-formedness}: no operation returns before its issue
+      (["wf-return-order"] — catches recording corruption).
     - {b A1/A2 lifecycle}: at most one insert per object (enforced by
       uid construction, re-verified), at most one successful
       [read&del] per object, and lifecycle landmarks in a consistent

@@ -50,6 +50,7 @@ type t = {
   cfg : config;
   eng : Sim.Engine.t;
   fabric : Net.Fabric.t;
+  fps : Sim.Failpoint.t;
   sstats : Sim.Stats.t;
   strace : Sim.Trace.t;
   vs : (Server.msg, Pobj.t, Server.snapshot) Vsync.t;
@@ -65,6 +66,7 @@ type t = {
 
 let engine t = t.eng
 let stats t = t.sstats
+let failpoints t = t.fps
 let trace t = t.strace
 let config t = t.cfg
 let history t = t.hist
@@ -121,7 +123,7 @@ let wake_forward : (t -> int -> unit) ref = ref (fun _ _ -> ())
 
 (* --- construction ------------------------------------------------------- *)
 
-let create ?(tracing = false) cfg =
+let create ?(tracing = false) ?failpoints cfg =
   if cfg.lambda < 0 then invalid_arg "System.create: negative lambda";
   if cfg.lambda + 1 > cfg.n then invalid_arg "System.create: lambda + 1 > n";
   if cfg.unit_work < 0.0 then invalid_arg "System.create: negative unit_work";
@@ -129,13 +131,14 @@ let create ?(tracing = false) cfg =
   let sstats = Sim.Stats.create () in
   let strace = Sim.Trace.create () in
   if tracing then Sim.Trace.enable strace;
+  let fps = match failpoints with Some f -> f | None -> Sim.Failpoint.create () in
   let fabric =
     match cfg.topology with
-    | Lan -> Net.Fabric.shared_bus eng cfg.cost sstats
+    | Lan -> Net.Fabric.shared_bus ~failpoints:fps eng cfg.cost sstats
     | Wan { clusters; remote } ->
         if Array.length clusters <> cfg.n then
           invalid_arg "System.create: clusters array must have length n";
-        Net.Fabric.wan eng ~clusters ~local:cfg.cost ~remote sstats
+        Net.Fabric.wan ~failpoints:fps eng ~clusters ~local:cfg.cost ~remote sstats
   in
   let servers = Array.init cfg.n (fun machine -> Server.create ~machine ~kind:cfg.storage) in
   let hist = History.create () in
@@ -210,7 +213,7 @@ let create ?(tracing = false) cfg =
     | None -> ()
   in
   let vs =
-    Vsync.make ~engine:eng ~fabric ~stats:sstats ~trace:strace ~n:cfg.n
+    Vsync.make ~failpoints:fps ~engine:eng ~fabric ~stats:sstats ~trace:strace ~n:cfg.n
       { deliver; resp_size; state_of; install_state; on_view; on_evict; on_group_lost }
   in
   let t =
@@ -218,6 +221,7 @@ let create ?(tracing = false) cfg =
       cfg;
       eng;
       fabric;
+      fps;
       sstats;
       strace;
       vs;
@@ -344,6 +348,12 @@ and insert t ~machine fields ~on_done =
   let r = History.begin_op t.hist ~machine ~kind:History.Insert ~obj:o ~now:(now t) () in
   History.note_inserted t.hist o ~cls:info.Obj_class.name ~now:(now t);
   Sim.Stats.incr t.sstats "ops.insert";
+  (* Fault-injection site: the primitive is issued and recorded; a
+     handler crashing [machine] here crashes it between issue and
+     return (the op is orphaned; the §2 checker must still pass). *)
+  ignore
+    (Sim.Failpoint.hit t.fps ~site:"paso.op.issued" ~node:machine ~aux:r.History.op_id
+       ~group:info.Obj_class.name ());
   let msg = Server.Store { cls = info.Obj_class.name; obj = o } in
   Vsync.gcast t.vs ~group:cs.group ~from:machine ~msg_size:(Server.msg_size msg)
     ~on_done:(fun ~resp:_ ~work:_ ~responders ->
@@ -361,6 +371,9 @@ and read_gen t ~machine ~kind tmpl ~on_done =
   let r = History.begin_op t.hist ~machine ~kind ~template:tmpl ~now:(now t) () in
   Sim.Stats.incr t.sstats
     (match kind with History.Read -> "ops.read" | _ -> "ops.read_del");
+  (* Same site as in [insert]: crash between primitive issue and return. *)
+  ignore
+    (Sim.Failpoint.hit t.fps ~site:"paso.op.issued" ~node:machine ~aux:r.History.op_id ());
   let candidates =
     Obj_class.sc_list t.cfg.classing ~universe:(universe t) tmpl
     |> List.filter (Hashtbl.mem t.classes)
@@ -747,6 +760,8 @@ let audit_replicas t =
     (sorted_classes t)
 
 let wan_cost t = Sim.Stats.total t.sstats "net.wan_cost"
+
+let check_quiescent t = Vsync.pending_groups t.vs
 
 let check_fault_tolerance t =
   let down = t.cfg.n - up_count t in

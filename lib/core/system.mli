@@ -64,8 +64,13 @@ val default_config : config
 
 type t
 
-val create : ?tracing:bool -> config -> t
-(** @raise Invalid_argument if [lambda + 1 > n] or [lambda < 0]. *)
+val create : ?tracing:bool -> ?failpoints:Sim.Failpoint.t -> config -> t
+(** [?failpoints] is the deterministic fault-injection registry shared
+    by every layer of this system (net, vsync, core) — see
+    {!Sim.Failpoint} for the planted sites. A fresh inert registry is
+    created when omitted; {!failpoints} retrieves it either way so
+    sites can be armed after construction.
+    @raise Invalid_argument if [lambda + 1 > n] or [lambda < 0]. *)
 
 (** {1 Simulation control} *)
 
@@ -83,7 +88,7 @@ val stats : t -> Sim.Stats.t
     processing), ["ops.insert"/"ops.read"/"ops.read_del"],
     ["paso.local_reads"/"paso.remote_reads"/"paso.removes"],
     ["paso.markers"/"paso.marker_placements"/"paso.marker_wakeups"/
-    "paso.marker_expiries"/"paso.poll_retries"/
+    "paso.marker_expiries"/"paso.poll_retries"/"paso.read_retries"/
     "paso.expired_take_reinserts"], ["policy.joins"/"policy.leaves"],
     ["repair.copies"], ["faults.crashes"/"faults.recoveries"/
     "faults.class_losses"], and the ["vsync.*"] protocol counters
@@ -92,6 +97,9 @@ val stats : t -> Sim.Stats.t
 
 val trace : t -> Sim.Trace.t
 val config : t -> config
+
+val failpoints : t -> Sim.Failpoint.t
+(** The fault-injection registry consulted at this system's sites. *)
 
 (** {1 PASO primitives} *)
 
@@ -189,3 +197,10 @@ val check_fault_tolerance : t -> (string * int) list
 (** Classes currently violating the §4.1 fault-tolerance condition,
     with their operational write-group sizes. Empty when ≤ λ machines
     are down and all groups satisfy |wg(C)| > λ − k. *)
+
+val check_quiescent : t -> (string * string) list
+(** Write groups whose vsync operation pump is not idle, with a
+    description. Meaningful once the simulation has drained (no events
+    left): a non-empty answer then means a group is wedged — an
+    in-flight operation awaits an acknowledgement that can never
+    arrive. Always empty at quiescence in a correct run. *)

@@ -9,11 +9,11 @@ type t = {
 
 let create engine model stats = { engine; model; stats; free_at = 0.0; msgs = 0; cost = 0.0 }
 
-let transmit t ~size deliver =
+let transmit t ?(extra = 0.0) ~size deliver =
   let cost = Cost_model.msg_cost t.model ~size in
   let now = Sim.Engine.now t.engine in
   let start = Float.max now t.free_at in
-  let finish = start +. cost in
+  let finish = start +. cost +. extra in
   t.free_at <- finish;
   t.msgs <- t.msgs + 1;
   t.cost <- t.cost +. cost;

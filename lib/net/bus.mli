@@ -12,9 +12,12 @@ val create : Sim.Engine.t -> Cost_model.t -> Sim.Stats.t -> t
 (** Message counts and costs are recorded into the given stats under
     keys ["net.msgs"] (counter) and ["net.msg_cost"] (total). *)
 
-val transmit : t -> size:int -> (unit -> unit) -> unit
+val transmit : t -> ?extra:float -> size:int -> (unit -> unit) -> unit
 (** [transmit bus ~size deliver] queues a transmission of [size] bytes;
-    [deliver] fires at the virtual time the transmission completes. *)
+    [deliver] fires at the virtual time the transmission completes.
+    [?extra] (default 0) adds a perturbation delay on top of the
+    modelled cost — the bus stays occupied for it, but it is not
+    accounted as message cost (used by fault injection). *)
 
 val message_count : t -> int
 (** Messages transmitted (or queued) so far. *)

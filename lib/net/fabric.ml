@@ -9,27 +9,47 @@ type wan_state = {
   mutable cost : float;
 }
 
-type t = Shared of Bus.t | Wan of wan_state
+type kind = Shared of Bus.t | Wan of wan_state
+type t = { kind : kind; fps : Sim.Failpoint.t }
 
-let shared_bus engine model stats = Shared (Bus.create engine model stats)
+let shared_bus ?failpoints engine model stats =
+  let fps =
+    match failpoints with Some f -> f | None -> Sim.Failpoint.create ()
+  in
+  { kind = Shared (Bus.create engine model stats); fps }
 
-let wan engine ~clusters ~local ~remote stats =
+let wan ?failpoints engine ~clusters ~local ~remote stats =
   if Array.length clusters = 0 then invalid_arg "Fabric.wan: empty cluster map";
-  Wan
-    {
-      engine;
-      clusters;
-      local;
-      remote;
-      stats;
-      uplink_free = Array.make (Array.length clusters) 0.0;
-      msgs = 0;
-      cost = 0.0;
-    }
+  let fps =
+    match failpoints with Some f -> f | None -> Sim.Failpoint.create ()
+  in
+  {
+    kind =
+      Wan
+        {
+          engine;
+          clusters;
+          local;
+          remote;
+          stats;
+          uplink_free = Array.make (Array.length clusters) 0.0;
+          msgs = 0;
+          cost = 0.0;
+        };
+    fps;
+  }
 
 let transmit t ~src ~dst ~size deliver =
-  match t with
-  | Shared bus -> Bus.transmit bus ~size deliver
+  (* Fault-injection site: an armed [Delay] perturbs this transmission's
+     occupancy of the medium (and hence everything serialised behind
+     it), without touching the cost accounting. *)
+  let extra =
+    match Sim.Failpoint.hit t.fps ~site:"net.transmit" ~node:src ~aux:dst () with
+    | Sim.Failpoint.Delay d when d > 0.0 -> d
+    | Sim.Failpoint.Delay _ | Sim.Failpoint.Nothing -> 0.0
+  in
+  match t.kind with
+  | Shared bus -> Bus.transmit bus ~extra ~size deliver
   | Wan w ->
       let n = Array.length w.clusters in
       if src < 0 || src >= n || dst < 0 || dst >= n then
@@ -39,7 +59,7 @@ let transmit t ~src ~dst ~size deliver =
       let cost = Cost_model.msg_cost model ~size in
       let now = Sim.Engine.now w.engine in
       let start = Float.max now w.uplink_free.(src) in
-      let finish = start +. cost in
+      let finish = start +. cost +. extra in
       w.uplink_free.(src) <- finish;
       w.msgs <- w.msgs + 1;
       w.cost <- w.cost +. cost;
@@ -51,9 +71,15 @@ let transmit t ~src ~dst ~size deliver =
       end;
       ignore (Sim.Engine.schedule w.engine ~delay:(finish -. now) deliver)
 
-let message_count = function Shared bus -> Bus.message_count bus | Wan w -> w.msgs
-let total_cost = function Shared bus -> Bus.total_cost bus | Wan w -> w.cost
-let is_wan = function Shared _ -> false | Wan _ -> true
+let message_count t =
+  match t.kind with Shared bus -> Bus.message_count bus | Wan w -> w.msgs
+
+let total_cost t =
+  match t.kind with Shared bus -> Bus.total_cost bus | Wan w -> w.cost
+
+let is_wan t = match t.kind with Shared _ -> false | Wan _ -> true
 
 let same_cluster t a b =
-  match t with Shared _ -> true | Wan w -> w.clusters.(a) = w.clusters.(b)
+  match t.kind with Shared _ -> true | Wan w -> w.clusters.(a) = w.clusters.(b)
+
+let failpoints t = t.fps

@@ -19,10 +19,14 @@
 
 type t
 
-val shared_bus : Sim.Engine.t -> Cost_model.t -> Sim.Stats.t -> t
-(** The paper's one-message-at-a-time LAN. *)
+val shared_bus : ?failpoints:Sim.Failpoint.t -> Sim.Engine.t -> Cost_model.t -> Sim.Stats.t -> t
+(** The paper's one-message-at-a-time LAN. [?failpoints] is consulted
+    at the ["net.transmit"] site on every transmission (node = src,
+    aux = dst): an armed [Delay] perturbs the medium occupancy without
+    changing cost accounting. *)
 
 val wan :
+  ?failpoints:Sim.Failpoint.t ->
   Sim.Engine.t ->
   clusters:int array ->
   local:Cost_model.t ->
@@ -44,3 +48,6 @@ val is_wan : t -> bool
 
 val same_cluster : t -> int -> int -> bool
 (** Always true for {!shared_bus}. *)
+
+val failpoints : t -> Sim.Failpoint.t
+(** The fault-injection registry this fabric consults. *)

@@ -56,6 +56,7 @@ type ('msg, 'resp, 'state) t = {
   fabric : Net.Fabric.t;
   stats : Sim.Stats.t;
   trace : Sim.Trace.t;
+  fps : Sim.Failpoint.t;
   nodes : int;
   cbs : ('msg, 'resp, 'state) callbacks;
   up : bool array;
@@ -66,13 +67,14 @@ type ('msg, 'resp, 'state) t = {
 
 let view_note_size = 16
 
-let make ~engine ~fabric ~stats ~trace ~n cbs =
+let make ?(failpoints = Sim.Failpoint.create ()) ~engine ~fabric ~stats ~trace ~n cbs =
   if n <= 0 then invalid_arg "Vsync.make: n <= 0";
   {
     eng = engine;
     fabric;
     stats;
     trace;
+    fps = failpoints;
     nodes = n;
     cbs;
     up = Array.make n true;
@@ -80,6 +82,8 @@ let make ~engine ~fabric ~stats ~trace ~n cbs =
     busy_until = Array.make n 0.0;
     groups = Hashtbl.create 16;
   }
+
+let failpoints t = t.fps
 
 let n t = t.nodes
 let engine t = t.eng
@@ -160,7 +164,16 @@ let notify_view t g ~extra =
   in
   let src = match IntSet.min_elt_opt g.members with Some l -> l | None -> 0 in
   IntSet.iter
-    (fun m -> send_to t ~src ~dst:m ~size:view_note_size (fun () -> t.cbs.on_view ~node:m v))
+    (fun m ->
+      let send () =
+        send_to t ~src ~dst:m ~size:view_note_size (fun () -> t.cbs.on_view ~node:m v)
+      in
+      (* An armed delay here postpones this member's view installation —
+         the window in which it still acts on the stale view. *)
+      match Sim.Failpoint.hit t.fps ~site:"vsync.view.notify" ~node:m ~group:g.gname () with
+      | Sim.Failpoint.Delay d when d > 0.0 ->
+          ignore (Sim.Engine.schedule t.eng ~delay:d send)
+      | Sim.Failpoint.Delay _ | Sim.Failpoint.Nothing -> send ())
     targets
 
 (* --- the per-group op pump --------------------------------------------- *)
@@ -204,6 +217,9 @@ and exec t g = function
 
 and exec_gcast t g ~from_ ~epoch ~msg ~size ~eager ~restrict ~on_done =
   Sim.Stats.incr t.stats "vsync.gcasts";
+  (* The gcast has left the queue and is about to target the current
+     membership — a handler crashing the issuer here orphans it. *)
+  ignore (Sim.Failpoint.hit t.fps ~site:"vsync.gcast.begin" ~node:from_ ~group:g.gname ());
   (* A crashed member whose view change is still queued must not be
      targeted: its copy would be dropped and never acknowledged. *)
   let all = List.filter (fun m -> t.up.(m)) (IntSet.elements g.members) in
@@ -237,7 +253,7 @@ and exec_gcast t g ~from_ ~epoch ~msg ~size ~eager ~restrict ~on_done =
         }
       in
       g.inflight <- Some infl;
-      let deliver_at m () =
+      let deliver_now m () =
         let resp, w = t.cbs.deliver ~node:m ~group:g.gname ~from:from_ msg in
         infl.processed <- infl.processed + 1;
         (match (infl.resp, resp) with None, Some r -> infl.resp <- Some r | _ -> ());
@@ -265,6 +281,14 @@ and exec_gcast t g ~from_ ~epoch ~msg ~size ~eager ~restrict ~on_done =
                send_raw t ~src:m ~dst:infl.if_leader ~size:0 (fun () ->
                    infl.waiting <- IntSet.remove m infl.waiting;
                    check_complete t g infl)))
+      in
+      let deliver_at m () =
+        (* A handler crashing [m] at this site drops this copy exactly
+           as a crash timed against the in-flight gcast would: the
+           flush in the crash handler stops waiting for [m]. *)
+        let e = t.epoch.(m) in
+        ignore (Sim.Failpoint.hit t.fps ~site:"vsync.gcast.deliver" ~node:m ~group:g.gname ());
+        if alive t m e then deliver_now m ()
       in
       List.iter (fun m -> send_to t ~src:from_ ~dst:m ~size (deliver_at m)) mems
 
@@ -308,7 +332,13 @@ and exec_join t g ~node ~on_done =
         g.members <- IntSet.add node g.members;
         notify_view t g ~extra:None;
         on_done ();
-        finish t g)
+        finish t g);
+    (* The snapshot is on the wire: a handler crashing the donor now
+       tests that the in-flight transfer still saves the state; one
+       crashing the joiner too makes the snapshot the last copy. *)
+    ignore
+      (Sim.Failpoint.hit t.fps ~site:"vsync.join.transfer" ~node:donor ~aux:node
+         ~group:g.gname ())
   end
 
 and exec_leave t g ~node ~on_done =
@@ -375,6 +405,16 @@ let state_transfer_target t ~group =
   match Hashtbl.find_opt t.groups group with
   | Some g -> g.joining
   | None -> None
+
+let pending_groups t =
+  Hashtbl.fold
+    (fun name g acc ->
+      let queued = Queue.length g.urgent + Queue.length g.normal in
+      if g.busy || queued > 0 then
+        (name, Printf.sprintf "busy=%b queued=%d" g.busy queued) :: acc
+      else acc)
+    t.groups []
+  |> List.sort compare
 
 let exec_local t ~node ~work k =
   check_node t node;

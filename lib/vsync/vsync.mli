@@ -59,6 +59,7 @@ type ('msg, 'resp, 'state) callbacks = {
 }
 
 val make :
+  ?failpoints:Sim.Failpoint.t ->
   engine:Sim.Engine.t ->
   fabric:Net.Fabric.t ->
   stats:Sim.Stats.t ->
@@ -69,7 +70,13 @@ val make :
 (** The fabric decides where transmissions serialise and what they
     cost: the paper's shared bus, or the WAN extension (its closing
     open problem) with per-source uplinks and cluster-dependent
-    costs. *)
+    costs.
+
+    [?failpoints] is the deterministic fault-injection registry
+    consulted at the protocol's named sites ({!Sim.Failpoint}):
+    ["vsync.gcast.begin"], ["vsync.gcast.deliver"],
+    ["vsync.join.transfer"] and ["vsync.view.notify"]. A fresh inert
+    registry is created when omitted. *)
 
 val n : ('msg, 'resp, 'state) t -> int
 val engine : ('msg, 'resp, 'state) t -> Sim.Engine.t
@@ -140,6 +147,17 @@ val state_transfer_target : ('msg, 'resp, 'state) t -> group:string -> int optio
     group's state on arrival even if every current member crashes
     meanwhile — the crash handler of the layer above consults this
     before declaring a class's data lost. *)
+
+val failpoints : ('msg, 'resp, 'state) t -> Sim.Failpoint.t
+(** The fault-injection registry consulted at this instance's sites. *)
+
+val pending_groups : ('msg, 'resp, 'state) t -> (string * string) list
+(** Groups whose operation pump is not idle (an op executing or ops
+    queued), with a description. At simulation quiescence — no events
+    left — a non-empty result means the group is {e wedged}: an
+    in-flight operation awaits an acknowledgement that can never
+    arrive (the §6.1 defect class). Always empty in a correct run once
+    the system has drained. *)
 
 val exec_local : ('msg, 'resp, 'state) t -> node:int -> work:float -> (unit -> unit) -> unit
 (** Run [work] units of purely local processing on [node]'s serial
