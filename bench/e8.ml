@@ -2,53 +2,54 @@
    beyond the paper): per-operation message cost and simulator
    throughput as the ensemble and the class population grow. The
    paper's design predicts per-op cost independent of n (write groups
-   are λ+1 regardless of ensemble size) — the table verifies it. *)
+   are λ+1 regardless of ensemble size) — the table verifies it.
 
-open Paso
+   Measurement discipline (shared with bench/perf.ml via [Mix]):
+   monotonic clock, one warmup run, median wall time of 3 repetitions.
+   When [PASO_BENCH_JSON] names a file, the rows are also merged into
+   that JSON profile (under label "e8") for offline comparison. *)
 
-let run_mix ~n ~lambda ~classes ~ops =
-  let sys = System.create { System.default_config with n; lambda } in
-  let rng = Sim.Rng.make 99 in
-  let heads = Array.init classes (fun i -> Printf.sprintf "c%d" i) in
-  let wall0 = Unix.gettimeofday () in
-  for i = 1 to ops do
-    let m = Sim.Rng.int rng n in
-    let head = Sim.Rng.choice rng heads in
-    (match Sim.Rng.int rng 3 with
-    | 0 -> System.insert sys ~machine:m [ Value.Sym head; Value.Int i ] ~on_done:(fun () -> ())
-    | 1 ->
-        System.read sys ~machine:m (Template.headed head [ Template.Any ])
-          ~on_done:(fun _ -> ())
-    | _ ->
-        System.read_del sys ~machine:m (Template.headed head [ Template.Any ])
-          ~on_done:(fun _ -> ()));
-    if i mod 64 = 0 then System.run sys
-  done;
-  System.run sys;
-  let wall = Unix.gettimeofday () -. wall0 in
-  let stats = System.stats sys in
-  let msgs = Sim.Stats.count stats "net.msgs" in
-  let cost = Sim.Stats.total stats "net.msg_cost" in
-  let events = Sim.Engine.events_executed (System.engine sys) in
-  ( float_of_int msgs /. float_of_int ops,
-    cost /. float_of_int ops,
-    events,
-    float_of_int events /. Float.max 1e-9 wall /. 1.0e6 )
+let shapes = [ (8, 4); (16, 8); (32, 16); (64, 32); (64, 4) ]
 
 let run () =
   Util.section "E8  Scaling: per-op cost flat in n (wg = lambda+1), simulator throughput";
   let ops = 3000 in
+  let results =
+    List.map
+      (fun (n, classes) -> (n, classes, Mix.measure ~n ~lambda:2 ~classes ~ops ()))
+      shapes
+  in
   let rows =
     List.map
-      (fun (n, classes) ->
-        let msgs_per_op, cost_per_op, events, mevps = run_mix ~n ~lambda:2 ~classes ~ops in
-        [ string_of_int n; string_of_int classes; Util.f2 msgs_per_op;
-          Util.f1 cost_per_op; string_of_int events; Util.f2 mevps ])
-      [ (8, 4); (16, 8); (32, 16); (64, 32); (64, 4) ]
+      (fun (n, classes, r) ->
+        [
+          string_of_int n;
+          string_of_int classes;
+          Util.f2 (Mix.msgs_per_op r);
+          Util.f1 (Mix.msg_cost_per_op r);
+          string_of_int r.Mix.events;
+          Util.f2 (Mix.events_per_s r /. 1.0e6);
+        ])
+      results
   in
   Util.table
     [ "n"; "classes"; "msgs/op"; "msg-cost/op"; "events"; "Mevents/s" ]
     rows;
+  (match Sys.getenv_opt "PASO_BENCH_JSON" with
+  | Some path when path <> "" ->
+      let profile =
+        Check.Json.Obj
+          [
+            ( "e8_table",
+              Check.Json.Arr
+                (List.map
+                   (fun (n, classes, r) -> Bench_json.table_row_json ~n ~classes r)
+                   results) );
+          ]
+      in
+      Bench_json.merge ~path ~label:"e8" profile;
+      Printf.printf "\n[e8 rows merged into %s]\n" path
+  | Some _ | None -> ());
   Printf.printf
     "\nShape check: messages and cost per operation stay flat as n grows 8x -\n\
      the paper's point that replication degree is governed by lambda, not by\n\

@@ -1,0 +1,90 @@
+(* The E8 operation mix, shared between the E8 experiment table and the
+   perf baseline harness (bench/perf.ml): a uniform insert/read/take
+   blend over [classes] head-tagged classes on an [n]-machine ensemble,
+   pumped in batches of 64 issues.
+
+   Timing uses the monotonic clock (bechamel's CLOCK_MONOTONIC binding),
+   never [Unix.gettimeofday]: the wall-clock numbers feed a CI
+   regression gate and must not jump with NTP. Each measurement does
+   [warmup] throwaway runs then [reps] timed runs and reports the
+   median wall time; the simulation itself is deterministic, so the
+   event/message counts are identical across repetitions. *)
+
+open Paso
+
+type result = {
+  ops : int;
+  wall_s : float;  (* median over repetitions, monotonic *)
+  events : int;
+  msgs : int;
+  msg_cost : float;
+  alloc_bytes : float;  (* Gc.allocated_bytes delta of the median-adjacent run *)
+}
+
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> invalid_arg "Mix.median: empty"
+  | sorted -> List.nth sorted (List.length sorted / 2)
+
+let run_once ~n ~lambda ~classes ~ops =
+  let sys = System.create { System.default_config with n; lambda } in
+  let rng = Sim.Rng.make 99 in
+  let heads = Array.init classes (fun i -> Printf.sprintf "c%d" i) in
+  let a0 = Gc.allocated_bytes () in
+  let t0 = now_s () in
+  for i = 1 to ops do
+    let m = Sim.Rng.int rng n in
+    let head = Sim.Rng.choice rng heads in
+    (match Sim.Rng.int rng 3 with
+    | 0 ->
+        System.insert sys ~machine:m
+          [ Value.Sym head; Value.Int i ]
+          ~on_done:(fun () -> ())
+    | 1 ->
+        System.read sys ~machine:m
+          (Template.headed head [ Template.Any ])
+          ~on_done:(fun _ -> ())
+    | _ ->
+        System.read_del sys ~machine:m
+          (Template.headed head [ Template.Any ])
+          ~on_done:(fun _ -> ()));
+    if i mod 64 = 0 then System.run sys
+  done;
+  System.run sys;
+  let wall = now_s () -. t0 in
+  let alloc = Gc.allocated_bytes () -. a0 in
+  let stats = System.stats sys in
+  ( wall,
+    alloc,
+    Sim.Stats.count stats "net.msgs",
+    Sim.Stats.total stats "net.msg_cost",
+    Sim.Engine.events_executed (System.engine sys) )
+
+let measure ?(warmup = 1) ?(reps = 3) ~n ~lambda ~classes ~ops () =
+  (* Shed whatever heap the caller (e.g. the kernel suite running
+     before the mix in perf.exe) left behind: a large fragmented major
+     heap measurably depresses the mix and would make the number depend
+     on what ran first. *)
+  Gc.compact ();
+  for _ = 1 to warmup do
+    ignore (run_once ~n ~lambda ~classes ~ops)
+  done;
+  let runs = List.init reps (fun _ -> run_once ~n ~lambda ~classes ~ops) in
+  let walls = List.map (fun (w, _, _, _, _) -> w) runs in
+  let allocs = List.map (fun (_, a, _, _, _) -> a) runs in
+  let _, _, msgs, msg_cost, events = List.hd runs in
+  {
+    ops;
+    wall_s = median walls;
+    events;
+    msgs;
+    msg_cost;
+    alloc_bytes = median allocs;
+  }
+
+let ops_per_s r = float_of_int r.ops /. Float.max 1e-12 r.wall_s
+let events_per_s r = float_of_int r.events /. Float.max 1e-12 r.wall_s
+let msgs_per_op r = float_of_int r.msgs /. float_of_int r.ops
+let msg_cost_per_op r = r.msg_cost /. float_of_int r.ops

@@ -1,0 +1,293 @@
+(* Perf baseline harness (E8 §4 / DESIGN.md §8).
+
+   Measures the simulator's wall-clock hot paths — the E8 operation
+   mix end-to-end plus microbench kernels over the building blocks —
+   under a monotonic clock with warmup and repetitions, and writes the
+   medians to a JSON profile (BENCH_PERF.json). CI runs the fast
+   profile on every push and compares against the committed baseline,
+   failing only on large (>25%) throughput regressions; a calibration
+   kernel that never touches the simulator normalises away raw machine
+   speed differences between the baseline host and the CI runner.
+
+   Usage:
+     perf.exe                         full profile, table to stdout
+     perf.exe --fast                  reduced iteration counts (CI)
+     perf.exe --merge F --label L     write profile as label L into F
+     perf.exe --gate F [--tolerance t]  compare vs F's "after" profile
+*)
+
+open Paso
+module J = Check.Json
+
+let fast = ref false
+let out = ref ""
+let merge_into = ref ""
+let label = ref "after"
+let gate = ref ""
+let tolerance = ref 0.25
+
+let args =
+  [
+    ("--fast", Arg.Set fast, "reduced iteration counts (CI profile)");
+    ("--out", Arg.Set_string out, "FILE write the fresh profile to FILE");
+    ( "--merge",
+      Arg.Set_string merge_into,
+      "FILE merge the fresh profile into FILE under --label" );
+    ("--label", Arg.Set_string label, "LABEL profile label (default: after)");
+    ( "--gate",
+      Arg.Set_string gate,
+      "FILE compare against FILE's \"after\" profile; exit 1 on regression" );
+    ( "--tolerance",
+      Arg.Set_float tolerance,
+      "FRAC allowed relative regression for --gate (default 0.25)" );
+  ]
+
+let median = Mix.median
+
+(* ---- kernel timing ---- *)
+
+let time_kernel ~reps ~iters f =
+  f iters;
+  (* warmup *)
+  let runs =
+    List.init reps (fun _ ->
+        let a0 = Gc.allocated_bytes () in
+        let t0 = Mix.now_s () in
+        f iters;
+        let wall = Mix.now_s () -. t0 in
+        let alloc = Gc.allocated_bytes () -. a0 in
+        let it = float_of_int iters in
+        (wall /. it *. 1e9, alloc /. it))
+  in
+  (median (List.map fst runs), median (List.map snd runs))
+
+(* Fixed pure-OCaml work that no PASO optimisation can touch: its
+   ns/op measures the host, so baseline-vs-CI comparisons can divide
+   out machine speed. *)
+let calibration iters =
+  let tbl = Hashtbl.create 64 in
+  for i = 0 to 63 do
+    Hashtbl.add tbl i (float_of_int i)
+  done;
+  let acc = ref 0.0 in
+  for i = 1 to iters do
+    acc := !acc +. (match Hashtbl.find_opt tbl (i land 63) with Some x -> x | None -> 0.0)
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+let stats_counter_incr iters =
+  let s = Sim.Stats.create () in
+  let c = Sim.Stats.counter s "net.msgs" in
+  for _ = 1 to iters do
+    Sim.Stats.incr_counter c
+  done;
+  ignore (Sys.opaque_identity (Sim.Stats.count s "net.msgs"))
+
+let stats_total_add iters =
+  let s = Sim.Stats.create () in
+  let a = Sim.Stats.accumulator s "net.msg_cost" in
+  for _ = 1 to iters do
+    Sim.Stats.add_to a 1.5
+  done;
+  ignore (Sys.opaque_identity (Sim.Stats.total s "net.msg_cost"))
+
+let stats_observe iters =
+  let s = Sim.Stats.create () in
+  let sr = Sim.Stats.series s "lat" in
+  for i = 1 to iters do
+    Sim.Stats.observe_series sr (float_of_int (i * 7919 mod 104729));
+    if i land 1023 = 0 then ignore (Sim.Stats.percentile s "lat" 99.0)
+  done
+
+let event_heap_churn iters =
+  let h = Sim.Event_heap.create () in
+  for i = 1 to 1000 do
+    ignore (Sim.Event_heap.add h ~time:(float_of_int i) i)
+  done;
+  let t = ref 1000.0 in
+  for _ = 1 to iters do
+    t := !t +. 1.0;
+    ignore (Sim.Event_heap.add h ~time:!t 0);
+    ignore (Sim.Event_heap.pop h)
+  done
+
+let event_heap_cancel iters =
+  let h = Sim.Event_heap.create () in
+  for i = 1 to 1000 do
+    ignore (Sim.Event_heap.add h ~time:(float_of_int i) i)
+  done;
+  let t = ref 1000.0 in
+  for _ = 1 to iters do
+    t := !t +. 1.0;
+    let doomed = Sim.Event_heap.add h ~time:(!t +. 5000.0) 1 in
+    ignore (Sim.Event_heap.add h ~time:!t 0);
+    Sim.Event_heap.cancel h doomed;
+    ignore (Sim.Event_heap.pop h)
+  done
+
+let trace_emit iters =
+  let tr = Sim.Trace.create ~capacity:4096 () in
+  Sim.Trace.enable tr;
+  for i = 1 to iters do
+    Sim.Trace.emit tr ~time:(float_of_int i) ~tag:"bench" "op issued"
+  done
+
+let history_round iters =
+  let h = History.create () in
+  for _ = 1 to iters do
+    let r = History.begin_op h ~machine:0 ~kind:History.Insert ~now:1.0 () in
+    History.end_op h r ~now:2.0 ~result:None
+  done
+
+(* A system with a populated class universe, for the sc-list kernels:
+   the candidate-class derivation is what every read/take pays before
+   any message is sent. *)
+let sc_system classes =
+  let sys = System.create { System.default_config with n = 8; lambda = 2 } in
+  for i = 0 to classes - 1 do
+    System.insert sys ~machine:(i mod 8)
+      [ Value.Sym (Printf.sprintf "c%d" i); Value.Int i ]
+      ~on_done:(fun () -> ())
+  done;
+  System.run sys;
+  sys
+
+let sc_list_eq_head iters =
+  let sys = sc_system 64 in
+  let tmpl = Template.headed "c3" [ Template.Any ] in
+  for _ = 1 to iters do
+    ignore (Sys.opaque_identity (System.sc_list sys tmpl))
+  done
+
+let sc_list_scan iters =
+  let sys = sc_system 64 in
+  let tmpl = Template.make [ Template.Type_is "sym"; Template.Any ] in
+  for _ = 1 to iters do
+    ignore (Sys.opaque_identity (System.sc_list sys tmpl))
+  done
+
+let kernel_specs =
+  [
+    ("calibration", calibration, 2_000_000);
+    ("stats_counter_incr", stats_counter_incr, 2_000_000);
+    ("stats_total_add", stats_total_add, 2_000_000);
+    ("stats_observe", stats_observe, 200_000);
+    ("event_heap_churn", event_heap_churn, 500_000);
+    ("event_heap_cancel", event_heap_cancel, 500_000);
+    ("trace_emit", trace_emit, 500_000);
+    ("history_round", history_round, 300_000);
+    ("sc_list_eq_head", sc_list_eq_head, 100_000);
+    ("sc_list_scan", sc_list_scan, 50_000);
+  ]
+
+(* ---- profile assembly ---- *)
+
+let acceptance = (32, 2, 8, 3000) (* n, lambda, classes, ops *)
+
+let table_shapes ~fast =
+  if fast then [ (8, 4); (16, 8) ] else [ (8, 4); (16, 8); (32, 16); (64, 32); (64, 4) ]
+
+let profile ~fast =
+  let reps = if fast then 2 else 3 in
+  let scale = if fast then 5 else 1 in
+  let kernels =
+    List.map
+      (fun (name, f, iters) ->
+        let ns, alloc = time_kernel ~reps ~iters:(iters / scale) f in
+        Printf.printf "  kernel %-22s %10.1f ns/op %10.1f B/op\n%!" name ns alloc;
+        Bench_json.kernel_json ~name ~ns_per_op:ns ~alloc_b_per_op:alloc)
+      kernel_specs
+  in
+  let n, lambda, classes, ops = acceptance in
+  let mix = Mix.measure ~warmup:1 ~reps ~n ~lambda ~classes ~ops () in
+  Printf.printf "  e8 mix (n=%d, %d classes, %d ops): %.0f ops/s, %.0f events/s\n%!" n
+    classes ops (Mix.ops_per_s mix) (Mix.events_per_s mix);
+  let table =
+    List.map
+      (fun (n, classes) ->
+        let r = Mix.measure ~warmup:1 ~reps ~n ~lambda:2 ~classes ~ops:3000 () in
+        Printf.printf "  e8 row n=%-3d classes=%-3d %10.0f ops/s\n%!" n classes
+          (Mix.ops_per_s r);
+        Bench_json.table_row_json ~n ~classes r)
+      (table_shapes ~fast)
+  in
+  J.Obj
+    [
+      ("e8_mix", Bench_json.mix_json mix);
+      ("e8_table", J.Arr table);
+      ("kernels", J.Arr kernels);
+    ]
+
+(* ---- regression gate ---- *)
+
+let gate_against ~path ~tol fresh =
+  match Bench_json.load path with
+  | None ->
+      Printf.eprintf "gate: cannot load baseline %s\n" path;
+      exit 2
+  | Some baseline -> (
+      match Bench_json.get_profile baseline "after" with
+      | None ->
+          Printf.eprintf "gate: %s has no \"after\" profile\n" path;
+          exit 2
+      | Some base ->
+          let kern p name = List.assoc_opt name (Bench_json.kernels p) in
+          let cf =
+            (* machine-speed factor: >1 means this host is slower than
+               the baseline host; divide it out of every comparison *)
+            match (kern fresh "calibration", kern base "calibration") with
+            | Some f, Some b when b > 0.0 -> f /. b
+            | _ -> 1.0
+          in
+          Printf.printf "gate: calibration factor %.3f (host vs baseline)\n" cf;
+          let failures = ref [] in
+          let check_throughput name fresh_v base_v =
+            (* throughput: normalised fresh must reach (1-tol) of baseline *)
+            let norm = fresh_v *. cf in
+            let ok = norm >= (1.0 -. tol) *. base_v in
+            Printf.printf "  %-28s base %12.0f  fresh %12.0f  norm %12.0f  %s\n" name
+              base_v fresh_v norm
+              (if ok then "ok" else "REGRESSION");
+            if not ok then failures := name :: !failures
+          in
+          let check_latency name fresh_ns base_ns =
+            (* ns/op: normalised fresh must stay under (1+tol) of baseline *)
+            let norm = fresh_ns /. cf in
+            let ok = norm <= (1.0 +. tol) *. base_ns in
+            Printf.printf "  %-28s base %10.1f ns  fresh %10.1f ns  norm %10.1f ns  %s\n"
+              name base_ns fresh_ns norm
+              (if ok then "ok" else "REGRESSION");
+            if not ok then failures := name :: !failures
+          in
+          (match
+             ( Bench_json.get_num fresh [ "e8_mix"; "ops_per_s" ],
+               Bench_json.get_num base [ "e8_mix"; "ops_per_s" ] )
+           with
+          | Some f, Some b -> check_throughput "e8_mix.ops_per_s" f b
+          | _ -> ());
+          (match
+             ( Bench_json.get_num fresh [ "e8_mix"; "events_per_s" ],
+               Bench_json.get_num base [ "e8_mix"; "events_per_s" ] )
+           with
+          | Some f, Some b -> check_throughput "e8_mix.events_per_s" f b
+          | _ -> ());
+          List.iter
+            (fun (name, base_ns) ->
+              if name <> "calibration" then
+                match kern fresh name with
+                | Some fresh_ns -> check_latency ("kernel." ^ name) fresh_ns base_ns
+                | None -> ())
+            (Bench_json.kernels base);
+          if !failures <> [] then begin
+            Printf.printf "gate: FAILED (%s)\n" (String.concat ", " (List.rev !failures));
+            exit 1
+          end
+          else Printf.printf "gate: ok (tolerance %.0f%%)\n" (tol *. 100.0))
+
+let () =
+  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "perf.exe [options]";
+  Printf.printf "perf baseline harness (%s profile)\n%!" (if !fast then "fast" else "full");
+  let p = profile ~fast:!fast in
+  if !out <> "" then Bench_json.save !out (J.Obj [ ("version", J.Num 1.0); (!label, p) ]);
+  if !merge_into <> "" then Bench_json.merge ~path:!merge_into ~label:!label p;
+  if !gate <> "" then gate_against ~path:!gate ~tol:!tolerance p

@@ -24,14 +24,18 @@ type lifecycle = {
   mutable lost_at : float option;
 }
 
+(* Records live in a growable array indexed by op id — no per-op cons
+   cell and [records] no longer reverses a list each call. The array
+   is created lazily at the first op, using that record as filler
+   (the [record] type has no manufactured default). *)
 type t = {
-  mutable recs : record list; (* newest first *)
+  mutable recs : record array; (* [0..next_op) in op-id order *)
   mutable next_op : int;
   mutable completed : int;
   lives : lifecycle Uid.Tbl.t;
 }
 
-let create () = { recs = []; next_op = 0; completed = 0; lives = Uid.Tbl.create 256 }
+let create () = { recs = [||]; next_op = 0; completed = 0; lives = Uid.Tbl.create 256 }
 
 let begin_op t ~machine ~kind ?template ?obj ~now () =
   let r =
@@ -46,8 +50,14 @@ let begin_op t ~machine ~kind ?template ?obj ~now () =
       result = None;
     }
   in
+  if t.recs = [||] then t.recs <- Array.make 256 r
+  else if t.next_op = Array.length t.recs then begin
+    let grown = Array.make (2 * t.next_op) r in
+    Array.blit t.recs 0 grown 0 t.next_op;
+    t.recs <- grown
+  end;
+  t.recs.(t.next_op) <- r;
   t.next_op <- t.next_op + 1;
-  t.recs <- r :: t.recs;
   r
 
 let end_op t r ~now ~result =
@@ -104,7 +114,7 @@ let note_class_lost t ~cls ~now =
       | Some _ | None -> ())
     t.lives
 
-let records t = List.rev t.recs
+let records t = Array.to_list (Array.sub t.recs 0 t.next_op)
 let lifecycle t uid = Uid.Tbl.find_opt t.lives uid
 let forget t uid = Uid.Tbl.remove t.lives uid
 

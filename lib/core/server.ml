@@ -14,10 +14,24 @@ type t = {
   kind : Storage.kind;
   stores : (string, Storage.t) Hashtbl.t;
   marks : (string, marker list ref) Hashtbl.t; (* per class, oldest first *)
+  (* Interned stat handles, resolved once here rather than hashing a
+     key per replicated operation. *)
+  c_stores : Sim.Stats.counter;
+  c_queries : Sim.Stats.counter;
+  c_removes : Sim.Stats.counter;
 }
 
-let create ~machine ~kind =
-  { machine; kind; stores = Hashtbl.create 8; marks = Hashtbl.create 8 }
+let create ?stats ~machine ~kind () =
+  let stats = match stats with Some s -> s | None -> Sim.Stats.create () in
+  {
+    machine;
+    kind;
+    stores = Hashtbl.create 8;
+    marks = Hashtbl.create 8;
+    c_stores = Sim.Stats.counter stats "server.stores";
+    c_queries = Sim.Stats.counter stats "server.queries";
+    c_removes = Sim.Stats.counter stats "server.removes";
+  }
 let machine t = t.machine
 let storage_kind t = t.kind
 
@@ -39,6 +53,7 @@ let marks_for t cls =
 
 let handle t = function
   | Store { cls; obj } ->
+      Sim.Stats.incr_counter t.c_stores;
       let s = store_for t cls in
       let work = s.Storage.cost.insert_cost (s.Storage.size ()) in
       s.Storage.insert obj;
@@ -49,10 +64,12 @@ let handle t = function
       r := kept;
       (None, work, woken)
   | Mem_read { cls; tmpl } ->
+      Sim.Stats.incr_counter t.c_queries;
       let s = store_for t cls in
       let work = s.Storage.cost.query_cost (s.Storage.size ()) in
       (s.Storage.find tmpl, work, [])
   | Remove { cls; tmpl } ->
+      Sim.Stats.incr_counter t.c_removes;
       let s = store_for t cls in
       let work = s.Storage.cost.delete_cost (s.Storage.size ()) in
       (s.Storage.remove_oldest tmpl, work, [])
@@ -67,6 +84,7 @@ let handle t = function
       (None, 1.0, [])
 
 let local_read t ~cls tmpl =
+  Sim.Stats.incr_counter t.c_queries;
   let s = store_for t cls in
   let work = s.Storage.cost.query_cost (s.Storage.size ()) in
   (s.Storage.find tmpl, work)

@@ -25,7 +25,10 @@ type snapshot = (string * (Pobj.t list * marker list)) list
 
 type t
 
-val create : machine:int -> kind:Storage.kind -> t
+val create : ?stats:Sim.Stats.t -> machine:int -> kind:Storage.kind -> unit -> t
+(** When [stats] is given, the server counts its replicated operations
+    under ["server.stores"] / ["server.queries"] / ["server.removes"]
+    through handles interned at creation (one field write per op). *)
 
 val machine : t -> int
 val storage_kind : t -> Storage.kind

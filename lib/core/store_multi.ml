@@ -6,11 +6,22 @@ type state = {
   exact : (string, Iset.t ref) Hashtbl.t; (* canonical tuple -> seqs *)
   mutable ordered : Avl.t; (* first field -> bucket *)
   mutable next_seq : int;
+  mutable count : int; (* = Imap.cardinal items; size () is on the
+                          per-operation cost path *)
 }
 
+(* Single buffer pass; renders identically to the obvious
+   [String.concat]-of-[List.map] (see Store_hash.canonical_fields). *)
 let canonical_fields fields =
-  String.concat "\x00"
-    (List.map (fun v -> Value.type_name v ^ ":" ^ Value.to_string v) fields)
+  let buf = Buffer.create 48 in
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char buf '\x00';
+      Buffer.add_string buf (Value.type_name v);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (Value.to_string v))
+    fields;
+  Buffer.contents buf
 
 let canonical_obj o = canonical_fields (Pobj.fields o)
 
@@ -41,15 +52,18 @@ let lookup state tmpl =
   match exact_key tmpl with
   | Some key -> begin
       match Hashtbl.find_opt state.exact key with
-      | Some set ->
-          Iset.fold
-            (fun seq acc ->
-              match acc with
-              | Some _ -> acc
-              | None ->
-                  let o = Imap.find seq state.items in
-                  if Template.matches tmpl o then Some (seq, o) else None)
-            !set None
+      | Some set -> begin
+          let exception Found of int * Pobj.t in
+          match
+            Iset.iter
+              (fun seq ->
+                let o = Imap.find seq state.items in
+                if Template.matches tmpl o then raise_notrace (Found (seq, o)))
+              !set
+          with
+          | () -> None
+          | exception Found (seq, o) -> Some (seq, o)
+        end
       | None -> None
     end
   | None -> begin
@@ -87,11 +101,13 @@ let make state =
     let seq = state.next_seq in
     state.next_seq <- seq + 1;
     state.items <- Imap.add seq o state.items;
+    state.count <- state.count + 1;
     index_add state (canonical_obj o) seq;
     state.ordered <- Avl.add_item state.ordered (Pobj.field o 0) seq o
   in
   let remove_entry seq o =
     state.items <- Imap.remove seq state.items;
+    state.count <- state.count - 1;
     index_remove state (canonical_obj o) seq;
     state.ordered <- Avl.remove_item state.ordered (Pobj.field o 0) seq
   in
@@ -103,7 +119,7 @@ let make state =
         Some o
     | None -> None
   in
-  let size () = Imap.cardinal state.items in
+  let size () = state.count in
   let to_list () = List.map snd (Imap.bindings state.items) in
   let bytes () = Storage.snapshot_bytes (to_list ()) in
   {
@@ -118,7 +134,14 @@ let make state =
   }
 
 let create () =
-  make { items = Imap.empty; exact = Hashtbl.create 64; ordered = Avl.empty; next_seq = 0 }
+  make
+    {
+      items = Imap.empty;
+      exact = Hashtbl.create 64;
+      ordered = Avl.empty;
+      next_seq = 0;
+      count = 0;
+    }
 
 let load objs =
   let store = create () in

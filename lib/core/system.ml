@@ -37,6 +37,24 @@ let default_config =
 
 type cls_state = { info : Obj_class.info; group : string; mutable basic : int list }
 
+(* Stat handles for the per-operation hot path, interned once at
+   [create] — recording through one is a field write, not a hash
+   lookup. Cold-path stats (faults, repair, policy) stay string-keyed. *)
+type hot_stats = {
+  h_ops_insert : Sim.Stats.counter;
+  h_ops_read : Sim.Stats.counter;
+  h_ops_read_del : Sim.Stats.counter;
+  h_local_reads : Sim.Stats.counter;
+  h_remote_reads : Sim.Stats.counter;
+  h_removes : Sim.Stats.counter;
+  h_read_retries : Sim.Stats.counter;
+  h_markers : Sim.Stats.counter;
+  h_marker_placements : Sim.Stats.counter;
+  h_marker_wakeups : Sim.Stats.counter;
+  h_sc_hits : Sim.Stats.counter;
+  h_sc_misses : Sim.Stats.counter;
+}
+
 type waiter = {
   w_id : int;
   w_machine : int;
@@ -62,6 +80,13 @@ type t = {
   mutable next_waiter : int;
   repair_state : Repair.t;
   hist : History.t;
+  hs : hot_stats;
+  (* sc-list memoisation: the classing strategy is fixed per system, so
+     the cache is keyed by the template's structural signature alone.
+     Both caches are invalidated at the single point where the class
+     universe changes ([ensure_class] adding a class). *)
+  sc_cache : (string, string list) Hashtbl.t;
+  mutable cached_universe : Obj_class.info list option;
 }
 
 let engine t = t.eng
@@ -140,7 +165,10 @@ let create ?(tracing = false) ?failpoints cfg =
           invalid_arg "System.create: clusters array must have length n";
         Net.Fabric.wan ~failpoints:fps eng ~clusters ~local:cfg.cost ~remote sstats
   in
-  let servers = Array.init cfg.n (fun machine -> Server.create ~machine ~kind:cfg.storage) in
+  let servers =
+    Array.init cfg.n (fun machine ->
+        Server.create ~stats:sstats ~machine ~kind:cfg.storage ())
+  in
   let hist = History.create () in
   let tref = ref None in
   let deliver ~node ~group ~from:_ msg =
@@ -164,7 +192,7 @@ let create ?(tracing = false) ?failpoints cfg =
             if node = leader then
               List.iter
                 (fun mk ->
-                  Sim.Stats.incr t.sstats "paso.marker_wakeups";
+                  Sim.Stats.incr_counter t.hs.h_marker_wakeups;
                   Vsync.send_direct t.vs ~from:node ~dst:mk.Server.mk_machine ~size:24
                     (fun () -> !wake_forward t mk.Server.mk_id))
                 woken
@@ -233,6 +261,23 @@ let create ?(tracing = false) ?failpoints cfg =
       next_waiter = 0;
       repair_state = Repair.create ~n:cfg.n ~seed:(cfg.seed + 1);
       hist;
+      hs =
+        {
+          h_ops_insert = Sim.Stats.counter sstats "ops.insert";
+          h_ops_read = Sim.Stats.counter sstats "ops.read";
+          h_ops_read_del = Sim.Stats.counter sstats "ops.read_del";
+          h_local_reads = Sim.Stats.counter sstats "paso.local_reads";
+          h_remote_reads = Sim.Stats.counter sstats "paso.remote_reads";
+          h_removes = Sim.Stats.counter sstats "paso.removes";
+          h_read_retries = Sim.Stats.counter sstats "paso.read_retries";
+          h_markers = Sim.Stats.counter sstats "paso.markers";
+          h_marker_placements = Sim.Stats.counter sstats "paso.marker_placements";
+          h_marker_wakeups = Sim.Stats.counter sstats "paso.marker_wakeups";
+          h_sc_hits = Sim.Stats.counter sstats "cache.sc_hits";
+          h_sc_misses = Sim.Stats.counter sstats "cache.sc_misses";
+        };
+      sc_cache = Hashtbl.create 64;
+      cached_universe = None;
     }
   in
   tref := Some t;
@@ -241,10 +286,87 @@ let create ?(tracing = false) ?failpoints cfg =
 (* --- class management --------------------------------------------------- *)
 
 let universe t =
-  Hashtbl.fold (fun _ cs acc -> cs.info :: acc) t.classes []
-  |> List.sort (fun a b -> compare a.Obj_class.name b.Obj_class.name)
+  match t.cached_universe with
+  | Some u -> u
+  | None ->
+      let u =
+        Hashtbl.fold (fun _ cs acc -> cs.info :: acc) t.classes []
+        |> List.sort (fun a b -> compare a.Obj_class.name b.Obj_class.name)
+      in
+      t.cached_universe <- Some u;
+      u
 
 let known_classes t = universe t
+
+(* Structural signature of a template, injective over everything
+   [Obj_class.sc_list] can observe. Field specs get length-prefixed,
+   sigil-tagged encodings so no two distinct templates collide (a plain
+   [Template.to_string] key would conflate e.g. [Sym "a,_"] with two
+   fields). [None] marks a template as uncacheable: a [Pred] spec's
+   behaviour is its closure, which has no serialisable identity. The
+   [where] clause never affects candidate derivation, so it is ignored. *)
+let template_key tmpl =
+  let buf = Buffer.create 64 in
+  let add_str tag s =
+    Buffer.add_char buf tag;
+    Buffer.add_string buf (string_of_int (String.length s));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s
+  in
+  let add_value = function
+    | Value.Int i ->
+        Buffer.add_char buf 'i';
+        Buffer.add_string buf (string_of_int i);
+        Buffer.add_char buf ';'
+    | Value.Float f ->
+        Buffer.add_char buf 'f';
+        Buffer.add_string buf (Int64.to_string (Int64.bits_of_float f));
+        Buffer.add_char buf ';'
+    | Value.Bool b -> Buffer.add_string buf (if b then "b1" else "b0")
+    | Value.Str s -> add_str 's' s
+    | Value.Sym s -> add_str 'y' s
+  in
+  let spec_ok = function
+    | Template.Any -> Buffer.add_char buf 'A'; true
+    | Template.Eq v -> Buffer.add_char buf 'E'; add_value v; true
+    | Template.Type_is ty -> add_str 'T' ty; true
+    | Template.Range (lo, hi) ->
+        Buffer.add_char buf 'R';
+        add_value lo;
+        add_value hi;
+        true
+    | Template.Pred _ -> false
+  in
+  if List.for_all spec_ok (Template.specs tmpl) then Some (Buffer.contents buf)
+  else None
+
+(* Memoised candidate-class derivation. Raw sc-list only — callers
+   still filter by currently-known classes, which is cheap and keeps
+   the cached value independent of anything but the universe. [Custom]
+   strategies may close over external state, so they bypass the cache. *)
+let sc_list t tmpl =
+  let derive () = Obj_class.sc_list t.cfg.classing ~universe:(universe t) tmpl in
+  let cacheable =
+    match t.cfg.classing with
+    | Obj_class.Single_class | Obj_class.By_arity | Obj_class.By_head
+    | Obj_class.By_signature ->
+        true
+    | Obj_class.Custom _ -> false
+  in
+  if not cacheable then derive ()
+  else
+    match template_key tmpl with
+    | None -> derive ()
+    | Some key -> (
+        match Hashtbl.find_opt t.sc_cache key with
+        | Some cached ->
+            Sim.Stats.incr_counter t.hs.h_sc_hits;
+            cached
+        | None ->
+            Sim.Stats.incr_counter t.hs.h_sc_misses;
+            let result = derive () in
+            Hashtbl.add t.sc_cache key result;
+            result)
 let class_of_obj t o = Obj_class.class_of t.cfg.classing o
 
 let basic_support t ~cls =
@@ -323,6 +445,10 @@ let rec ensure_class t info =
       in
       let cs = { info; group; basic } in
       Hashtbl.add t.classes cls cs;
+      (* The class universe changed: drop the memoised universe and
+         every cached sc-list (the only invalidation point). *)
+      t.cached_universe <- None;
+      Hashtbl.reset t.sc_cache;
       (match Hashtbl.find_opt t.group_class group with
       | Some classes -> classes := List.sort compare (cls :: !classes)
       | None -> Hashtbl.add t.group_class group (ref [ cls ]));
@@ -347,7 +473,7 @@ and insert t ~machine fields ~on_done =
   let cs = ensure_class t info in
   let r = History.begin_op t.hist ~machine ~kind:History.Insert ~obj:o ~now:(now t) () in
   History.note_inserted t.hist o ~cls:info.Obj_class.name ~now:(now t);
-  Sim.Stats.incr t.sstats "ops.insert";
+  Sim.Stats.incr_counter t.hs.h_ops_insert;
   (* Fault-injection site: the primitive is issued and recorded; a
      handler crashing [machine] here crashes it between issue and
      return (the op is orphaned; the §2 checker must still pass). *)
@@ -369,15 +495,12 @@ and read_gen t ~machine ~kind tmpl ~on_done =
   in
   require_up t machine opname;
   let r = History.begin_op t.hist ~machine ~kind ~template:tmpl ~now:(now t) () in
-  Sim.Stats.incr t.sstats
-    (match kind with History.Read -> "ops.read" | _ -> "ops.read_del");
+  Sim.Stats.incr_counter
+    (match kind with History.Read -> t.hs.h_ops_read | _ -> t.hs.h_ops_read_del);
   (* Same site as in [insert]: crash between primitive issue and return. *)
   ignore
     (Sim.Failpoint.hit t.fps ~site:"paso.op.issued" ~node:machine ~aux:r.History.op_id ());
-  let candidates =
-    Obj_class.sc_list t.cfg.classing ~universe:(universe t) tmpl
-    |> List.filter (Hashtbl.mem t.classes)
-  in
+  let candidates = sc_list t tmpl |> List.filter (Hashtbl.mem t.classes) in
   let finish result =
     History.end_op t.hist r ~now:(now t) ~result;
     on_done result
@@ -394,7 +517,7 @@ and read_gen t ~machine ~kind tmpl ~on_done =
                 let work = Server.query_work t.servers.(machine) ~cls *. t.cfg.unit_work in
                 Vsync.exec_local t.vs ~node:machine ~work (fun () ->
                     let resp, _ = Server.local_read t.servers.(machine) ~cls tmpl in
-                    Sim.Stats.incr t.sstats "paso.local_reads";
+                    Sim.Stats.incr_counter t.hs.h_local_reads;
                     apply_policy t ~machine ~cls
                       (Policy.Local_read
                          { ell = Server.live_count t.servers.(machine) ~cls });
@@ -405,7 +528,7 @@ and read_gen t ~machine ~kind tmpl ~on_done =
                   if t.cfg.use_read_groups then read_restrict t cs ~machine
                   else fun members -> members
                 in
-                Sim.Stats.incr t.sstats "paso.remote_reads";
+                Sim.Stats.incr_counter t.hs.h_remote_reads;
                 (* Does this read have to cross the wide area? It does
                    iff no write-group member shares the reader's
                    cluster. Always false on the LAN. *)
@@ -438,14 +561,14 @@ and read_gen t ~machine ~kind tmpl ~on_done =
                           responders = 0
                           && Vsync.members t.vs ~group:cs.group <> []
                         then begin
-                          Sim.Stats.incr t.sstats "paso.read_retries";
+                          Sim.Stats.incr_counter t.hs.h_read_retries;
                           go (cls :: rest)
                         end
                         else go rest)
                   msg
             | History.Read_del | History.Insert ->
                 let msg = Server.Remove { cls; tmpl } in
-                Sim.Stats.incr t.sstats "paso.removes";
+                Sim.Stats.incr_counter t.hs.h_removes;
                 Vsync.gcast t.vs ~group:cs.group ~from:machine
                   ~msg_size:(Server.msg_size msg)
                   ~on_done:(fun ~resp ~work:_ ~responders:_ ->
@@ -479,9 +602,7 @@ and read_del t ~machine tmpl ~on_done =
    Invariant: a waiter in state [`Idle] has live markers in every known
    candidate class. *)
 
-and marker_classes t tmpl =
-  Obj_class.sc_list t.cfg.classing ~universe:(universe t) tmpl
-  |> List.filter (Hashtbl.mem t.classes)
+and marker_classes t tmpl = sc_list t tmpl |> List.filter (Hashtbl.mem t.classes)
 
 and gcast_marker t ~machine msg =
   match cls_state t (Server.msg_class msg) with
@@ -494,7 +615,7 @@ and gcast_marker t ~machine msg =
 and place_markers t w =
   List.iter
     (fun cls ->
-      Sim.Stats.incr t.sstats "paso.marker_placements";
+      Sim.Stats.incr_counter t.hs.h_marker_placements;
       gcast_marker t ~machine:w.w_machine
         (Server.Place_marker
            { cls; mid = w.w_id; machine = w.w_machine; tmpl = w.w_tmpl }))
@@ -566,7 +687,7 @@ and arm_waiters_for_new_class t cls =
            Vsync.is_up t.vs w.w_machine
            && List.mem cls (marker_classes t w.w_tmpl)
          then begin
-           Sim.Stats.incr t.sstats "paso.marker_placements";
+           Sim.Stats.incr_counter t.hs.h_marker_placements;
            gcast_marker t ~machine:w.w_machine
              (Server.Place_marker
                 { cls; mid = w.w_id; machine = w.w_machine; tmpl = w.w_tmpl })
@@ -597,7 +718,7 @@ let blocking_gen ?poll t ~machine ~kind tmpl ~on_done =
   require_up t machine "System.blocking";
   match poll with
   | None ->
-      Sim.Stats.incr t.sstats "paso.markers";
+      Sim.Stats.incr_counter t.hs.h_markers;
       (* Fast path first: if the object is already there, no marker
          traffic; the first failure enters the marker cycle. *)
       let w = new_waiter t ~machine ~kind tmpl on_done in
@@ -627,7 +748,7 @@ let read_del_blocking ?poll t ~machine tmpl ~on_done =
 let blocking_ttl_gen t ~ttl ~machine ~kind tmpl ~on_done =
   require_up t machine "System.blocking";
   if ttl <= 0.0 then invalid_arg "System: ttl must be positive";
-  Sim.Stats.incr t.sstats "paso.markers";
+  Sim.Stats.incr_counter t.hs.h_markers;
   let expiry = ref None in
   let notify o =
     (match !expiry with Some e -> Sim.Engine.cancel t.eng e | None -> ());

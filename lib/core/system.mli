@@ -91,9 +91,11 @@ val stats : t -> Sim.Stats.t
     "paso.marker_expiries"/"paso.poll_retries"/"paso.read_retries"/
     "paso.expired_take_reinserts"], ["policy.joins"/"policy.leaves"],
     ["repair.copies"], ["faults.crashes"/"faults.recoveries"/
-    "faults.class_losses"], and the ["vsync.*"] protocol counters
-    (gcasts, joins, leaves, view_changes, state_bytes, crashes,
-    recoveries, directs). *)
+    "faults.class_losses"], ["server.stores"/"server.queries"/
+    "server.removes"] (per-replica operation counts),
+    ["cache.sc_hits"/"cache.sc_misses"] (sc-list memoisation), and the
+    ["vsync.*"] protocol counters (gcasts, joins, leaves, view_changes,
+    state_bytes, crashes, recoveries, directs). *)
 
 val trace : t -> Sim.Trace.t
 val config : t -> config
@@ -156,6 +158,15 @@ val up_count : t -> int
 
 val history : t -> History.t
 val known_classes : t -> Obj_class.info list
+
+val sc_list : t -> Template.t -> string list
+(** The candidate classes ([sc-list], §4.3) this system derives for a
+    template — {!Obj_class.sc_list} under the configured strategy and
+    the current class universe, memoised per structural template
+    signature. The cache is invalidated whenever a class is created;
+    hits and misses are counted under ["cache.sc_hits"] /
+    ["cache.sc_misses"]. Includes classes no longer (or not yet)
+    known; operations additionally filter to known classes. *)
 
 val class_of_obj : t -> Pobj.t -> string
 

@@ -34,4 +34,13 @@ let pp ppf = function
   | Bool b -> Format.pp_print_bool ppf b
   | Sym s -> Format.pp_print_string ppf s
 
-let to_string v = Format.asprintf "%a" pp v
+(* Same renderings as [pp], without spinning up a formatter — this is
+   on the storage canonical-key path, hit at every replica per
+   store/remove. (Printf's ["%g"]/["%S"] conversions are the ones [pp]
+   uses, so the strings are identical.) *)
+let to_string = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> Printf.sprintf "%S" s
+  | Bool b -> string_of_bool b
+  | Sym s -> s

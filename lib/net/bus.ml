@@ -1,13 +1,25 @@
 type t = {
   engine : Sim.Engine.t;
   model : Cost_model.t;
-  stats : Sim.Stats.t;
+  (* Handles interned at creation: every message charges these two
+     cells, so the per-transmit cost is two field writes. *)
+  c_msgs : Sim.Stats.counter;
+  a_cost : Sim.Stats.accumulator;
   mutable free_at : float;
   mutable msgs : int;
   mutable cost : float;
 }
 
-let create engine model stats = { engine; model; stats; free_at = 0.0; msgs = 0; cost = 0.0 }
+let create engine model stats =
+  {
+    engine;
+    model;
+    c_msgs = Sim.Stats.counter stats "net.msgs";
+    a_cost = Sim.Stats.accumulator stats "net.msg_cost";
+    free_at = 0.0;
+    msgs = 0;
+    cost = 0.0;
+  }
 
 let transmit t ?(extra = 0.0) ~size deliver =
   let cost = Cost_model.msg_cost t.model ~size in
@@ -17,8 +29,8 @@ let transmit t ?(extra = 0.0) ~size deliver =
   t.free_at <- finish;
   t.msgs <- t.msgs + 1;
   t.cost <- t.cost +. cost;
-  Sim.Stats.incr t.stats "net.msgs";
-  Sim.Stats.add t.stats "net.msg_cost" cost;
+  Sim.Stats.incr_counter t.c_msgs;
+  Sim.Stats.add_to t.a_cost cost;
   ignore (Sim.Engine.schedule t.engine ~delay:(finish -. now) deliver)
 
 let message_count t = t.msgs

@@ -3,7 +3,10 @@ type wan_state = {
   clusters : int array;
   local : Cost_model.t;
   remote : Cost_model.t;
-  stats : Sim.Stats.t;
+  c_msgs : Sim.Stats.counter;
+  a_cost : Sim.Stats.accumulator;
+  c_wan_msgs : Sim.Stats.counter;
+  a_wan_cost : Sim.Stats.accumulator;
   uplink_free : float array; (* per-source serialisation *)
   mutable msgs : int;
   mutable cost : float;
@@ -31,7 +34,10 @@ let wan ?failpoints engine ~clusters ~local ~remote stats =
           clusters;
           local;
           remote;
-          stats;
+          c_msgs = Sim.Stats.counter stats "net.msgs";
+          a_cost = Sim.Stats.accumulator stats "net.msg_cost";
+          c_wan_msgs = Sim.Stats.counter stats "net.wan_msgs";
+          a_wan_cost = Sim.Stats.accumulator stats "net.wan_cost";
           uplink_free = Array.make (Array.length clusters) 0.0;
           msgs = 0;
           cost = 0.0;
@@ -63,11 +69,11 @@ let transmit t ~src ~dst ~size deliver =
       w.uplink_free.(src) <- finish;
       w.msgs <- w.msgs + 1;
       w.cost <- w.cost +. cost;
-      Sim.Stats.incr w.stats "net.msgs";
-      Sim.Stats.add w.stats "net.msg_cost" cost;
+      Sim.Stats.incr_counter w.c_msgs;
+      Sim.Stats.add_to w.a_cost cost;
       if crossing then begin
-        Sim.Stats.incr w.stats "net.wan_msgs";
-        Sim.Stats.add w.stats "net.wan_cost" cost
+        Sim.Stats.incr_counter w.c_wan_msgs;
+        Sim.Stats.add_to w.a_wan_cost cost
       end;
       ignore (Sim.Engine.schedule w.engine ~delay:(finish -. now) deliver)
 

@@ -1,42 +1,70 @@
+(* Unboxed layout: the heap is three parallel arrays — an unboxed
+   [float array] of times, an [int array] of insertion stamps and a
+   payload array — instead of the seed's ['a entry option array].
+   Adding an event allocates nothing (amortised): no entry record, no
+   [Some] box, and the time comparisons in sift operations read flat
+   floats.
+
+   The payload array needs a filler value for unused slots; since
+   ['a] has no manufactured default, the array is created lazily at
+   the first [add] using that first payload as filler. Freed slots are
+   re-filled with [payloads.(0)] (some live payload) so popped
+   payloads don't linger reachable.
+
+   The insertion stamp serves both as the FIFO tiebreaker for equal
+   times and as the public cancellation id (the seed kept two separate
+   counters that were always equal). Cancellation stays lazy —
+   a tombstone in [cancelled] — but the table is now bounded: popping
+   a cancelled event removes its tombstone, and when tombstones
+   outnumber half the pending events the heap compacts, physically
+   removing every cancelled entry and emptying the table. Compaction
+   preserves the pop order because ordering is the strict total order
+   [(time, stamp)], independent of array layout. *)
+
 type id = int
 
-type 'a entry = { time : float; seq : int; eid : id; payload : 'a }
-
 type 'a t = {
-  mutable arr : 'a entry option array;
+  mutable times : float array;
+  mutable stamps : int array;
+  mutable payloads : 'a array;  (* empty until the first add *)
   mutable len : int;
-  mutable next_seq : int;
-  mutable next_id : id;
+  mutable next_stamp : int;
   cancelled : (id, unit) Hashtbl.t;
-  mutable live : int; (* pending minus cancelled-but-not-yet-popped *)
+  mutable live : int; (* pending minus cancelled-but-not-yet-removed *)
 }
+
+let initial_capacity = 64
 
 let create () =
   {
-    arr = Array.make 64 None;
+    times = Array.make initial_capacity 0.0;
+    stamps = Array.make initial_capacity 0;
+    payloads = [||];
     len = 0;
-    next_seq = 0;
-    next_id = 0;
+    next_stamp = 0;
     cancelled = Hashtbl.create 16;
     live = 0;
   }
 
-let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
-let get t i =
-  match t.arr.(i) with
-  | Some e -> e
-  | None -> assert false
+let lt t i j =
+  t.times.(i) < t.times.(j)
+  || (t.times.(i) = t.times.(j) && t.stamps.(i) < t.stamps.(j))
 
 let swap t i j =
-  let tmp = t.arr.(i) in
-  t.arr.(i) <- t.arr.(j);
-  t.arr.(j) <- tmp
+  let tm = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- tm;
+  let st = t.stamps.(i) in
+  t.stamps.(i) <- t.stamps.(j);
+  t.stamps.(j) <- st;
+  let p = t.payloads.(i) in
+  t.payloads.(i) <- t.payloads.(j);
+  t.payloads.(j) <- p
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if entry_lt (get t i) (get t parent) then begin
+    if lt t i parent then begin
       swap t i parent;
       sift_up t parent
     end
@@ -45,71 +73,115 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.len && entry_lt (get t l) (get t !smallest) then smallest := l;
-  if r < t.len && entry_lt (get t r) (get t !smallest) then smallest := r;
+  if l < t.len && lt t l !smallest then smallest := l;
+  if r < t.len && lt t r !smallest then smallest := r;
   if !smallest <> i then begin
     swap t i !smallest;
     sift_down t !smallest
   end
 
-let grow t =
-  let arr = Array.make (2 * Array.length t.arr) None in
-  Array.blit t.arr 0 arr 0 t.len;
-  t.arr <- arr
+let grow t filler =
+  let cap = Array.length t.times in
+  let cap' = 2 * cap in
+  let times = Array.make cap' 0.0 in
+  Array.blit t.times 0 times 0 t.len;
+  t.times <- times;
+  let stamps = Array.make cap' 0 in
+  Array.blit t.stamps 0 stamps 0 t.len;
+  t.stamps <- stamps;
+  let payloads = Array.make cap' filler in
+  Array.blit t.payloads 0 payloads 0 t.len;
+  t.payloads <- payloads
+
+(* Physically remove every cancelled entry and re-heapify (Floyd's
+   bottom-up heapify, O(len)); the tombstone table empties. Called
+   when tombstones outnumber the live entries they hide among. *)
+let compact t =
+  let w = ref 0 in
+  for r = 0 to t.len - 1 do
+    if Hashtbl.mem t.cancelled t.stamps.(r) then ()
+    else begin
+      if !w <> r then begin
+        t.times.(!w) <- t.times.(r);
+        t.stamps.(!w) <- t.stamps.(r);
+        t.payloads.(!w) <- t.payloads.(r)
+      end;
+      incr w
+    end
+  done;
+  (* Drop payload references beyond the new length. *)
+  if t.len > 0 && !w < t.len then Array.fill t.payloads !w (t.len - !w) t.payloads.(0);
+  t.len <- !w;
+  Hashtbl.reset t.cancelled;
+  for i = (t.len / 2) - 1 downto 0 do
+    sift_down t i
+  done
 
 let add t ~time payload =
   if Float.is_nan time then invalid_arg "Event_heap.add: NaN time";
-  if t.len = Array.length t.arr then grow t;
-  let eid = t.next_id in
-  t.next_id <- t.next_id + 1;
-  let e = { time; seq = t.next_seq; eid; payload } in
-  t.next_seq <- t.next_seq + 1;
-  t.arr.(t.len) <- Some e;
+  if t.payloads = [||] then t.payloads <- Array.make (Array.length t.times) payload
+  else if t.len = Array.length t.times then grow t payload;
+  let stamp = t.next_stamp in
+  t.next_stamp <- stamp + 1;
+  t.times.(t.len) <- time;
+  t.stamps.(t.len) <- stamp;
+  t.payloads.(t.len) <- payload;
   t.len <- t.len + 1;
   t.live <- t.live + 1;
   sift_up t (t.len - 1);
-  eid
+  stamp
 
-let cancel t eid =
-  if not (Hashtbl.mem t.cancelled eid) then begin
-    Hashtbl.add t.cancelled eid ();
-    t.live <- t.live - 1
+let cancel t stamp =
+  if
+    stamp >= 0 && stamp < t.next_stamp
+    && not (Hashtbl.mem t.cancelled stamp)
+  then begin
+    Hashtbl.add t.cancelled stamp ();
+    t.live <- t.live - 1;
+    if Hashtbl.length t.cancelled > max 64 (t.len / 2) then compact t
   end
 
-let pop_entry t =
-  if t.len = 0 then None
-  else begin
-    let e = get t 0 in
-    t.len <- t.len - 1;
-    t.arr.(0) <- t.arr.(t.len);
-    t.arr.(t.len) <- None;
-    if t.len > 0 then sift_down t 0;
-    Some e
-  end
+(* Remove the root; returns its (time, stamp, payload) via refs to
+   avoid a tuple allocation on the tombstone-skip path. *)
+let drop_root t =
+  t.len <- t.len - 1;
+  if t.len > 0 then begin
+    t.times.(0) <- t.times.(t.len);
+    t.stamps.(0) <- t.stamps.(t.len);
+    t.payloads.(0) <- t.payloads.(t.len)
+  end;
+  (* Unreference the vacated slot. *)
+  t.payloads.(t.len) <- t.payloads.(0);
+  if t.len > 1 then sift_down t 0
 
 let rec pop t =
-  match pop_entry t with
-  | None -> None
-  | Some e ->
-      if Hashtbl.mem t.cancelled e.eid then begin
-        Hashtbl.remove t.cancelled e.eid;
-        pop t
-      end
-      else begin
-        t.live <- t.live - 1;
-        Some (e.time, e.payload)
-      end
+  if t.len = 0 then None
+  else begin
+    let time = t.times.(0) and stamp = t.stamps.(0) in
+    let payload = t.payloads.(0) in
+    drop_root t;
+    if Hashtbl.mem t.cancelled stamp then begin
+      Hashtbl.remove t.cancelled stamp;
+      pop t
+    end
+    else begin
+      t.live <- t.live - 1;
+      Some (time, payload)
+    end
+  end
 
 let rec peek_time t =
   if t.len = 0 then None
-  else
-    let e = get t 0 in
-    if Hashtbl.mem t.cancelled e.eid then begin
-      Hashtbl.remove t.cancelled e.eid;
-      ignore (pop_entry t);
+  else begin
+    let stamp = t.stamps.(0) in
+    if Hashtbl.mem t.cancelled stamp then begin
+      Hashtbl.remove t.cancelled stamp;
+      drop_root t;
       peek_time t
     end
-    else Some e.time
+    else Some t.times.(0)
+  end
 
 let size t = t.live
 let is_empty t = t.live = 0
+let tombstones t = Hashtbl.length t.cancelled

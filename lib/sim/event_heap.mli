@@ -3,7 +3,14 @@
     Events are ordered by [(time, seq)] where [seq] is a strictly
     increasing insertion counter, so events scheduled for the same
     instant fire in insertion order. This determinism is essential for
-    reproducible simulation runs. *)
+    reproducible simulation runs.
+
+    The layout is unboxed (parallel time/stamp/payload arrays rather
+    than boxed entry options), so [add]/[pop] allocate nothing in
+    steady state. Cancellation is lazy but bounded: tombstones are
+    purged as cancelled events reach the root, and when they
+    outnumber half the pending events the heap compacts, so the
+    tombstone table cannot grow without bound. *)
 
 type 'a t
 
@@ -17,8 +24,8 @@ val add : 'a t -> time:float -> 'a -> id
     @raise Invalid_argument if [time] is NaN. *)
 
 val cancel : 'a t -> id -> unit
-(** Cancel a pending event. Cancelling an already-fired or
-    already-cancelled event is a no-op. *)
+(** Cancel a pending event. Cancelling an already-cancelled event is a
+    no-op. *)
 
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the earliest pending (non-cancelled) event. *)
@@ -30,3 +37,8 @@ val size : 'a t -> int
 (** Number of pending (non-cancelled) events. *)
 
 val is_empty : 'a t -> bool
+
+val tombstones : 'a t -> int
+(** Cancelled-but-not-yet-removed entries currently tracked — exposed
+    for tests of the purge/compaction behaviour. Bounded by
+    [max 64 (pending/2)] plus cancellations of already-fired ids. *)

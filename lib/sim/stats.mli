@@ -3,11 +3,55 @@
     The paper distinguishes three cost measures per operation:
     [msg-cost], [time] and [work] (§4.3). Components of the simulator
     record into a shared [Stats.t] under conventional keys so that
-    benchmarks can read them back after a run. *)
+    benchmarks can read them back after a run.
+
+    {b Two APIs.} The string-keyed functions ({!incr}, {!add},
+    {!observe}) hash their key on every call and suit cold paths and
+    tests. Hot paths — the network fabric charging every message, the
+    vsync layer charging every gcast — resolve a {e handle} once at
+    component-creation time ({!counter}, {!accumulator}, {!series})
+    and then record through it with a single mutable-field write, no
+    hashing and no allocation. Both APIs address the same cells: data
+    recorded through a handle is visible to the string readers and
+    vice versa. *)
 
 type t
 
 val create : unit -> t
+
+(** {1 Interned handles} *)
+
+type counter
+(** Handle to an integer counter cell. *)
+
+type accumulator
+(** Handle to a float accumulator cell. *)
+
+type series
+(** Handle to a sample distribution. *)
+
+val counter : t -> string -> counter
+(** Resolve (creating if absent) the counter cell for a key. The
+    handle stays valid for the lifetime of [t], across {!reset}. *)
+
+val accumulator : t -> string -> accumulator
+val series : t -> string -> series
+
+val incr_counter : counter -> unit
+(** Increment through a handle: one field write. *)
+
+val counter_value : counter -> int
+
+val add_to : accumulator -> float -> unit
+val accumulator_value : accumulator -> float
+
+val observe_series : series -> float -> unit
+(** Append a sample: amortised O(1), no per-sample allocation. The
+    sorted view needed by {!percentile} is maintained incrementally —
+    a refresh sorts only the samples recorded since the previous
+    refresh and merges them in. *)
+
+(** {1 String-keyed API} *)
 
 val incr : t -> string -> unit
 (** Increment an integer counter by one. *)
@@ -38,6 +82,8 @@ val samples : t -> string -> int
 (** Number of recorded samples under this key. *)
 
 val reset : t -> unit
+(** Zero every cell. Handles resolved before the reset remain attached
+    and keep recording into the same [t]. *)
 
 val keys : t -> string list
 (** All keys with any recorded data, sorted. *)

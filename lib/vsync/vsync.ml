@@ -51,10 +51,26 @@ type ('msg, 'resp) gstate = {
   normal : ('msg, 'resp) op Queue.t;
 }
 
+(* Stat handles interned at [make]: the protocol counters fire on
+   every gcast/delivery, so they record through resolved cells rather
+   than hashing a key each time. *)
+type vstats = {
+  c_view_changes : Sim.Stats.counter;
+  c_gcasts : Sim.Stats.counter;
+  c_joins : Sim.Stats.counter;
+  c_leaves : Sim.Stats.counter;
+  c_directs : Sim.Stats.counter;
+  c_crashes : Sim.Stats.counter;
+  c_recoveries : Sim.Stats.counter;
+  a_work_total : Sim.Stats.accumulator;
+  a_state_bytes : Sim.Stats.accumulator;
+}
+
 type ('msg, 'resp, 'state) t = {
   eng : Sim.Engine.t;
   fabric : Net.Fabric.t;
   stats : Sim.Stats.t;
+  vstats : vstats;
   trace : Sim.Trace.t;
   fps : Sim.Failpoint.t;
   nodes : int;
@@ -73,6 +89,18 @@ let make ?(failpoints = Sim.Failpoint.create ()) ~engine ~fabric ~stats ~trace ~
     eng = engine;
     fabric;
     stats;
+    vstats =
+      {
+        c_view_changes = Sim.Stats.counter stats "vsync.view_changes";
+        c_gcasts = Sim.Stats.counter stats "vsync.gcasts";
+        c_joins = Sim.Stats.counter stats "vsync.joins";
+        c_leaves = Sim.Stats.counter stats "vsync.leaves";
+        c_directs = Sim.Stats.counter stats "vsync.directs";
+        c_crashes = Sim.Stats.counter stats "vsync.crashes";
+        c_recoveries = Sim.Stats.counter stats "vsync.recoveries";
+        a_work_total = Sim.Stats.accumulator stats "work.total";
+        a_state_bytes = Sim.Stats.accumulator stats "vsync.state_bytes";
+      };
     trace;
     fps = failpoints;
     nodes = n;
@@ -154,7 +182,7 @@ let alive t node e = t.up.(node) && t.epoch.(node) = e
 
 let notify_view t g ~extra =
   g.view_id <- g.view_id + 1;
-  Sim.Stats.incr t.stats "vsync.view_changes";
+  Sim.Stats.incr_counter t.vstats.c_view_changes;
   let v = View.make ~group:g.gname ~view_id:g.view_id ~members:(IntSet.elements g.members) in
   tracef t "view %a" View.pp v;
   let targets =
@@ -216,7 +244,7 @@ and exec t g = function
       finish t g
 
 and exec_gcast t g ~from_ ~epoch ~msg ~size ~eager ~restrict ~on_done =
-  Sim.Stats.incr t.stats "vsync.gcasts";
+  Sim.Stats.incr_counter t.vstats.c_gcasts;
   (* The gcast has left the queue and is about to target the current
      membership — a handler crashing the issuer here orphans it. *)
   ignore (Sim.Failpoint.hit t.fps ~site:"vsync.gcast.begin" ~node:from_ ~group:g.gname ());
@@ -270,7 +298,7 @@ and exec_gcast t g ~from_ ~epoch ~msg ~size ~eager ~restrict ~on_done =
                   ~responders:infl.if_responders)
         end;
         infl.work <- infl.work +. w;
-        Sim.Stats.add t.stats "work.total" w;
+        Sim.Stats.add_to t.vstats.a_work_total w;
         let now = Sim.Engine.now t.eng in
         let start = Float.max now t.busy_until.(m) in
         let fin = start +. w in
@@ -308,7 +336,7 @@ and check_complete t g infl =
   end
 
 and exec_join t g ~node ~on_done =
-  Sim.Stats.incr t.stats "vsync.joins";
+  Sim.Stats.incr_counter t.vstats.c_joins;
   if IntSet.mem node g.members then begin
     ignore (Sim.Engine.schedule t.eng ~delay:0.0 on_done);
     finish t g
@@ -323,7 +351,7 @@ and exec_join t g ~node ~on_done =
   else begin
     let donor = IntSet.min_elt g.members in
     let state, size = t.cbs.state_of ~node:donor ~group:g.gname in
-    Sim.Stats.add t.stats "vsync.state_bytes" (float_of_int size);
+    Sim.Stats.add_to t.vstats.a_state_bytes (float_of_int size);
     tracef t "join node %d -> %s: state transfer %d bytes from donor %d" node g.gname
       size donor;
     g.joining <- Some node;
@@ -342,7 +370,7 @@ and exec_join t g ~node ~on_done =
   end
 
 and exec_leave t g ~node ~on_done =
-  Sim.Stats.incr t.stats "vsync.leaves";
+  Sim.Stats.incr_counter t.vstats.c_leaves;
   if IntSet.mem node g.members then begin
     g.members <- IntSet.remove node g.members;
     t.cbs.on_evict ~node ~group:g.gname;
@@ -398,7 +426,7 @@ let leave t ~group ~node ~on_done =
 let send_direct t ~from ~dst ~size k =
   check_node t from;
   check_node t dst;
-  Sim.Stats.incr t.stats "vsync.directs";
+  Sim.Stats.incr_counter t.vstats.c_directs;
   send_to t ~src:from ~dst ~size k
 
 let state_transfer_target t ~group =
@@ -419,7 +447,7 @@ let pending_groups t =
 let exec_local t ~node ~work k =
   check_node t node;
   if work < 0.0 then invalid_arg "Vsync.exec_local: negative work";
-  Sim.Stats.add t.stats "work.total" work;
+  Sim.Stats.add_to t.vstats.a_work_total work;
   let e = t.epoch.(node) in
   let now = Sim.Engine.now t.eng in
   let start = Float.max now t.busy_until.(node) in
@@ -441,7 +469,7 @@ let crash t ~node =
   if t.up.(node) then begin
     t.up.(node) <- false;
     t.epoch.(node) <- t.epoch.(node) + 1;
-    Sim.Stats.incr t.stats "vsync.crashes";
+    Sim.Stats.incr_counter t.vstats.c_crashes;
     tracef t "crash node %d" node;
     (* Iterate groups in deterministic (sorted) order. *)
     let names = Hashtbl.fold (fun k _ acc -> k :: acc) t.groups [] |> List.sort compare in
@@ -491,6 +519,6 @@ let recover t ~node =
   if not t.up.(node) then begin
     t.up.(node) <- true;
     t.busy_until.(node) <- Sim.Engine.now t.eng;
-    Sim.Stats.incr t.stats "vsync.recoveries";
+    Sim.Stats.incr_counter t.vstats.c_recoveries;
     tracef t "recover node %d" node
   end
