@@ -180,6 +180,80 @@ let kernel_specs =
     ("sc_list_scan", sc_list_scan, 50_000);
   ]
 
+(* ---- recovery (full state transfer vs durable log replay + delta) ----
+
+   Record-only: the committed baseline has no "recovery" section, so
+   the gate ignores it. The numbers feed EXPERIMENTS.md's recovery
+   table: the same mix, the same crashed write-group member, once
+   without the durable layer (vsync ships the donor's full snapshot)
+   and once with it (the rejoiner replays its checkpoint+WAL locally,
+   then ships only a basis and receives only the delta). *)
+
+let recovery_run ~durable ~n ~lambda ~ops =
+  let fps = Sim.Failpoint.create () in
+  let sys =
+    System.create ~failpoints:fps { System.default_config with n; lambda; seed = 42 }
+  in
+  if durable then ignore (Durable.Manager.attach sys);
+  let rng = Sim.Rng.make 42 in
+  let heads = [| "a"; "b"; "c" |] in
+  let tmpl h = Template.headed h [ Template.Any; Template.Any ] in
+  for i = 0 to ops - 1 do
+    let h = heads.(Sim.Rng.int rng (Array.length heads)) in
+    let m = Sim.Rng.int rng n in
+    (match Sim.Rng.int rng 10 with
+    | 0 | 1 | 2 | 3 | 4 ->
+        System.insert sys ~machine:m
+          [ Value.Sym h; Value.Int i; Value.Str (String.make 24 'x') ]
+          ~on_done:(fun () -> ())
+    | 5 | 6 | 7 -> System.read sys ~machine:m (tmpl h) ~on_done:(fun _ -> ())
+    | _ -> System.read_del sys ~machine:m (tmpl h) ~on_done:(fun _ -> ()));
+    if i mod 32 = 31 then System.run sys
+  done;
+  System.run sys;
+  let cls = (List.hd (System.known_classes sys)).Obj_class.name in
+  let m = List.hd (System.write_group sys ~cls) in
+  let snapshot_bytes = snd (System.server_snapshot sys ~machine:m) in
+  let stats = System.stats sys in
+  let wire0 = Sim.Stats.total stats "vsync.state_bytes" in
+  let sim0 = Sim.Engine.now (System.engine sys) in
+  System.crash sys ~machine:m;
+  System.run sys;
+  let t0 = Mix.now_s () in
+  System.recover sys ~machine:m;
+  System.run sys;
+  let wall_s = Mix.now_s () -. t0 in
+  ( wall_s,
+    Sim.Stats.total stats "vsync.state_bytes" -. wire0,
+    Sim.Engine.now (System.engine sys) -. sim0,
+    snapshot_bytes,
+    Sim.Stats.total stats "durable.replayed_records" )
+
+let recovery_profile ~reps ~ops =
+  let measure ~durable =
+    let runs = List.init reps (fun _ -> recovery_run ~durable ~n:8 ~lambda:2 ~ops) in
+    let field f = median (List.map f runs) in
+    let wire = field (fun (_, w, _, _, _) -> w) in
+    let sim_t = field (fun (_, _, s, _, _) -> s) in
+    let replayed = field (fun (_, _, _, _, r) -> r) in
+    let snapshot = field (fun (_, _, _, s, _) -> float_of_int s) in
+    Printf.printf
+      "  recovery %-5s xfer %7.0f B  sim-time %8.0f  replayed %4.0f  (snapshot %.0f B)\n%!"
+      (if durable then "delta" else "full")
+      wire sim_t replayed snapshot;
+    J.Obj
+      [
+        ("xfer_bytes", J.Num wire);
+        ("sim_time", J.Num sim_t);
+        ("wall_s", J.Num (field (fun (w, _, _, _, _) -> w)));
+        ("replayed_records", J.Num replayed);
+        ("snapshot_bytes", J.Num snapshot);
+      ]
+  in
+  let full = measure ~durable:false in
+  let delta = measure ~durable:true in
+  J.Obj [ ("full", full); ("delta", delta) ]
+
 (* ---- profile assembly ---- *)
 
 let acceptance = (32, 2, 8, 3000) (* n, lambda, classes, ops *)
@@ -211,11 +285,13 @@ let profile ~fast =
         Bench_json.table_row_json ~n ~classes r)
       (table_shapes ~fast)
   in
+  let recovery = recovery_profile ~reps ~ops:(if fast then 400 else 1200) in
   J.Obj
     [
       ("e8_mix", Bench_json.mix_json mix);
       ("e8_table", J.Arr table);
       ("kernels", J.Arr kernels);
+      ("recovery", recovery);
     ]
 
 (* ---- regression gate ---- *)

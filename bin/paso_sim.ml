@@ -5,13 +5,16 @@
      competitive  score the Basic algorithm against exact OPT
      support      play the support-selection game (Theorem 4)
      check        fuzz whole-system schedules against the invariant pack
+     recover      crash a durable system (blackout or single machine) and audit recovery
 
    Examples:
      paso-sim run --n 10 --lambda 2 --policy counter --workload phased --ops 600
      paso-sim competitive --workload adversarial --join-cost 12 --lambda 1
      paso-sim support --strategy lrf --failures adversarial --n 12 --lambda 2
      paso-sim check --schedules 1500 --matrix --shrink
-     paso-sim check --replay check-artifacts/schedule-0007.json *)
+     paso-sim check --replay check-artifacts/schedule-0007.json
+     paso-sim recover --scenario blackout --n 8 --lambda 2 --ops 400
+     paso-sim recover --scenario crash --torn-tail 40 *)
 
 open Cmdliner
 
@@ -294,6 +297,13 @@ let check_cmd =
     Arg.(value & flag & info [ "coalesce" ] ~doc:"Map every class to one write group.")
   in
   let eager = Arg.(value & flag & info [ "eager" ] ~doc:"Eager read responses.") in
+  let durable =
+    Arg.(value & flag
+         & info [ "durable" ]
+             ~doc:"Attach the durable WAL/checkpoint layer to every schedule, enabling \
+                   the durability invariant pack (with --matrix: force it on every \
+                   matrix configuration).")
+  in
   let wan =
     Arg.(value & opt int 0
          & info [ "wan" ] ~docv:"CLUSTERS" ~doc:"WAN topology with this many clusters (0 = LAN).")
@@ -391,7 +401,7 @@ let check_cmd =
         end
   in
   let do_campaign n lambda seed schedules use_matrix classing storage policy coalesce
-      eager wan repair out use_shrink arms =
+      eager durable wan repair out use_shrink arms =
     let configs =
       if use_matrix then Check.Fuzz.matrix ~n ~lambda ()
       else
@@ -410,7 +420,12 @@ let check_cmd =
           };
         ]
     in
-    let configs = List.map (fun c -> { c with Check.Schedule.arms }) configs in
+    let configs =
+      List.map
+        (fun c ->
+          { c with Check.Schedule.arms; durable = durable || c.Check.Schedule.durable })
+        configs
+    in
     let failures =
       Check.Fuzz.campaign ~configs ~schedules ~seed
         ~on_schedule:(fun i _ _ ->
@@ -449,27 +464,176 @@ let check_cmd =
           (List.length fs) out;
         exit 1
   in
-  let go n lambda seed schedules use_matrix classing storage policy coalesce eager wan
-      repair out use_shrink replay arms =
+  let go n lambda seed schedules use_matrix classing storage policy coalesce eager
+      durable wan repair out use_shrink replay arms =
     match replay with
     | Some file -> do_replay file
     | None -> (
         try
           do_campaign n lambda seed schedules use_matrix classing storage policy coalesce
-            eager wan repair out use_shrink arms
+            eager durable wan repair out use_shrink arms
         with Invalid_argument msg ->
           Printf.eprintf "paso-sim check: %s\n" msg;
           exit 2)
   in
   let term =
     Term.(const go $ n_arg $ lambda_arg $ seed_arg $ schedules $ matrix $ classing
-          $ storage $ policy $ coalesce $ eager $ wan $ repair $ out $ shrink $ replay
-          $ arms)
+          $ storage $ policy $ coalesce $ eager $ durable $ wan $ repair $ out $ shrink
+          $ replay $ arms)
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Fuzz whole-system schedules (with optional fault injection) against the \
              invariant pack; write replayable artifacts for failures.")
+    term
+
+(* --- recover ------------------------------------------------------------------ *)
+
+let recover_cmd =
+  let scenario =
+    Arg.(value
+         & opt (enum [ ("blackout", `Blackout); ("crash", `Crash) ]) `Blackout
+         & info [ "scenario" ]
+             ~doc:"Fault scenario: $(b,blackout) crashes every machine (beyond any λ — \
+                   only the durable layer can save the data), $(b,crash) takes down a \
+                   single write-group member and reconciles it by delta transfer.")
+  in
+  let no_durable =
+    Arg.(value & flag
+         & info [ "no-durable" ]
+             ~doc:"Run the same scenario without the durable layer (the control: a \
+                   blackout then loses every stored object).")
+  in
+  let checkpoint_every =
+    Arg.(value & opt int 64
+         & info [ "checkpoint-every" ] ~docv:"K"
+             ~doc:"Checkpoint a machine's state every K WAL appends (0 = never).")
+  in
+  let torn_tail =
+    Arg.(value & opt int 0
+         & info [ "torn-tail" ] ~docv:"BYTES"
+             ~doc:"Arm the durable.crash.tail failpoint: every crash loses this many \
+                   unsynced WAL tail bytes.")
+  in
+  let go n lambda seed length scenario no_durable checkpoint_every torn_tail =
+    let fps = Sim.Failpoint.create () in
+    let sys =
+      Paso.System.create ~failpoints:fps
+        { Paso.System.default_config with n; lambda; seed }
+    in
+    let durable = not no_durable in
+    if durable then
+      ignore
+        (Durable.Manager.attach
+           ~policy:{ Durable.Manager.default_policy with checkpoint_every }
+           sys);
+    if torn_tail > 0 then
+      Sim.Failpoint.arm fps ~site:"durable.crash.tail" ~times:(-1) (fun _ ->
+          Sim.Failpoint.Truncate torn_tail);
+    (* E8-style mix: inserts, reads and read&dels over three heads,
+       issued from random machines in batches. *)
+    let rng = Sim.Rng.make seed in
+    let heads = [| "a"; "b"; "c" |] in
+    let tmpl h = Paso.Template.headed h [ Paso.Template.Any; Paso.Template.Any ] in
+    for i = 0 to length - 1 do
+      let h = heads.(Sim.Rng.int rng (Array.length heads)) in
+      let m = Sim.Rng.int rng n in
+      (match Sim.Rng.int rng 10 with
+      | 0 | 1 | 2 | 3 | 4 ->
+          Paso.System.insert sys ~machine:m
+            [ Paso.Value.Sym h; Paso.Value.Int i; Paso.Value.Str (String.make 24 'x') ]
+            ~on_done:(fun () -> ())
+      | 5 | 6 | 7 -> Paso.System.read sys ~machine:m (tmpl h) ~on_done:(fun _ -> ())
+      | _ -> Paso.System.read_del sys ~machine:m (tmpl h) ~on_done:(fun _ -> ()));
+      if i mod 32 = 31 then Paso.System.run sys
+    done;
+    Paso.System.run sys;
+    let stats = Paso.System.stats sys in
+    let live_before =
+      List.fold_left
+        (fun acc (i : Paso.Obj_class.info) ->
+          List.fold_left
+            (fun acc (_, uids) -> max acc (List.length uids))
+            acc
+            (Paso.System.replicas sys ~cls:i.Paso.Obj_class.name))
+        0 (Paso.System.known_classes sys)
+    in
+    (* the fault *)
+    let crashed =
+      match scenario with
+      | `Blackout -> List.init n Fun.id
+      | `Crash -> (
+          match Paso.System.known_classes sys with
+          | [] -> []
+          | i :: _ ->
+              [ List.hd (Paso.System.write_group sys ~cls:i.Paso.Obj_class.name) ])
+    in
+    List.iter (fun m -> Paso.System.crash sys ~machine:m) crashed;
+    Paso.System.run sys;
+    List.iter (fun m -> Paso.System.recover sys ~machine:m) crashed;
+    Paso.System.run sys;
+    (* report *)
+    Printf.printf "scenario     %s: %d machines crashed (n=%d, λ=%d, %d ops)\n"
+      (match scenario with `Blackout -> "blackout" | `Crash -> "single crash")
+      (List.length crashed) n lambda length;
+    if durable then begin
+      Printf.printf "durable      on (checkpoint every %d appends%s)\n" checkpoint_every
+        (if torn_tail > 0 then Printf.sprintf ", torn tails of %d B armed" torn_tail
+         else "");
+      Printf.printf "wal          %d appends (%.0f B), %d checkpoints (%.0f B, %d failed)\n"
+        (Sim.Stats.count stats "durable.appends")
+        (Sim.Stats.total stats "durable.wal_bytes")
+        (Sim.Stats.count stats "durable.checkpoints")
+        (Sim.Stats.total stats "durable.checkpoint_bytes")
+        (Sim.Stats.count stats "durable.checkpoint_failures");
+      Printf.printf "replay       %d replays: %.0f records, %.0f objects; %d torn tails, \
+                     %d bad checkpoints\n"
+        (Sim.Stats.count stats "durable.replays")
+        (Sim.Stats.total stats "durable.replayed_records")
+        (Sim.Stats.total stats "durable.recovered_objects")
+        (Sim.Stats.count stats "durable.torn_tails")
+        (Sim.Stats.count stats "durable.bad_checkpoints");
+      let basis = Sim.Stats.total stats "durable.basis_bytes" in
+      let delta = Sim.Stats.total stats "durable.delta_bytes" in
+      let full =
+        match crashed with
+        | m :: _ -> snd (Paso.System.server_snapshot sys ~machine:m)
+        | [] -> 0
+      in
+      Printf.printf
+        "reconcile    %d delta joins: basis %.0f B + delta %.0f B (one full snapshot \
+         today: %d B)\n"
+        (Sim.Stats.count stats "durable.delta_joins")
+        basis delta full
+    end
+    else Printf.printf "durable      off (control run)\n";
+    let live_after =
+      List.fold_left
+        (fun acc (i : Paso.Obj_class.info) ->
+          List.fold_left
+            (fun acc (_, uids) -> max acc (List.length uids))
+            acc
+            (Paso.System.replicas sys ~cls:i.Paso.Obj_class.name))
+        0 (Paso.System.known_classes sys)
+    in
+    Printf.printf "objects      %d live before the fault, %d after recovery\n"
+      live_before live_after;
+    match Check.Invariants.all sys with
+    | [] -> print_endline "invariants   all hold"
+    | issues ->
+        Printf.printf "invariants   %d VIOLATIONS\n" (List.length issues);
+        List.iter (fun r -> Format.printf "  %a@." Check.Invariants.pp_report r) issues;
+        exit 1
+  in
+  let term =
+    Term.(const go $ n_arg $ lambda_arg $ seed_arg $ length_arg $ scenario $ no_durable
+          $ checkpoint_every $ torn_tail)
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Drive a mixed workload into a crash scenario and audit the durable \
+             WAL/checkpoint recovery: replay stats, delta-vs-full reconciliation bytes, \
+             and the invariant pack (nonzero exit on any violation).")
     term
 
 (* --- paging ------------------------------------------------------------------ *)
@@ -521,4 +685,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "paso-sim" ~version:"1.0.0" ~doc)
-          [ run_cmd; competitive_cmd; support_cmd; check_cmd; paging_cmd ]))
+          [ run_cmd; competitive_cmd; support_cmd; check_cmd; recover_cmd; paging_cmd ]))

@@ -49,6 +49,7 @@ let config_to_json (c : Schedule.config) =
       ("eager", Json.Bool c.eager);
       ("wan", num c.wan_clusters);
       ("repair", Json.Str c.repair);
+      ("durable", Json.Bool c.durable);
       ("seed", num c.seed);
       ("arms", Json.Arr (List.map arm_to_json c.arms));
     ]
@@ -130,6 +131,10 @@ let config_of_json v =
   let* eager = field v "eager" Json.to_bool in
   let* wan_clusters = field v "wan" Json.to_int in
   let* repair = field v "repair" Json.to_str in
+  (* absent in pre-durability artifacts: default false *)
+  let* durable =
+    match Json.get v "durable" with None -> Ok false | Some x -> Json.to_bool x
+  in
   let* seed = field v "seed" Json.to_int in
   let* arms = field v "arms" Json.to_list in
   let* arms = map_result arm_of_json arms in
@@ -144,6 +149,7 @@ let config_of_json v =
       eager;
       wan_clusters;
       repair;
+      durable;
       seed;
       arms;
     }

@@ -21,6 +21,27 @@ let matrix ?(n = 8) ?(lambda = 2) () =
     { base with eager = true };
     { base with wan_clusters = 2; policy = "counter:4" };
     { base with repair = "lrf" };
+    { base with durable = true };
+    { base with durable = true; classing = "signature"; storage = "tree" };
+    (* torn WAL tails under crashes: recovery must replay the surviving
+       prefix and reconcile the rest from live members. Bounded [times]
+       — an unlimited tail-eating arm plus a beyond-λ blackout could
+       lose genuinely unreplicated state, which is real loss, not a
+       checker bug. *)
+    {
+      base with
+      durable = true;
+      policy = "counter:4";
+      arms =
+        [
+          {
+            Schedule.arm_site = "durable.crash.tail";
+            arm_skip = 0;
+            arm_times = 2;
+            arm_action = "torn:5";
+          };
+        ];
+    };
   ]
 
 type failure = {

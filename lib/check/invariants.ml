@@ -36,5 +36,73 @@ let quiescence sys =
       { inv = "quiescence"; detail = Printf.sprintf "group %s wedged: %s" group what })
     (System.check_quiescent sys)
 
+(* Recovery invariants. Presence is audited against the operational
+   write-group replicas of each object's class (the only copies reads
+   can observe).
+
+   - No resurrection (always on): an object whose read&del returned
+     must be held by no operational replica. Sound even under durable
+     replay: the remover's response only travels after every member
+     acknowledged — and, durably, logged — the remove, so only injected
+     tail damage can lose the record, and reconciliation drops any
+     stale copy a rejoiner brings back.
+   - No loss (durable systems only): an object whose insert completed
+     ([all_stored]) and that no remove ever touched must be held by
+     some operational replica, provided its class has any. Without the
+     durable layer a beyond-λ crash legitimately loses objects — the §2
+     checker excuses them via [lost_at] — so this stronger promise is
+     only audited when durability is attached. *)
+let durability sys =
+  let durable = System.durability_attached sys in
+  let present : (string, unit Uid.Tbl.t * int) Hashtbl.t = Hashtbl.create 16 in
+  let class_presence cls =
+    match Hashtbl.find_opt present cls with
+    | Some p -> p
+    | None ->
+        let tbl = Uid.Tbl.create 64 in
+        let reps = System.replicas sys ~cls in
+        List.iter
+          (fun (_, uids) -> List.iter (fun u -> Uid.Tbl.replace tbl u ()) uids)
+          reps;
+        let p = (tbl, List.length reps) in
+        Hashtbl.add present cls p;
+        p
+  in
+  List.concat_map
+    (fun (l : History.lifecycle) ->
+      let tbl, nreps = class_presence l.cls in
+      let held = Uid.Tbl.mem tbl l.uid in
+      let reports = ref [] in
+      (match l.remove_ret with
+      | Some ret when held ->
+          reports :=
+            {
+              inv = "durability/resurrected";
+              detail =
+                Printf.sprintf
+                  "object %s of class %s still replicated after its read&del returned \
+                   at %g"
+                  (Uid.to_string l.uid) l.cls ret;
+            }
+            :: !reports
+      | Some _ | None -> ());
+      if
+        durable && (not held) && nreps > 0 && l.all_stored <> None
+        && l.first_removal = None && l.remove_ret = None
+      then
+        reports :=
+          {
+            inv = "durability/lost";
+            detail =
+              Printf.sprintf
+                "object %s of class %s was fully stored, never removed, yet no \
+                 operational replica holds it"
+                (Uid.to_string l.uid) l.cls;
+          }
+          :: !reports;
+      !reports)
+    (History.lifecycles (System.history sys))
+
 let all sys =
   replica_consistency sys @ semantics sys @ fault_tolerance sys @ quiescence sys
+  @ durability sys

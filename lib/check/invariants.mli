@@ -29,7 +29,16 @@ val quiescence : Paso.System.t -> report list
     busy group at quiescence means an in-flight gcast awaits an
     acknowledgement that can never arrive. *)
 
+val durability : Paso.System.t -> report list
+(** Recovery invariants, audited against operational replicas:
+    {e no resurrection} (always) — an object whose [read&del] returned
+    is held by no replica; {e no loss} (only when
+    [System.durability_attached]) — an object whose insert completed
+    and that no removal touched is held by some replica of its class,
+    provided the class has operational members. Reports are named
+    ["durability/resurrected"] and ["durability/lost"]. *)
+
 val all : Paso.System.t -> report list
-(** The four packs above, concatenated in the order listed. *)
+(** The five packs above, concatenated in the order listed. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -91,6 +91,11 @@ let install_arm sys ~down ~corrupt (a : Schedule.arm) =
         match float_of_string_opt d with
         | Some d when d >= 0.0 -> fun _ -> Sim.Failpoint.Delay d
         | _ -> invalid_arg ("Check.Runner: bad delay in arm action " ^ a.arm_action))
+    | [ "torn"; k ] -> (
+        match int_of_string_opt k with
+        | Some k when k > 0 -> fun _ -> Sim.Failpoint.Truncate k
+        | _ -> invalid_arg ("Check.Runner: bad byte count in arm action " ^ a.arm_action))
+    | [ "drop" ] -> fun _ -> Sim.Failpoint.Drop
     | [ "corrupt-history" ] -> fun _ -> corrupt := true; Sim.Failpoint.Nothing
     | _ -> invalid_arg ("Check.Runner: unknown arm action " ^ a.arm_action)
   in
@@ -102,6 +107,7 @@ let install_arm sys ~down ~corrupt (a : Schedule.arm) =
 let run_with_system (c : Schedule.config) steps =
   let fps = Sim.Failpoint.create () in
   let sys = System.create ~tracing:true ~failpoints:fps (system_config c) in
+  if c.durable then ignore (Durable.Manager.attach sys);
   let down = ref [] in
   let corrupt = ref false in
   List.iter (install_arm sys ~down ~corrupt) c.arms;

@@ -18,6 +18,7 @@ type config = {
   eager : bool;
   wan_clusters : int;
   repair : string;
+  durable : bool;
   seed : int;
   arms : arm list;
 }
@@ -33,6 +34,7 @@ let default =
     eager = false;
     wan_clusters = 0;
     repair = "none";
+    durable = false;
     seed = 0;
     arms = [];
   }
@@ -45,6 +47,7 @@ let label c =
   if c.eager then Buffer.add_string b " eager";
   if c.wan_clusters > 1 then Buffer.add_string b (Printf.sprintf " wan=%d" c.wan_clusters);
   if c.repair <> "none" then Buffer.add_string b (Printf.sprintf " repair=%s" c.repair);
+  if c.durable then Buffer.add_string b " durable";
   if c.arms <> [] then
     Buffer.add_string b
       (Printf.sprintf " arms=[%s]" (String.concat ";" (List.map (fun a -> a.arm_site) c.arms)));

@@ -26,6 +26,12 @@ type arm = {
           - ["crash-aux-node"] — crash the machine in the site's [aux]
             slot (e.g. the joiner of a state transfer);
           - ["delay:<d>"] — delay the instrumented action by [d];
+          - ["torn:<k>"] — truncate the instrumented write by [k]
+            bytes (meaningful on the ["durable.*"] sites: torn WAL
+            append, torn checkpoint, lost unsynced tail);
+          - ["drop"] — drop the instrumented action entirely (on
+            ["durable.*"] sites: lost append, dropped checkpoint
+            write, whole log lost at crash);
           - ["corrupt-history"] — after the run drains, corrupt the
             recorded history ({!Mutate.reorder_return}); a synthetic
             failure used to exercise the artifact/shrink machinery. *)
@@ -41,6 +47,7 @@ type config = {
   eager : bool;  (** eager remote-read forwarding *)
   wan_clusters : int;  (** [0] = LAN, else machines mod-[c] clustered *)
   repair : string;  (** ["none" | "lrf" | "fifo" | "random"] *)
+  durable : bool;  (** attach {!Durable.Manager} (WAL + checkpoints) *)
   seed : int;  (** basic-support placement seed *)
   arms : arm list;
 }

@@ -22,6 +22,7 @@ type lifecycle = {
   mutable remove_ret : float option;
   mutable removed_by : int option;
   mutable lost_at : float option;
+  mutable recovered_at : float option;
 }
 
 (* Records live in a growable array indexed by op id — no per-op cons
@@ -80,6 +81,7 @@ let note_inserted t o ~cls ~now =
         remove_ret = None;
         removed_by = None;
         lost_at = None;
+        recovered_at = None;
       }
 
 let with_life t uid f =
@@ -113,6 +115,9 @@ let note_class_lost t ~cls ~now =
           l.lost_at <- Some now
       | Some _ | None -> ())
     t.lives
+
+let note_recovered t uid ~now =
+  with_life t uid (fun l -> if l.recovered_at = None then l.recovered_at <- Some now)
 
 let records t = Array.to_list (Array.sub t.recs 0 t.next_op)
 let lifecycle t uid = Uid.Tbl.find_opt t.lives uid

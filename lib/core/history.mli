@@ -34,6 +34,9 @@ type lifecycle = {
   mutable remove_ret : float option;
   mutable removed_by : int option;  (** op_id of the successful read&del *)
   mutable lost_at : float option;  (** class lost all replicas (crashes > λ) *)
+  mutable recovered_at : float option;
+      (** the object reappeared after a loss — rebuilt from a durable
+          WAL/checkpoint replay at a rejoining machine *)
 }
 
 type t
@@ -64,6 +67,11 @@ val note_class_lost : t -> cls:string -> now:float -> unit
     stored somewhere (and not yet removed) is now gone. Objects whose
     inserts are still in flight are unaffected — reliable gcast
     delivers them to the group's next incarnation. *)
+
+val note_recovered : t -> Uid.t -> now:float -> unit
+(** The object was rebuilt from durable state at a machine about to
+    rejoin its class's write group: reads may legitimately return it
+    again even though the class was lost in between. *)
 
 val records : t -> record list
 (** In op-id (issue) order. *)

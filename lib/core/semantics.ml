@@ -27,7 +27,14 @@ let surely_alive_through (l : History.lifecycle) ~from_ ~until =
 let possibly_alive_overlaps (l : History.lifecycle) ~from_ ~until =
   l.insert_issue <= until
   && (match l.remove_ret with Some r -> r >= from_ | None -> true)
-  && match l.lost_at with Some w -> w >= from_ | None -> true
+  &&
+  match l.lost_at with
+  | Some w -> (
+      w >= from_
+      (* Durable recovery resurrects lost (never-removed) objects: the
+         possibly-alive bracket reopens at the recovery instant. *)
+      || match l.recovered_at with Some rc -> rc <= until | None -> false)
+  | None -> true
 
 let check_lifecycles h =
   List.concat_map

@@ -7,13 +7,23 @@ type msg =
 
 type marker = { mk_id : int; mk_machine : int; mk_tmpl : Template.t }
 
-type snapshot = (string * (Pobj.t list * marker list)) list
+type snapshot = (string * (Pobj.t list * marker list * Uid.t list)) list
 
 type t = {
   machine : int;
   kind : Storage.kind;
   stores : (string, Storage.t) Hashtbl.t;
   marks : (string, marker list ref) Hashtbl.t; (* per class, oldest first *)
+  (* Tombstones: every uid this server has removed (or learned was
+     removed), kept forever so durable-recovery reconciliation can
+     tell "removed while you were down" from "you hold the last copy".
+     Real systems GC these by epoch watermark; the simulation keeps
+     them all — runs are finite. Recording is off until a durable
+     layer attaches: without one, recovery wipes all memory anyway,
+     and a non-durable system must stay byte-identical to one that
+     never heard of tombstones. *)
+  mutable track_tombs : bool;
+  tombs : (string, unit Uid.Tbl.t) Hashtbl.t;
   (* Interned stat handles, resolved once here rather than hashing a
      key per replicated operation. *)
   c_stores : Sim.Stats.counter;
@@ -28,12 +38,15 @@ let create ?stats ~machine ~kind () =
     kind;
     stores = Hashtbl.create 8;
     marks = Hashtbl.create 8;
+    track_tombs = false;
+    tombs = Hashtbl.create 8;
     c_stores = Sim.Stats.counter stats "server.stores";
     c_queries = Sim.Stats.counter stats "server.queries";
     c_removes = Sim.Stats.counter stats "server.removes";
   }
 let machine t = t.machine
 let storage_kind t = t.kind
+let enable_tombstones t = t.track_tombs <- true
 
 let store_for t cls =
   match Hashtbl.find_opt t.stores cls with
@@ -50,6 +63,19 @@ let marks_for t cls =
       let r = ref [] in
       Hashtbl.add t.marks cls r;
       r
+
+let tombs_for t cls =
+  match Hashtbl.find_opt t.tombs cls with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Uid.Tbl.create 16 in
+      Hashtbl.add t.tombs cls tbl;
+      tbl
+
+let tombstones t ~cls =
+  match Hashtbl.find_opt t.tombs cls with
+  | Some tbl -> List.sort Uid.compare (Uid.Tbl.fold (fun u () acc -> u :: acc) tbl [])
+  | None -> []
 
 let handle t = function
   | Store { cls; obj } ->
@@ -72,7 +98,11 @@ let handle t = function
       Sim.Stats.incr_counter t.c_removes;
       let s = store_for t cls in
       let work = s.Storage.cost.delete_cost (s.Storage.size ()) in
-      (s.Storage.remove_oldest tmpl, work, [])
+      let removed = s.Storage.remove_oldest tmpl in
+      (match removed with
+      | Some o when t.track_tombs -> Uid.Tbl.replace (tombs_for t cls) (Pobj.uid o) ()
+      | Some _ | None -> ());
+      (removed, work, [])
   | Place_marker { cls; mid; machine; tmpl } ->
       let r = marks_for t cls in
       if not (List.exists (fun m -> m.mk_id = mid) !r) then
@@ -115,31 +145,221 @@ let snapshot t ~classes =
           | Some s -> s.Storage.to_list ()
           | None -> []
         in
-        (cls, (objs, markers t ~cls)))
+        (cls, (objs, markers t ~cls, tombstones t ~cls)))
       (List.sort compare classes)
   in
   let bytes =
     List.fold_left
-      (fun acc (cls, (objs, ms)) ->
-        acc + String.length cls + Storage.snapshot_bytes objs + marker_bytes ms)
+      (fun acc (cls, (objs, ms, ts)) ->
+        acc + String.length cls + Storage.snapshot_bytes objs + marker_bytes ms
+        + (Uid.size * List.length ts))
       0 parts
   in
   (parts, bytes)
 
+(* --- delta state transfer (durable recovery reconciliation) ----------- *)
+
+type basis = (string * (Uid.t list * Uid.t list)) list
+
+type delta = {
+  d_order : (string * Uid.t list) list;
+  d_objs : Pobj.t list;
+  d_marks : (string * marker list) list;
+  d_tombs : (string * Uid.t list) list; (* donor's tombstones, post-merge *)
+}
+
+type recon = {
+  rc_adopted : (string * Pobj.t list) list;
+      (* joiner-held objects unknown (and untombstoned) at the donor:
+         kept by the joiner and pushed to every group member *)
+  rc_purged : (string * Uid.t list) list;
+      (* donor-held uids the joiner knows were removed: purged at the
+         donor here, and at every other member by the caller *)
+}
+
+let uid_list_bytes uids = 8 + (Uid.size * List.length uids)
+
+let basis_bytes b =
+  List.fold_left
+    (fun acc (cls, (held, ts)) ->
+      acc + String.length cls + uid_list_bytes held + uid_list_bytes ts)
+    0 b
+
+let basis t ~classes =
+  let b =
+    List.map
+      (fun cls ->
+        let uids =
+          match Hashtbl.find_opt t.stores cls with
+          | Some s -> List.map Pobj.uid (s.Storage.to_list ())
+          | None -> []
+        in
+        (cls, (uids, tombstones t ~cls)))
+      (List.sort compare classes)
+  in
+  (b, basis_bytes b)
+
+let delta_bytes d =
+  List.fold_left
+    (fun acc (cls, uids) -> acc + String.length cls + uid_list_bytes uids)
+    0 d.d_order
+  + Storage.snapshot_bytes d.d_objs
+  + List.fold_left
+      (fun acc (cls, ms) -> acc + String.length cls + marker_bytes ms)
+      0 d.d_marks
+  + List.fold_left
+      (fun acc (cls, ts) -> acc + String.length cls + uid_list_bytes ts)
+      0 d.d_tombs
+
+(* Symmetric reconciliation, run at the donor. Neither side is blindly
+   authoritative: a tombstone on either side beats a held copy on the
+   other (removes are durably logged at every member before the
+   remover's response travels, so with at most λ damaged disks some
+   member retains the evidence), and a joiner-held object the donor
+   has never seen — the donor lost it, or the whole group re-formed
+   from disks — is adopted, not dropped. Purges mutate the donor here;
+   the caller propagates purges and adoptions to the other members. *)
+let delta_against t ~classes ~basis ~joiner_objs =
+  let classes = List.sort compare classes in
+  let order = ref [] and objs = ref [] and marks = ref [] and tombs = ref [] in
+  let adopted = ref [] and purged = ref [] in
+  List.iter
+    (fun cls ->
+      let held, joiner_ts =
+        match List.assoc_opt cls basis with Some p -> p | None -> ([], [])
+      in
+      let have = Uid.Tbl.create 16 in
+      List.iter (fun u -> Uid.Tbl.replace have u ()) held;
+      let dt = tombs_for t cls in
+      (* 1. Merge the joiner's tombstones; purge what they kill here. *)
+      List.iter (fun u -> Uid.Tbl.replace dt u ()) joiner_ts;
+      let s = store_for t cls in
+      let purge =
+        List.filter (fun o -> Uid.Tbl.mem dt (Pobj.uid o)) (s.Storage.to_list ())
+      in
+      if purge <> [] then begin
+        Hashtbl.replace t.stores cls
+          (Store.load t.kind
+             (List.filter
+                (fun o -> not (Uid.Tbl.mem dt (Pobj.uid o)))
+                (s.Storage.to_list ())));
+        purged := (cls, List.map Pobj.uid purge) :: !purged
+      end;
+      (* 2. The donor's (post-purge) order, then adoptions: joiner-held
+         uids the donor neither holds nor has tombstoned. *)
+      let auth =
+        match Hashtbl.find_opt t.stores cls with
+        | Some s -> s.Storage.to_list ()
+        | None -> []
+      in
+      let auth_uids = Uid.Tbl.create 16 in
+      List.iter (fun o -> Uid.Tbl.replace auth_uids (Pobj.uid o) ()) auth;
+      let adopt_uids =
+        List.filter
+          (fun u -> not (Uid.Tbl.mem auth_uids u) && not (Uid.Tbl.mem dt u))
+          held
+      in
+      let adopt_objs =
+        match List.assoc_opt cls joiner_objs with
+        | None -> []
+        | Some os ->
+            List.filter
+              (fun o -> List.exists (Uid.equal (Pobj.uid o)) adopt_uids)
+              os
+      in
+      if adopt_objs <> [] then begin
+        adopted := (cls, adopt_objs) :: !adopted;
+        (* The donor adopts too — its store must match the reconciled
+           order it is about to hand out. *)
+        let s = store_for t cls in
+        List.iter s.Storage.insert adopt_objs
+      end;
+      order := (cls, List.map Pobj.uid auth @ adopt_uids) :: !order;
+      (* 3. Ship what the joiner is missing, a fresh marker image, and
+         the merged tombstone set. *)
+      List.iter
+        (fun o -> if not (Uid.Tbl.mem have (Pobj.uid o)) then objs := o :: !objs)
+        auth;
+      marks := (cls, markers t ~cls) :: !marks;
+      tombs := (cls, tombstones t ~cls) :: !tombs)
+    classes;
+  let d =
+    {
+      d_order = List.rev !order;
+      d_objs = List.rev !objs;
+      d_marks = List.rev !marks;
+      d_tombs = List.rev !tombs;
+    }
+  in
+  (d, delta_bytes d, { rc_adopted = List.rev !adopted; rc_purged = List.rev !purged })
+
+let install_delta t d =
+  let pool = Uid.Tbl.create 64 in
+  List.iter (fun o -> Uid.Tbl.replace pool (Pobj.uid o) o) d.d_objs;
+  (* Objects the joiner already recovered locally are sourced from its
+     own stores; only the rest travelled in [d_objs]. *)
+  List.iter
+    (fun (cls, _) ->
+      match Hashtbl.find_opt t.stores cls with
+      | Some s ->
+          List.iter
+            (fun o ->
+              let u = Pobj.uid o in
+              if not (Uid.Tbl.mem pool u) then Uid.Tbl.replace pool u o)
+            (s.Storage.to_list ())
+      | None -> ())
+    d.d_order;
+  List.iter
+    (fun (cls, uids) ->
+      let objs = List.filter_map (Uid.Tbl.find_opt pool) uids in
+      Hashtbl.replace t.stores cls (Store.load t.kind objs))
+    d.d_order;
+  List.iter (fun (cls, ms) -> Hashtbl.replace t.marks cls (ref ms)) d.d_marks;
+  List.iter
+    (fun (cls, ts) ->
+      let tbl = tombs_for t cls in
+      List.iter (fun u -> Uid.Tbl.replace tbl u ()) ts)
+    d.d_tombs
+
+(* Reconciliation fix-ups applied to the *other* operational members
+   so the whole group converges on the adopt/purge verdicts. *)
+let reconcile_adopt t ~cls obj =
+  let s = store_for t cls in
+  if
+    (not (Uid.Tbl.mem (tombs_for t cls) (Pobj.uid obj)))
+    && not
+         (List.exists (fun o -> Uid.equal (Pobj.uid o) (Pobj.uid obj)) (s.Storage.to_list ()))
+  then s.Storage.insert obj
+
+let reconcile_purge t ~cls uid =
+  Uid.Tbl.replace (tombs_for t cls) uid ();
+  match Hashtbl.find_opt t.stores cls with
+  | None -> ()
+  | Some s ->
+      if List.exists (fun o -> Uid.equal (Pobj.uid o) uid) (s.Storage.to_list ()) then
+        Hashtbl.replace t.stores cls
+          (Store.load t.kind
+             (List.filter (fun o -> not (Uid.equal (Pobj.uid o) uid)) (s.Storage.to_list ())))
+
 let install t snapshot =
   List.iter
-    (fun (cls, (objs, ms)) ->
+    (fun (cls, (objs, ms, ts)) ->
       Hashtbl.replace t.stores cls (Store.load t.kind objs);
-      Hashtbl.replace t.marks cls (ref ms))
+      Hashtbl.replace t.marks cls (ref ms);
+      let tbl = Uid.Tbl.create (max 16 (List.length ts)) in
+      List.iter (fun u -> Uid.Tbl.replace tbl u ()) ts;
+      Hashtbl.replace t.tombs cls tbl)
     snapshot
 
 let evict t ~cls =
   Hashtbl.remove t.stores cls;
-  Hashtbl.remove t.marks cls
+  Hashtbl.remove t.marks cls;
+  Hashtbl.remove t.tombs cls
 
 let wipe t =
   Hashtbl.reset t.stores;
-  Hashtbl.reset t.marks
+  Hashtbl.reset t.marks;
+  Hashtbl.reset t.tombs
 
 let frame = 8
 

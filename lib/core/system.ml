@@ -55,6 +55,17 @@ type hot_stats = {
   h_sc_misses : Sim.Stats.counter;
 }
 
+(* State-transfer payload: the full snapshot of the ordinary join path,
+   or the delta of the durable-recovery reconciliation path. *)
+type xfer = Full of Server.snapshot | Delta of Server.delta
+
+type durability = {
+  du_append : machine:int -> Server.msg -> resp:Pobj.t option -> float;
+  du_crash : machine:int -> unit;
+  du_recover : machine:int -> Server.snapshot option;
+  du_resync : machine:int -> unit;
+}
+
 type waiter = {
   w_id : int;
   w_machine : int;
@@ -71,10 +82,20 @@ type t = {
   fps : Sim.Failpoint.t;
   sstats : Sim.Stats.t;
   strace : Sim.Trace.t;
-  vs : (Server.msg, Pobj.t, Server.snapshot) Vsync.t;
+  vs : (Server.msg, Pobj.t, xfer) Vsync.t;
   servers : Server.t array;
+  mutable durable : durability option;
+  has_recovered : bool array; (* rebuilt durable state since last crash *)
   classes : (string, cls_state) Hashtbl.t;
   group_class : (string, string list ref) Hashtbl.t; (* group -> classes *)
+  probation : (string, unit) Hashtbl.t;
+      (* groups that lost their last member and may re-form from
+         recovered disks; queries are deferred until λ+1 members have
+         merged their evidence (see [probational]) *)
+  prob_waiters : (string, (int * (unit -> unit)) list ref) Hashtbl.t;
+      (* (issuing machine, resume) continuations parked on a
+         probational group, flushed on the view change that reaches
+         quorum *)
   serials : int array; (* per-machine uid serials; survive crashes *)
   waiters : (int, waiter) Hashtbl.t;
   mutable next_waiter : int;
@@ -141,6 +162,58 @@ let apply_policy t ~machine ~cls event =
           Vsync.leave t.vs ~group:cs.group ~node:machine ~on_done:(fun () -> ())
       | (Policy.Stay | Policy.Join | Policy.Leave), _, _ -> ())
 
+(* Recovery quorum (durable systems only): a group whose last member
+   crashed re-forms from recovered disks, any of which may have lost a
+   tail — including the record of a completed remove. Any single disk
+   is only trustworthy once λ+1 members have merged their evidence
+   (removes are logged at every member before the remover's response
+   travels, so with ≤ λ damaged disks the merge includes an intact
+   copy). Until then the group is probational: queries and removes
+   against it fail rather than answer from possibly-resurrected
+   state. Inserts and markers stay live — fresh objects cannot be
+   stale. *)
+let probational t group =
+  t.durable <> None
+  && Hashtbl.mem t.probation group
+  &&
+  if List.length (Vsync.members t.vs ~group) > t.cfg.lambda then begin
+    Hashtbl.remove t.probation group;
+    false
+  end
+  else true
+
+(* A query cannot simply fail during probation — §2 fail-legality only
+   permits a fail when no matching object was alive for the whole op —
+   so it parks and resumes once the quorum's merged image is
+   authoritative. *)
+let defer_probation t ~machine ~group k =
+  Sim.Stats.incr t.sstats "durable.probation_defers";
+  let l =
+    match Hashtbl.find_opt t.prob_waiters group with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.add t.prob_waiters group l;
+        l
+  in
+  l := (machine, k) :: !l
+
+let flush_probation t =
+  Hashtbl.iter
+    (fun group l ->
+      if !l <> [] && not (probational t group) then begin
+        let parked = List.rev !l in
+        l := [];
+        List.iter
+          (fun (machine, k) ->
+            (* A parked op whose issuer crashed died with the issuer's
+               memory, like any other in-flight op. *)
+            if Vsync.is_up t.vs machine then
+              ignore (Sim.Engine.schedule t.eng ~delay:0.0 k))
+          parked
+      end)
+    t.prob_waiters
+
 (* Forward reference: the vsync deliver callback (built in [create])
    must wake waiters, whose machinery is defined with the primitives
    below. *)
@@ -205,31 +278,135 @@ let create ?(tracing = false) ?failpoints cfg =
         | Server.Mem_read _ | Server.Place_marker _ | Server.Cancel_marker _ -> ()
       end
     | None -> ());
-    (resp, work_units *. cfg.unit_work)
+    (* Durable WAL: every replicated mutation is appended before the
+       delivery completes; the disk time is charged into the op's work
+       (the node's serial processor is busy for it). Reads and no-op
+       removes leave no record — replaying the log without them
+       rebuilds the same stores. *)
+    let disk_work =
+      match !tref with
+      | Some { durable = Some d; _ } -> (
+          match (msg, resp) with
+          | (Server.Store _ | Server.Place_marker _ | Server.Cancel_marker _), _
+          | Server.Remove _, Some _ ->
+              d.du_append ~machine:node msg ~resp
+          | Server.Remove _, None | Server.Mem_read _, _ -> 0.0)
+      | Some { durable = None; _ } | None -> 0.0
+    in
+    (resp, (work_units *. cfg.unit_work) +. disk_work)
   in
   let resp_size = function None -> 0 | Some o -> Pobj.size o in
-  let state_of ~node ~group =
-    let classes =
-      match !tref with
-      | Some t -> (
-          match Hashtbl.find_opt t.group_class group with Some c -> !c | None -> [])
-      | None -> []
-    in
-    Server.snapshot servers.(node) ~classes
+  let group_classes group =
+    match !tref with
+    | Some t -> (
+        match Hashtbl.find_opt t.group_class group with Some c -> !c | None -> [])
+    | None -> []
   in
-  let install_state ~node ~group:_ snapshot = Server.install servers.(node) snapshot in
-  let on_view ~node:_ _view = () in
+  let state_of ~node ~group =
+    let snapshot, size = Server.snapshot servers.(node) ~classes:(group_classes group) in
+    (Full snapshot, size)
+  in
+  let state_delta ~node ~group ~joiner =
+    match !tref with
+    | Some t when t.durable <> None && t.has_recovered.(joiner) -> begin
+        let classes = group_classes group in
+        let b, basis_bytes = Server.basis servers.(joiner) ~classes in
+        if List.for_all (fun (_, (held, ts)) -> held = [] && ts = []) b then
+          (* Nothing recovered for these classes: the delta would be
+             the full snapshot plus the order overhead. *)
+          None
+        else begin
+          let joiner_objs =
+            List.map
+              (fun cls ->
+                let snap, _ = Server.snapshot servers.(joiner) ~classes:[ cls ] in
+                match snap with
+                | [ (_, (objs, _, _)) ] -> (cls, objs)
+                | _ -> (cls, []))
+              classes
+          in
+          let d, delta_bytes, rc =
+            Server.delta_against servers.(node) ~classes ~basis:b ~joiner_objs
+          in
+          (* Propagate the reconciliation verdicts to the remaining
+             members so the group converges: adopted objects are
+             installed everywhere, purged uids tombstoned everywhere.
+             This runs at join-exec time, serialised with the group's
+             op stream, so it is atomic like a delivered gcast; the
+             object bytes ride the joiner's delta legs (counted in
+             [durable.adopt_bytes] / [durable.purge_bytes]). Every
+             member the verdicts touched — donor included — gets a
+             durable resync, or a later replay would undo them. *)
+          if rc.Server.rc_adopted <> [] || rc.Server.rc_purged <> [] then begin
+            let others =
+              List.filter
+                (fun m -> m <> node && m <> joiner)
+                (Vsync.members t.vs ~group)
+            in
+            List.iter
+              (fun (cls, objs) ->
+                List.iter
+                  (fun o ->
+                    Sim.Stats.incr sstats "durable.adopted_objects";
+                    Sim.Stats.add sstats "durable.adopt_bytes"
+                      (float_of_int (Pobj.size o));
+                    List.iter
+                      (fun m -> Server.reconcile_adopt servers.(m) ~cls o)
+                      others)
+                  objs)
+              rc.Server.rc_adopted;
+            List.iter
+              (fun (cls, uids) ->
+                List.iter
+                  (fun u ->
+                    Sim.Stats.incr sstats "durable.purged_objects";
+                    Sim.Stats.add sstats "durable.purge_bytes"
+                      (float_of_int Uid.size);
+                    List.iter
+                      (fun m -> Server.reconcile_purge servers.(m) ~cls u)
+                      others)
+                  uids)
+              rc.Server.rc_purged;
+            match t.durable with
+            | Some du -> List.iter (fun m -> du.du_resync ~machine:m) (node :: others)
+            | None -> ()
+          end;
+          Sim.Stats.incr sstats "durable.delta_joins";
+          Sim.Stats.add sstats "durable.basis_bytes" (float_of_int basis_bytes);
+          Sim.Stats.add sstats "durable.delta_bytes" (float_of_int delta_bytes);
+          Some (Delta d, basis_bytes, delta_bytes)
+        end
+      end
+    | Some _ | None -> None
+  in
+  let install_state ~node ~group:_ xfer =
+    (match xfer with
+    | Full snapshot -> Server.install servers.(node) snapshot
+    | Delta d -> Server.install_delta servers.(node) d);
+    (* The durable image must follow the installed state, or a later
+       replay would resurrect what the transfer superseded. *)
+    match !tref with
+    | Some { durable = Some d; _ } -> d.du_resync ~machine:node
+    | Some { durable = None; _ } | None -> ()
+  in
+  let on_view ~node:_ _view =
+    match !tref with Some t -> flush_probation t | None -> ()
+  in
   let on_evict ~node ~group =
     match !tref with
     | Some t -> (
-        match Hashtbl.find_opt t.group_class group with
+        (match Hashtbl.find_opt t.group_class group with
         | Some classes -> List.iter (fun cls -> Server.evict servers.(node) ~cls) !classes
+        | None -> ());
+        match t.durable with
+        | Some d -> d.du_resync ~machine:node
         | None -> ())
     | None -> ()
   in
   let on_group_lost ~group =
     match !tref with
     | Some t -> (
+        Hashtbl.replace t.probation group ();
         match Hashtbl.find_opt t.group_class group with
         | Some classes ->
             List.iter
@@ -242,7 +419,16 @@ let create ?(tracing = false) ?failpoints cfg =
   in
   let vs =
     Vsync.make ~failpoints:fps ~engine:eng ~fabric ~stats:sstats ~trace:strace ~n:cfg.n
-      { deliver; resp_size; state_of; install_state; on_view; on_evict; on_group_lost }
+      {
+        deliver;
+        resp_size;
+        state_of;
+        state_delta;
+        install_state;
+        on_view;
+        on_evict;
+        on_group_lost;
+      }
   in
   let t =
     {
@@ -254,8 +440,12 @@ let create ?(tracing = false) ?failpoints cfg =
       strace;
       vs;
       servers;
+      durable = None;
+      has_recovered = Array.make cfg.n false;
       classes = Hashtbl.create 16;
       group_class = Hashtbl.create 16;
+      probation = Hashtbl.create 8;
+      prob_waiters = Hashtbl.create 8;
       serials = Array.make cfg.n 0;
       waiters = Hashtbl.create 16;
       next_waiter = 0;
@@ -510,6 +700,10 @@ and read_gen t ~machine ~kind tmpl ~on_done =
     | cls :: rest -> begin
         match cls_state t cls with
         | None -> go rest
+        | Some cs when probational t cs.group ->
+            (* Recovery quorum not yet reached: park rather than answer
+               from a possibly-resurrected replica. *)
+            defer_probation t ~machine ~group:cs.group (fun () -> go (cls :: rest))
         | Some cs -> begin
             match kind with
             | History.Read when Vsync.is_member t.vs ~group:cs.group ~node:machine ->
@@ -806,6 +1000,10 @@ let crash t ~machine =
     tracef t "machine %d crashes" machine;
     Vsync.crash t.vs ~node:machine;
     Server.wipe t.servers.(machine);
+    t.has_recovered.(machine) <- false;
+    (* The simulated disk survives the crash (its unsynced tail may be
+       damaged by an armed ["durable.crash.tail"]). *)
+    (match t.durable with Some d -> d.du_crash ~machine | None -> ());
     t.cfg.policy.Policy.reset_machine ~machine;
     Repair.note_failure t.repair_state ~machine ~now:(now t);
     (match t.cfg.repair with
@@ -836,6 +1034,25 @@ let recover t ~machine =
     Sim.Stats.incr t.sstats "faults.recoveries";
     tracef t "machine %d recovering (init phase %g)" machine t.cfg.init_delay;
     Vsync.recover t.vs ~node:machine;
+    (* Durable recovery: rebuild the local stores from checkpoint+log
+       replay before rejoining, so the join can reconcile by delta (or,
+       for a group with no survivors, seed it with the recovered
+       state). *)
+    (match t.durable with
+    | Some d -> (
+        match d.du_recover ~machine with
+        | Some snapshot ->
+            Server.install t.servers.(machine) snapshot;
+            t.has_recovered.(machine) <- true;
+            let tnow = now t in
+            List.iter
+              (fun (_, (objs, _, _)) ->
+                List.iter
+                  (fun o -> History.note_recovered t.hist (Pobj.uid o) ~now:tnow)
+                  objs)
+              snapshot
+        | None -> ())
+    | None -> ());
     ignore
       (Sim.Engine.schedule t.eng ~delay:t.cfg.init_delay (fun () ->
            if Vsync.is_up t.vs machine then
@@ -848,6 +1065,24 @@ let recover t ~machine =
                (sorted_classes t)))
   end
 
+(* --- durability attachment ---------------------------------------------- *)
+
+let set_durability t d =
+  match t.durable with
+  | Some _ -> invalid_arg "System.set_durability: already attached"
+  | None ->
+      t.durable <- Some d;
+      (* Reconciliation needs remove evidence from here on. *)
+      Array.iter Server.enable_tombstones t.servers
+
+let durability_attached t = t.durable <> None
+
+let server_snapshot t ~machine =
+  if machine < 0 || machine >= t.cfg.n then
+    invalid_arg "System.server_snapshot: bad machine id";
+  let s = t.servers.(machine) in
+  Server.snapshot s ~classes:(Server.classes s)
+
 let replicas t ~cls =
   match cls_state t cls with
   | None -> []
@@ -856,7 +1091,7 @@ let replicas t ~cls =
         (fun m ->
           let snapshot, _ = Server.snapshot t.servers.(m) ~classes:[ cls ] in
           let uids =
-            match snapshot with [ (_, (objs, _)) ] -> List.map Pobj.uid objs | _ -> []
+            match snapshot with [ (_, (objs, _, _)) ] -> List.map Pobj.uid objs | _ -> []
           in
           (m, uids))
         (operational_members t cs)

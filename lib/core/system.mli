@@ -141,6 +141,46 @@ val read_blocking_ttl :
 val read_del_blocking_ttl :
   t -> ttl:float -> machine:int -> Template.t -> on_done:(Pobj.t option -> unit) -> unit
 
+(** {1 Durability}
+
+    The durable subsystem ([lib/durable]) lives above this library, so
+    the system exposes a closure-based hook record instead of depending
+    on it. [Durable.Manager.attach] builds the hooks around per-machine
+    simulated disks and calls {!set_durability}. *)
+
+type durability = {
+  du_append : machine:int -> Server.msg -> resp:Pobj.t option -> float;
+      (** A replicated mutation was applied at [machine]: append it to
+          the WAL. [resp] is the server's response — for a [Remove],
+          the object actually removed, letting the log record the exact
+          uid rather than the (possibly higher-order) template. Returns
+          the disk time, charged into the delivering node's work
+          (serial-processor busy time). Called for [Store], marker ops,
+          and successful [Remove]s only. *)
+  du_crash : machine:int -> unit;
+      (** The machine crashed. Its disk survives; the handler may
+          damage the unsynced tail (["durable.crash.tail"]). *)
+  du_recover : machine:int -> Server.snapshot option;
+      (** The machine is recovering: replay checkpoint+log and return
+          the rebuilt state to pre-install before rejoin ([None] =
+          nothing durable). *)
+  du_resync : machine:int -> unit;
+      (** The machine's in-memory state was replaced outside the
+          replicated-operation stream (state-transfer install, class
+          evict): bring the durable image level with it, or a later
+          replay would resurrect superseded state. *)
+}
+
+val set_durability : t -> durability -> unit
+(** Attach the durability hooks (at most once).
+    @raise Invalid_argument on a second attachment. *)
+
+val durability_attached : t -> bool
+
+val server_snapshot : t -> machine:int -> Server.snapshot * int
+(** Snapshot of every class the machine's server currently holds, with
+    its encoded wire size — checkpoint support for the durable layer. *)
+
 (** {1 Faults} *)
 
 val crash : t -> machine:int -> unit

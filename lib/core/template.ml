@@ -24,6 +24,7 @@ let make ?where specs =
 
 let arity t = Array.length t.specs
 let specs t = Array.to_list t.specs
+let where_name t = Option.map fst t.where
 
 let spec t i =
   if i < 0 || i >= Array.length t.specs then invalid_arg "Template.spec: out of range";

@@ -29,6 +29,10 @@ val arity : t -> int
 val specs : t -> field_spec list
 val spec : t -> int -> field_spec
 
+val where_name : t -> string option
+(** Name of the [where] predicate, if any — the serialisable part of a
+    whole-object refinement (the closure itself has no wire form). *)
+
 val matches : t -> Pobj.t -> bool
 (** Arity equality, then all field specs, then the [where] predicate. *)
 

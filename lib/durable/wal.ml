@@ -1,0 +1,197 @@
+(* Per-machine write-ahead log + checkpoint manager over one simulated
+   {!Disk}.
+
+   Discipline:
+   - every replicated mutation is appended as one CRC-framed record
+     before the delivering operation completes (synchronous append —
+     an un-logged applied mutation can only arise from an armed
+     failpoint);
+   - a checkpoint serialises the server's full snapshot, is verified
+     by read-back, and only then truncates the log (a torn or dropped
+     checkpoint write leaves the previous image and the whole log in
+     place — recovery is then merely slower, never wrong);
+   - recovery is read-only: newest valid checkpoint, then replay of
+     every clean log frame, stopping at the first torn one. *)
+
+open Paso
+
+type t = {
+  fps : Sim.Failpoint.t;
+  machine : int;
+  disk : Disk.t;
+  mutable records_since : int; (* appends since the last durable checkpoint *)
+}
+
+let create ~fps ~machine ~disk = { fps; machine; disk; records_since = 0 }
+
+let disk t = t.disk
+let records_since_checkpoint t = t.records_since
+
+let append t rcd =
+  let bytes = Codec.encode_record rcd in
+  let full = String.length bytes in
+  (* Fault-injection site: a torn write loses the frame's tail — the
+     CRC turns it into a detectable torn log tail at recovery. *)
+  let written =
+    match Sim.Failpoint.hit t.fps ~site:"durable.wal.append" ~node:t.machine () with
+    | Sim.Failpoint.Drop -> ""
+    | Sim.Failpoint.Truncate k when k > 0 -> String.sub bytes 0 (max 0 (full - k))
+    | _ -> bytes
+  in
+  Disk.wal_append t.disk written;
+  t.records_since <- t.records_since + 1;
+  String.length written
+
+let verified bytes =
+  match Codec.read_frames bytes with [ _ ], `Clean -> true | _ -> false
+
+let checkpoint t snap =
+  let bytes = Codec.encode_snapshot snap in
+  let full = String.length bytes in
+  (* Fault-injection site: [Drop] models a silently failed write (the
+     stale checkpoint case), [Truncate] a torn one. Both are caught by
+     the read-back verification below, so neither ever truncates the
+     log out from under a bad image. *)
+  let written =
+    match Sim.Failpoint.hit t.fps ~site:"durable.checkpoint.write" ~node:t.machine () with
+    | Sim.Failpoint.Drop -> None
+    | Sim.Failpoint.Truncate k when k > 0 -> Some (String.sub bytes 0 (max 0 (full - k)))
+    | _ -> Some bytes
+  in
+  match written with
+  | Some w when verified w ->
+      Disk.set_checkpoint t.disk w;
+      Disk.wal_clear t.disk;
+      t.records_since <- 0;
+      String.length w
+  | Some _ | None -> 0
+
+let on_crash t =
+  (* Fault-injection site: the disk survives the crash, but an armed
+     handler may lose the unsynced WAL tail. *)
+  match Sim.Failpoint.hit t.fps ~site:"durable.crash.tail" ~node:t.machine () with
+  | Sim.Failpoint.Truncate k when k > 0 -> Disk.wal_truncate t.disk k
+  | Sim.Failpoint.Drop -> Disk.wal_clear t.disk
+  | _ -> ()
+
+(* --- recovery ----------------------------------------------------------- *)
+
+type recovery = {
+  r_snapshot : Server.snapshot;
+  r_objects : int;
+  r_replayed : int;
+  r_checkpoint_bytes : int;
+  r_log_bytes : int;
+  r_torn : bool;
+  r_bad_checkpoint : bool;
+}
+
+(* Replay state: per-class object sequence (reversed), marker list
+   (oldest first) and remove-tombstone set, mirroring [Server.handle]'s
+   mutation semantics — except removal, which the log records by exact
+   uid. Tombstones are evidence for the post-recovery reconciliation:
+   a replayed remove must survive even if the removed object's store
+   record predates the surviving checkpoint. *)
+type rstate = {
+  mutable classes : string list; (* first-seen, reversed *)
+  robjs : (string, Pobj.t list ref) Hashtbl.t;
+  rmarks : (string, Server.marker list ref) Hashtbl.t;
+  rtombs : (string, unit Uid.Tbl.t) Hashtbl.t;
+}
+
+let rs_class st cls =
+  if not (Hashtbl.mem st.robjs cls) then begin
+    st.classes <- cls :: st.classes;
+    Hashtbl.add st.robjs cls (ref []);
+    Hashtbl.add st.rmarks cls (ref []);
+    Hashtbl.add st.rtombs cls (Uid.Tbl.create 8)
+  end;
+  (Hashtbl.find st.robjs cls, Hashtbl.find st.rmarks cls)
+
+let rs_apply st = function
+  | Codec.R_store { cls; obj } ->
+      let objs, marks = rs_class st cls in
+      objs := obj :: !objs;
+      marks := List.filter (fun m -> not (Template.matches m.Server.mk_tmpl obj)) !marks
+  | Codec.R_remove { cls; uid } ->
+      let objs, _ = rs_class st cls in
+      objs := List.filter (fun o -> not (Uid.equal (Pobj.uid o) uid)) !objs;
+      Uid.Tbl.replace (Hashtbl.find st.rtombs cls) uid ()
+  | Codec.R_mark { cls; mid; machine; tmpl } ->
+      let _, marks = rs_class st cls in
+      if not (List.exists (fun m -> m.Server.mk_id = mid) !marks) then
+        marks :=
+          !marks @ [ { Server.mk_id = mid; mk_machine = machine; mk_tmpl = tmpl } ]
+  | Codec.R_cancel { cls; mid } ->
+      let _, marks = rs_class st cls in
+      marks := List.filter (fun m -> m.Server.mk_id <> mid) !marks
+
+let recover t =
+  let log = Disk.wal_contents t.disk in
+  let ckpt = Disk.checkpoint t.disk in
+  if ckpt = None && String.length log = 0 then None
+  else begin
+    let st =
+      {
+        classes = [];
+        robjs = Hashtbl.create 8;
+        rmarks = Hashtbl.create 8;
+        rtombs = Hashtbl.create 8;
+      }
+    in
+    let checkpoint_bytes, bad_checkpoint =
+      match ckpt with
+      | None -> (0, false)
+      | Some bytes -> (
+          match Codec.decode_snapshot bytes with
+          | snap ->
+              List.iter
+                (fun (cls, (objs, marks, tombs)) ->
+                  let o, m = rs_class st cls in
+                  o := List.rev objs;
+                  m := marks;
+                  let tt = Hashtbl.find st.rtombs cls in
+                  List.iter (fun u -> Uid.Tbl.replace tt u ()) tombs)
+                snap;
+              (String.length bytes, false)
+          | exception Codec.Corrupt _ -> (0, true))
+    in
+    let payloads, tail = Codec.read_frames log in
+    let replayed = ref 0 in
+    let torn = ref (tail <> `Clean) in
+    (try
+       List.iter
+         (fun payload ->
+           rs_apply st (Codec.decode_record_payload payload);
+           incr replayed)
+         payloads
+     with Codec.Corrupt _ -> torn := true);
+    t.records_since <- !replayed;
+    let snapshot =
+      List.sort compare st.classes
+      |> List.map (fun cls ->
+             let tombs =
+               Uid.Tbl.fold (fun u () acc -> u :: acc) (Hashtbl.find st.rtombs cls) []
+               |> List.sort Uid.compare
+             in
+             ( cls,
+               ( List.rev !(Hashtbl.find st.robjs cls),
+                 !(Hashtbl.find st.rmarks cls),
+                 tombs ) ))
+    in
+    let objects =
+      List.fold_left
+        (fun acc (_, (objs, _, _)) -> acc + List.length objs)
+        0 snapshot
+    in
+    Some
+      {
+        r_snapshot = snapshot;
+        r_objects = objects;
+        r_replayed = !replayed;
+        r_checkpoint_bytes = checkpoint_bytes;
+        r_log_bytes = String.length log;
+        r_torn = !torn;
+        r_bad_checkpoint = bad_checkpoint;
+      }
+  end

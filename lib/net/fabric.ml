@@ -52,7 +52,7 @@ let transmit t ~src ~dst ~size deliver =
   let extra =
     match Sim.Failpoint.hit t.fps ~site:"net.transmit" ~node:src ~aux:dst () with
     | Sim.Failpoint.Delay d when d > 0.0 -> d
-    | Sim.Failpoint.Delay _ | Sim.Failpoint.Nothing -> 0.0
+    | _ -> 0.0
   in
   match t.kind with
   | Shared bus -> Bus.transmit bus ~extra ~size deliver

@@ -6,7 +6,7 @@ type info = {
   fp_group : string;
 }
 
-type effect_ = Nothing | Delay of float
+type effect_ = Nothing | Delay of float | Truncate of int | Drop
 
 type arming = {
   mutable skip : int;

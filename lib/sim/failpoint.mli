@@ -31,7 +31,17 @@
       before any protocol action (node = issuing machine, aux = op id);
       crashing the node here crashes it between issue and return
     - ["check.step"] — test-only: hit by the [Check] schedule runner
-      before each schedule step. *)
+      before each schedule step
+    - ["durable.wal.append"] — a WAL record is about to be made durable
+      (node = machine); [Truncate k] models a torn write: the last [k]
+      bytes of the framed record never reach the disk
+    - ["durable.checkpoint.write"] — a checkpoint is about to be
+      written (node = machine); [Drop] models a silently failed write
+      (the old checkpoint and the untruncated log remain), [Truncate k]
+      a torn checkpoint caught by read-back verification
+    - ["durable.crash.tail"] — a machine with a durable disk is
+      crashing (node = machine); [Truncate k] loses the last [k] bytes
+      of the WAL (unsynced tail), [Drop] loses the whole log. *)
 
 type info = {
   fp_site : string;
@@ -41,7 +51,13 @@ type info = {
   fp_group : string;  (** group or class involved, or "" *)
 }
 
-type effect_ = Nothing | Delay of float
+type effect_ =
+  | Nothing
+  | Delay of float
+  | Truncate of int
+      (** site-specific: at [durable.*] sites, lose the last [k] bytes
+          of the datum being written (torn write / unsynced tail) *)
+  | Drop  (** site-specific: suppress the write entirely *)
 
 type t
 

@@ -5,6 +5,7 @@ type ('msg, 'resp, 'state) callbacks = {
   deliver : node:int -> group:string -> from:int -> 'msg -> 'resp option * float;
   resp_size : 'resp option -> int;
   state_of : node:int -> group:string -> 'state * int;
+  state_delta : node:int -> group:string -> joiner:int -> ('state * int * int) option;
   install_state : node:int -> group:string -> 'state -> unit;
   on_view : node:int -> View.t -> unit;
   on_evict : node:int -> group:string -> unit;
@@ -201,7 +202,7 @@ let notify_view t g ~extra =
       match Sim.Failpoint.hit t.fps ~site:"vsync.view.notify" ~node:m ~group:g.gname () with
       | Sim.Failpoint.Delay d when d > 0.0 ->
           ignore (Sim.Engine.schedule t.eng ~delay:d send)
-      | Sim.Failpoint.Delay _ | Sim.Failpoint.Nothing -> send ())
+      | _ -> send ())
     targets
 
 (* --- the per-group op pump --------------------------------------------- *)
@@ -350,23 +351,41 @@ and exec_join t g ~node ~on_done =
   end
   else begin
     let donor = IntSet.min_elt g.members in
-    let state, size = t.cbs.state_of ~node:donor ~group:g.gname in
-    Sim.Stats.add_to t.vstats.a_state_bytes (float_of_int size);
-    tracef t "join node %d -> %s: state transfer %d bytes from donor %d" node g.gname
-      size donor;
-    g.joining <- Some node;
-    send_to t ~src:donor ~dst:node ~size (fun () ->
-        t.cbs.install_state ~node ~group:g.gname state;
-        g.members <- IntSet.add node g.members;
-        notify_view t g ~extra:None;
-        on_done ();
-        finish t g);
-    (* The snapshot is on the wire: a handler crashing the donor now
-       tests that the in-flight transfer still saves the state; one
-       crashing the joiner too makes the snapshot the last copy. *)
-    ignore
-      (Sim.Failpoint.hit t.fps ~site:"vsync.join.transfer" ~node:donor ~aux:node
-         ~group:g.gname ())
+    let ship ~size state =
+      g.joining <- Some node;
+      send_to t ~src:donor ~dst:node ~size (fun () ->
+          t.cbs.install_state ~node ~group:g.gname state;
+          g.members <- IntSet.add node g.members;
+          notify_view t g ~extra:None;
+          on_done ();
+          finish t g);
+      (* The snapshot is on the wire: a handler crashing the donor now
+         tests that the in-flight transfer still saves the state; one
+         crashing the joiner too makes the snapshot the last copy. *)
+      ignore
+        (Sim.Failpoint.hit t.fps ~site:"vsync.join.transfer" ~node:donor ~aux:node
+           ~group:g.gname ())
+    in
+    match t.cbs.state_delta ~node:donor ~group:g.gname ~joiner:node with
+    | Some (state, basis_size, delta_size) ->
+        (* Delta reconciliation: the joiner first ships its basis (the
+           uids it already holds, recovered from durable storage) to
+           the donor, which answers with the delta. Both legs pay bus
+           cost; as with ordering (see the substitution note), the
+           basis is computed against the donor's exec-time state — the
+           group op pump serialises it against other group traffic. *)
+        Sim.Stats.add_to t.vstats.a_state_bytes
+          (float_of_int (basis_size + delta_size));
+        tracef t "join node %d -> %s: delta transfer %d+%d bytes from donor %d" node
+          g.gname basis_size delta_size donor;
+        send_raw t ~src:node ~dst:donor ~size:basis_size (fun () -> ());
+        ship ~size:delta_size state
+    | None ->
+        let state, size = t.cbs.state_of ~node:donor ~group:g.gname in
+        Sim.Stats.add_to t.vstats.a_state_bytes (float_of_int size);
+        tracef t "join node %d -> %s: state transfer %d bytes from donor %d" node
+          g.gname size donor;
+        ship ~size state
   end
 
 and exec_leave t g ~node ~on_done =

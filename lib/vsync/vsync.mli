@@ -41,9 +41,16 @@ type ('msg, 'resp, 'state) callbacks = {
   state_of : node:int -> group:string -> 'state * int;
       (** Snapshot the group-relevant state of a donor node, with its
           wire size in bytes. *)
+  state_delta : node:int -> group:string -> joiner:int -> ('state * int * int) option;
+      (** Delta reconciliation (durable recovery): when the joiner
+          already holds recovered state, return
+          [(delta_state, basis_bytes, delta_bytes)] — the joiner then
+          pays a [basis_bytes] message to the donor and receives
+          [delta_bytes] instead of the full snapshot. [None] selects
+          the ordinary {!state_of} full transfer. *)
   install_state : node:int -> group:string -> 'state -> unit;
-      (** Install a snapshot at a joining node, before it observes any
-          group traffic. *)
+      (** Install a snapshot (full or delta) at a joining node, before
+          it observes any group traffic. *)
   on_view : node:int -> View.t -> unit;
       (** A new view was installed at [node]. *)
   on_evict : node:int -> group:string -> unit;

@@ -21,7 +21,7 @@ let periodic ~n ~lambda ~horizon ~period ~down_time =
   done;
   List.sort (fun a b -> compare a.at b.at) !faults
 
-let random rng ~n ~lambda ~horizon ~mtbf ~mttr =
+let random ?(over_lambda = `Skip) rng ~n ~lambda ~horizon ~mtbf ~mttr =
   if n < 1 || mtbf <= 0.0 || mttr <= 0.0 then invalid_arg "Faultgen.random";
   let faults = ref [] in
   let up_again = Array.make n 0.0 in
@@ -31,27 +31,58 @@ let random rng ~n ~lambda ~horizon ~mtbf ~mttr =
     t := !t +. Sim.Rng.exponential rng ~mean:mtbf;
     if !t >= horizon then continue := false
     else begin
-      let down_now = Array.exists (fun u -> u > !t) up_again in
       let down_count =
         Array.fold_left (fun acc u -> if u > !t then acc + 1 else acc) 0 up_again
       in
-      ignore down_now;
-      if down_count < lambda then begin
-        let live =
-          List.filter (fun m -> up_again.(m) <= !t) (List.init n Fun.id)
-        in
-        match live with
-        | [] -> ()
-        | _ ->
-            let m = List.nth live (Sim.Rng.int rng (List.length live)) in
-            let dt = Sim.Rng.exponential rng ~mean:mttr in
-            up_again.(m) <- !t +. dt;
-            faults := { at = !t; action = `Crash m } :: !faults;
-            faults := { at = !t +. dt; action = `Recover m } :: !faults
-      end
+      (* A crash arriving with λ machines already down would exceed the
+         fault model. [`Skip] drops it; [`Defer] holds it until enough
+         recoveries have passed that one more crash is legal again —
+         the minimum pending [up_again] instant(s) — modelling a fault
+         process that pressures the bound instead of respecting it. *)
+      let legal_at =
+        if down_count < lambda then Some !t
+        else if over_lambda = `Skip || lambda = 0 then None
+        else begin
+          let pending =
+            List.sort compare
+              (List.filter (fun u -> u > !t) (Array.to_list up_again))
+          in
+          (* after the (down - λ + 1)-th recovery, λ - 1 remain down *)
+          Some (List.nth pending (down_count - lambda))
+        end
+      in
+      match legal_at with
+      | None -> ()
+      | Some at ->
+          t := at;
+          if !t < horizon then begin
+            let live =
+              List.filter (fun m -> up_again.(m) <= !t) (List.init n Fun.id)
+            in
+            match live with
+            | [] -> ()
+            | _ ->
+                let m = List.nth live (Sim.Rng.int rng (List.length live)) in
+                let dt = Sim.Rng.exponential rng ~mean:mttr in
+                up_again.(m) <- !t +. dt;
+                faults := { at = !t; action = `Crash m } :: !faults;
+                faults := { at = !t +. dt; action = `Recover m } :: !faults
+          end
+          else continue := false
     end
   done;
   List.sort (fun a b -> compare a.at b.at) !faults
+
+let blackout ~n ~at ~outage ?(stagger = 0.0) () =
+  if n < 1 || at < 0.0 || outage <= 0.0 || stagger < 0.0 then
+    invalid_arg "Faultgen.blackout";
+  List.concat
+    (List.init n (fun m ->
+         [
+           { at; action = `Crash m };
+           { at = at +. outage +. (float_of_int m *. stagger); action = `Recover m };
+         ]))
+  |> List.sort (fun a b -> compare a.at b.at)
 
 let apply sys faults =
   let eng = Paso.System.engine sys in

@@ -11,6 +11,7 @@ val periodic :
     λ simultaneous failures. Sorted by time. *)
 
 val random :
+  ?over_lambda:[ `Skip | `Defer ] ->
   Sim.Rng.t ->
   n:int ->
   lambda:int ->
@@ -20,8 +21,19 @@ val random :
   fault list
 (** Poisson-ish crashes: exponential inter-crash times with mean
     [mtbf] across the ensemble; each down for an exponential time of
-    mean [mttr]. At most λ down at once (crashes that would exceed λ
-    are skipped). Sorted by time. *)
+    mean [mttr]. At most λ down at once, under either treatment of a
+    crash arriving with λ machines already down: [`Skip] (default)
+    drops it, [`Defer] queues it to the next legal instant — the
+    pending recovery that brings the down count back under λ —
+    modelling a fault process that pressures the bound. Sorted by
+    time. *)
+
+val blackout : n:int -> at:float -> outage:float -> ?stagger:float -> unit -> fault list
+(** Total blackout, deliberately beyond any λ: every machine crashes
+    at [at]; machine [m] recovers at [at + outage + m·stagger]
+    ([stagger] defaults to 0). The scenario behind the durable
+    recovery path — without {!Durable}, it loses every stored
+    object. *)
 
 val apply : Paso.System.t -> fault list -> unit
 (** Schedule every fault on the system's engine (call before running). *)

@@ -121,6 +121,7 @@ let test_send_direct () =
       Vsync.deliver = (fun ~node:_ ~group:_ ~from:_ () -> (None, 0.0));
       resp_size = (fun _ -> 0);
       state_of = (fun ~node:_ ~group:_ -> ((), 0));
+      state_delta = (fun ~node:_ ~group:_ ~joiner:_ -> None);
       install_state = (fun ~node:_ ~group:_ () -> ());
       on_view = (fun ~node:_ _ -> ());
       on_evict = (fun ~node:_ ~group:_ -> ());

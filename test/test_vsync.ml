@@ -36,6 +36,7 @@ let make ?(n = 5) ?(work_per_msg = 0.0) () =
           (Some (Printf.sprintf "%d:%s" node msg), work_per_msg));
       resp_size = (function None -> 0 | Some s -> String.length s);
       state_of = (fun ~node ~group:_ -> (List.rev logs.(node), 8 * List.length logs.(node)));
+      state_delta = (fun ~node:_ ~group:_ ~joiner:_ -> None);
       install_state =
         (fun ~node ~group:_ state -> logs.(node) <- List.rev state);
       on_view = (fun ~node v -> views_seen := (node, v) :: !views_seen);

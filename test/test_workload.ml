@@ -123,6 +123,80 @@ let test_random_faults_respect_lambda () =
     faults;
   Alcotest.(check bool) "at most lambda down" true (!max_down <= 2)
 
+(* Replay a fault list, returning (max simultaneous down, crash count). *)
+let fault_profile faults =
+  let down = Hashtbl.create 8 in
+  let max_down = ref 0 in
+  let crashes = ref 0 in
+  List.iter
+    (fun f ->
+      (match f.Workload.Faultgen.action with
+      | `Crash m ->
+          incr crashes;
+          Hashtbl.replace down m ()
+      | `Recover m -> Hashtbl.remove down m);
+      max_down := max !max_down (Hashtbl.length down))
+    faults;
+  (!max_down, !crashes)
+
+let test_random_faults_defer () =
+  (* A fault process far hotter than the repair rate (mtbf ≪ mttr):
+     [`Skip] drops most arrivals, [`Defer] queues them — same bound,
+     more crashes. Same seed for a paired comparison. *)
+  let gen over_lambda =
+    Workload.Faultgen.random ~over_lambda (Sim.Rng.make 13) ~n:8 ~lambda:2
+      ~horizon:100000.0 ~mtbf:500.0 ~mttr:20000.0
+  in
+  let skip_down, skip_crashes = fault_profile (gen `Skip) in
+  let defer_down, defer_crashes = fault_profile (gen `Defer) in
+  Alcotest.(check bool) "skip respects λ" true (skip_down <= 2);
+  Alcotest.(check bool) "defer respects λ" true (defer_down <= 2);
+  Alcotest.(check bool) "both modes crash" true (skip_crashes > 0 && defer_crashes > 0);
+  (* a deferred crash lands exactly at the recovery instant that makes
+     it legal — the signature [`Skip] can (almost surely) never show,
+     since its crash times are raw exponential arrivals *)
+  let coincident faults =
+    let recoveries =
+      List.filter_map
+        (fun f ->
+          match f.Workload.Faultgen.action with
+          | `Recover _ -> Some f.Workload.Faultgen.at
+          | `Crash _ -> None)
+        faults
+    in
+    List.exists
+      (fun f ->
+        match f.Workload.Faultgen.action with
+        | `Crash _ -> List.mem f.Workload.Faultgen.at recoveries
+        | `Recover _ -> false)
+      faults
+  in
+  Alcotest.(check bool) "defer queues to recovery instants" true (coincident (gen `Defer));
+  Alcotest.(check bool) "skip never does" false (coincident (gen `Skip));
+  (* still sorted, still paired *)
+  let faults = gen `Defer in
+  Alcotest.(check bool) "sorted" true
+    (List.for_all2
+       (fun a b -> a.Workload.Faultgen.at <= b.Workload.Faultgen.at)
+       (List.filteri (fun i _ -> i < List.length faults - 1) faults)
+       (List.tl faults))
+
+let test_blackout_schedule () =
+  let faults = Workload.Faultgen.blackout ~n:4 ~at:1000.0 ~outage:500.0 ~stagger:10.0 () in
+  let max_down, crashes = fault_profile faults in
+  Alcotest.(check int) "all machines crash" 4 crashes;
+  Alcotest.(check int) "total blackout" 4 max_down;
+  List.iter
+    (fun f ->
+      match f.Workload.Faultgen.action with
+      | `Crash _ -> Alcotest.(check (float 0.0)) "simultaneous crash" 1000.0 f.Workload.Faultgen.at
+      | `Recover m ->
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "staggered recovery %d" m)
+            (1500.0 +. (10.0 *. float_of_int m))
+            f.Workload.Faultgen.at)
+    faults
+
 let test_apply_faults_to_system () =
   let sys = Paso.System.create { Paso.System.default_config with n = 6; lambda = 2 } in
   Workload.Faultgen.apply sys
@@ -192,6 +266,8 @@ let () =
         [
           Alcotest.test_case "periodic schedule" `Quick test_periodic_faults;
           Alcotest.test_case "random respects lambda" `Quick test_random_faults_respect_lambda;
+          Alcotest.test_case "defer queues over-λ crashes" `Quick test_random_faults_defer;
+          Alcotest.test_case "blackout schedule" `Quick test_blackout_schedule;
           Alcotest.test_case "apply to system" `Quick test_apply_faults_to_system;
         ] );
       ( "live_driver",
