@@ -23,7 +23,23 @@ let mix_json (r : Mix.result) =
       ("events", J.Num (float_of_int r.Mix.events));
       ("msgs_per_op", J.Num (Mix.msgs_per_op r));
       ("msg_cost_per_op", J.Num (Mix.msg_cost_per_op r));
+      ("frames", J.Num (float_of_int r.Mix.frames));
+      ("p99_sim_latency", J.Num r.Mix.p99_latency);
       ("alloc_mb", J.Num (r.Mix.alloc_bytes /. 1.048576e6));
+    ]
+
+(* A sweep row: simulation metrics only (no wall clock), so the same
+   config produces byte-identical JSON on 1 domain or N. *)
+let sim_json (s : Mix.sim_result) =
+  J.Obj
+    [
+      ("ops", J.Num (float_of_int s.Mix.s_ops));
+      ("events", J.Num (float_of_int s.Mix.s_events));
+      ("msgs", J.Num (float_of_int s.Mix.s_msgs));
+      ("frames", J.Num (float_of_int s.Mix.s_frames));
+      ("msgs_per_op", J.Num (Mix.sim_msgs_per_op s));
+      ("msg_cost_per_op", J.Num (Mix.sim_msg_cost_per_op s));
+      ("p99_sim_latency", J.Num s.Mix.s_p99_latency);
     ]
 
 let table_row_json ~n ~classes (r : Mix.result) =

@@ -1,7 +1,9 @@
-(* The E8 operation mix, shared between the E8 experiment table and the
-   perf baseline harness (bench/perf.ml): a uniform insert/read/take
-   blend over [classes] head-tagged classes on an [n]-machine ensemble,
-   pumped in batches of 64 issues.
+(* The E8 operation mix, shared between the E8 experiment table, the
+   perf baseline harness (bench/perf.ml) and the parallel sweep runner
+   (bench/sweep.ml): a uniform insert/read/take blend over [classes]
+   head-tagged classes on an [n]-machine ensemble, pumped in batches
+   of 64 issues. [?batch] threads a [Net.Batch.cfg] into the system —
+   the gcast batching/coalescing layer — for on/off comparisons.
 
    Timing uses the monotonic clock (bechamel's CLOCK_MONOTONIC binding),
    never [Unix.gettimeofday]: the wall-clock numbers feed a CI
@@ -12,12 +14,27 @@
 
 open Paso
 
+(* Deterministic (wall-clock-free) metrics of one run: everything here
+   is a pure function of the configuration, so the sweep runner can
+   emit identical per-config JSON no matter how runs are partitioned
+   over domains. *)
+type sim_result = {
+  s_ops : int;
+  s_events : int;
+  s_msgs : int;
+  s_frames : int;
+  s_msg_cost : float;
+  s_p99_latency : float;  (* 99th-percentile op latency, sim time *)
+}
+
 type result = {
   ops : int;
-  wall_s : float;  (* median over repetitions, monotonic *)
+  wall_s : float;  (* minimum over repetitions, monotonic *)
   events : int;
   msgs : int;
+  frames : int;
   msg_cost : float;
+  p99_latency : float;
   alloc_bytes : float;  (* Gc.allocated_bytes delta of the median-adjacent run *)
 }
 
@@ -28,8 +45,25 @@ let median xs =
   | [] -> invalid_arg "Mix.median: empty"
   | sorted -> List.nth sorted (List.length sorted / 2)
 
-let run_once ~n ~lambda ~classes ~ops =
-  let sys = System.create { System.default_config with n; lambda } in
+(* p99 of completed-op latency in virtual time, from the recorded
+   history (issue → return). Deterministic: no clock involved. *)
+let p99_of_history h =
+  let lats =
+    List.filter_map
+      (fun r ->
+        match r.History.ret_time with
+        | Some ret -> Some (ret -. r.History.issue)
+        | None -> None)
+      (History.records h)
+  in
+  match List.sort compare lats with
+  | [] -> 0.0
+  | sorted ->
+      let n = List.length sorted in
+      List.nth sorted (min (n - 1) (n * 99 / 100))
+
+let run_once ?batch ~n ~lambda ~classes ~ops () =
+  let sys = System.create { System.default_config with n; lambda; batch } in
   let rng = Sim.Rng.make 99 in
   let heads = Array.init classes (fun i -> Printf.sprintf "c%d" i) in
   let a0 = Gc.allocated_bytes () in
@@ -58,29 +92,47 @@ let run_once ~n ~lambda ~classes ~ops =
   let stats = System.stats sys in
   ( wall,
     alloc,
-    Sim.Stats.count stats "net.msgs",
-    Sim.Stats.total stats "net.msg_cost",
-    Sim.Engine.events_executed (System.engine sys) )
+    {
+      s_ops = ops;
+      s_events = Sim.Engine.events_executed (System.engine sys);
+      s_msgs = Sim.Stats.count stats "net.msgs";
+      s_frames = Sim.Stats.count stats "net.frames";
+      s_msg_cost = Sim.Stats.total stats "net.msg_cost";
+      s_p99_latency = p99_of_history (System.history sys);
+    } )
 
-let measure ?(warmup = 1) ?(reps = 3) ~n ~lambda ~classes ~ops () =
+(* Simulation-only entry point for the sweep runner: no warmup, no
+   repetitions, no wall numbers — the result is a pure function of the
+   arguments. *)
+let run_sim ?batch ~n ~lambda ~classes ~ops () =
+  let _, _, s = run_once ?batch ~n ~lambda ~classes ~ops () in
+  s
+
+let measure ?(warmup = 1) ?(reps = 3) ?batch ~n ~lambda ~classes ~ops () =
   (* Shed whatever heap the caller (e.g. the kernel suite running
      before the mix in perf.exe) left behind: a large fragmented major
      heap measurably depresses the mix and would make the number depend
      on what ran first. *)
   Gc.compact ();
   for _ = 1 to warmup do
-    ignore (run_once ~n ~lambda ~classes ~ops)
+    ignore (run_once ?batch ~n ~lambda ~classes ~ops ())
   done;
-  let runs = List.init reps (fun _ -> run_once ~n ~lambda ~classes ~ops) in
-  let walls = List.map (fun (w, _, _, _, _) -> w) runs in
-  let allocs = List.map (fun (_, a, _, _, _) -> a) runs in
-  let _, _, msgs, msg_cost, events = List.hd runs in
+  let runs = List.init reps (fun _ -> run_once ?batch ~n ~lambda ~classes ~ops ()) in
+  let walls = List.map (fun (w, _, _) -> w) runs in
+  let allocs = List.map (fun (_, a, _) -> a) runs in
+  let _, _, s = List.hd runs in
   {
     ops;
-    wall_s = median walls;
-    events;
-    msgs;
-    msg_cost;
+    (* Minimum, not median: preemption and frequency noise is strictly
+       additive, so the fastest rep is the closest to the mix's true
+       cost — and the only estimator stable enough for a 25% CI gate
+       on small [reps] (see the same argument at [time_kernel]). *)
+    wall_s = List.fold_left Float.min Float.infinity walls;
+    events = s.s_events;
+    msgs = s.s_msgs;
+    frames = s.s_frames;
+    msg_cost = s.s_msg_cost;
+    p99_latency = s.s_p99_latency;
     alloc_bytes = median allocs;
   }
 
@@ -88,3 +140,5 @@ let ops_per_s r = float_of_int r.ops /. Float.max 1e-12 r.wall_s
 let events_per_s r = float_of_int r.events /. Float.max 1e-12 r.wall_s
 let msgs_per_op r = float_of_int r.msgs /. float_of_int r.ops
 let msg_cost_per_op r = r.msg_cost /. float_of_int r.ops
+let sim_msgs_per_op s = float_of_int s.s_msgs /. float_of_int s.s_ops
+let sim_msg_cost_per_op s = s.s_msg_cost /. float_of_int s.s_ops

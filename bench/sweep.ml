@@ -1,0 +1,175 @@
+(* Parallel sweep runner: fan deterministic simulations across OCaml 5
+   domains.
+
+   Two modes:
+
+   - [--mode bench] (default): the E11 grid — the E8 operation mix at
+     n ∈ {8,16,32,64}, batching off and on — one [Mix.run_sim] per
+     cell. Rows carry simulation metrics only (ops, msgs, frames, msg
+     cost, p99 sim latency): everything in [--out] is a pure function
+     of the config, never of the wall clock or the partitioning.
+
+   - [--mode fuzz]: a [Check.Fuzz] campaign, one [Fuzz.run_one] per
+     schedule index. Each row records the schedule's config label,
+     trace digest and any invariant violations; the process exits 1 if
+     any schedule violated an invariant (so CI can run the durable
+     fault matrix through this runner directly).
+
+   Partitioning is deterministic: task [i] runs on domain [i mod D],
+   and rows are reassembled in index order before emission — so the
+   [--out] JSON is byte-identical for any [--domains] value (pinned by
+   test_sweep). Per-domain wall timing is the only
+   partitioning-dependent output and goes to the separate [--timing]
+   artifact, never into [--out]. *)
+
+module J = Check.Json
+
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+(* Run [total] tasks over [domains] domains, task [i] on domain
+   [i mod D]. Returns the rows in index order plus per-domain timing.
+   [run] must be safe to call from several domains at once: every
+   simulation is self-contained (no shared mutable state), which is
+   what makes this partition sound. *)
+let run_tasks ~domains ~total run =
+  let slice d =
+    let t0 = now_s () in
+    let rows = ref [] in
+    let i = ref d in
+    while !i < total do
+      rows := (!i, run !i) :: !rows;
+      i := !i + domains
+    done;
+    (!rows, List.length !rows, now_s () -. t0)
+  in
+  let spawned = List.init (domains - 1) (fun k -> Domain.spawn (fun () -> slice (k + 1))) in
+  let joined = slice 0 :: List.map Domain.join spawned in
+  let out = Array.make (max total 1) J.Null in
+  List.iter (fun (rows, _, _) -> List.iter (fun (i, row) -> out.(i) <- row) rows) joined;
+  let timing =
+    List.mapi
+      (fun d (_, tasks, wall) ->
+        J.Obj
+          [
+            ("domain", J.Num (float_of_int d));
+            ("tasks", J.Num (float_of_int tasks));
+            ("wall_s", J.Num wall);
+          ])
+      joined
+  in
+  (Array.to_list (Array.sub out 0 total), timing)
+
+(* --mode bench: the E11 grid. *)
+
+let bench_grid ~lambda ~classes ~ops =
+  List.concat_map (fun n -> [ (n, false); (n, true) ]) [ 8; 16; 32; 64 ]
+  |> List.map (fun (n, batched) -> (n, batched, lambda, classes, ops))
+
+let bench_row (n, batched, lambda, classes, ops) =
+  let batch = if batched then Some (Net.Batch.cfg ()) else None in
+  let s = Mix.run_sim ?batch ~n ~lambda ~classes ~ops () in
+  match Bench_json.sim_json s with
+  | J.Obj fields ->
+      J.Obj
+        (("n", J.Num (float_of_int n))
+        :: ("lambda", J.Num (float_of_int lambda))
+        :: ("classes", J.Num (float_of_int classes))
+        :: ("batching", J.Bool batched)
+        :: fields)
+  | j -> j
+
+(* --mode fuzz: a Check.Fuzz campaign, one row per schedule. *)
+
+let fuzz_row ~configs ~seed i =
+  let config, _steps, outcome = Check.Fuzz.run_one ~configs ~seed i in
+  J.Obj
+    [
+      ("index", J.Num (float_of_int i));
+      ("config", J.Str (Check.Schedule.label config));
+      ("seed", J.Num (float_of_int config.Check.Schedule.seed));
+      ("ops", J.Num (float_of_int outcome.Check.Runner.ops));
+      ("completed", J.Num (float_of_int outcome.Check.Runner.completed));
+      ("final_time", J.Num outcome.Check.Runner.final_time);
+      ("trace_digest", J.Str outcome.Check.Runner.trace_digest);
+      ( "violations",
+        J.Arr
+          (List.map
+             (fun v -> J.Str v.Check.Invariants.inv)
+             outcome.Check.Runner.violations) );
+    ]
+
+let violation_count rows =
+  List.fold_left
+    (fun acc row ->
+      match J.get row "violations" with Some (J.Arr vs) -> acc + List.length vs | _ -> acc)
+    0 rows
+
+let emit ~path j =
+  let s = J.pretty j ^ "\n" in
+  if path = "-" then print_string s else Bench_json.save path j
+
+let () =
+  let mode = ref "bench" in
+  let domains = ref 1 in
+  let out = ref "-" in
+  let timing = ref "" in
+  let ops = ref 3000 in
+  let lambda = ref 2 in
+  let classes = ref 8 in
+  let schedules = ref 200 in
+  let seed = ref 7 in
+  let durable_only = ref false in
+  let spec =
+    [
+      ("--mode", Arg.Symbol ([ "bench"; "fuzz" ], fun m -> mode := m), " sweep kind (default bench)");
+      ("--domains", Arg.Set_int domains, "D parallel domains (default 1; output identical for any D)");
+      ("--out", Arg.Set_string out, "FILE result JSON ('-' = stdout, default)");
+      ("--timing", Arg.Set_string timing, "FILE per-domain wall-timing artifact (optional)");
+      ("--ops", Arg.Set_int ops, "N ops per bench cell (default 3000)");
+      ("--lambda", Arg.Set_int lambda, "L replication degree for bench cells (default 2)");
+      ("--classes", Arg.Set_int classes, "C distinct classes in the mix (default 8)");
+      ("--schedules", Arg.Set_int schedules, "N fuzz schedules (default 200)");
+      ("--seed", Arg.Set_int seed, "S fuzz campaign seed (default 7)");
+      ("--durable", Arg.Set durable_only, " fuzz only the durable configs of the matrix");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "sweep.exe: deterministic multi-domain bench/fuzz sweep";
+  if !domains < 1 then failwith "--domains must be >= 1";
+  let rows, timing_rows =
+    match !mode with
+    | "bench" ->
+        let grid = bench_grid ~lambda:!lambda ~classes:!classes ~ops:!ops in
+        run_tasks ~domains:!domains ~total:(List.length grid) (fun i ->
+            bench_row (List.nth grid i))
+    | _ ->
+        let configs =
+          let m = Check.Fuzz.matrix () in
+          if !durable_only then List.filter (fun c -> c.Check.Schedule.durable) m else m
+        in
+        run_tasks ~domains:!domains ~total:!schedules (fun i ->
+            fuzz_row ~configs ~seed:!seed i)
+  in
+  emit ~path:!out
+    (J.Obj
+       [
+         ("version", J.Num 1.0);
+         ("mode", J.Str !mode);
+         ("rows", J.Arr rows);
+       ]);
+  if !timing <> "" then
+    Bench_json.save !timing
+      (J.Obj
+         [
+           ("domains", J.Num (float_of_int !domains));
+           ("per_domain", J.Arr timing_rows);
+         ]);
+  if !mode = "fuzz" then begin
+    let v = violation_count rows in
+    if v > 0 then begin
+      Printf.eprintf "sweep: %d invariant violation(s) across %d schedules\n%!" v !schedules;
+      exit 1
+    end
+    else Printf.eprintf "sweep: %d schedules clean\n%!" !schedules
+  end

@@ -36,6 +36,36 @@ let q_arg =
 let length_arg =
   Arg.(value & opt int 2000 & info [ "length"; "ops" ] ~doc:"Request-sequence length.")
 
+(* Gcast batching knobs, shared by run and check. All-zero (the
+   default) keeps batching off; any non-zero flag enables it, with the
+   zero knobs taking the Net.Batch defaults (16 ops / 4096 B / 500). *)
+let batch_ops_arg =
+  Arg.(value & opt int 0
+       & info [ "batch-ops" ] ~docv:"K"
+           ~doc:"Gcast batching: cut a frame after K operations (0 = default cap; \
+                 batching stays off unless some --batch-* flag is non-zero).")
+
+let batch_bytes_arg =
+  Arg.(value & opt int 0
+       & info [ "batch-bytes" ] ~docv:"B"
+           ~doc:"Gcast batching: cut a frame past B payload bytes (0 = default cap).")
+
+let batch_hold_arg =
+  Arg.(value & opt float 0.0
+       & info [ "batch-hold" ] ~docv:"D"
+           ~doc:"Gcast batching: flush a frame at most D time units after its first \
+                 operation (0 = default hold window).")
+
+let batch_cfg ~ops ~bytes ~hold =
+  if ops = 0 && bytes = 0 && hold = 0.0 then None
+  else
+    Some
+      (Net.Batch.cfg
+         ?max_ops:(if ops > 0 then Some ops else None)
+         ?max_bytes:(if bytes > 0 then Some bytes else None)
+         ?hold:(if hold > 0.0 then Some hold else None)
+         ())
+
 (* --- run ------------------------------------------------------------------ *)
 
 let storage_conv =
@@ -88,7 +118,7 @@ let run_cmd =
                    Machines are assigned round-robin; inter-cluster messages cost 20x.")
   in
   let go n lambda seed k storage policy workload read_frac length faults trace eager
-      repair wan =
+      repair wan batch_ops batch_bytes batch_hold =
     let topology =
       if wan <= 0 then Paso.System.Lan
       else
@@ -120,6 +150,7 @@ let run_cmd =
           eager_reads = eager;
           repair;
           topology;
+          batch = batch_cfg ~ops:batch_ops ~bytes:batch_bytes ~hold:batch_hold;
         }
     in
     let rng = Sim.Rng.make seed in
@@ -145,6 +176,12 @@ let run_cmd =
       o.Workload.Live_driver.ops_skipped;
     Printf.printf "messages     %d\n" o.Workload.Live_driver.messages;
     Printf.printf "msg cost     %.0f\n" o.Workload.Live_driver.msg_cost;
+    if batch_ops > 0 || batch_bytes > 0 || batch_hold > 0.0 then
+      Printf.printf "batching     %d batches (%d ops piggybacked), %d frames, %d cuts\n"
+        (Sim.Stats.count (Paso.System.stats sys) "vsync.batches")
+        (Sim.Stats.count (Paso.System.stats sys) "vsync.batched_ops")
+        (Sim.Stats.count (Paso.System.stats sys) "net.frames")
+        (Sim.Stats.count (Paso.System.stats sys) "vsync.batch_cuts");
     Printf.printf "server work  %.1f\n" o.Workload.Live_driver.work;
     Printf.printf "makespan     %.0f\n" o.Workload.Live_driver.makespan;
     Printf.printf "crashes      %d, recoveries %d\n"
@@ -173,7 +210,8 @@ let run_cmd =
   in
   let term =
     Term.(const go $ n_arg $ lambda_arg $ seed_arg $ k_arg $ storage $ policy $ workload
-          $ read_frac $ length_arg $ faults $ trace $ eager $ repair $ wan)
+          $ read_frac $ length_arg $ faults $ trace $ eager $ repair $ wan
+          $ batch_ops_arg $ batch_bytes_arg $ batch_hold_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Drive a live simulated PASO system with a workload.") term
 
@@ -401,7 +439,7 @@ let check_cmd =
         end
   in
   let do_campaign n lambda seed schedules use_matrix classing storage policy coalesce
-      eager durable wan repair out use_shrink arms =
+      eager durable wan repair batch_ops batch_bytes batch_hold out use_shrink arms =
     let configs =
       if use_matrix then Check.Fuzz.matrix ~n ~lambda ()
       else
@@ -423,7 +461,17 @@ let check_cmd =
     let configs =
       List.map
         (fun c ->
-          { c with Check.Schedule.arms; durable = durable || c.Check.Schedule.durable })
+          let c =
+            { c with Check.Schedule.arms; durable = durable || c.Check.Schedule.durable }
+          in
+          (* like --durable: with --matrix, force batching onto every
+             configuration that doesn't already set its own knobs *)
+          if
+            (batch_ops > 0 || batch_bytes > 0 || batch_hold > 0.0)
+            && not (Check.Schedule.batching c)
+          then
+            { c with Check.Schedule.batch_ops = batch_ops; batch_bytes; batch_hold }
+          else c)
         configs
     in
     let failures =
@@ -465,20 +513,21 @@ let check_cmd =
         exit 1
   in
   let go n lambda seed schedules use_matrix classing storage policy coalesce eager
-      durable wan repair out use_shrink replay arms =
+      durable wan repair batch_ops batch_bytes batch_hold out use_shrink replay arms =
     match replay with
     | Some file -> do_replay file
     | None -> (
         try
           do_campaign n lambda seed schedules use_matrix classing storage policy coalesce
-            eager durable wan repair out use_shrink arms
+            eager durable wan repair batch_ops batch_bytes batch_hold out use_shrink arms
         with Invalid_argument msg ->
           Printf.eprintf "paso-sim check: %s\n" msg;
           exit 2)
   in
   let term =
     Term.(const go $ n_arg $ lambda_arg $ seed_arg $ schedules $ matrix $ classing
-          $ storage $ policy $ coalesce $ eager $ durable $ wan $ repair $ out $ shrink
+          $ storage $ policy $ coalesce $ eager $ durable $ wan $ repair
+          $ batch_ops_arg $ batch_bytes_arg $ batch_hold_arg $ out $ shrink
           $ replay $ arms)
   in
   Cmd.v

@@ -39,7 +39,7 @@ let arm_to_json (a : Schedule.arm) =
 
 let config_to_json (c : Schedule.config) =
   Json.Obj
-    [
+    ([
       ("n", num c.n);
       ("lambda", num c.lambda);
       ("classing", Json.Str c.classing);
@@ -50,9 +50,17 @@ let config_to_json (c : Schedule.config) =
       ("wan", num c.wan_clusters);
       ("repair", Json.Str c.repair);
       ("durable", Json.Bool c.durable);
-      ("seed", num c.seed);
-      ("arms", Json.Arr (List.map arm_to_json c.arms));
     ]
+    (* batch fields only when batching: pre-batching artifacts (and
+       their pinned digests) stay byte-identical *)
+    @ (if Schedule.batching c then
+         [
+           ("batch_ops", num c.batch_ops);
+           ("batch_bytes", num c.batch_bytes);
+           ("batch_hold", Json.Num c.batch_hold);
+         ]
+       else [])
+    @ [ ("seed", num c.seed); ("arms", Json.Arr (List.map arm_to_json c.arms)) ])
 
 let to_json t =
   Json.Obj
@@ -135,6 +143,18 @@ let config_of_json v =
   let* durable =
     match Json.get v "durable" with None -> Ok false | Some x -> Json.to_bool x
   in
+  (* absent in pre-batching artifacts (and in unbatched ones): 0 = off *)
+  let opt_int name =
+    match Json.get v name with None -> Ok 0 | Some x -> Json.to_int x
+  in
+  let* batch_ops = opt_int "batch_ops" in
+  let* batch_bytes = opt_int "batch_bytes" in
+  let* batch_hold =
+    match Json.get v "batch_hold" with
+    | None -> Ok 0.0
+    | Some (Json.Num x) -> Ok x
+    | Some _ -> Error "field \"batch_hold\": expected a number"
+  in
   let* seed = field v "seed" Json.to_int in
   let* arms = field v "arms" Json.to_list in
   let* arms = map_result arm_of_json arms in
@@ -150,6 +170,9 @@ let config_of_json v =
       wan_clusters;
       repair;
       durable;
+      batch_ops;
+      batch_bytes;
+      batch_hold;
       seed;
       arms;
     }

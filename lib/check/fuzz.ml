@@ -23,6 +23,10 @@ let matrix ?(n = 8) ?(lambda = 2) () =
     { base with repair = "lrf" };
     { base with durable = true };
     { base with durable = true; classing = "signature"; storage = "tree" };
+    (* gcast batching: default knobs, and tight caps that force
+       frequent frame cuts under a counter policy with crashes *)
+    { base with batch_ops = 16; batch_bytes = 4096; batch_hold = 500.0 };
+    { base with batch_ops = 2; batch_hold = 200.0; policy = "counter:4"; durable = true };
     (* torn WAL tails under crashes: recovery must replay the surviving
        prefix and reconcile the rest from live members. Bounded [times]
        — an unlimited tail-eating arm plus a beyond-λ blackout could
@@ -51,18 +55,26 @@ type failure = {
   f_outcome : Runner.outcome;
 }
 
+(* One schedule of a campaign, as a pure function of its index: the
+   config rotation and both seed derivations depend only on ([configs],
+   [seed], [i]), so a campaign can be partitioned across domains (see
+   bench/sweep.ml) with outcomes identical to the sequential run. *)
+let run_one ~configs ~seed i =
+  if configs = [] then invalid_arg "Check.Fuzz.run_one: no configs";
+  let config =
+    let c = List.nth configs (i mod List.length configs) in
+    { c with Schedule.seed = (seed * 65599) + i }
+  in
+  let rng = Sim.Rng.make ((seed * 1_000_003) + i) in
+  let len = 10 + Sim.Rng.int rng 111 in
+  let steps = gen_steps rng ~len in
+  (config, steps, Runner.run config steps)
+
 let campaign ~configs ~schedules ~seed ?(on_schedule = fun _ _ _ -> ()) () =
   if configs = [] then invalid_arg "Check.Fuzz.campaign: no configs";
   let failures = ref [] in
   for i = 0 to schedules - 1 do
-    let config =
-      let c = List.nth configs (i mod List.length configs) in
-      { c with Schedule.seed = (seed * 65599) + i }
-    in
-    let rng = Sim.Rng.make ((seed * 1_000_003) + i) in
-    let len = 10 + Sim.Rng.int rng 111 in
-    let steps = gen_steps rng ~len in
-    let outcome = Runner.run config steps in
+    let config, steps, outcome = run_one ~configs ~seed i in
     on_schedule i config outcome;
     if outcome.Runner.violations <> [] then
       failures := { f_index = i; f_config = config; f_steps = steps; f_outcome = outcome } :: !failures

@@ -12,8 +12,10 @@ val gen_steps : Sim.Rng.t -> len:int -> Schedule.step list
 val matrix : ?n:int -> ?lambda:int -> unit -> Schedule.config list
 (** The coverage matrix mirroring [test_convergence]: the four
     classing×storage pairings, counter and doubling policies,
-    coalesced groups, eager reads, a 2-cluster WAN, and LRF repair —
-    ten configs. Defaults [n = 8], [lambda = 2]. *)
+    coalesced groups, eager reads, a 2-cluster WAN, LRF repair, the
+    durable layer (clean and with torn WAL tails), and gcast batching
+    (default knobs, and tight caps with counter + durable) — fifteen
+    configs. Defaults [n = 8], [lambda = 2]. *)
 
 type failure = {
   f_index : int;  (** schedule number within the campaign *)
@@ -21,6 +23,17 @@ type failure = {
   f_steps : Schedule.step list;
   f_outcome : Runner.outcome;
 }
+
+val run_one :
+  configs:Schedule.config list ->
+  seed:int ->
+  int ->
+  Schedule.config * Schedule.step list * Runner.outcome
+(** Run schedule [i] of the campaign identified by [(configs, seed)]:
+    the same config rotation, per-schedule seed derivation and step
+    generation as {!campaign}, as a pure function of the index — so a
+    campaign partitioned across domains (bench/sweep.ml) produces
+    outcomes identical to the sequential run. *)
 
 val campaign :
   configs:Schedule.config list ->

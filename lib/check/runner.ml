@@ -45,6 +45,16 @@ let repair_of_string = function
   | "random" -> Some Repair.Random_replace
   | s -> invalid_arg ("Check.Runner: unknown repair strategy " ^ s)
 
+let batch_cfg (c : Schedule.config) =
+  if not (Schedule.batching c) then None
+  else
+    Some
+      (Net.Batch.cfg
+         ?max_ops:(if c.batch_ops > 0 then Some c.batch_ops else None)
+         ?max_bytes:(if c.batch_bytes > 0 then Some c.batch_bytes else None)
+         ?hold:(if c.batch_hold > 0.0 then Some c.batch_hold else None)
+         ())
+
 let system_config (c : Schedule.config) : System.config =
   {
     System.default_config with
@@ -56,6 +66,7 @@ let system_config (c : Schedule.config) : System.config =
     eager_reads = c.eager;
     group_map = (if c.coalesce then Some (fun _ -> "shared") else None);
     repair = repair_of_string c.repair;
+    batch = batch_cfg c;
     seed = c.seed;
     topology =
       (if c.wan_clusters > 1 then

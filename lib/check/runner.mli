@@ -14,6 +14,11 @@ type outcome = {
   final_time : float;  (** virtual time at quiescence *)
 }
 
+val batch_cfg : Schedule.config -> Net.Batch.cfg option
+(** The gcast batching config a schedule maps to: [None] unless
+    {!Schedule.batching}, with zero fields taking the [Net.Batch.cfg]
+    defaults. *)
+
 val run : Schedule.config -> Schedule.step list -> outcome
 (** @raise Invalid_argument on a malformed config (unknown classing /
     storage / policy / repair name, or an unknown arm action). *)

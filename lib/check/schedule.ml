@@ -19,9 +19,14 @@ type config = {
   wan_clusters : int;
   repair : string;
   durable : bool;
+  batch_ops : int;
+  batch_bytes : int;
+  batch_hold : float;
   seed : int;
   arms : arm list;
 }
+
+let batching c = c.batch_ops > 0 || c.batch_bytes > 0 || c.batch_hold > 0.0
 
 let default =
   {
@@ -35,6 +40,9 @@ let default =
     wan_clusters = 0;
     repair = "none";
     durable = false;
+    batch_ops = 0;
+    batch_bytes = 0;
+    batch_hold = 0.0;
     seed = 0;
     arms = [];
   }
@@ -48,6 +56,9 @@ let label c =
   if c.wan_clusters > 1 then Buffer.add_string b (Printf.sprintf " wan=%d" c.wan_clusters);
   if c.repair <> "none" then Buffer.add_string b (Printf.sprintf " repair=%s" c.repair);
   if c.durable then Buffer.add_string b " durable";
+  if batching c then
+    Buffer.add_string b
+      (Printf.sprintf " batch=%d/%d/%g" c.batch_ops c.batch_bytes c.batch_hold);
   if c.arms <> [] then
     Buffer.add_string b
       (Printf.sprintf " arms=[%s]" (String.concat ";" (List.map (fun a -> a.arm_site) c.arms)));

@@ -48,9 +48,19 @@ type config = {
   wan_clusters : int;  (** [0] = LAN, else machines mod-[c] clustered *)
   repair : string;  (** ["none" | "lrf" | "fifo" | "random"] *)
   durable : bool;  (** attach {!Durable.Manager} (WAL + checkpoints) *)
+  batch_ops : int;  (** gcast batch op cap; [0] = default when batching *)
+  batch_bytes : int;  (** gcast batch byte cap; [0] = default *)
+  batch_hold : float;  (** gcast batch hold window δ; [0] = default *)
   seed : int;  (** basic-support placement seed *)
   arms : arm list;
 }
+(** Batching is enabled iff any of the three [batch_*] fields is
+    non-zero ({!batching}); zero fields then take the [Net.Batch.cfg]
+    defaults. All-zero (the default) runs the unbatched protocol —
+    byte-identical to pre-batching schedules. *)
+
+val batching : config -> bool
+(** Does this config run the gcast batching layer? *)
 
 val default : config
 (** 8 machines, λ = 2, head classing, hash stores, static policy, LAN,

@@ -374,3 +374,21 @@ let msg_class = function
   | Store { cls; _ } | Mem_read { cls; _ } | Remove { cls; _ }
   | Place_marker { cls; _ } | Cancel_marker { cls; _ } ->
       cls
+
+(* Coalesced wire size of one member's batch frame: class headers are
+   delta-encoded against a per-frame intern table — the first
+   occurrence of a class ships its name, every repeat ships a 2-byte
+   table reference instead. *)
+let intern_ref = 2
+
+let batch_frame_size items =
+  let seen = Hashtbl.create 8 in
+  List.fold_left
+    (fun acc (msg, size) ->
+      let cls = msg_class msg in
+      if Hashtbl.mem seen cls then acc + size - String.length cls + intern_ref
+      else begin
+        Hashtbl.add seen cls ();
+        acc + size
+      end)
+    0 items

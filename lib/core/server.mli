@@ -153,3 +153,10 @@ val msg_size : msg -> int
 (** Wire size of a server message, for the cost model. *)
 
 val msg_class : msg -> string
+
+val batch_frame_size : (msg * int) list -> int
+(** Coalesced wire size of one batch frame carrying the given
+    [(msg, msg_size msg)] items: class headers are interned per frame,
+    so the first occurrence of a class ships its name and every repeat
+    ships a 2-byte table reference instead. Plugs into [Vsync.make]'s
+    [?frame_size]. *)

@@ -10,6 +10,7 @@ type config = {
   unit_work : float;
   use_read_groups : bool;
   eager_reads : bool;
+  batch : Net.Batch.cfg option;
   policy : Policy.t;
   init_delay : float;
   group_map : (string -> string) option;
@@ -28,6 +29,7 @@ let default_config =
     unit_work = 1.0;
     use_read_groups = true;
     eager_reads = false;
+    batch = None;
     policy = Policy.static;
     init_delay = 5000.0;
     group_map = None;
@@ -53,6 +55,19 @@ type hot_stats = {
   h_marker_wakeups : Sim.Stats.counter;
   h_sc_hits : Sim.Stats.counter;
   h_sc_misses : Sim.Stats.counter;
+  h_reads_coalesced : Sim.Stats.counter;
+}
+
+(* One outstanding remote mem-read a machine may piggyback duplicates
+   onto: identical reads (same class, same structural template) issued
+   by the same machine inside the batching window attach here instead
+   of gcasting again. Sound only same-machine — cross-machine dedup
+   would share a request no wire protocol carried — and only while no
+   mutation of the class has been delivered since the first issue (the
+   key embeds the class's mutation serial). *)
+type coalesce = {
+  rc_machine : int;
+  mutable rc_waiters : (Pobj.t option -> int -> unit) list; (* resp, responders *)
 }
 
 (* State-transfer payload: the full snapshot of the ordinary join path,
@@ -96,6 +111,11 @@ type t = {
       (* (issuing machine, resume) continuations parked on a
          probational group, flushed on the view change that reaches
          quorum *)
+  probation_gen : (string, int) Hashtbl.t;
+      (* bumped every time a group loses its last member: an op whose
+         issue and response straddle a bump may have been answered (or
+         refused) by a probational re-formed group, and must re-query
+         rather than trust a [None] *)
   serials : int array; (* per-machine uid serials; survive crashes *)
   waiters : (int, waiter) Hashtbl.t;
   mutable next_waiter : int;
@@ -108,6 +128,11 @@ type t = {
      universe changes ([ensure_class] adding a class). *)
   sc_cache : (string, string list) Hashtbl.t;
   mutable cached_universe : Obj_class.info list option;
+  (* mem-read coalescing (batching only): outstanding dedupable reads
+     keyed by machine|class|mutation-serial|template-signature, and the
+     per-class replicated-mutation serial that invalidates them. *)
+  read_coalesce : (string, coalesce) Hashtbl.t;
+  class_serial : (string, int) Hashtbl.t;
 }
 
 let engine t = t.eng
@@ -182,6 +207,9 @@ let probational t group =
   end
   else true
 
+let probation_generation t group =
+  Option.value ~default:0 (Hashtbl.find_opt t.probation_gen group)
+
 (* A query cannot simply fail during probation — §2 fail-legality only
    permits a fail when no matching object was alive for the whole op —
    so it parks and resumes once the quorum's merged image is
@@ -245,6 +273,22 @@ let create ?(tracing = false) ?failpoints cfg =
   let hist = History.create () in
   let tref = ref None in
   let deliver ~node ~group ~from:_ msg =
+    (* Recovery-quorum gate, exec-time twin of the issue-time check in
+       [read_gen]: a query or remove that was already queued when the
+       group lost its last member must not be answered by the
+       re-formed, pre-quorum state — a single recovered disk may hold
+       objects whose removal it missed. Refusing here mutates nothing
+       (every member refuses alike, so replicas stay identical); the
+       issuer detects the straddled probation via [probation_gen] and
+       re-queries once the quorum's merged image is authoritative.
+       Inserts and markers stay live — fresh objects cannot be stale. *)
+    match
+      match (msg, !tref) with
+      | (Server.Mem_read _ | Server.Remove _), Some t -> probational t group
+      | _, _ -> false
+    with
+    | true -> (None, 0.0)
+    | false ->
     let resp, work_units, woken = Server.handle servers.(node) msg in
     (match !tref with
     | Some t -> begin
@@ -273,6 +317,12 @@ let create ?(tracing = false) ?failpoints cfg =
         match msg with
         | Server.Store _ | Server.Remove _ ->
             let cls = Server.msg_class msg in
+            (* Any replicated mutation of the class closes its read
+               coalescing window: a later identical read must not ride
+               a response computed against the pre-mutation store. *)
+            if cfg.batch <> None then
+              Hashtbl.replace t.class_serial cls
+                (1 + Option.value ~default:0 (Hashtbl.find_opt t.class_serial cls));
             apply_policy t ~machine:node ~cls
               (Policy.Update { ell = Server.live_count servers.(node) ~cls })
         | Server.Mem_read _ | Server.Place_marker _ | Server.Cancel_marker _ -> ()
@@ -407,6 +457,7 @@ let create ?(tracing = false) ?failpoints cfg =
     match !tref with
     | Some t -> (
         Hashtbl.replace t.probation group ();
+        Hashtbl.replace t.probation_gen group (1 + probation_generation t group);
         match Hashtbl.find_opt t.group_class group with
         | Some classes ->
             List.iter
@@ -418,7 +469,9 @@ let create ?(tracing = false) ?failpoints cfg =
     | None -> ()
   in
   let vs =
-    Vsync.make ~failpoints:fps ~engine:eng ~fabric ~stats:sstats ~trace:strace ~n:cfg.n
+    Vsync.make ~failpoints:fps ?batch:cfg.batch
+      ~frame_size:(fun items -> Server.batch_frame_size items)
+      ~engine:eng ~fabric ~stats:sstats ~trace:strace ~n:cfg.n
       {
         deliver;
         resp_size;
@@ -446,6 +499,7 @@ let create ?(tracing = false) ?failpoints cfg =
       group_class = Hashtbl.create 16;
       probation = Hashtbl.create 8;
       prob_waiters = Hashtbl.create 8;
+      probation_gen = Hashtbl.create 8;
       serials = Array.make cfg.n 0;
       waiters = Hashtbl.create 16;
       next_waiter = 0;
@@ -465,9 +519,12 @@ let create ?(tracing = false) ?failpoints cfg =
           h_marker_wakeups = Sim.Stats.counter sstats "paso.marker_wakeups";
           h_sc_hits = Sim.Stats.counter sstats "cache.sc_hits";
           h_sc_misses = Sim.Stats.counter sstats "cache.sc_misses";
+          h_reads_coalesced = Sim.Stats.counter sstats "paso.reads_coalesced";
         };
       sc_cache = Hashtbl.create 64;
       cached_universe = None;
+      read_coalesce = Hashtbl.create 16;
+      class_serial = Hashtbl.create 16;
     }
   in
   tref := Some t;
@@ -613,6 +670,20 @@ let read_restrict t cs ~machine =
         if near <> [] then List.filteri (fun i _ -> i <= t.cfg.lambda) near
         else basic_rg members
 
+(* Coalescing key for a remote mem-read, or [None] when the read must
+   go out itself: batching off, uncacheable template ([Pred] has no
+   structural identity), or — via the embedded mutation serial — any
+   replicated mutation of the class delivered since the would-be
+   primary was issued. *)
+let read_dedup_key t ~machine ~cls tmpl =
+  if t.cfg.batch = None then None
+  else
+    match template_key tmpl with
+    | None -> None
+    | Some tk ->
+        let serial = Option.value ~default:0 (Hashtbl.find_opt t.class_serial cls) in
+        Some (Printf.sprintf "%d|%s|%d|%s" machine cls serial tk)
+
 let require_up t machine op =
   if machine < 0 || machine >= t.cfg.n then invalid_arg (op ^ ": bad machine id");
   if not (Vsync.is_up t.vs machine) then invalid_arg (op ^ ": machine is down")
@@ -671,7 +742,9 @@ and insert t ~machine fields ~on_done =
     (Sim.Failpoint.hit t.fps ~site:"paso.op.issued" ~node:machine ~aux:r.History.op_id
        ~group:info.Obj_class.name ());
   let msg = Server.Store { cls = info.Obj_class.name; obj = o } in
-  Vsync.gcast t.vs ~group:cs.group ~from:machine ~msg_size:(Server.msg_size msg)
+  (* Batched entry point: joins the group's accumulation window when
+     batching is configured, and is exactly [gcast] otherwise. *)
+  Vsync.gcast_batch t.vs ~group:cs.group ~from:machine ~msg_size:(Server.msg_size msg)
     ~on_done:(fun ~resp:_ ~work:_ ~responders ->
       let tnow = now t in
       if responders > 0 then History.note_all_stored t.hist uid ~now:tnow;
@@ -718,6 +791,7 @@ and read_gen t ~machine ~kind tmpl ~on_done =
                     match resp with Some o -> finish (Some o) | None -> go rest)
             | History.Read ->
                 let msg = Server.Mem_read { cls; tmpl } in
+                let gen0 = probation_generation t cs.group in
                 let restrict =
                   if t.cfg.use_read_groups then read_restrict t cs ~machine
                   else fun members -> members
@@ -735,33 +809,80 @@ and read_gen t ~machine ~kind tmpl ~on_done =
                            (fun m -> clusters.(m) = clusters.(machine))
                            (Vsync.members t.vs ~group:cs.group))
                 in
-                Vsync.gcast t.vs ~restrict ~eager:t.cfg.eager_reads ~group:cs.group
-                  ~from:machine
-                  ~msg_size:(Server.msg_size msg)
-                  ~on_done:(fun ~resp ~work:_ ~responders ->
-                    (* ell piggybacked on the response (§5.1). *)
-                    apply_policy t ~machine ~cls
-                      (Policy.Remote_read { responders; ell = live_count t ~cls; wan = crossed_wan });
-                    match resp with
-                    | Some o -> finish (Some o)
-                    | None ->
+                let handle resp responders =
+                  (* ell piggybacked on the response (§5.1). *)
+                  apply_policy t ~machine ~cls
+                    (Policy.Remote_read
+                       { responders; ell = live_count t ~cls; wan = crossed_wan });
+                  match resp with
+                  | Some o -> finish (Some o)
+                  | None ->
+                      (* A miss refused by (or answered from) a group
+                         that lost its last member mid-op is not
+                         evidence of absence: the delivery gate blanks
+                         queries against the re-formed, pre-quorum
+                         state. Re-query — [go] parks on the class
+                         until the quorum's merge is authoritative. *)
+                      if
+                        probational t cs.group
+                        || probation_generation t cs.group <> gen0
+                      then go (cls :: rest)
                         (* A fail is only evidence of absence if someone
                            actually served the lookup: zero responders
                            means the whole (possibly restricted) read
                            group crashed mid-gcast — retry against the
                            survivors rather than report a spurious
                            fail. *)
-                        if
-                          responders = 0
-                          && Vsync.members t.vs ~group:cs.group <> []
-                        then begin
-                          Sim.Stats.incr_counter t.hs.h_read_retries;
-                          go (cls :: rest)
-                        end
-                        else go rest)
-                  msg
+                      else if
+                        responders = 0
+                        && Vsync.members t.vs ~group:cs.group <> []
+                      then begin
+                        Sim.Stats.incr_counter t.hs.h_read_retries;
+                        go (cls :: rest)
+                      end
+                      else go rest
+                in
+                let issue on_resp =
+                  match t.cfg.batch with
+                  | Some _ ->
+                      (* Batched read fan-out. The eager flag does not
+                         compose with piggybacked batch responses, so it
+                         is dropped on this path. *)
+                      Vsync.gcast_batch t.vs ~restrict ~group:cs.group
+                        ~from:machine ~msg_size:(Server.msg_size msg)
+                        ~on_done:(fun ~resp ~work:_ ~responders ->
+                          on_resp resp responders)
+                        msg
+                  | None ->
+                      Vsync.gcast t.vs ~restrict ~eager:t.cfg.eager_reads
+                        ~group:cs.group ~from:machine
+                        ~msg_size:(Server.msg_size msg)
+                        ~on_done:(fun ~resp ~work:_ ~responders ->
+                          on_resp resp responders)
+                        msg
+                in
+                (match read_dedup_key t ~machine ~cls tmpl with
+                | Some key -> (
+                    match Hashtbl.find_opt t.read_coalesce key with
+                    | Some rc ->
+                        (* An identical read from this machine is
+                           already outstanding in the same window:
+                           piggyback on its response instead of
+                           gcasting again. *)
+                        Sim.Stats.incr_counter t.hs.h_reads_coalesced;
+                        rc.rc_waiters <- handle :: rc.rc_waiters
+                    | None ->
+                        let rc = { rc_machine = machine; rc_waiters = [] } in
+                        Hashtbl.add t.read_coalesce key rc;
+                        issue (fun resp responders ->
+                            Hashtbl.remove t.read_coalesce key;
+                            let waiters = List.rev rc.rc_waiters in
+                            handle resp responders;
+                            List.iter (fun k -> k resp responders) waiters))
+                | None -> issue handle)
             | History.Read_del | History.Insert ->
                 let msg = Server.Remove { cls; tmpl } in
+                let gen0 = probation_generation t cs.group in
                 Sim.Stats.incr_counter t.hs.h_removes;
                 Vsync.gcast t.vs ~group:cs.group ~from:machine
                   ~msg_size:(Server.msg_size msg)
@@ -771,7 +892,16 @@ and read_gen t ~machine ~kind tmpl ~on_done =
                         History.note_remove_ret t.hist (Pobj.uid o) ~op_id:r.History.op_id
                           ~now:(now t);
                         finish (Some o)
-                    | None -> go rest)
+                    | None ->
+                        (* Same probation straddle as the read path:
+                           the remove was refused (without mutating) by
+                           a re-formed group, or raced its loss —
+                           re-query instead of skipping the class. *)
+                        if
+                          probational t cs.group
+                          || probation_generation t cs.group <> gen0
+                        then go (cls :: rest)
+                        else go rest)
                   msg
           end
       end
@@ -801,7 +931,8 @@ and marker_classes t tmpl = sc_list t tmpl |> List.filter (Hashtbl.mem t.classes
 and gcast_marker t ~machine msg =
   match cls_state t (Server.msg_class msg) with
   | Some cs when Vsync.is_up t.vs machine ->
-      Vsync.gcast t.vs ~group:cs.group ~from:machine ~msg_size:(Server.msg_size msg)
+      Vsync.gcast_batch t.vs ~group:cs.group ~from:machine
+        ~msg_size:(Server.msg_size msg)
         ~on_done:(fun ~resp:_ ~work:_ ~responders:_ -> ())
         msg
   | Some _ | None -> ()
@@ -1022,6 +1153,15 @@ let crash t ~machine =
         t.waiters []
     in
     List.iter (Hashtbl.remove t.waiters) stale;
+    (* Coalesced reads are the machine's local memory too: the primary's
+       vsync callback is orphaned with the issuer, so drop the entries
+       here or later identical reads could attach to a dead primary. *)
+    let stale_rc =
+      Hashtbl.fold
+        (fun key rc acc -> if rc.rc_machine = machine then key :: acc else acc)
+        t.read_coalesce []
+    in
+    List.iter (Hashtbl.remove t.read_coalesce) stale_rc;
     (* Class-data loss (all replicas gone) is detected by the vsync
        layer at the exact instant a group empties — see on_group_lost
        in [create]. *)

@@ -38,7 +38,21 @@ type config = {
   eager_reads : bool;
       (** response-time optimisation: forward the first successful
           remote-read response without waiting for the whole read
-          group to acknowledge (same message cost, lower latency) *)
+          group to acknowledge (same message cost, lower latency).
+          Ignored on gcasts routed through the batcher (see [batch]) *)
+  batch : Net.Batch.cfg option;
+      (** opt-in gcast batching: inserts, marker traffic and remote
+          read fan-outs join a per-group accumulation window
+          ({!Vsync.gcast_batch}) and flush as coalesced frames — α paid
+          once per frame, one ack per member per frame, responses
+          piggybacked per issuer, repeated class headers delta-encoded
+          per frame ({!Server.batch_frame_size}). Duplicate remote
+          mem-reads (same machine, class and structural template, no
+          interleaved mutation of the class) coalesce onto one request
+          (counted under ["paso.reads_coalesced"]). [None] (the
+          default) leaves the protocol byte-identical to the unbatched
+          system. Trades the hold-window δ of latency for message-cost
+          savings; the semantics checker verdicts are unaffected. *)
   policy : Policy.t;  (** adaptive replication policy (§5) *)
   init_delay : float;
       (** §3.1 initialisation phase: delay between machine recovery and
@@ -93,9 +107,14 @@ val stats : t -> Sim.Stats.t
     ["repair.copies"], ["faults.crashes"/"faults.recoveries"/
     "faults.class_losses"], ["server.stores"/"server.queries"/
     "server.removes"] (per-replica operation counts),
-    ["cache.sc_hits"/"cache.sc_misses"] (sc-list memoisation), and the
-    ["vsync.*"] protocol counters (gcasts, joins, leaves, view_changes,
-    state_bytes, crashes, recoveries, directs). *)
+    ["cache.sc_hits"/"cache.sc_misses"] (sc-list memoisation),
+    ["paso.reads_coalesced"] (duplicate remote reads answered by one
+    request under batching), and the ["vsync.*"] protocol counters
+    (gcasts, joins, leaves, view_changes, state_bytes, crashes,
+    recoveries, directs; batches, batched_ops and batch_cuts when
+    batching is on). Under batching, coalesced frames are counted once
+    in ["net.msgs"] and itemised under ["net.frames"] /
+    ["net.frame_ops"]. *)
 
 val trace : t -> Sim.Trace.t
 val config : t -> config

@@ -1,0 +1,13 @@
+type cfg = { max_ops : int; max_bytes : int; hold : float }
+
+let cfg ?(max_ops = 16) ?(max_bytes = 4096) ?(hold = 500.0) () =
+  if max_ops < 1 then invalid_arg "Batch.cfg: max_ops < 1";
+  if max_bytes < 1 then invalid_arg "Batch.cfg: max_bytes < 1";
+  if hold < 0.0 || Float.is_nan hold then invalid_arg "Batch.cfg: bad hold";
+  { max_ops; max_bytes; hold }
+
+let cut_after c ~ops ~bytes = ops >= c.max_ops || bytes >= c.max_bytes
+
+let pp ppf c =
+  Format.fprintf ppf "{ max_ops = %d; max_bytes = %d; hold = %g }" c.max_ops
+    c.max_bytes c.hold

@@ -5,6 +5,8 @@ type t = {
      cells, so the per-transmit cost is two field writes. *)
   c_msgs : Sim.Stats.counter;
   a_cost : Sim.Stats.accumulator;
+  c_frames : Sim.Stats.counter;
+  c_frame_ops : Sim.Stats.counter;
   mutable free_at : float;
   mutable msgs : int;
   mutable cost : float;
@@ -16,13 +18,16 @@ let create engine model stats =
     model;
     c_msgs = Sim.Stats.counter stats "net.msgs";
     a_cost = Sim.Stats.accumulator stats "net.msg_cost";
+    c_frames = Sim.Stats.counter stats "net.frames";
+    c_frame_ops = Sim.Stats.counter stats "net.frame_ops";
     free_at = 0.0;
     msgs = 0;
     cost = 0.0;
   }
 
-let transmit t ?(extra = 0.0) ~size deliver =
-  let cost = Cost_model.msg_cost t.model ~size in
+(* One physical transmission of [cost]: occupy the medium, account,
+   schedule delivery at slot end. *)
+let occupy t ~cost ~extra deliver =
   let now = Sim.Engine.now t.engine in
   let start = Float.max now t.free_at in
   let finish = start +. cost +. extra in
@@ -32,6 +37,18 @@ let transmit t ?(extra = 0.0) ~size deliver =
   Sim.Stats.incr_counter t.c_msgs;
   Sim.Stats.add_to t.a_cost cost;
   ignore (Sim.Engine.schedule t.engine ~delay:(finish -. now) deliver)
+
+let transmit t ?(extra = 0.0) ~size deliver =
+  occupy t ~cost:(Cost_model.msg_cost t.model ~size) ~extra deliver
+
+let transmit_frame t ?(extra = 0.0) ~ops ~bytes deliver =
+  if ops < 1 then invalid_arg "Bus.transmit_frame: ops < 1";
+  if bytes < 0 then invalid_arg "Bus.transmit_frame: negative bytes";
+  Sim.Stats.incr_counter t.c_frames;
+  for _ = 1 to ops do
+    Sim.Stats.incr_counter t.c_frame_ops
+  done;
+  occupy t ~cost:(Cost_model.msg_cost t.model ~size:bytes) ~extra deliver
 
 let message_count t = t.msgs
 let total_cost t = t.cost

@@ -19,6 +19,15 @@ val transmit : t -> ?extra:float -> size:int -> (unit -> unit) -> unit
     modelled cost — the bus stays occupied for it, but it is not
     accounted as message cost (used by fault injection). *)
 
+val transmit_frame : t -> ?extra:float -> ops:int -> bytes:int -> (unit -> unit) -> unit
+(** One coalesced frame carrying [ops] logical operations totalling
+    [bytes] payload bytes: a single physical transmission costing
+    [α + β·bytes] ({!Cost_model.frame_cost}) — it counts once in
+    ["net.msgs"], so batching genuinely reduces the message count the
+    paper's tables measure. The frame is additionally counted under
+    ["net.frames"], and its operations under ["net.frame_ops"].
+    @raise Invalid_argument if [ops < 1] or [bytes < 0]. *)
+
 val message_count : t -> int
 (** Messages transmitted (or queued) so far. *)
 

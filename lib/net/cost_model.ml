@@ -10,6 +10,16 @@ let msg_cost t ~size =
   if size < 0 then invalid_arg "Cost_model.msg_cost: negative size";
   t.alpha +. (t.beta *. float_of_int size)
 
+let frame_cost t ~sizes =
+  let total =
+    List.fold_left
+      (fun acc s ->
+        if s < 0 then invalid_arg "Cost_model.frame_cost: negative size";
+        acc + s)
+      0 sizes
+  in
+  t.alpha +. (t.beta *. float_of_int total)
+
 let gcast_cost t ~group_size ~msg_size ~resp_size =
   if group_size < 0 then invalid_arg "Cost_model.gcast_cost: negative group size";
   let g = float_of_int group_size in

@@ -22,6 +22,15 @@ val default : t
 val msg_cost : t -> size:int -> float
 (** Cost of one point-to-point transmission of [size] bytes. *)
 
+val frame_cost : t -> sizes:int list -> float
+(** Cost of one coalesced frame carrying the listed payloads:
+    [α + β·Σ|payload_i|]. The fixed startup cost α is charged once for
+    the whole frame — the entire economics of batching: [k] payloads
+    in one frame save [(k-1)·α] over [k] separate messages, at the
+    price of holding the earliest payload until the frame cuts.
+    [frame_cost ~sizes:[s]] = [msg_cost ~size:s].
+    @raise Invalid_argument on a negative size. *)
+
 val gcast_cost : t -> group_size:int -> msg_size:int -> resp_size:int -> float
 (** The paper's closed-form gcast cost (exact form, not the ≈). *)
 

@@ -41,6 +41,17 @@ val transmit : t -> src:int -> dst:int -> size:int -> (unit -> unit) -> unit
 (** Queue a transmission; the continuation fires when it completes.
     @raise Invalid_argument for out-of-range machines under {!wan}. *)
 
+val transmit_frame :
+  t -> src:int -> dst:int -> ops:int -> bytes:int -> (unit -> unit) -> unit
+(** Queue one coalesced frame of [ops] logical operations totalling
+    [bytes] payload bytes: a single physical transmission costed
+    [α + β·bytes] (α charged once — see {!Cost_model.frame_cost}),
+    counted once in ["net.msgs"] plus ["net.frames"]/["net.frame_ops"].
+    Under {!wan} the frame is priced by whether it crosses clusters,
+    exactly like {!transmit}.
+    @raise Invalid_argument if [ops < 1], [bytes < 0], or machines are
+    out of range under {!wan}. *)
+
 val message_count : t -> int
 val total_cost : t -> float
 

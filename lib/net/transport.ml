@@ -4,12 +4,31 @@ type 'm node = {
   mutable epoch : int; (* bumped on each crash; stale deliveries dropped *)
 }
 
-type 'm t = { engine : Sim.Engine.t; bus : Bus.t; nodes : 'm node array }
+(* One (src, dst) coalescing lane: messages enqueued here ride the next
+   frame to [dst]. Items are epoch-stamped at enqueue time, so a frame
+   delivers each message under exactly the guard an unbatched send
+   would have applied. *)
+type 'm lane = {
+  l_src : int;
+  l_dst : int;
+  mutable l_items : (int * int * 'm) list; (* (size, epoch, msg), newest first *)
+  mutable l_ops : int;
+  mutable l_bytes : int;
+  mutable l_timer : Sim.Engine.event_id option;
+}
 
-let create engine bus ~n =
+type 'm t = {
+  engine : Sim.Engine.t;
+  bus : Bus.t;
+  nodes : 'm node array;
+  batch : Batch.cfg option;
+  lanes : (int * int, 'm lane) Hashtbl.t;
+}
+
+let create ?batch engine bus ~n =
   if n <= 0 then invalid_arg "Transport.create: n <= 0";
   let nodes = Array.init n (fun _ -> { handler = None; up = true; epoch = 0 }) in
-  { engine; bus; nodes }
+  { engine; bus; nodes; batch; lanes = Hashtbl.create 16 }
 
 let n t = Array.length t.nodes
 let engine t = t.engine
@@ -22,16 +41,76 @@ let set_handler t ~node f =
   check t node;
   t.nodes.(node).handler <- Some f
 
+let deliver_one t ~src ~dst ~epoch_at_send msg =
+  let target = t.nodes.(dst) in
+  if target.up && target.epoch = epoch_at_send then
+    match target.handler with Some handler -> handler ~src msg | None -> ()
+
+let send_now t ~src ~dst ~size msg =
+  let epoch_at_send = t.nodes.(dst).epoch in
+  Bus.transmit t.bus ~size (fun () ->
+      deliver_one t ~src ~dst ~epoch_at_send msg)
+
+(* --- batched path ------------------------------------------------------ *)
+
+let lane t ~src ~dst =
+  match Hashtbl.find_opt t.lanes (src, dst) with
+  | Some l -> l
+  | None ->
+      let l =
+        { l_src = src; l_dst = dst; l_items = []; l_ops = 0; l_bytes = 0; l_timer = None }
+      in
+      Hashtbl.add t.lanes (src, dst) l;
+      l
+
+let flush_lane t l =
+  (match l.l_timer with
+  | Some id ->
+      Sim.Engine.cancel t.engine id;
+      l.l_timer <- None
+  | None -> ());
+  if l.l_ops > 0 then begin
+    let items = List.rev l.l_items in
+    let ops = l.l_ops and bytes = l.l_bytes in
+    l.l_items <- [];
+    l.l_ops <- 0;
+    l.l_bytes <- 0;
+    Bus.transmit_frame t.bus ~ops ~bytes (fun () ->
+        List.iter
+          (fun (_, epoch_at_send, msg) ->
+            deliver_one t ~src:l.l_src ~dst:l.l_dst ~epoch_at_send msg)
+          items)
+  end
+
+let send_batched t cfg ~src ~dst ~size msg =
+  let l = lane t ~src ~dst in
+  l.l_items <- (size, t.nodes.(dst).epoch, msg) :: l.l_items;
+  l.l_ops <- l.l_ops + 1;
+  l.l_bytes <- l.l_bytes + size;
+  if Batch.cut_after cfg ~ops:l.l_ops ~bytes:l.l_bytes then flush_lane t l
+  else if l.l_timer = None then
+    l.l_timer <-
+      Some
+        (Sim.Engine.schedule t.engine ~delay:cfg.Batch.hold (fun () ->
+             l.l_timer <- None;
+             flush_lane t l))
+
 let send t ~src ~dst ~size msg =
   check t src;
   check t dst;
-  let target = t.nodes.(dst) in
-  let epoch_at_send = target.epoch in
-  Bus.transmit t.bus ~size (fun () ->
-      if target.up && target.epoch = epoch_at_send then
-        match target.handler with
-        | Some handler -> handler ~src msg
-        | None -> ())
+  match t.batch with
+  | None -> send_now t ~src ~dst ~size msg
+  | Some cfg -> send_batched t cfg ~src ~dst ~size msg
+
+let lanes_sorted t =
+  Hashtbl.fold (fun k l acc -> (k, l) :: acc) t.lanes []
+  |> List.sort compare |> List.map snd
+
+let flush t =
+  List.iter (fun l -> flush_lane t l) (lanes_sorted t)
+
+let pending_batched t =
+  Hashtbl.fold (fun _ l acc -> acc + l.l_ops) t.lanes 0
 
 let is_up t i =
   check t i;

@@ -7,12 +7,22 @@
     inbound messages — modelling the loss of all local state on crash.
 
     FIFO order between any ordered pair of nodes follows from the bus
-    serialising transmissions in submission order. *)
+    serialising transmissions in submission order.
+
+    With [?batch] set, sends coalesce: messages for the same
+    [(src, dst)] pair enqueued within the {!Batch.cfg} hold window
+    ride one physical frame (α charged once — {!Bus.transmit_frame}),
+    cut early when the op/byte caps fill. FIFO per pair is preserved
+    (a frame delivers its messages in enqueue order, and frames
+    serialise on the bus like any transmission); each message still
+    carries its own crash-epoch guard from enqueue time. *)
 
 type 'm t
 
-val create : Sim.Engine.t -> Bus.t -> n:int -> 'm t
-(** [n] nodes, all initially up, with no handlers. *)
+val create : ?batch:Batch.cfg -> Sim.Engine.t -> Bus.t -> n:int -> 'm t
+(** [n] nodes, all initially up, with no handlers. [?batch] enables
+    the coalescing send path (default: unbatched, byte-identical to
+    the historical behaviour). *)
 
 val n : 'm t -> int
 val engine : 'm t -> Sim.Engine.t
@@ -27,6 +37,13 @@ val send : 'm t -> src:int -> dst:int -> size:int -> 'm -> unit
     any point in between — its epoch advanced). Self-sends are legal
     and still pay the bus cost: the paper's gcast cost formula charges
     all [|g|] copies. *)
+
+val flush : 'm t -> unit
+(** Force every pending batched frame onto the bus now (lanes in
+    deterministic [(src, dst)] order). No-op when unbatched or idle. *)
+
+val pending_batched : 'm t -> int
+(** Messages currently held in unflushed frames. Always 0 unbatched. *)
 
 val is_up : 'm t -> int -> bool
 

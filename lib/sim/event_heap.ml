@@ -14,12 +14,13 @@
    The insertion stamp serves both as the FIFO tiebreaker for equal
    times and as the public cancellation id (the seed kept two separate
    counters that were always equal). Cancellation stays lazy —
-   a tombstone in [cancelled] — but the table is now bounded: popping
-   a cancelled event removes its tombstone, and when tombstones
-   outnumber half the pending events the heap compacts, physically
-   removing every cancelled entry and emptying the table. Compaction
-   preserves the pop order because ordering is the strict total order
-   [(time, stamp)], independent of array layout. *)
+   a tombstone in the [Pending.Graveyard] — but bounded: popping a
+   cancelled event retires its tombstone, and when tombstones trip the
+   graveyard's sweep rule ([max 64 (len/2)]) the heap compacts,
+   physically removing every cancelled entry and emptying the
+   graveyard. Compaction preserves the pop order because ordering is
+   the strict total order [(time, stamp)], independent of array
+   layout. *)
 
 type id = int
 
@@ -29,7 +30,7 @@ type 'a t = {
   mutable payloads : 'a array;  (* empty until the first add *)
   mutable len : int;
   mutable next_stamp : int;
-  cancelled : (id, unit) Hashtbl.t;
+  cancelled : Pending.Graveyard.t;
   mutable live : int; (* pending minus cancelled-but-not-yet-removed *)
 }
 
@@ -42,7 +43,7 @@ let create () =
     payloads = [||];
     len = 0;
     next_stamp = 0;
-    cancelled = Hashtbl.create 16;
+    cancelled = Pending.Graveyard.create ();
     live = 0;
   }
 
@@ -99,7 +100,7 @@ let grow t filler =
 let compact t =
   let w = ref 0 in
   for r = 0 to t.len - 1 do
-    if Hashtbl.mem t.cancelled t.stamps.(r) then ()
+    if Pending.Graveyard.is_dead t.cancelled t.stamps.(r) then ()
     else begin
       if !w <> r then begin
         t.times.(!w) <- t.times.(r);
@@ -112,7 +113,7 @@ let compact t =
   (* Drop payload references beyond the new length. *)
   if t.len > 0 && !w < t.len then Array.fill t.payloads !w (t.len - !w) t.payloads.(0);
   t.len <- !w;
-  Hashtbl.reset t.cancelled;
+  Pending.Graveyard.reset t.cancelled;
   for i = (t.len / 2) - 1 downto 0 do
     sift_down t i
   done
@@ -132,13 +133,11 @@ let add t ~time payload =
   stamp
 
 let cancel t stamp =
-  if
-    stamp >= 0 && stamp < t.next_stamp
-    && not (Hashtbl.mem t.cancelled stamp)
+  if stamp >= 0 && stamp < t.next_stamp && Pending.Graveyard.bury t.cancelled stamp
   then begin
-    Hashtbl.add t.cancelled stamp ();
     t.live <- t.live - 1;
-    if Hashtbl.length t.cancelled > max 64 (t.len / 2) then compact t
+    if Pending.Graveyard.needs_sweep t.cancelled ~floor:64 ~len:t.len then
+      compact t
   end
 
 (* Remove the root; returns its (time, stamp, payload) via refs to
@@ -160,10 +159,7 @@ let rec pop t =
     let time = t.times.(0) and stamp = t.stamps.(0) in
     let payload = t.payloads.(0) in
     drop_root t;
-    if Hashtbl.mem t.cancelled stamp then begin
-      Hashtbl.remove t.cancelled stamp;
-      pop t
-    end
+    if Pending.Graveyard.exhume t.cancelled stamp then pop t
     else begin
       t.live <- t.live - 1;
       Some (time, payload)
@@ -174,8 +170,7 @@ let rec peek_time t =
   if t.len = 0 then None
   else begin
     let stamp = t.stamps.(0) in
-    if Hashtbl.mem t.cancelled stamp then begin
-      Hashtbl.remove t.cancelled stamp;
+    if Pending.Graveyard.exhume t.cancelled stamp then begin
       drop_root t;
       peek_time t
     end
@@ -184,4 +179,4 @@ let rec peek_time t =
 
 let size t = t.live
 let is_empty t = t.live = 0
-let tombstones t = Hashtbl.length t.cancelled
+let tombstones t = Pending.Graveyard.count t.cancelled

@@ -25,6 +25,13 @@
     - ["vsync.view.notify"] — a view-change notification is about to be
       sent (node = recipient); a [Delay] effect delays that member's
       view installation
+    - ["vsync.batch.flush"] — a pending batch window is about to be
+      enqueued as one group operation (node = issuer of the opening
+      item); a [Delay] postpones the enqueue, widening the window in
+      which a membership change can overtake the batch; a handler that
+      crashes nodes here exercises crash-mid-batch atomicity
+    - ["vsync.batch.cut"] — an op/byte cap just cut a batch frame
+      early (node = issuer of the op that filled the frame)
     - ["net.transmit"] — any fabric transmission (node = src,
       aux = dst); a [Delay] effect perturbs the bus serialisation
     - ["paso.op.issued"] — a PASO primitive was issued and recorded,

@@ -1,0 +1,76 @@
+(** Shared bookkeeping for lazily-cancelled pending work.
+
+    Two structures in the simulator keep "pending" collections where
+    cancellation must be O(1) and cheap: the event heap (cancelled
+    timers) and the vsync batcher (gcasts whose issuer crashed before
+    the batch flushed). Both use the same discipline: cancellation
+    plants a tombstone, consumers skip tombstoned entries lazily, and
+    when tombstones outnumber [max floor (len/2)] the structure
+    physically compacts so the dead can never outgrow the living.
+
+    {!Graveyard} is that tombstone registry; {!t} is a FIFO queue
+    built on it for the batcher's pending-operation window. *)
+
+module Graveyard : sig
+  type t
+  (** A set of dead integer ids (tombstones). *)
+
+  val create : unit -> t
+
+  val bury : t -> int -> bool
+  (** Mark an id dead. Returns [false] (and does nothing) if it was
+      already dead. *)
+
+  val is_dead : t -> int -> bool
+
+  val exhume : t -> int -> bool
+  (** Remove the tombstone for an id. Returns whether it was dead —
+      consumers call this when they encounter an entry, simultaneously
+      testing and retiring the tombstone. *)
+
+  val count : t -> int
+  (** Tombstones currently planted. *)
+
+  val reset : t -> unit
+  (** Forget every tombstone (after the caller physically compacted). *)
+
+  val needs_sweep : t -> floor:int -> len:int -> bool
+  (** [needs_sweep g ~floor ~len] is [true] when tombstones outnumber
+      [max floor (len/2)], where [len] is the physical size of the
+      structure they hide in. The caller should then compact and
+      {!reset}. The floor keeps small structures from compacting
+      constantly; the ratio bounds memory to O(live). *)
+end
+
+type 'a t
+(** FIFO queue of pending items with lazy cancellation, bounded by the
+    {!Graveyard} sweep rule: a cancel that tips tombstones past
+    [max floor (len/2)] triggers an immediate physical sweep. *)
+
+val create : ?floor:int -> unit -> 'a t
+(** [floor] is the compaction floor (default 64). *)
+
+val push : 'a t -> 'a -> int
+(** Append an item; returns its cancellation id. *)
+
+val cancel : 'a t -> int -> unit
+(** Lazily remove a pending item. No-op on unknown or already-cancelled
+    ids, and on ids already drained. *)
+
+val length : 'a t -> int
+(** Live (non-cancelled, not-yet-drained) items. *)
+
+val is_empty : 'a t -> bool
+
+val iter : 'a t -> (int -> 'a -> unit) -> unit
+(** Visit live items in FIFO order without removing them. *)
+
+val drain : 'a t -> (int -> 'a -> unit) -> unit
+(** Remove and visit every live item in FIFO order; the queue is empty
+    (and tombstone-free) afterwards. *)
+
+val clear : 'a t -> unit
+
+val tombstones : 'a t -> int
+(** Cancelled-but-not-yet-swept entries — exposed for tests of the
+    bounded-tombstone invariant. *)

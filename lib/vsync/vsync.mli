@@ -67,6 +67,8 @@ type ('msg, 'resp, 'state) callbacks = {
 
 val make :
   ?failpoints:Sim.Failpoint.t ->
+  ?batch:Net.Batch.cfg ->
+  ?frame_size:(('msg * int) list -> int) ->
   engine:Sim.Engine.t ->
   fabric:Net.Fabric.t ->
   stats:Sim.Stats.t ->
@@ -82,8 +84,19 @@ val make :
     [?failpoints] is the deterministic fault-injection registry
     consulted at the protocol's named sites ({!Sim.Failpoint}):
     ["vsync.gcast.begin"], ["vsync.gcast.deliver"],
-    ["vsync.join.transfer"] and ["vsync.view.notify"]. A fresh inert
-    registry is created when omitted. *)
+    ["vsync.join.transfer"], ["vsync.view.notify"],
+    ["vsync.batch.flush"] and ["vsync.batch.cut"]. A fresh inert
+    registry is created when omitted.
+
+    [?batch] enables the {!gcast_batch} accumulation window with the
+    given flush discipline; without it, [gcast_batch] degrades to
+    {!gcast} and nothing about the instance's behaviour changes.
+
+    [?frame_size] computes the coalesced wire size of one member's
+    frame from its [(msg, declared_size)] item vector (default: the
+    plain sum). The layer above uses this to delta-encode repeated
+    class/template headers inside a frame (an intern table per
+    frame). *)
 
 val n : ('msg, 'resp, 'state) t -> int
 val engine : ('msg, 'resp, 'state) t -> Sim.Engine.t
@@ -130,6 +143,40 @@ val gcast :
     no longer waits for the slowest member. The group still flushes
     fully before the next operation. Only sound for read-only
     messages. *)
+
+val gcast_batch :
+  ('msg, 'resp, 'state) t ->
+  ?restrict:(int list -> int list) ->
+  group:string ->
+  from:int ->
+  msg_size:int ->
+  on_done:(resp:'resp option -> work:float -> responders:int -> unit) ->
+  'msg ->
+  unit
+(** Like {!gcast}, but the operation joins the group's accumulation
+    window instead of entering the op queue directly: all same-group
+    operations enqueued within the hold window δ of the instance's
+    {!Net.Batch.cfg} flush as ONE totally-ordered group operation.
+    Each member then receives one coalesced frame carrying the item
+    vector (α paid once per frame), processes the items in batch
+    order, and acks the whole frame with a single empty message;
+    responses are piggybacked into one return frame per distinct
+    issuer. A full frame (op or byte cap) is cut immediately.
+
+    Semantics are those of issuing the same gcasts back-to-back:
+    per-item [restrict] (applied at exec time, default-to-all rule
+    unchanged), per-item responses/work/responder counts, per-item
+    orphaning when an issuer crashes — pending items of a crashed
+    issuer are cancelled in the window ({!Sim.Pending} tombstones),
+    in-flight items are simply never answered. Membership changes
+    (join/leave/crash) flush the pending window first, so a batch is
+    atomic with respect to view installation. The eager flag does not
+    exist here: a batched op always responds at batch completion.
+
+    Counted under ["vsync.batches"], ["vsync.batched_ops"] and
+    ["vsync.batch_cuts"] (plus ["vsync.gcasts"] per logical op, as
+    ever). When the instance was made without [?batch], this is
+    exactly {!gcast}. *)
 
 val join :
   ('msg, 'resp, 'state) t -> group:string -> node:int -> on_done:(unit -> unit) -> unit

@@ -157,6 +157,45 @@ let test_campaign_clean () =
   in
   Alcotest.(check int) "no failures across the matrix" 0 (List.length failures)
 
+(* Regression: a take issued one step before its class group lost its
+   last member used to slip past the issue-time recovery-quorum check
+   and execute against the group re-formed from a single recovered
+   disk — a disk that was stale (it missed a delivered remove while
+   down, though its WAL was intact) — returning an object another take
+   had already removed (A2). The exec-time delivery gate now refuses
+   the query and the issuer re-parks until λ+1 members have merged
+   their remove evidence. Found by the matrix fuzzer (schedule 73,
+   seed 42, shrunk); pinned batched and unbatched — the hole predates
+   batching. *)
+let test_probation_straddle () =
+  let config =
+    {
+      Check.Schedule.default with
+      n = 8;
+      lambda = 2;
+      classing = "head";
+      policy = "counter:4";
+      durable = true;
+      seed = 2755231;
+    }
+  in
+  let steps =
+    Check.Schedule.
+      [
+        Insert (15, 7); Advance; Take (2, 7); Insert (21, 4); Insert (32, 6);
+        Crash 60; Crash 14; Take (51, 1); Recover; Take (16, 0); Insert (58, 5);
+        Advance; Recover; Crash 38; Take (14, 1); Recover; Crash 7;
+      ]
+  in
+  List.iter
+    (fun c ->
+      let o = Check.Runner.run c steps in
+      Alcotest.(check int)
+        (Printf.sprintf "no violations (%s)" (Check.Schedule.label c))
+        0
+        (List.length o.Check.Runner.violations))
+    [ { config with batch_ops = 2; batch_hold = 200.0 }; config ]
+
 (* ---- Mutation tests: corrupt a valid history, the checker must see it ---- *)
 
 let tmpl_a = Template.headed "a" [ Template.Any ]
@@ -237,7 +276,11 @@ let () =
             test_shrink_synthetic_failure;
         ] );
       ( "campaign",
-        [ Alcotest.test_case "clean sweep across the matrix" `Quick test_campaign_clean ] );
+        [
+          Alcotest.test_case "clean sweep across the matrix" `Quick test_campaign_clean;
+          Alcotest.test_case "probation straddle regression" `Quick
+            test_probation_straddle;
+        ] );
       ( "mutations",
         [
           Alcotest.test_case "dropped insert is caught" `Quick test_mutate_drop_insert;

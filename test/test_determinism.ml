@@ -89,6 +89,18 @@ let config_b =
       ];
   }
 
+(* Schedule A again, but through the gcast batching layer with tight
+   caps — the batched protocol gets its own replay pin (the unbatched
+   pins above double as the proof that batching off is byte-identical
+   to the pre-batching code). *)
+let config_c =
+  {
+    config_a with
+    Check.Schedule.batch_ops = 4;
+    batch_bytes = 512;
+    batch_hold = 300.0;
+  }
+
 type golden = {
   g_trace_digest : string;
   g_artifact_digest : string;
@@ -176,8 +188,26 @@ let golden_b =
     g_work_total = "284.20241449562968";
   }
 
+(* Pinned at the commit that introduced batching. Note the batched run
+   of schedule A beats the unbatched pin on every axis the cost model
+   sees: 291 vs 388 messages, 153660 vs 202245 cost, and 89 vs 87
+   completed ops (two reads that raced a crash unbatched now complete
+   inside an earlier frame). *)
+let golden_c =
+  {
+    g_trace_digest = "9ba0425dda0ef9388d5fcc6971e4e9a3";
+    g_artifact_digest = "4037a64d57facdc2884e72d8309ab9b1";
+    g_ops = 110;
+    g_completed = 89;
+    g_final_time = "154410";
+    g_net_msgs = 291;
+    g_net_msg_cost = "153660";
+    g_work_total = "142";
+  }
+
 let test_lan () = run_pinned "lan/head/faults" config_a steps_a golden_a
 let test_wan () = run_pinned "wan/signature/repair" config_b steps_b golden_b
+let test_batched () = run_pinned "lan/head/faults/batched" config_c steps_a golden_c
 
 (* The same schedule twice in one process must agree with itself —
    catches accidental global mutable state in the optimised paths. *)
@@ -194,6 +224,7 @@ let () =
         [
           Alcotest.test_case "lan schedule byte-identical" `Quick test_lan;
           Alcotest.test_case "wan schedule byte-identical" `Quick test_wan;
+          Alcotest.test_case "batched schedule byte-identical" `Quick test_batched;
           Alcotest.test_case "self agreement" `Quick test_self_agreement;
         ] );
     ]

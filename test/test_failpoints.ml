@@ -7,7 +7,7 @@
 open Paso
 module Failpoint = Check.Failpoint
 
-let mk ?(n = 8) ?(lambda = 2) ?repair ?topology () =
+let mk ?(n = 8) ?(lambda = 2) ?repair ?topology ?batch () =
   let fps = Failpoint.create () in
   let sys =
     System.create ~failpoints:fps
@@ -16,6 +16,7 @@ let mk ?(n = 8) ?(lambda = 2) ?repair ?topology () =
         n;
         lambda;
         repair;
+        batch;
         topology =
           (match topology with
           | Some t -> t
@@ -281,6 +282,48 @@ let test_dying_joiner_is_a_loss () =
       Alcotest.failf "after dying joiner: %s"
         (Format.asprintf "%a" Check.Invariants.pp_report r))
 
+(* Finding 9 (batching): the issuer crashing at the instant its held
+   batch flushes must orphan the whole batch — none of its operations
+   may deliver or complete, and the group must not wedge. The batch is
+   atomic with respect to the crash: no prefix of it leaks. *)
+let test_crash_mid_batch () =
+  let sys, fps =
+    mk ~batch:(Net.Batch.cfg ~max_ops:16 ~max_bytes:4096 ~hold:400.0 ()) ()
+  in
+  insert_a sys ~machine:0;
+  System.run sys;
+  Failpoint.arm fps ~site:"vsync.batch.flush" ~times:1 (fun info ->
+      System.crash sys ~machine:info.Failpoint.fp_node;
+      Failpoint.Nothing);
+  (* two inserts ride the same held batch; the failpoint kills their
+     issuer when the hold window expires *)
+  insert_a sys ~machine:0 ~v:1;
+  insert_a sys ~machine:0 ~v:2;
+  System.run sys;
+  let h = System.history sys in
+  Alcotest.(check int) "both batched inserts stay outstanding"
+    (History.op_count h - 2) (History.completed_ops h);
+  (* neither object of the orphaned batch was stored anywhere *)
+  let gone v =
+    let result = ref `Pending in
+    System.read sys ~machine:1
+      (Template.headed "a" [ Template.Eq (Value.Int v) ])
+      ~on_done:(fun r -> result := `Done r);
+    System.run sys;
+    match !result with
+    | `Done r -> Alcotest.(check bool) (Printf.sprintf "object %d not stored" v) true (r = None)
+    | `Pending -> Alcotest.failf "read for object %d never returned" v
+  in
+  gone 1;
+  gone 2;
+  (* the pre-batch object is untouched and the group still works *)
+  let result = ref None in
+  System.read sys ~machine:1 tmpl_a ~on_done:(fun r -> result := r);
+  System.run sys;
+  Alcotest.(check bool) "the pre-batch object survives" true (!result <> None);
+  recover_all sys ~n:8;
+  check_clean sys "after crash mid-batch"
+
 let () =
   Alcotest.run "failpoints"
     [
@@ -302,5 +345,7 @@ let () =
             test_wan_zero_responder_retry;
           Alcotest.test_case "8: a dying joiner is a recorded loss" `Quick
             test_dying_joiner_is_a_loss;
+          Alcotest.test_case "9: a crash mid-batch orphans the whole batch" `Quick
+            test_crash_mid_batch;
         ] );
     ]

@@ -73,16 +73,49 @@ let test_bus_accounting () =
   Alcotest.(check int) "stats msgs" 2 (Sim.Stats.count stats "net.msgs");
   check_float "stats cost" 35.0 (Sim.Stats.total stats "net.msg_cost")
 
+let test_frame_cost () =
+  let m = cm 500.0 2.0 in
+  check_float "alpha once + beta * sum" (500.0 +. (2.0 *. 60.0))
+    (Net.Cost_model.frame_cost m ~sizes:[ 10; 20; 30 ]);
+  check_float "singleton frame = msg_cost"
+    (Net.Cost_model.msg_cost m ~size:10)
+    (Net.Cost_model.frame_cost m ~sizes:[ 10 ]);
+  Alcotest.check_raises "negative payload"
+    (Invalid_argument "Cost_model.frame_cost: negative size") (fun () ->
+      ignore (Net.Cost_model.frame_cost m ~sizes:[ 1; -1 ]))
+
+let test_bus_frame_accounting () =
+  let eng, stats, bus = make_bus () in
+  (* Three ops of 5 bytes each in one frame: one physical message
+     costing alpha + beta*15, vs 3*(alpha + beta*5) unbatched. *)
+  Net.Bus.transmit_frame bus ~ops:3 ~bytes:15 (fun () -> ());
+  Sim.Engine.run eng;
+  Alcotest.(check int) "one physical message" 1 (Net.Bus.message_count bus);
+  check_float "alpha charged once" 25.0 (Net.Bus.total_cost bus);
+  Alcotest.(check int) "frames counted" 1 (Sim.Stats.count stats "net.frames");
+  Alcotest.(check int) "frame ops counted" 3 (Sim.Stats.count stats "net.frame_ops")
+
+let test_batch_cfg () =
+  let c = Net.Batch.cfg ~max_ops:2 ~max_bytes:100 ~hold:50.0 () in
+  Alcotest.(check bool) "under caps" false (Net.Batch.cut_after c ~ops:1 ~bytes:10);
+  Alcotest.(check bool) "op cap cuts" true (Net.Batch.cut_after c ~ops:2 ~bytes:10);
+  Alcotest.(check bool) "byte cap cuts" true (Net.Batch.cut_after c ~ops:1 ~bytes:100);
+  Alcotest.check_raises "bad max_ops" (Invalid_argument "Batch.cfg: max_ops < 1")
+    (fun () -> ignore (Net.Batch.cfg ~max_ops:0 ()))
+
 (* --- Transport ------------------------------------------------------------ *)
 
-let make_transport ?(n = 4) () =
+let make_transport ?batch ?(n = 4) () =
   let eng, stats, bus = (make_bus ()) in
-  ignore stats;
-  let tr = Net.Transport.create eng bus ~n in
+  let tr = Net.Transport.create ?batch eng bus ~n in
+  (eng, stats, bus, tr)
+
+let make_transport' ?(n = 4) () =
+  let eng, _, _, tr = make_transport ~n () in
   (eng, tr)
 
 let test_transport_delivery () =
-  let eng, tr = make_transport () in
+  let eng, tr = make_transport' () in
   let got = ref [] in
   Net.Transport.set_handler tr ~node:1 (fun ~src msg -> got := (src, msg) :: !got);
   Net.Transport.send tr ~src:0 ~dst:1 ~size:8 "hello";
@@ -90,7 +123,7 @@ let test_transport_delivery () =
   Alcotest.(check (list (pair int string))) "delivered with src" [ (0, "hello") ] !got
 
 let test_transport_fifo_per_pair () =
-  let eng, tr = make_transport () in
+  let eng, tr = make_transport' () in
   let got = ref [] in
   Net.Transport.set_handler tr ~node:2 (fun ~src:_ msg -> got := msg :: !got);
   List.iter (fun m -> Net.Transport.send tr ~src:0 ~dst:2 ~size:1 m) [ "a"; "b"; "c" ];
@@ -98,7 +131,7 @@ let test_transport_fifo_per_pair () =
   Alcotest.(check (list string)) "FIFO" [ "a"; "b"; "c" ] (List.rev !got)
 
 let test_transport_down_drops () =
-  let eng, tr = make_transport () in
+  let eng, tr = make_transport' () in
   let got = ref 0 in
   Net.Transport.set_handler tr ~node:1 (fun ~src:_ _ -> incr got);
   Net.Transport.set_down tr 1;
@@ -107,7 +140,7 @@ let test_transport_down_drops () =
   Alcotest.(check int) "dropped" 0 !got
 
 let test_transport_crash_drops_inflight () =
-  let eng, tr = make_transport () in
+  let eng, tr = make_transport' () in
   let got = ref 0 in
   Net.Transport.set_handler tr ~node:1 (fun ~src:_ _ -> incr got);
   (* Message enters the bus, then the destination crashes before the
@@ -118,7 +151,7 @@ let test_transport_crash_drops_inflight () =
   Alcotest.(check int) "in-flight dropped on crash" 0 !got
 
 let test_transport_recovery_epoch () =
-  let eng, tr = make_transport () in
+  let eng, tr = make_transport' () in
   let got = ref 0 in
   Net.Transport.set_handler tr ~node:1 (fun ~src:_ _ -> incr got);
   Net.Transport.send tr ~src:0 ~dst:1 ~size:100 "x";
@@ -136,11 +169,78 @@ let test_transport_recovery_epoch () =
   Alcotest.(check int) "fresh message delivered" 1 !got
 
 let test_transport_up_nodes () =
-  let _, tr = make_transport ~n:5 () in
+  let _, tr = make_transport' ~n:5 () in
   Net.Transport.set_down tr 2;
   Net.Transport.set_down tr 4;
   Alcotest.(check (list int)) "up nodes" [ 0; 1; 3 ] (Net.Transport.up_nodes tr);
   Alcotest.(check bool) "is_up" false (Net.Transport.is_up tr 2)
+
+(* --- Transport batching ----------------------------------------------------- *)
+
+let test_transport_batch_coalesces () =
+  let batch = Net.Batch.cfg ~max_ops:8 ~max_bytes:1000 ~hold:50.0 () in
+  let eng, stats, bus, tr = make_transport ~batch () in
+  let got = ref [] in
+  Net.Transport.set_handler tr ~node:1 (fun ~src:_ msg ->
+      got := (msg, Sim.Engine.now eng) :: !got);
+  List.iter
+    (fun m -> Net.Transport.send tr ~src:0 ~dst:1 ~size:5 m)
+    [ "a"; "b"; "c" ];
+  Alcotest.(check int) "held in the lane" 3 (Net.Transport.pending_batched tr);
+  Sim.Engine.run eng;
+  (* Flush at hold=50, then one frame of cost 10 + 15 = 25. *)
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "one frame, FIFO, delivered at hold + frame cost"
+    [ ("a", 75.0); ("b", 75.0); ("c", 75.0) ]
+    (List.rev !got);
+  Alcotest.(check int) "one physical message" 1 (Net.Bus.message_count bus);
+  check_float "alpha charged once" 25.0 (Net.Bus.total_cost bus);
+  Alcotest.(check int) "frame ops" 3 (Sim.Stats.count stats "net.frame_ops")
+
+let test_transport_batch_cut_on_cap () =
+  let batch = Net.Batch.cfg ~max_ops:2 ~max_bytes:1000 ~hold:50.0 () in
+  let eng, _, bus, tr = make_transport ~batch () in
+  let at = ref [] in
+  Net.Transport.set_handler tr ~node:1 (fun ~src:_ _ ->
+      at := Sim.Engine.now eng :: !at);
+  Net.Transport.send tr ~src:0 ~dst:1 ~size:5 "a";
+  Net.Transport.send tr ~src:0 ~dst:1 ~size:5 "b";
+  Alcotest.(check int) "cut immediately at the op cap" 0
+    (Net.Transport.pending_batched tr);
+  Sim.Engine.run eng;
+  (* The frame goes out at enqueue time, not after the hold window. *)
+  Alcotest.(check (list (float 1e-9))) "no hold-window wait" [ 20.0; 20.0 ] !at;
+  Alcotest.(check int) "one frame" 1 (Net.Bus.message_count bus)
+
+let test_transport_batch_explicit_flush () =
+  let batch = Net.Batch.cfg ~max_ops:8 ~max_bytes:1000 ~hold:500.0 () in
+  let eng, _, _, tr = make_transport ~batch () in
+  let at = ref 0.0 in
+  Net.Transport.set_handler tr ~node:1 (fun ~src:_ _ -> at := Sim.Engine.now eng);
+  Net.Transport.send tr ~src:0 ~dst:1 ~size:5 "a";
+  Net.Transport.flush tr;
+  Alcotest.(check int) "drained" 0 (Net.Transport.pending_batched tr);
+  Sim.Engine.run eng;
+  check_float "sent at flush, not after hold" 15.0 !at
+
+let test_transport_batch_epoch_guard () =
+  let batch = Net.Batch.cfg ~max_ops:8 ~max_bytes:1000 ~hold:50.0 () in
+  let eng, _, _, tr = make_transport ~batch () in
+  let got = ref 0 in
+  Net.Transport.set_handler tr ~node:1 (fun ~src:_ _ -> incr got);
+  Net.Transport.send tr ~src:0 ~dst:1 ~size:5 "a";
+  (* Crash + recover while the message is still held in the lane: it
+     was addressed to the previous incarnation and must be dropped at
+     delivery, exactly as on the unbatched path. *)
+  ignore
+    (Sim.Engine.schedule eng ~delay:1.0 (fun () ->
+         Net.Transport.set_down tr 1;
+         Net.Transport.set_up tr 1));
+  Sim.Engine.run eng;
+  Alcotest.(check int) "stale incarnation dropped" 0 !got;
+  Net.Transport.send tr ~src:0 ~dst:1 ~size:5 "b";
+  Sim.Engine.run eng;
+  Alcotest.(check int) "fresh incarnation delivered" 1 !got
 
 (* --- Fabric ----------------------------------------------------------------- *)
 
@@ -195,6 +295,15 @@ let test_fabric_wan_pricing_and_stats () =
   Alcotest.(check bool) "clusters" true
     (Net.Fabric.same_cluster f 0 1 && not (Net.Fabric.same_cluster f 0 2))
 
+let test_fabric_wan_frame_pricing () =
+  let eng, stats, f = make_wan () in
+  (* Remote frame of two 10-byte ops: alpha(remote)=1000 once + 2*20. *)
+  Net.Fabric.transmit_frame f ~src:0 ~dst:2 ~ops:2 ~bytes:20 (fun () -> ());
+  Sim.Engine.run eng;
+  check_float "remote alpha charged once" 1040.0 (Net.Fabric.total_cost f);
+  Alcotest.(check int) "one wan msg" 1 (Sim.Stats.count stats "net.wan_msgs");
+  Alcotest.(check int) "frame ops" 2 (Sim.Stats.count stats "net.frame_ops")
+
 let test_fabric_validation () =
   let eng = Sim.Engine.create () in
   let stats = Sim.Stats.create () in
@@ -214,6 +323,7 @@ let () =
           Alcotest.test_case "msg cost" `Quick test_msg_cost;
           Alcotest.test_case "gcast closed form" `Quick test_gcast_cost_formula;
           Alcotest.test_case "gcast empty group" `Quick test_gcast_cost_zero_group;
+          Alcotest.test_case "frame cost" `Quick test_frame_cost;
           Alcotest.test_case "validation" `Quick test_cost_model_validation;
         ] );
       ( "bus",
@@ -221,6 +331,19 @@ let () =
           Alcotest.test_case "serialises transmissions" `Quick test_bus_serialises;
           Alcotest.test_case "idle gaps" `Quick test_bus_idle_gap;
           Alcotest.test_case "cost accounting" `Quick test_bus_accounting;
+          Alcotest.test_case "frame accounting" `Quick test_bus_frame_accounting;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "cfg caps and validation" `Quick test_batch_cfg;
+          Alcotest.test_case "transport coalesces in the hold window" `Quick
+            test_transport_batch_coalesces;
+          Alcotest.test_case "op cap cuts early" `Quick
+            test_transport_batch_cut_on_cap;
+          Alcotest.test_case "explicit flush" `Quick
+            test_transport_batch_explicit_flush;
+          Alcotest.test_case "epoch guard preserved" `Quick
+            test_transport_batch_epoch_guard;
         ] );
       ( "fabric",
         [
@@ -229,6 +352,7 @@ let () =
           Alcotest.test_case "wan per-source serialisation" `Quick
             test_fabric_wan_serialises_per_source;
           Alcotest.test_case "wan pricing and stats" `Quick test_fabric_wan_pricing_and_stats;
+          Alcotest.test_case "wan frame pricing" `Quick test_fabric_wan_frame_pricing;
           Alcotest.test_case "validation" `Quick test_fabric_validation;
         ] );
       ( "transport",

@@ -195,6 +195,61 @@ let test_stats_reset_and_keys () =
   Sim.Stats.reset s;
   Alcotest.(check (list string)) "empty after reset" [] (Sim.Stats.keys s)
 
+(* --- Pending ------------------------------------------------------------- *)
+
+let test_pending_fifo () =
+  let q = Sim.Pending.create () in
+  let ids = List.init 5 (fun i -> Sim.Pending.push q i) in
+  Alcotest.(check int) "length" 5 (Sim.Pending.length q);
+  Sim.Pending.cancel q (List.nth ids 2);
+  Alcotest.(check int) "length after cancel" 4 (Sim.Pending.length q);
+  let seen = ref [] in
+  Sim.Pending.drain q (fun _ x -> seen := x :: !seen);
+  Alcotest.(check (list int)) "FIFO, cancelled skipped" [ 0; 1; 3; 4 ]
+    (List.rev !seen);
+  Alcotest.(check bool) "empty after drain" true (Sim.Pending.is_empty q);
+  Alcotest.(check int) "graveyard emptied" 0 (Sim.Pending.tombstones q)
+
+let test_pending_iter_preserves () =
+  let q = Sim.Pending.create () in
+  let a = Sim.Pending.push q "a" in
+  ignore (Sim.Pending.push q "b");
+  Sim.Pending.cancel q a;
+  Sim.Pending.cancel q a (* double cancel is a no-op *);
+  let seen = ref [] in
+  Sim.Pending.iter q (fun _ x -> seen := x :: !seen);
+  Alcotest.(check (list string)) "iter skips dead" [ "b" ] !seen;
+  Alcotest.(check int) "iter does not consume" 1 (Sim.Pending.length q)
+
+(* The bounded-tombstone invariant, directly: however adversarial the
+   cancellation pattern, the graveyard never outgrows
+   [max floor (len/2)] once a cancel has had the chance to sweep. *)
+let test_pending_tombstones_bounded () =
+  let q = Sim.Pending.create ~floor:8 () in
+  let ids = Array.init 1000 (fun i -> Sim.Pending.push q i) in
+  Array.iteri (fun i id -> if i mod 4 <> 0 then Sim.Pending.cancel q id) ids;
+  let live = Sim.Pending.length q in
+  let tb = Sim.Pending.tombstones q in
+  Alcotest.(check int) "live count" 250 live;
+  Alcotest.(check bool) "tombstones bounded" true (tb <= max 8 ((live + tb) / 2));
+  let seen = ref 0 in
+  Sim.Pending.drain q (fun _ _ -> incr seen);
+  Alcotest.(check int) "survivors drained" 250 !seen
+
+(* Same invariant on the event heap, which shares the graveyard sweep
+   rule — previously only exercised indirectly through the QCheck
+   model test in test_perf_equiv. *)
+let test_heap_tombstones_bounded () =
+  let h = Sim.Event_heap.create () in
+  let ids =
+    Array.init 2000 (fun i -> Sim.Event_heap.add h ~time:(float_of_int i) i)
+  in
+  Array.iteri (fun i id -> if i mod 3 <> 0 then Sim.Event_heap.cancel h id) ids;
+  let tb = Sim.Event_heap.tombstones h in
+  let len = Sim.Event_heap.size h + tb in
+  Alcotest.(check bool) "tombstones bounded" true (tb <= max 64 (len / 2));
+  Alcotest.(check int) "live count" 667 (Sim.Event_heap.size h)
+
 (* --- Trace --------------------------------------------------------------- *)
 
 let test_trace_disabled_by_default () =
@@ -233,6 +288,16 @@ let () =
           Alcotest.test_case "peek skips cancelled" `Quick test_heap_cancel_then_peek;
           Alcotest.test_case "growth to 1000 events" `Quick test_heap_growth;
           Alcotest.test_case "rejects NaN" `Quick test_heap_nan_rejected;
+          Alcotest.test_case "tombstones bounded" `Quick
+            test_heap_tombstones_bounded;
+        ] );
+      ( "pending",
+        [
+          Alcotest.test_case "FIFO with lazy cancel" `Quick test_pending_fifo;
+          Alcotest.test_case "iter preserves entries" `Quick
+            test_pending_iter_preserves;
+          Alcotest.test_case "tombstones bounded" `Quick
+            test_pending_tombstones_bounded;
         ] );
       ( "engine",
         [

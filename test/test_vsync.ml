@@ -19,7 +19,7 @@ let beta = 1.0
 
 (* Each delivery appends the message to the node's log and answers with
    "<node>:<msg>"; processing takes [work_per_msg]. *)
-let make ?(n = 5) ?(work_per_msg = 0.0) () =
+let make ?batch ?(n = 5) ?(work_per_msg = 0.0) () =
   let eng = Sim.Engine.create () in
   let stats = Sim.Stats.create () in
   let trace = Sim.Trace.create () in
@@ -47,7 +47,7 @@ let make ?(n = 5) ?(work_per_msg = 0.0) () =
       on_group_lost = (fun ~group -> lost := group :: !lost);
     }
   in
-  let vs = Vsync.make ~engine:eng ~fabric:bus ~stats ~trace ~n callbacks in
+  let vs = Vsync.make ?batch ~engine:eng ~fabric:bus ~stats ~trace ~n callbacks in
   { eng; stats; bus; logs; vs; views_seen; evicted; lost }
 
 let join_all h group nodes =
@@ -389,6 +389,207 @@ let test_exec_local_parallel_nodes () =
   check_float "node 0" 10.0 !t1;
   check_float "node 1 runs in parallel" 10.0 !t2
 
+(* --- batching --------------------------------------------------------------- *)
+
+let count h key = Sim.Stats.count h.stats key
+
+let test_batch_coalesces_and_costs () =
+  let h = make ~batch:(Net.Batch.cfg ~hold:50.0 ()) () in
+  join_all h "g" [ 0; 1; 2 ];
+  let cost0 = Net.Fabric.total_cost h.bus in
+  let msgs0 = count h "net.msgs" in
+  let frames0 = count h "net.frames" in
+  let t_issue = Sim.Engine.now h.eng in
+  let resps = ref [] in
+  List.iter
+    (fun m ->
+      Vsync.gcast_batch h.vs ~group:"g" ~from:3 ~msg_size:10
+        ~on_done:(fun ~resp ~work ~responders ->
+          check_float "no work" 0.0 work;
+          Alcotest.(check int) "three responders" 3 responders;
+          resps := Option.get resp :: !resps)
+        m)
+    [ "a"; "b"; "c" ];
+  Sim.Engine.run h.eng;
+  List.iter
+    (fun node ->
+      Alcotest.(check (list string)) "batch order" [ "a"; "b"; "c" ] (log h node))
+    [ 0; 1; 2 ];
+  (* Member 0's frame lands first, so its responses win the race. *)
+  Alcotest.(check (list string)) "piggybacked responses" [ "0:a"; "0:b"; "0:c" ]
+    (List.rev !resps);
+  (* One batch: 3 member frames of 30 bytes, 3 empty frame acks, one
+     9-byte response frame back to the single issuer — α(2g+r)+β(...)
+     with g=3, r=1. *)
+  check_float "batched cost"
+    ((alpha +. 30.0) *. 3.0 +. alpha *. 3.0 +. (alpha +. 9.0))
+    (Net.Fabric.total_cost h.bus -. cost0);
+  Alcotest.(check int) "7 msgs on the wire" 7 (count h "net.msgs" - msgs0);
+  Alcotest.(check int) "4 coalesced frames" 4 (count h "net.frames" - frames0);
+  Alcotest.(check int) "one batch" 1 (count h "vsync.batches");
+  Alcotest.(check int) "three batched ops" 3 (count h "vsync.batched_ops");
+  Alcotest.(check int) "no cap cut" 0 (count h "vsync.batch_cuts");
+  Alcotest.(check bool) "held for the window" true
+    (Sim.Engine.now h.eng >= t_issue +. 50.0)
+
+let test_batch_cheaper_than_unbatched () =
+  let run batched =
+    let h =
+      if batched then make ~batch:(Net.Batch.cfg ~hold:50.0 ()) () else make ()
+    in
+    join_all h "g" [ 0; 1; 2 ];
+    let cost0 = Net.Fabric.total_cost h.bus in
+    for i = 1 to 8 do
+      Vsync.gcast_batch h.vs ~group:"g" ~from:3 ~msg_size:10
+        ~on_done:(fun ~resp:_ ~work:_ ~responders:_ -> ())
+        (Printf.sprintf "m%d" i)
+    done;
+    Sim.Engine.run h.eng;
+    (Net.Fabric.total_cost h.bus -. cost0, log h 0)
+  in
+  let on_cost, on_log = run true in
+  let off_cost, off_log = run false in
+  Alcotest.(check (list string)) "same deliveries either way" off_log on_log;
+  Alcotest.(check bool) "batching strictly cheaper" true (on_cost < off_cost)
+
+let test_batch_cut_on_op_cap () =
+  let h = make ~batch:(Net.Batch.cfg ~max_ops:2 ~hold:10_000.0 ()) () in
+  join_all h "g" [ 0; 1; 2 ];
+  let t0 = Sim.Engine.now h.eng in
+  let done_ops = ref 0 in
+  List.iter
+    (fun m ->
+      Vsync.gcast_batch h.vs ~group:"g" ~from:3 ~msg_size:5
+        ~on_done:(fun ~resp:_ ~work:_ ~responders:_ -> incr done_ops)
+        m)
+    [ "a"; "b" ];
+  Sim.Engine.run h.eng;
+  Alcotest.(check int) "both ops answered" 2 !done_ops;
+  Alcotest.(check int) "cap cut counted" 1 (count h "vsync.batch_cuts");
+  (* The cut flushes immediately: nothing waits out the 10k hold. *)
+  Alcotest.(check bool) "no hold-window wait" true
+    (Sim.Engine.now h.eng < t0 +. 10_000.0)
+
+let test_batch_multi_issuer_piggyback () =
+  let h = make ~batch:(Net.Batch.cfg ~hold:50.0 ()) () in
+  join_all h "g" [ 0; 1; 2 ];
+  let frames0 = count h "net.frames" in
+  let got = Array.make 2 [] in
+  for i = 1 to 6 do
+    let issuer = 3 + (i mod 2) in
+    Vsync.gcast_batch h.vs ~group:"g" ~from:issuer ~msg_size:4
+      ~on_done:(fun ~resp ~work:_ ~responders:_ ->
+        got.(issuer - 3) <- Option.get resp :: got.(issuer - 3))
+      (Printf.sprintf "m%d" i)
+  done;
+  Sim.Engine.run h.eng;
+  let l0 = log h 0 in
+  Alcotest.(check int) "all six delivered" 6 (List.length l0);
+  Alcotest.(check (list string)) "same order everywhere" l0 (log h 1);
+  Alcotest.(check (list string)) "same order everywhere" l0 (log h 2);
+  (* Each issuer gets its own ops' responses, in batch order. *)
+  Alcotest.(check (list string)) "issuer 3's responses"
+    [ "0:m2"; "0:m4"; "0:m6" ] (List.rev got.(0));
+  Alcotest.(check (list string)) "issuer 4's responses"
+    [ "0:m1"; "0:m3"; "0:m5" ] (List.rev got.(1));
+  (* 3 member frames + one response frame per distinct issuer. *)
+  Alcotest.(check int) "five frames" 5 (count h "net.frames" - frames0)
+
+let test_batch_flushed_before_join () =
+  let h = make ~batch:(Net.Batch.cfg ~hold:10_000.0 ()) () in
+  join_all h "g" [ 0; 1; 2 ];
+  let responders = ref (-1) in
+  Vsync.gcast_batch h.vs ~group:"g" ~from:4 ~msg_size:3
+    ~on_done:(fun ~resp:_ ~work:_ ~responders:r -> responders := r)
+    "a";
+  (* The membership change flushes the window: the batch executes in
+     the pre-join view, atomically w.r.t. view installation. *)
+  Vsync.join h.vs ~group:"g" ~node:3 ~on_done:(fun () -> ());
+  Sim.Engine.run h.eng;
+  Alcotest.(check int) "delivered in the old view" 3 !responders;
+  Alcotest.(check (list int)) "join applied after" [ 0; 1; 2; 3 ]
+    (Vsync.members h.vs ~group:"g");
+  Alcotest.(check bool) "no hold-window wait" true (Sim.Engine.now h.eng < 10_000.0)
+
+let test_batch_crashed_issuer_items_cancelled () =
+  let h = make ~batch:(Net.Batch.cfg ~hold:10_000.0 ()) () in
+  join_all h "g" [ 0; 1; 2 ];
+  let done3 = ref 0 and done4 = ref 0 in
+  Vsync.gcast_batch h.vs ~group:"g" ~from:3 ~msg_size:3
+    ~on_done:(fun ~resp:_ ~work:_ ~responders:_ -> incr done3)
+    "from3";
+  Vsync.gcast_batch h.vs ~group:"g" ~from:4 ~msg_size:3
+    ~on_done:(fun ~resp:_ ~work:_ ~responders:_ -> incr done4)
+    "from4";
+  (* Crashing issuer 4 cancels its pending item in the window and
+     flushes the survivors. *)
+  Vsync.crash h.vs ~node:4;
+  Sim.Engine.run h.eng;
+  Alcotest.(check (list string)) "only the live issuer's op" [ "from3" ] (log h 0);
+  Alcotest.(check int) "live issuer answered" 1 !done3;
+  Alcotest.(check int) "dead issuer orphaned" 0 !done4
+
+let test_batch_restrict_per_item () =
+  let h = make ~batch:(Net.Batch.cfg ~hold:50.0 ()) () in
+  join_all h "g" [ 0; 1; 2; 3 ];
+  let r_restricted = ref (-1) and r_full = ref (-1) in
+  Vsync.gcast_batch h.vs ~group:"g"
+    ~restrict:(fun members -> List.filter (fun m -> m < 2) members)
+    ~from:4 ~msg_size:1
+    ~on_done:(fun ~resp:_ ~work:_ ~responders -> r_restricted := responders)
+    "read";
+  Vsync.gcast_batch h.vs ~group:"g" ~from:4 ~msg_size:1
+    ~on_done:(fun ~resp:_ ~work:_ ~responders -> r_full := responders)
+    "write";
+  Sim.Engine.run h.eng;
+  Alcotest.(check int) "restricted item: 2 responders" 2 !r_restricted;
+  Alcotest.(check int) "full item: 4 responders" 4 !r_full;
+  Alcotest.(check (list string)) "member 3 only sees the full item" [ "write" ]
+    (log h 3);
+  Alcotest.(check (list string)) "member 0 sees both in order" [ "read"; "write" ]
+    (log h 0)
+
+let test_batch_degenerates_without_cfg () =
+  let h = make () in
+  join_all h "g" [ 0; 1; 2; 3 ];
+  let before = Net.Fabric.total_cost h.bus in
+  let resp_len = ref 0 in
+  Vsync.gcast_batch h.vs ~group:"g" ~from:4 ~msg_size:10
+    ~on_done:(fun ~resp ~work:_ ~responders:_ ->
+      resp_len := String.length (Option.get resp))
+    "0123456789";
+  Sim.Engine.run h.eng;
+  let expect =
+    Net.Cost_model.gcast_cost
+      (Net.Cost_model.v ~alpha ~beta)
+      ~group_size:4 ~msg_size:10 ~resp_size:!resp_len
+  in
+  check_float "plain gcast cost" expect (Net.Fabric.total_cost h.bus -. before);
+  Alcotest.(check int) "not counted as a batch" 0 (count h "vsync.batches")
+
+let test_batch_flush_failpoint_crash_mid_batch () =
+  let h = make ~batch:(Net.Batch.cfg ~hold:50.0 ()) () in
+  join_all h "g" [ 0; 1; 2 ];
+  (* Arm the flush site to crash the opening issuer at the instant the
+     window closes: its items must be orphaned, the batch must still
+     complete for nobody (all items were the dead issuer's). *)
+  Sim.Failpoint.arm (Vsync.failpoints h.vs) ~site:"vsync.batch.flush"
+    (fun info ->
+      Vsync.crash h.vs ~node:info.Sim.Failpoint.fp_node;
+      Sim.Failpoint.Nothing);
+  let answered = ref 0 in
+  List.iter
+    (fun m ->
+      Vsync.gcast_batch h.vs ~group:"g" ~from:3 ~msg_size:2
+        ~on_done:(fun ~resp:_ ~work:_ ~responders:_ -> incr answered)
+        m)
+    [ "a"; "b" ];
+  Sim.Engine.run h.eng;
+  Alcotest.(check int) "dead issuer's items orphaned" 0 !answered;
+  Alcotest.(check (list string)) "nothing delivered" [] (log h 0);
+  Alcotest.(check (list string)) "no wedged groups" []
+    (List.map fst (Vsync.pending_groups h.vs))
+
 let () =
   Alcotest.run "vsync"
     [
@@ -441,5 +642,25 @@ let () =
         [
           Alcotest.test_case "serial processor" `Quick test_exec_local_serial_processor;
           Alcotest.test_case "nodes run in parallel" `Quick test_exec_local_parallel_nodes;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "coalesces ops and amortises alpha" `Quick
+            test_batch_coalesces_and_costs;
+          Alcotest.test_case "cheaper than unbatched, same deliveries" `Quick
+            test_batch_cheaper_than_unbatched;
+          Alcotest.test_case "op cap cuts the window" `Quick test_batch_cut_on_op_cap;
+          Alcotest.test_case "piggybacks per-issuer responses" `Quick
+            test_batch_multi_issuer_piggyback;
+          Alcotest.test_case "membership change flushes first" `Quick
+            test_batch_flushed_before_join;
+          Alcotest.test_case "crashed issuer's window items cancelled" `Quick
+            test_batch_crashed_issuer_items_cancelled;
+          Alcotest.test_case "per-item read-group restriction" `Quick
+            test_batch_restrict_per_item;
+          Alcotest.test_case "degenerates to gcast without cfg" `Quick
+            test_batch_degenerates_without_cfg;
+          Alcotest.test_case "crash at flush orphans the batch" `Quick
+            test_batch_flush_failpoint_crash_mid_batch;
         ] );
     ]
