@@ -272,6 +272,78 @@ let recovery_profile ~reps ~ops =
   let delta = measure ~durable:true in
   J.Obj [ ("full", full); ("delta", delta) ]
 
+(* ---- op lifecycle (issued / retried / expired per E8 mix run) ----
+
+   Record-only, like "recovery": absent from the committed baseline, so
+   the gate ignores it. One standard E8 mix run counts the stage flow
+   (every transition lands in the paso.op.stage.* counter bank); a
+   second run arms a tight per-op deadline and a small retry budget to
+   exercise the expiry and refusal paths end-to-end under real load. *)
+
+let op_lifecycle_run ?op_deadline ?retry_budget ~n ~lambda ~classes ~ops () =
+  let sys =
+    System.create { System.default_config with n; lambda; op_deadline; retry_budget }
+  in
+  let rng = Sim.Rng.make 99 in
+  let heads = Array.init classes (fun i -> Printf.sprintf "c%d" i) in
+  for i = 1 to ops do
+    let m = Sim.Rng.int rng n in
+    let head = Sim.Rng.choice rng heads in
+    (match Sim.Rng.int rng 3 with
+    | 0 ->
+        System.insert sys ~machine:m
+          [ Value.Sym head; Value.Int i ]
+          ~on_done:(fun () -> ())
+    | 1 ->
+        System.read sys ~machine:m
+          (Template.headed head [ Template.Any ])
+          ~on_done:(fun _ -> ())
+    | _ ->
+        System.read_del sys ~machine:m
+          (Template.headed head [ Template.Any ])
+          ~on_done:(fun _ -> ()));
+    if i mod 64 = 0 then System.run sys
+  done;
+  System.run sys;
+  let stats = System.stats sys in
+  let c k = J.Num (float_of_int (Sim.Stats.count stats k)) in
+  J.Obj
+    [
+      ("ops", J.Num (float_of_int ops));
+      ("issued", c "paso.op.stage.issued");
+      ("fanned_out", c "paso.op.stage.fanned_out");
+      ("collecting", c "paso.op.stage.collecting");
+      ("retrying", c "paso.op.stage.retrying");
+      ("done", c "paso.op.stage.done");
+      ("failed", c "paso.op.stage.failed");
+      ("retries", c "paso.op.retries");
+      ("deadline_expired", c "paso.op.deadline_expired");
+      ("budget_exhausted", c "paso.op.budget_exhausted");
+    ]
+
+let op_lifecycle_profile ~ops =
+  let show label = function
+    | J.Obj fields ->
+        let num k =
+          match List.assoc_opt k fields with Some (J.Num x) -> x | _ -> 0.0
+        in
+        Printf.printf
+          "  op %-8s issued %5.0f  done %5.0f  failed %4.0f  retries %4.0f  expired %4.0f\n%!"
+          label (num "issued") (num "done") (num "failed") (num "retries")
+          (num "deadline_expired")
+    | _ -> ()
+  in
+  let default = op_lifecycle_run ~n:8 ~lambda:2 ~classes:8 ~ops () in
+  (* Deadline below the one-α fan-out round trip and a zero budget:
+     every remote op expires, every re-query is refused — the knobs'
+     worst case, priced under the same mix. *)
+  let tight =
+    op_lifecycle_run ~op_deadline:50.0 ~retry_budget:0 ~n:8 ~lambda:2 ~classes:8 ~ops ()
+  in
+  show "default" default;
+  show "tight" tight;
+  J.Obj [ ("default", default); ("tight", tight) ]
+
 (* ---- profile assembly ---- *)
 
 let acceptance = (32, 2, 8, 3000) (* n, lambda, classes, ops *)
@@ -318,6 +390,7 @@ let profile ~fast =
       (table_shapes ~fast)
   in
   let recovery = recovery_profile ~reps ~ops:(if fast then 400 else 1200) in
+  let op_lifecycle = op_lifecycle_profile ~ops:(if fast then 1000 else 3000) in
   J.Obj
     [
       ("e8_mix", Bench_json.mix_json mix);
@@ -330,6 +403,7 @@ let profile ~fast =
       ("e8_table", J.Arr table);
       ("kernels", J.Arr kernels);
       ("recovery", recovery);
+      ("op_lifecycle", op_lifecycle);
     ]
 
 (* ---- regression gate ---- *)

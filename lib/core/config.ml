@@ -1,0 +1,98 @@
+(* System configuration, its validation, and the records [System] keeps
+   out of its hot path: the durability hook bundle and the interned
+   per-operation stat handles. [System] [include]s this module, so the
+   types re-export through [system.mli] unchanged. *)
+
+type topology = Router.topology =
+  | Lan
+  | Wan of { clusters : int array; remote : Net.Cost_model.t }
+
+type config = {
+  n : int;
+  lambda : int;
+  classing : Obj_class.strategy;
+  storage : Storage.kind;
+  cost : Net.Cost_model.t;
+  topology : topology;
+  unit_work : float;
+  use_read_groups : bool;
+  eager_reads : bool;
+  batch : Net.Batch.cfg option;
+  policy : Policy.t;
+  init_delay : float;
+  group_map : (string -> string) option;
+  repair : Repair.strategy option;
+  op_deadline : float option;
+  retry_budget : int option;
+  retry_backoff : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    n = 8;
+    lambda = 2;
+    classing = Obj_class.By_head;
+    storage = Storage.Hash;
+    cost = Net.Cost_model.default;
+    topology = Lan;
+    unit_work = 1.0;
+    use_read_groups = true;
+    eager_reads = false;
+    batch = None;
+    policy = Policy.static;
+    init_delay = 5000.0;
+    group_map = None;
+    repair = None;
+    op_deadline = None;
+    retry_budget = None;
+    retry_backoff = 0.0;
+    seed = 42;
+  }
+
+let validate cfg =
+  if cfg.lambda < 0 then invalid_arg "System.create: negative lambda";
+  if cfg.lambda + 1 > cfg.n then invalid_arg "System.create: lambda + 1 > n";
+  if cfg.unit_work < 0.0 then invalid_arg "System.create: negative unit_work";
+  (match cfg.op_deadline with
+  | Some d when d <= 0.0 -> invalid_arg "System.create: op_deadline must be positive"
+  | Some _ | None -> ());
+  (match cfg.retry_budget with
+  | Some b when b < 0 -> invalid_arg "System.create: negative retry_budget"
+  | Some _ | None -> ());
+  if cfg.retry_backoff < 0.0 then invalid_arg "System.create: negative retry_backoff"
+
+type durability = {
+  du_append : machine:int -> Server.msg -> resp:Pobj.t option -> float;
+  du_crash : machine:int -> unit;
+  du_recover : machine:int -> Server.snapshot option;
+  du_resync : machine:int -> unit;
+}
+
+(* Stat handles for the per-operation hot path, interned once at
+   [System.create] — recording through one is a field write, not a
+   hash lookup. Cold-path stats (faults, repair, policy) stay
+   string-keyed; routing-cache, marker-placement and op-lifecycle
+   counters are interned by {!Router} / {!Op}. *)
+type hot_stats = {
+  h_ops_insert : Sim.Stats.counter;
+  h_ops_read : Sim.Stats.counter;
+  h_ops_read_del : Sim.Stats.counter;
+  h_local_reads : Sim.Stats.counter;
+  h_remote_reads : Sim.Stats.counter;
+  h_removes : Sim.Stats.counter;
+  h_read_retries : Sim.Stats.counter;
+  h_marker_wakeups : Sim.Stats.counter;
+}
+
+let hot_stats stats =
+  {
+    h_ops_insert = Sim.Stats.counter stats "ops.insert";
+    h_ops_read = Sim.Stats.counter stats "ops.read";
+    h_ops_read_del = Sim.Stats.counter stats "ops.read_del";
+    h_local_reads = Sim.Stats.counter stats "paso.local_reads";
+    h_remote_reads = Sim.Stats.counter stats "paso.remote_reads";
+    h_removes = Sim.Stats.counter stats "paso.removes";
+    h_read_retries = Sim.Stats.counter stats "paso.read_retries";
+    h_marker_wakeups = Sim.Stats.counter stats "paso.marker_wakeups";
+  }

@@ -1,0 +1,282 @@
+type topology = Lan | Wan of { clusters : int array; remote : Net.Cost_model.t }
+
+(* One outstanding remote mem-read a machine may piggyback duplicates
+   onto: identical reads (same class, same structural template) issued
+   by the same machine inside the batching window attach here instead
+   of gcasting again. Sound only same-machine — cross-machine dedup
+   would share a request no wire protocol carried — and only while no
+   mutation of the class has been delivered since the first issue (the
+   key embeds the class's mutation serial). *)
+type coalesce = {
+  rc_machine : int;
+  mutable rc_waiters : (Pobj.t option -> int -> unit) list; (* resp, responders *)
+}
+
+type t = {
+  classing : Obj_class.strategy;
+  lambda : int;
+  topology : topology;
+  batching : bool;
+  mem : Membership.t;
+  mutable r_vs : Membership.vsync option;
+  (* sc-list memoisation: the classing strategy is fixed per system, so
+     the cache is keyed by the template's structural signature alone. *)
+  sc_cache : (string, string list) Hashtbl.t;
+  mutable cached_universe : Obj_class.info list option;
+  read_coalesce : (string, coalesce) Hashtbl.t;
+  class_serial : (string, int) Hashtbl.t; (* per-class mutation serial *)
+  c_sc_hits : Sim.Stats.counter;
+  c_sc_misses : Sim.Stats.counter;
+  c_reads_coalesced : Sim.Stats.counter;
+  c_marker_placements : Sim.Stats.counter;
+}
+
+let create ~classing ~lambda ~topology ~batching ~mem ~stats =
+  {
+    classing;
+    lambda;
+    topology;
+    batching;
+    mem;
+    r_vs = None;
+    sc_cache = Hashtbl.create 64;
+    cached_universe = None;
+    read_coalesce = Hashtbl.create 16;
+    class_serial = Hashtbl.create 16;
+    c_sc_hits = Sim.Stats.counter stats "cache.sc_hits";
+    c_sc_misses = Sim.Stats.counter stats "cache.sc_misses";
+    c_reads_coalesced = Sim.Stats.counter stats "paso.reads_coalesced";
+    c_marker_placements = Sim.Stats.counter stats "paso.marker_placements";
+  }
+
+let attach_vsync r v =
+  match r.r_vs with
+  | Some _ -> invalid_arg "Router.attach_vsync: already attached"
+  | None -> r.r_vs <- Some v
+
+let vs r =
+  match r.r_vs with
+  | Some v -> v
+  | None -> invalid_arg "Router: vsync not attached"
+
+(* --- classing ----------------------------------------------------------- *)
+
+let classify r o = Obj_class.classify r.classing o
+let class_of r o = Obj_class.class_of r.classing o
+
+let universe r =
+  match r.cached_universe with
+  | Some u -> u
+  | None ->
+      let u = Membership.raw_universe r.mem in
+      r.cached_universe <- Some u;
+      u
+
+let invalidate r =
+  r.cached_universe <- None;
+  Hashtbl.reset r.sc_cache
+
+(* Structural signature of a template, injective over everything
+   [Obj_class.sc_list] can observe. Field specs get length-prefixed,
+   sigil-tagged encodings so no two distinct templates collide (a plain
+   [Template.to_string] key would conflate e.g. [Sym "a,_"] with two
+   fields). [None] marks a template as uncacheable: a [Pred] spec's
+   behaviour is its closure, which has no serialisable identity. The
+   [where] clause never affects candidate derivation, so it is ignored. *)
+let template_key tmpl =
+  let buf = Buffer.create 64 in
+  let add_str tag s =
+    Buffer.add_char buf tag;
+    Buffer.add_string buf (string_of_int (String.length s));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s
+  in
+  let add_value = function
+    | Value.Int i ->
+        Buffer.add_char buf 'i';
+        Buffer.add_string buf (string_of_int i);
+        Buffer.add_char buf ';'
+    | Value.Float f ->
+        Buffer.add_char buf 'f';
+        Buffer.add_string buf (Int64.to_string (Int64.bits_of_float f));
+        Buffer.add_char buf ';'
+    | Value.Bool b -> Buffer.add_string buf (if b then "b1" else "b0")
+    | Value.Str s -> add_str 's' s
+    | Value.Sym s -> add_str 'y' s
+  in
+  let spec_ok = function
+    | Template.Any -> Buffer.add_char buf 'A'; true
+    | Template.Eq v -> Buffer.add_char buf 'E'; add_value v; true
+    | Template.Type_is ty -> add_str 'T' ty; true
+    | Template.Range (lo, hi) ->
+        Buffer.add_char buf 'R';
+        add_value lo;
+        add_value hi;
+        true
+    | Template.Pred _ -> false
+  in
+  if List.for_all spec_ok (Template.specs tmpl) then Some (Buffer.contents buf)
+  else None
+
+(* Memoised candidate-class derivation. Raw sc-list only — callers
+   still filter by currently-known classes, which is cheap and keeps
+   the cached value independent of anything but the universe. [Custom]
+   strategies may close over external state, so they bypass the cache. *)
+let sc_list r tmpl =
+  let derive () = Obj_class.sc_list r.classing ~universe:(universe r) tmpl in
+  let cacheable =
+    match r.classing with
+    | Obj_class.Single_class | Obj_class.By_arity | Obj_class.By_head
+    | Obj_class.By_signature ->
+        true
+    | Obj_class.Custom _ -> false
+  in
+  if not cacheable then derive ()
+  else
+    match template_key tmpl with
+    | None -> derive ()
+    | Some key -> (
+        match Hashtbl.find_opt r.sc_cache key with
+        | Some cached ->
+            Sim.Stats.incr_counter r.c_sc_hits;
+            cached
+        | None ->
+            Sim.Stats.incr_counter r.c_sc_misses;
+            let result = derive () in
+            Hashtbl.add r.sc_cache key result;
+            result)
+
+(* --- read-group restriction --------------------------------------------- *)
+
+let read_restrict r ~basic ~machine =
+  let basic_rg members =
+    let basic_up = List.filter (fun m -> List.mem m basic) members in
+    if basic_up <> [] then basic_up
+    else List.filteri (fun i _ -> i <= r.lambda) members
+  in
+  match r.topology with
+  | Lan -> basic_rg
+  | Wan { clusters; _ } ->
+      fun members ->
+        let near = List.filter (fun m -> clusters.(m) = clusters.(machine)) members in
+        if near <> [] then List.filteri (fun i _ -> i <= r.lambda) near
+        else basic_rg members
+
+let crossed_wan r ~machine ~members =
+  match r.topology with
+  | Lan -> false
+  | Wan { clusters; _ } ->
+      not (List.exists (fun m -> clusters.(m) = clusters.(machine)) members)
+
+(* --- fan-out (batching hand-off) ----------------------------------------- *)
+
+let fan_out_batched r ~group ~from msg ~on_done =
+  Vsync.gcast_batch (vs r) ~group ~from ~msg_size:(Server.msg_size msg)
+    ~on_done:(fun ~resp ~work:_ ~responders -> on_done resp responders)
+    msg
+
+let fan_out_read r ~restrict ~eager ~group ~from msg ~on_done =
+  if r.batching then
+    Vsync.gcast_batch (vs r) ~restrict ~group ~from ~msg_size:(Server.msg_size msg)
+      ~on_done:(fun ~resp ~work:_ ~responders -> on_done resp responders)
+      msg
+  else
+    Vsync.gcast (vs r) ~restrict ~eager ~group ~from ~msg_size:(Server.msg_size msg)
+      ~on_done:(fun ~resp ~work:_ ~responders -> on_done resp responders)
+      msg
+
+let fan_out_ordered r ~group ~from msg ~on_done =
+  Vsync.gcast (vs r) ~group ~from ~msg_size:(Server.msg_size msg)
+    ~on_done:(fun ~resp ~work:_ ~responders:_ -> on_done resp)
+    msg
+
+(* --- marker fan-out (§4.3 read-markers) ---------------------------------- *)
+
+let marker_classes r tmpl = sc_list r tmpl |> List.filter (Membership.knows r.mem)
+
+(* Marker traffic rides the batched entry point (it coalesces with the
+   op stream) and is silently dropped for unknown classes or a dead
+   issuer — a marker is the issuer's local state, replicated. *)
+let gcast_marker r ~machine msg =
+  match Membership.find r.mem (Server.msg_class msg) with
+  | Some cs when Vsync.is_up (vs r) machine ->
+      fan_out_batched r ~group:cs.Membership.group ~from:machine msg
+        ~on_done:(fun _ _ -> ())
+  | Some _ | None -> ()
+
+let place_markers r (w : Op.waiter) =
+  List.iter
+    (fun cls ->
+      Sim.Stats.incr_counter r.c_marker_placements;
+      gcast_marker r ~machine:w.w_machine
+        (Server.Place_marker { cls; mid = w.w_id; machine = w.w_machine; tmpl = w.w_tmpl }))
+    (marker_classes r w.w_tmpl)
+
+let cancel_markers r (w : Op.waiter) =
+  if Vsync.is_up (vs r) w.w_machine then
+    List.iter
+      (fun cls ->
+        gcast_marker r ~machine:w.w_machine (Server.Cancel_marker { cls; mid = w.w_id }))
+      (marker_classes r w.w_tmpl)
+
+(* Markers for templates that may match classes created later: when a
+   class appears, arm every parked waiter whose criterion covers it. *)
+let arm_new_class r waiters ~cls =
+  List.iter
+    (fun (w : Op.waiter) ->
+      if Vsync.is_up (vs r) w.w_machine && List.mem cls (marker_classes r w.w_tmpl)
+      then begin
+        Sim.Stats.incr_counter r.c_marker_placements;
+        gcast_marker r ~machine:w.w_machine
+          (Server.Place_marker { cls; mid = w.w_id; machine = w.w_machine; tmpl = w.w_tmpl })
+      end)
+    waiters
+
+(* --- read coalescing (batching only) ------------------------------------- *)
+
+let note_mutation r cls =
+  if r.batching then
+    Hashtbl.replace r.class_serial cls
+      (1 + Option.value ~default:0 (Hashtbl.find_opt r.class_serial cls))
+
+(* Coalescing key for a remote mem-read, or [None] when the read must
+   go out itself: batching off, uncacheable template ([Pred] has no
+   structural identity), or — via the embedded mutation serial — any
+   replicated mutation of the class delivered since the would-be
+   primary was issued. *)
+let dedup_key r ~machine ~cls tmpl =
+  if not r.batching then None
+  else
+    match template_key tmpl with
+    | None -> None
+    | Some tk ->
+        let serial = Option.value ~default:0 (Hashtbl.find_opt r.class_serial cls) in
+        Some (Printf.sprintf "%d|%s|%d|%s" machine cls serial tk)
+
+let coalesced_issue r ~machine ~cls tmpl ~handle ~issue =
+  match dedup_key r ~machine ~cls tmpl with
+  | Some key -> (
+      match Hashtbl.find_opt r.read_coalesce key with
+      | Some rc ->
+          (* An identical read from this machine is already outstanding
+             in the same window: piggyback on its response instead of
+             gcasting again. *)
+          Sim.Stats.incr_counter r.c_reads_coalesced;
+          rc.rc_waiters <- handle :: rc.rc_waiters
+      | None ->
+          let rc = { rc_machine = machine; rc_waiters = [] } in
+          Hashtbl.add r.read_coalesce key rc;
+          issue (fun resp responders ->
+              Hashtbl.remove r.read_coalesce key;
+              let waiters = List.rev rc.rc_waiters in
+              handle resp responders;
+              List.iter (fun k -> k resp responders) waiters))
+  | None -> issue handle
+
+let drop_machine r machine =
+  let stale =
+    Hashtbl.fold
+      (fun key rc acc -> if rc.rc_machine = machine then key :: acc else acc)
+      r.read_coalesce []
+  in
+  List.iter (Hashtbl.remove r.read_coalesce) stale

@@ -1,95 +1,8 @@
-type topology = Lan | Wan of { clusters : int array; remote : Net.Cost_model.t }
+include Config
 
-type config = {
-  n : int;
-  lambda : int;
-  classing : Obj_class.strategy;
-  storage : Storage.kind;
-  cost : Net.Cost_model.t;
-  topology : topology;
-  unit_work : float;
-  use_read_groups : bool;
-  eager_reads : bool;
-  batch : Net.Batch.cfg option;
-  policy : Policy.t;
-  init_delay : float;
-  group_map : (string -> string) option;
-  repair : Repair.strategy option;
-  seed : int;
-}
-
-let default_config =
-  {
-    n = 8;
-    lambda = 2;
-    classing = Obj_class.By_head;
-    storage = Storage.Hash;
-    cost = Net.Cost_model.default;
-    topology = Lan;
-    unit_work = 1.0;
-    use_read_groups = true;
-    eager_reads = false;
-    batch = None;
-    policy = Policy.static;
-    init_delay = 5000.0;
-    group_map = None;
-    repair = None;
-    seed = 42;
-  }
-
-type cls_state = { info : Obj_class.info; group : string; mutable basic : int list }
-
-(* Stat handles for the per-operation hot path, interned once at
-   [create] — recording through one is a field write, not a hash
-   lookup. Cold-path stats (faults, repair, policy) stay string-keyed. *)
-type hot_stats = {
-  h_ops_insert : Sim.Stats.counter;
-  h_ops_read : Sim.Stats.counter;
-  h_ops_read_del : Sim.Stats.counter;
-  h_local_reads : Sim.Stats.counter;
-  h_remote_reads : Sim.Stats.counter;
-  h_removes : Sim.Stats.counter;
-  h_read_retries : Sim.Stats.counter;
-  h_markers : Sim.Stats.counter;
-  h_marker_placements : Sim.Stats.counter;
-  h_marker_wakeups : Sim.Stats.counter;
-  h_sc_hits : Sim.Stats.counter;
-  h_sc_misses : Sim.Stats.counter;
-  h_reads_coalesced : Sim.Stats.counter;
-}
-
-(* One outstanding remote mem-read a machine may piggyback duplicates
-   onto: identical reads (same class, same structural template) issued
-   by the same machine inside the batching window attach here instead
-   of gcasting again. Sound only same-machine — cross-machine dedup
-   would share a request no wire protocol carried — and only while no
-   mutation of the class has been delivered since the first issue (the
-   key embeds the class's mutation serial). *)
-type coalesce = {
-  rc_machine : int;
-  mutable rc_waiters : (Pobj.t option -> int -> unit) list; (* resp, responders *)
-}
-
-(* State-transfer payload: the full snapshot of the ordinary join path,
-   or the delta of the durable-recovery reconciliation path. *)
-type xfer = Full of Server.snapshot | Delta of Server.delta
-
-type durability = {
-  du_append : machine:int -> Server.msg -> resp:Pobj.t option -> float;
-  du_crash : machine:int -> unit;
-  du_recover : machine:int -> Server.snapshot option;
-  du_resync : machine:int -> unit;
-}
-
-type waiter = {
-  w_id : int;
-  w_machine : int;
-  w_tmpl : Template.t;
-  w_kind : [ `Read | `Take ];
-  w_notify : Pobj.t -> unit;
-  mutable w_state : [ `Idle | `Attempting of bool (* re-wake arrived *) ];
-}
-
+(* The composition root: [Membership] owns classes/groups/probation and
+   policy dispatch, [Router] candidate derivation + fan-out + markers,
+   [Op] per-operation lifecycle and the blocking-op waiter registry. *)
 type t = {
   cfg : config;
   eng : Sim.Engine.t;
@@ -97,42 +10,18 @@ type t = {
   fps : Sim.Failpoint.t;
   sstats : Sim.Stats.t;
   strace : Sim.Trace.t;
-  vs : (Server.msg, Pobj.t, xfer) Vsync.t;
+  vs : Membership.vsync;
   servers : Server.t array;
   mutable durable : durability option;
   has_recovered : bool array; (* rebuilt durable state since last crash *)
-  classes : (string, cls_state) Hashtbl.t;
-  group_class : (string, string list ref) Hashtbl.t; (* group -> classes *)
-  probation : (string, unit) Hashtbl.t;
-      (* groups that lost their last member and may re-form from
-         recovered disks; queries are deferred until λ+1 members have
-         merged their evidence (see [probational]) *)
-  prob_waiters : (string, (int * (unit -> unit)) list ref) Hashtbl.t;
-      (* (issuing machine, resume) continuations parked on a
-         probational group, flushed on the view change that reaches
-         quorum *)
-  probation_gen : (string, int) Hashtbl.t;
-      (* bumped every time a group loses its last member: an op whose
-         issue and response straddle a bump may have been answered (or
-         refused) by a probational re-formed group, and must re-query
-         rather than trust a [None] *)
+  mem : Membership.t;
+  router : Router.t;
+  opctl : Op.ctl;
+  waiters : Op.Waiters.t;
   serials : int array; (* per-machine uid serials; survive crashes *)
-  waiters : (int, waiter) Hashtbl.t;
-  mutable next_waiter : int;
   repair_state : Repair.t;
   hist : History.t;
   hs : hot_stats;
-  (* sc-list memoisation: the classing strategy is fixed per system, so
-     the cache is keyed by the template's structural signature alone.
-     Both caches are invalidated at the single point where the class
-     universe changes ([ensure_class] adding a class). *)
-  sc_cache : (string, string list) Hashtbl.t;
-  mutable cached_universe : Obj_class.info list option;
-  (* mem-read coalescing (batching only): outstanding dedupable reads
-     keyed by machine|class|mutation-serial|template-signature, and the
-     per-class replicated-mutation serial that invalidates them. *)
-  read_coalesce : (string, coalesce) Hashtbl.t;
-  class_serial : (string, int) Hashtbl.t;
 }
 
 let engine t = t.eng
@@ -145,114 +34,298 @@ let now t = Sim.Engine.now t.eng
 let run t = Sim.Engine.run t.eng
 let run_until t horizon = Sim.Engine.run_until t.eng horizon
 let is_up t machine = Vsync.is_up t.vs machine
-
-let up_count t =
-  let c = ref 0 in
-  for m = 0 to t.cfg.n - 1 do
-    if Vsync.is_up t.vs m then incr c
-  done;
-  !c
-
+let up_count t = Membership.up_count t.mem
 let tracef t fmt = Sim.Trace.emitf t.strace ~time:(now t) ~tag:"paso" fmt
 
-(* Deterministic B(C): λ+1 consecutive machines starting at a seeded
-   hash of the class name. *)
-let compute_basic cfg cls =
-  let h = Hashtbl.hash (cfg.seed, cls) in
-  let base = h mod cfg.n in
-  List.init (cfg.lambda + 1) (fun i -> (base + i) mod cfg.n) |> List.sort compare
+(* --- delegation to the layers ------------------------------------------- *)
 
-let group_of_class cfg cls =
-  "wg/" ^ (match cfg.group_map with Some f -> f cls | None -> cls)
-
-(* --- policy plumbing ---------------------------------------------------- *)
-
-let cls_state t cls = Hashtbl.find_opt t.classes cls
+let known_classes t = Router.universe t.router
+let sc_list t tmpl = Router.sc_list t.router tmpl
+let class_of_obj t o = Router.class_of t.router o
+let basic_support t ~cls = Membership.basic_support t.mem ~cls
+let write_group t ~cls = Membership.write_group t.mem ~cls
+let read_group t ~cls = Membership.read_group t.mem ~cls
+let live_count t ~cls = Membership.live_count t.mem ~cls
+let replicas t ~cls = Membership.replicas t.mem ~cls
+let audit_replicas t = Membership.audit_replicas t.mem
+let check_fault_tolerance t = Membership.check_fault_tolerance t.mem
+let waiter_count t = Op.Waiters.count t.waiters
+let wan_cost t = Sim.Stats.total t.sstats "net.wan_cost"
+let check_quiescent t = Vsync.pending_groups t.vs
 
 let apply_policy t ~machine ~cls event =
-  match cls_state t cls with
-  | None -> ()
-  | Some cs ->
-      let is_member = Vsync.is_member t.vs ~group:cs.group ~node:machine in
-      let decision = t.cfg.policy.Policy.on_event ~machine ~cls ~is_member event in
-      let basic_member = List.mem machine cs.basic in
-      (match (decision, is_member, basic_member) with
-      | Policy.Join, false, _ ->
-          Sim.Stats.incr t.sstats "policy.joins";
-          tracef t "policy: machine %d joins wg(%s)" machine cls;
-          Vsync.join t.vs ~group:cs.group ~node:machine ~on_done:(fun () -> ())
-      | Policy.Leave, true, false ->
-          Sim.Stats.incr t.sstats "policy.leaves";
-          tracef t "policy: machine %d leaves wg(%s)" machine cls;
-          Vsync.leave t.vs ~group:cs.group ~node:machine ~on_done:(fun () -> ())
-      | (Policy.Stay | Policy.Join | Policy.Leave), _, _ -> ())
+  Membership.apply_policy t.mem ~policy:t.cfg.policy ~machine ~cls event
 
-(* Recovery quorum (durable systems only): a group whose last member
-   crashed re-forms from recovered disks, any of which may have lost a
-   tail — including the record of a completed remove. Any single disk
-   is only trustworthy once λ+1 members have merged their evidence
-   (removes are logged at every member before the remover's response
-   travels, so with ≤ λ damaged disks the merge includes an intact
-   copy). Until then the group is probational: queries and removes
-   against it fail rather than answer from possibly-resurrected
-   state. Inserts and markers stay live — fresh objects cannot be
-   stale. *)
-let probational t group =
-  t.durable <> None
-  && Hashtbl.mem t.probation group
-  &&
-  if List.length (Vsync.members t.vs ~group) > t.cfg.lambda then begin
-    Hashtbl.remove t.probation group;
-    false
-  end
-  else true
+let require_up t machine op =
+  if machine < 0 || machine >= t.cfg.n then invalid_arg (op ^ ": bad machine id");
+  if not (Vsync.is_up t.vs machine) then invalid_arg (op ^ ": machine is down")
 
-let probation_generation t group =
-  Option.value ~default:0 (Hashtbl.find_opt t.probation_gen group)
+(* --- PASO primitives ---------------------------------------------------- *)
 
-(* A query cannot simply fail during probation — §2 fail-legality only
-   permits a fail when no matching object was alive for the whole op —
-   so it parks and resumes once the quorum's merged image is
-   authoritative. *)
-let defer_probation t ~machine ~group k =
-  Sim.Stats.incr t.sstats "durable.probation_defers";
-  let l =
-    match Hashtbl.find_opt t.prob_waiters group with
-    | Some l -> l
-    | None ->
-        let l = ref [] in
-        Hashtbl.add t.prob_waiters group l;
-        l
-  in
-  l := (machine, k) :: !l
+let ensure_class t info =
+  let cs, created = Membership.ensure t.mem info in
+  if created then begin
+    (* Universe changed: routing caches stale; arm parked waiters. *)
+    Router.invalidate t.router;
+    Router.arm_new_class t.router (Op.Waiters.sorted t.waiters) ~cls:info.Obj_class.name
+  end;
+  cs
 
-let flush_probation t =
-  Hashtbl.iter
-    (fun group l ->
-      if !l <> [] && not (probational t group) then begin
-        let parked = List.rev !l in
-        l := [];
-        List.iter
-          (fun (machine, k) ->
-            (* A parked op whose issuer crashed died with the issuer's
-               memory, like any other in-flight op. *)
-            if Vsync.is_up t.vs machine then
-              ignore (Sim.Engine.schedule t.eng ~delay:0.0 k))
-          parked
+let insert t ~machine fields ~on_done =
+  require_up t machine "System.insert";
+  let serial = t.serials.(machine) in
+  t.serials.(machine) <- serial + 1;
+  let uid = Uid.make ~machine ~serial in
+  let o = Pobj.make ~uid fields in
+  let info = Router.classify t.router o in
+  let cs = ensure_class t info in
+  let r = History.begin_op t.hist ~machine ~kind:History.Insert ~obj:o ~now:(now t) () in
+  History.note_inserted t.hist o ~cls:info.Obj_class.name ~now:(now t);
+  Sim.Stats.incr_counter t.hs.h_ops_insert;
+  (* Fault-injection site: a handler crashing [machine] here crashes it
+     between issue and return (op orphaned; the §2 checker must pass). *)
+  ignore
+    (Sim.Failpoint.hit t.fps ~site:"paso.op.issued" ~node:machine ~aux:r.History.op_id
+       ~group:info.Obj_class.name ());
+  let op = Op.make t.opctl ~machine ~op_id:r.History.op_id in
+  Op.arm_deadline op ~on_expire:(fun () ->
+      History.end_op t.hist r ~now:(now t) ~result:None;
+      on_done ());
+  let msg = Server.Store { cls = info.Obj_class.name; obj = o } in
+  Op.fan_out op;
+  Router.fan_out_batched t.router ~group:cs.Membership.group ~from:machine msg
+    ~on_done:(fun _resp responders ->
+      let tnow = now t in
+      if responders > 0 then History.note_all_stored t.hist uid ~now:tnow;
+      if Op.finish op ~ok:true then begin
+        History.end_op t.hist r ~now:tnow ~result:None;
+        on_done ()
       end)
-    t.prob_waiters
 
-(* Forward reference: the vsync deliver callback (built in [create])
-   must wake waiters, whose machinery is defined with the primitives
-   below. *)
-let wake_forward : (t -> int -> unit) ref = ref (fun _ _ -> ())
+let read_gen t ~machine ~kind tmpl ~on_done =
+  let opname = match kind with History.Read -> "System.read" | _ -> "System.read_del" in
+  require_up t machine opname;
+  let r = History.begin_op t.hist ~machine ~kind ~template:tmpl ~now:(now t) () in
+  Sim.Stats.incr_counter
+    (match kind with History.Read -> t.hs.h_ops_read | _ -> t.hs.h_ops_read_del);
+  (* Same fault-injection site as in [insert]. *)
+  ignore
+    (Sim.Failpoint.hit t.fps ~site:"paso.op.issued" ~node:machine ~aux:r.History.op_id ());
+  let op = Op.make t.opctl ~machine ~op_id:r.History.op_id in
+  let candidates = Router.sc_list t.router tmpl |> List.filter (Membership.knows t.mem) in
+  let finish result =
+    if Op.finish op ~ok:(result <> None) then begin
+      History.end_op t.hist r ~now:(now t) ~result;
+      on_done result
+    end
+    else
+      (* Deadline already expired: the late result must not be delivered
+         — but a late successful remove consumed an object with nobody
+         to give it to; compensate by re-inserting its contents. *)
+      match result with
+      | Some o when kind <> History.Read && Vsync.is_up t.vs machine ->
+          Sim.Stats.incr t.sstats "paso.op.late_reinserts";
+          insert t ~machine (Pobj.fields o) ~on_done:(fun () -> ())
+      | Some _ | None -> ()
+  in
+  Op.arm_deadline op ~on_expire:(fun () ->
+      History.end_op t.hist r ~now:(now t) ~result:None;
+      on_done None);
+  let retry k = if not (Op.retry op k) then finish None in
+  let rec go classes =
+    if Op.terminal op then ()
+    else
+      match classes with
+      | [] -> finish None
+      | cls :: rest -> begin
+          match Membership.find t.mem cls with
+          | None -> go rest
+          | Some cs when Membership.probational t.mem cs.Membership.group ->
+              (* Recovery quorum not reached: park rather than answer from
+                 a possibly-resurrected replica. *)
+              Membership.defer_probation t.mem ~machine ~group:cs.Membership.group
+                (fun () -> go (cls :: rest))
+          | Some cs -> begin
+              match kind with
+              | History.Read when Vsync.is_member t.vs ~group:cs.Membership.group ~node:machine
+                ->
+                  (* Local mem-read: no messages, just Q(ℓ) work. *)
+                  let work =
+                    Server.query_work t.servers.(machine) ~cls *. t.cfg.unit_work
+                  in
+                  Op.fan_out op;
+                  Vsync.exec_local t.vs ~node:machine ~work (fun () ->
+                      let resp, _ = Server.local_read t.servers.(machine) ~cls tmpl in
+                      Sim.Stats.incr_counter t.hs.h_local_reads;
+                      Op.collecting op;
+                      apply_policy t ~machine ~cls
+                        (Policy.Local_read
+                           { ell = Server.live_count t.servers.(machine) ~cls });
+                      match resp with Some o -> finish (Some o) | None -> go rest)
+              | History.Read ->
+                  let msg = Server.Mem_read { cls; tmpl } in
+                  let straddled = Membership.straddle_guard t.mem cs.Membership.group in
+                  let restrict =
+                    if t.cfg.use_read_groups then
+                      Router.read_restrict t.router ~basic:cs.Membership.basic ~machine
+                    else fun members -> members
+                  in
+                  Sim.Stats.incr_counter t.hs.h_remote_reads;
+                  let crossed_wan =
+                    Router.crossed_wan t.router ~machine
+                      ~members:(Vsync.members t.vs ~group:cs.Membership.group)
+                  in
+                  let handle resp responders =
+                    Op.collecting op;
+                    (* ell piggybacked on the response (§5.1). *)
+                    apply_policy t ~machine ~cls
+                      (Policy.Remote_read
+                         { responders; ell = live_count t ~cls; wan = crossed_wan });
+                    match resp with
+                    | Some o -> finish (Some o)
+                    | None ->
+                        (* A loss straddled the op: the miss is not evidence
+                           of absence — re-query ([go] parks on the class
+                           until the quorum's merge is authoritative). *)
+                        if straddled () then retry (fun () -> go (cls :: rest))
+                          (* Zero responders: the whole (possibly restricted)
+                             read group crashed mid-gcast — retry against the
+                             survivors rather than report a spurious fail. *)
+                        else if
+                          responders = 0
+                          && Vsync.members t.vs ~group:cs.Membership.group <> []
+                        then begin
+                          Sim.Stats.incr_counter t.hs.h_read_retries;
+                          retry (fun () -> go (cls :: rest))
+                        end
+                        else go rest
+                  in
+                  Op.fan_out op;
+                  Router.coalesced_issue t.router ~machine ~cls tmpl ~handle
+                    ~issue:(fun h ->
+                      Router.fan_out_read t.router ~restrict ~eager:t.cfg.eager_reads
+                        ~group:cs.Membership.group ~from:machine msg ~on_done:h)
+              | History.Read_del | History.Insert ->
+                  let msg = Server.Remove { cls; tmpl } in
+                  let straddled = Membership.straddle_guard t.mem cs.Membership.group in
+                  Sim.Stats.incr_counter t.hs.h_removes;
+                  Op.fan_out op;
+                  Router.fan_out_ordered t.router ~group:cs.Membership.group ~from:machine
+                    msg ~on_done:(fun resp ->
+                      Op.collecting op;
+                      match resp with
+                      | Some o ->
+                          if not (Op.terminal op) then
+                            History.note_remove_ret t.hist (Pobj.uid o)
+                              ~op_id:r.History.op_id ~now:(now t);
+                          finish (Some o)
+                      | None ->
+                          (* Same straddle as the read path: the remove was
+                             refused by a re-formed group or raced its loss
+                             — re-query instead of skipping the class. *)
+                          if straddled () then retry (fun () -> go (cls :: rest))
+                          else go rest)
+            end
+        end
+  in
+  go candidates
+
+let read t ~machine tmpl ~on_done = read_gen t ~machine ~kind:History.Read tmpl ~on_done
+
+let read_del t ~machine tmpl ~on_done =
+  read_gen t ~machine ~kind:History.Read_del tmpl ~on_done
+
+(* §4.3 read-markers: {!Op.Waiters} owns the wake/attempt state machine
+   and {!Router} the marker fan-outs; here we only validate the caller. *)
+let read_blocking ?poll t ~machine tmpl ~on_done =
+  require_up t machine "System.blocking";
+  Op.Waiters.blocking ?poll t.waiters ~machine ~kind:`Read tmpl ~on_done
+
+let read_del_blocking ?poll t ~machine tmpl ~on_done =
+  require_up t machine "System.blocking";
+  Op.Waiters.blocking ?poll t.waiters ~machine ~kind:`Take tmpl ~on_done
+
+let read_blocking_ttl t ~ttl ~machine tmpl ~on_done =
+  require_up t machine "System.blocking";
+  Op.Waiters.blocking_ttl t.waiters ~ttl ~machine ~kind:`Read tmpl ~on_done
+
+let read_del_blocking_ttl t ~ttl ~machine tmpl ~on_done =
+  require_up t machine "System.blocking";
+  Op.Waiters.blocking_ttl t.waiters ~ttl ~machine ~kind:`Take tmpl ~on_done
+
+(* --- faults ------------------------------------------------------------- *)
+
+let crash t ~machine =
+  if machine < 0 || machine >= t.cfg.n then invalid_arg "System.crash: bad machine id";
+  if Vsync.is_up t.vs machine then begin
+    Sim.Stats.incr t.sstats "faults.crashes";
+    tracef t "machine %d crashes" machine;
+    Vsync.crash t.vs ~node:machine;
+    Server.wipe t.servers.(machine);
+    t.has_recovered.(machine) <- false;
+    (* The simulated disk survives (its unsynced tail may be damaged by
+       an armed ["durable.crash.tail"]). *)
+    (match t.durable with Some d -> d.du_crash ~machine | None -> ());
+    t.cfg.policy.Policy.reset_machine ~machine;
+    Repair.note_failure t.repair_state ~machine ~now:(now t);
+    (match t.cfg.repair with
+    | Some strategy -> Membership.repair_all t.mem t.repair_state strategy ~failed:machine
+    | None -> ());
+    (* Markers and coalesced reads are the machine's local memory: lost
+       with it. Class-data loss is detected by the vsync layer the
+       instant a group empties — see on_group_lost in [create]. *)
+    Op.Waiters.drop_machine t.waiters machine;
+    Router.drop_machine t.router machine
+  end
+
+let recover t ~machine =
+  if machine < 0 || machine >= t.cfg.n then invalid_arg "System.recover: bad machine id";
+  if not (Vsync.is_up t.vs machine) then begin
+    Sim.Stats.incr t.sstats "faults.recoveries";
+    tracef t "machine %d recovering (init phase %g)" machine t.cfg.init_delay;
+    Vsync.recover t.vs ~node:machine;
+    (* Rebuild the local stores from checkpoint+log replay before
+       rejoining, so the join can reconcile by delta (or, for a group
+       with no survivors, seed it with the recovered state). *)
+    (match t.durable with
+    | Some d -> (
+        match d.du_recover ~machine with
+        | Some snapshot ->
+            Server.install t.servers.(machine) snapshot;
+            t.has_recovered.(machine) <- true;
+            let tnow = now t in
+            List.iter
+              (fun (_, (objs, _, _)) ->
+                List.iter
+                  (fun o -> History.note_recovered t.hist (Pobj.uid o) ~now:tnow)
+                  objs)
+              snapshot
+        | None -> ())
+    | None -> ());
+    Membership.schedule_rejoin t.mem ~machine ~delay:t.cfg.init_delay
+  end
+
+let set_durability t d =
+  match t.durable with
+  | Some _ -> invalid_arg "System.set_durability: already attached"
+  | None ->
+      t.durable <- Some d;
+      Membership.enable_probation t.mem;
+      (* Reconciliation needs remove evidence from here on. *)
+      Array.iter Server.enable_tombstones t.servers
+
+let durability_attached t = t.durable <> None
+
+let server_snapshot t ~machine =
+  if machine < 0 || machine >= t.cfg.n then
+    invalid_arg "System.server_snapshot: bad machine id";
+  let s = t.servers.(machine) in
+  Server.snapshot s ~classes:(Server.classes s)
 
 (* --- construction ------------------------------------------------------- *)
 
 let create ?(tracing = false) ?failpoints cfg =
-  if cfg.lambda < 0 then invalid_arg "System.create: negative lambda";
-  if cfg.lambda + 1 > cfg.n then invalid_arg "System.create: lambda + 1 > n";
-  if cfg.unit_work < 0.0 then invalid_arg "System.create: negative unit_work";
+  validate cfg;
   let eng = Sim.Engine.create () in
   let sstats = Sim.Stats.create () in
   let strace = Sim.Trace.create () in
@@ -271,21 +344,33 @@ let create ?(tracing = false) ?failpoints cfg =
         Server.create ~stats:sstats ~machine ~kind:cfg.storage ())
   in
   let hist = History.create () in
+  let mem =
+    Membership.create ~n:cfg.n ~lambda:cfg.lambda ~seed:cfg.seed
+      ~use_read_groups:cfg.use_read_groups ~group_map:cfg.group_map ~servers ~engine:eng
+      ~stats:sstats ~trace:strace
+  in
+  let router =
+    Router.create ~classing:cfg.classing ~lambda:cfg.lambda ~topology:cfg.topology
+      ~batching:(cfg.batch <> None) ~mem ~stats:sstats
+  in
+  let opctl =
+    Op.ctl ~engine:eng ~stats:sstats ~trace:strace
+      { Op.deadline = cfg.op_deadline; retry_budget = cfg.retry_budget;
+        retry_backoff = cfg.retry_backoff }
+  in
+  let waiters = Op.Waiters.create ~engine:eng ~stats:sstats in
   let tref = ref None in
   let deliver ~node ~group ~from:_ msg =
     (* Recovery-quorum gate, exec-time twin of the issue-time check in
-       [read_gen]: a query or remove that was already queued when the
-       group lost its last member must not be answered by the
-       re-formed, pre-quorum state — a single recovered disk may hold
-       objects whose removal it missed. Refusing here mutates nothing
-       (every member refuses alike, so replicas stay identical); the
-       issuer detects the straddled probation via [probation_gen] and
-       re-queries once the quorum's merged image is authoritative.
+       [read_gen]: a query/remove queued before the group lost its last
+       member must not be answered by the re-formed, pre-quorum state.
+       Refusing mutates nothing (every member refuses alike); the issuer
+       detects the straddle via the loss generation and re-queries.
        Inserts and markers stay live — fresh objects cannot be stale. *)
     match
-      match (msg, !tref) with
-      | (Server.Mem_read _ | Server.Remove _), Some t -> probational t group
-      | _, _ -> false
+      match msg with
+      | Server.Mem_read _ | Server.Remove _ -> Membership.probational mem group
+      | Server.Store _ | Server.Place_marker _ | Server.Cancel_marker _ -> false
     with
     | true -> (None, 0.0)
     | false ->
@@ -300,9 +385,8 @@ let create ?(tracing = false) ?failpoints cfg =
             | Server.Cancel_marker _ ),
             _ ) ->
             ());
-        (* §4.3 read-markers: every replica consumed the fired markers
-           deterministically; the group leader alone sends the wake-up
-           messages (one α-cost message per waiter). *)
+        (* Every replica consumed the fired markers deterministically;
+           the leader alone sends the wake-ups (one α-cost msg each). *)
         (match (msg, woken) with
         | Server.Store _, _ :: _ ->
             let leader = match Vsync.members t.vs ~group with m :: _ -> m | [] -> -1 in
@@ -311,27 +395,23 @@ let create ?(tracing = false) ?failpoints cfg =
                 (fun mk ->
                   Sim.Stats.incr_counter t.hs.h_marker_wakeups;
                   Vsync.send_direct t.vs ~from:node ~dst:mk.Server.mk_machine ~size:24
-                    (fun () -> !wake_forward t mk.Server.mk_id))
+                    (fun () -> Op.Waiters.wake waiters mk.Server.mk_id))
                 woken
         | _ -> ());
         match msg with
         | Server.Store _ | Server.Remove _ ->
             let cls = Server.msg_class msg in
-            (* Any replicated mutation of the class closes its read
-               coalescing window: a later identical read must not ride
-               a response computed against the pre-mutation store. *)
-            if cfg.batch <> None then
-              Hashtbl.replace t.class_serial cls
-                (1 + Option.value ~default:0 (Hashtbl.find_opt t.class_serial cls));
+            (* A replicated mutation closes the class's read-coalescing
+               window. *)
+            Router.note_mutation router cls;
             apply_policy t ~machine:node ~cls
               (Policy.Update { ell = Server.live_count servers.(node) ~cls })
         | Server.Mem_read _ | Server.Place_marker _ | Server.Cancel_marker _ -> ()
       end
     | None -> ());
     (* Durable WAL: every replicated mutation is appended before the
-       delivery completes; the disk time is charged into the op's work
-       (the node's serial processor is busy for it). Reads and no-op
-       removes leave no record — replaying the log without them
+       delivery completes; the disk time is charged into the op's work.
+       Reads and no-op removes leave no record — replay without them
        rebuilds the same stores. *)
     let disk_work =
       match !tref with
@@ -346,927 +426,73 @@ let create ?(tracing = false) ?failpoints cfg =
     (resp, (work_units *. cfg.unit_work) +. disk_work)
   in
   let resp_size = function None -> 0 | Some o -> Pobj.size o in
-  let group_classes group =
-    match !tref with
-    | Some t -> (
-        match Hashtbl.find_opt t.group_class group with Some c -> !c | None -> [])
-    | None -> []
-  in
   let state_of ~node ~group =
-    let snapshot, size = Server.snapshot servers.(node) ~classes:(group_classes group) in
-    (Full snapshot, size)
+    let snapshot, size =
+      Server.snapshot servers.(node) ~classes:(Membership.classes_of_group mem group)
+    in
+    (Membership.Full snapshot, size)
   in
   let state_delta ~node ~group ~joiner =
     match !tref with
-    | Some t when t.durable <> None && t.has_recovered.(joiner) -> begin
-        let classes = group_classes group in
-        let b, basis_bytes = Server.basis servers.(joiner) ~classes in
-        if List.for_all (fun (_, (held, ts)) -> held = [] && ts = []) b then
-          (* Nothing recovered for these classes: the delta would be
-             the full snapshot plus the order overhead. *)
-          None
-        else begin
-          let joiner_objs =
-            List.map
-              (fun cls ->
-                let snap, _ = Server.snapshot servers.(joiner) ~classes:[ cls ] in
-                match snap with
-                | [ (_, (objs, _, _)) ] -> (cls, objs)
-                | _ -> (cls, []))
-              classes
-          in
-          let d, delta_bytes, rc =
-            Server.delta_against servers.(node) ~classes ~basis:b ~joiner_objs
-          in
-          (* Propagate the reconciliation verdicts to the remaining
-             members so the group converges: adopted objects are
-             installed everywhere, purged uids tombstoned everywhere.
-             This runs at join-exec time, serialised with the group's
-             op stream, so it is atomic like a delivered gcast; the
-             object bytes ride the joiner's delta legs (counted in
-             [durable.adopt_bytes] / [durable.purge_bytes]). Every
-             member the verdicts touched — donor included — gets a
-             durable resync, or a later replay would undo them. *)
-          if rc.Server.rc_adopted <> [] || rc.Server.rc_purged <> [] then begin
-            let others =
-              List.filter
-                (fun m -> m <> node && m <> joiner)
-                (Vsync.members t.vs ~group)
-            in
-            List.iter
-              (fun (cls, objs) ->
-                List.iter
-                  (fun o ->
-                    Sim.Stats.incr sstats "durable.adopted_objects";
-                    Sim.Stats.add sstats "durable.adopt_bytes"
-                      (float_of_int (Pobj.size o));
-                    List.iter
-                      (fun m -> Server.reconcile_adopt servers.(m) ~cls o)
-                      others)
-                  objs)
-              rc.Server.rc_adopted;
-            List.iter
-              (fun (cls, uids) ->
-                List.iter
-                  (fun u ->
-                    Sim.Stats.incr sstats "durable.purged_objects";
-                    Sim.Stats.add sstats "durable.purge_bytes"
-                      (float_of_int Uid.size);
-                    List.iter
-                      (fun m -> Server.reconcile_purge servers.(m) ~cls u)
-                      others)
-                  uids)
-              rc.Server.rc_purged;
-            match t.durable with
-            | Some du -> List.iter (fun m -> du.du_resync ~machine:m) (node :: others)
-            | None -> ()
-          end;
-          Sim.Stats.incr sstats "durable.delta_joins";
-          Sim.Stats.add sstats "durable.basis_bytes" (float_of_int basis_bytes);
-          Sim.Stats.add sstats "durable.delta_bytes" (float_of_int delta_bytes);
-          Some (Delta d, basis_bytes, delta_bytes)
-        end
-      end
+    | Some t when t.durable <> None && t.has_recovered.(joiner) ->
+        Membership.reconcile_delta mem
+          ~du_resync:(Option.map (fun d -> d.du_resync) t.durable)
+          ~node ~group ~joiner
     | Some _ | None -> None
   in
   let install_state ~node ~group:_ xfer =
     (match xfer with
-    | Full snapshot -> Server.install servers.(node) snapshot
-    | Delta d -> Server.install_delta servers.(node) d);
+    | Membership.Full snapshot -> Server.install servers.(node) snapshot
+    | Membership.Delta d -> Server.install_delta servers.(node) d);
     (* The durable image must follow the installed state, or a later
        replay would resurrect what the transfer superseded. *)
     match !tref with
     | Some { durable = Some d; _ } -> d.du_resync ~machine:node
     | Some { durable = None; _ } | None -> ()
   in
-  let on_view ~node:_ _view =
-    match !tref with Some t -> flush_probation t | None -> ()
-  in
+  let on_view ~node:_ _view = Membership.flush_probation mem in
   let on_evict ~node ~group =
+    List.iter
+      (fun cls -> Server.evict servers.(node) ~cls)
+      (Membership.classes_of_group mem group);
     match !tref with
-    | Some t -> (
-        (match Hashtbl.find_opt t.group_class group with
-        | Some classes -> List.iter (fun cls -> Server.evict servers.(node) ~cls) !classes
-        | None -> ());
-        match t.durable with
-        | Some d -> d.du_resync ~machine:node
-        | None -> ())
-    | None -> ()
+    | Some { durable = Some d; _ } -> d.du_resync ~machine:node
+    | Some { durable = None; _ } | None -> ()
   in
   let on_group_lost ~group =
-    match !tref with
-    | Some t -> (
-        Hashtbl.replace t.probation group ();
-        Hashtbl.replace t.probation_gen group (1 + probation_generation t group);
-        match Hashtbl.find_opt t.group_class group with
-        | Some classes ->
-            List.iter
-              (fun cls ->
-                Sim.Stats.incr sstats "faults.class_losses";
-                History.note_class_lost hist ~cls ~now:(Sim.Engine.now eng))
-              !classes
-        | None -> ())
-    | None -> ()
+    List.iter
+      (fun cls ->
+        Sim.Stats.incr sstats "faults.class_losses";
+        History.note_class_lost hist ~cls ~now:(Sim.Engine.now eng))
+      (Membership.note_group_lost mem ~group)
   in
   let vs =
     Vsync.make ~failpoints:fps ?batch:cfg.batch
       ~frame_size:(fun items -> Server.batch_frame_size items)
       ~engine:eng ~fabric ~stats:sstats ~trace:strace ~n:cfg.n
-      {
-        deliver;
-        resp_size;
-        state_of;
-        state_delta;
-        install_state;
-        on_view;
-        on_evict;
-        on_group_lost;
-      }
+      { deliver; resp_size; state_of; state_delta; install_state; on_view; on_evict;
+        on_group_lost }
   in
+  Membership.attach_vsync mem vs;
+  Router.attach_vsync router vs;
   let t =
-    {
-      cfg;
-      eng;
-      fabric;
-      fps;
-      sstats;
-      strace;
-      vs;
-      servers;
-      durable = None;
-      has_recovered = Array.make cfg.n false;
-      classes = Hashtbl.create 16;
-      group_class = Hashtbl.create 16;
-      probation = Hashtbl.create 8;
-      prob_waiters = Hashtbl.create 8;
-      probation_gen = Hashtbl.create 8;
+    { cfg; eng; fabric; fps; sstats; strace; vs; servers; durable = None;
+      has_recovered = Array.make cfg.n false; mem; router; opctl; waiters;
       serials = Array.make cfg.n 0;
-      waiters = Hashtbl.create 16;
-      next_waiter = 0;
-      repair_state = Repair.create ~n:cfg.n ~seed:(cfg.seed + 1);
-      hist;
-      hs =
-        {
-          h_ops_insert = Sim.Stats.counter sstats "ops.insert";
-          h_ops_read = Sim.Stats.counter sstats "ops.read";
-          h_ops_read_del = Sim.Stats.counter sstats "ops.read_del";
-          h_local_reads = Sim.Stats.counter sstats "paso.local_reads";
-          h_remote_reads = Sim.Stats.counter sstats "paso.remote_reads";
-          h_removes = Sim.Stats.counter sstats "paso.removes";
-          h_read_retries = Sim.Stats.counter sstats "paso.read_retries";
-          h_markers = Sim.Stats.counter sstats "paso.markers";
-          h_marker_placements = Sim.Stats.counter sstats "paso.marker_placements";
-          h_marker_wakeups = Sim.Stats.counter sstats "paso.marker_wakeups";
-          h_sc_hits = Sim.Stats.counter sstats "cache.sc_hits";
-          h_sc_misses = Sim.Stats.counter sstats "cache.sc_misses";
-          h_reads_coalesced = Sim.Stats.counter sstats "paso.reads_coalesced";
-        };
-      sc_cache = Hashtbl.create 64;
-      cached_universe = None;
-      read_coalesce = Hashtbl.create 16;
-      class_serial = Hashtbl.create 16;
-    }
+      repair_state = Repair.create ~n:cfg.n ~seed:(cfg.seed + 1); hist;
+      hs = hot_stats sstats }
   in
   tref := Some t;
+  (* Wiring the waiter fan-outs after [t] exists is what lets the vsync
+     deliver callback wake waiters without a module-level forward ref. *)
+  Op.Waiters.wire waiters
+    { Op.Waiters.run_op =
+        (fun kind ~machine tmpl ~on_done ->
+          match kind with
+          | `Read -> read t ~machine tmpl ~on_done
+          | `Take -> read_del t ~machine tmpl ~on_done);
+      place_markers = Router.place_markers router;
+      cancel_markers = Router.cancel_markers router;
+      reinsert = (fun ~machine o -> insert t ~machine (Pobj.fields o) ~on_done:(fun () -> ()));
+      is_up = (fun m -> Vsync.is_up t.vs m) };
   t
-
-(* --- class management --------------------------------------------------- *)
-
-let universe t =
-  match t.cached_universe with
-  | Some u -> u
-  | None ->
-      let u =
-        Hashtbl.fold (fun _ cs acc -> cs.info :: acc) t.classes []
-        |> List.sort (fun a b -> compare a.Obj_class.name b.Obj_class.name)
-      in
-      t.cached_universe <- Some u;
-      u
-
-let known_classes t = universe t
-
-(* Structural signature of a template, injective over everything
-   [Obj_class.sc_list] can observe. Field specs get length-prefixed,
-   sigil-tagged encodings so no two distinct templates collide (a plain
-   [Template.to_string] key would conflate e.g. [Sym "a,_"] with two
-   fields). [None] marks a template as uncacheable: a [Pred] spec's
-   behaviour is its closure, which has no serialisable identity. The
-   [where] clause never affects candidate derivation, so it is ignored. *)
-let template_key tmpl =
-  let buf = Buffer.create 64 in
-  let add_str tag s =
-    Buffer.add_char buf tag;
-    Buffer.add_string buf (string_of_int (String.length s));
-    Buffer.add_char buf ':';
-    Buffer.add_string buf s
-  in
-  let add_value = function
-    | Value.Int i ->
-        Buffer.add_char buf 'i';
-        Buffer.add_string buf (string_of_int i);
-        Buffer.add_char buf ';'
-    | Value.Float f ->
-        Buffer.add_char buf 'f';
-        Buffer.add_string buf (Int64.to_string (Int64.bits_of_float f));
-        Buffer.add_char buf ';'
-    | Value.Bool b -> Buffer.add_string buf (if b then "b1" else "b0")
-    | Value.Str s -> add_str 's' s
-    | Value.Sym s -> add_str 'y' s
-  in
-  let spec_ok = function
-    | Template.Any -> Buffer.add_char buf 'A'; true
-    | Template.Eq v -> Buffer.add_char buf 'E'; add_value v; true
-    | Template.Type_is ty -> add_str 'T' ty; true
-    | Template.Range (lo, hi) ->
-        Buffer.add_char buf 'R';
-        add_value lo;
-        add_value hi;
-        true
-    | Template.Pred _ -> false
-  in
-  if List.for_all spec_ok (Template.specs tmpl) then Some (Buffer.contents buf)
-  else None
-
-(* Memoised candidate-class derivation. Raw sc-list only — callers
-   still filter by currently-known classes, which is cheap and keeps
-   the cached value independent of anything but the universe. [Custom]
-   strategies may close over external state, so they bypass the cache. *)
-let sc_list t tmpl =
-  let derive () = Obj_class.sc_list t.cfg.classing ~universe:(universe t) tmpl in
-  let cacheable =
-    match t.cfg.classing with
-    | Obj_class.Single_class | Obj_class.By_arity | Obj_class.By_head
-    | Obj_class.By_signature ->
-        true
-    | Obj_class.Custom _ -> false
-  in
-  if not cacheable then derive ()
-  else
-    match template_key tmpl with
-    | None -> derive ()
-    | Some key -> (
-        match Hashtbl.find_opt t.sc_cache key with
-        | Some cached ->
-            Sim.Stats.incr_counter t.hs.h_sc_hits;
-            cached
-        | None ->
-            Sim.Stats.incr_counter t.hs.h_sc_misses;
-            let result = derive () in
-            Hashtbl.add t.sc_cache key result;
-            result)
-let class_of_obj t o = Obj_class.class_of t.cfg.classing o
-
-let basic_support t ~cls =
-  match cls_state t cls with Some cs -> cs.basic | None -> compute_basic t.cfg cls
-
-let write_group t ~cls =
-  match cls_state t cls with
-  | Some cs -> Vsync.members t.vs ~group:cs.group
-  | None -> []
-
-let operational_basic t cs =
-  List.filter (fun m -> Vsync.is_member t.vs ~group:cs.group ~node:m) cs.basic
-
-let read_group t ~cls =
-  match cls_state t cls with
-  | None -> []
-  | Some cs ->
-      if not t.cfg.use_read_groups then Vsync.members t.vs ~group:cs.group
-      else begin
-        match operational_basic t cs with
-        | [] -> begin
-            (* Degenerate fallback: first λ+1 members. *)
-            let mems = Vsync.members t.vs ~group:cs.group in
-            List.filteri (fun i _ -> i <= t.cfg.lambda) mems
-          end
-        | basic_up -> basic_up
-      end
-
-let live_count t ~cls =
-  match write_group t ~cls with
-  | [] -> 0
-  | m :: _ -> Server.live_count t.servers.(m) ~cls
-
-let waiter_count t = Hashtbl.length t.waiters
-
-(* --- PASO primitives ---------------------------------------------------- *)
-
-(* Under the WAN topology, a reader prefers replicas in its own
-   cluster: any replica's answer is valid for a read, and this is the
-   natural wide-area refinement of the rg(C) optimisation (the paper's
-   closing open problem). Under the LAN topology the paper's rule —
-   operational basic support — applies unchanged. *)
-let read_restrict t cs ~machine =
-  let basic_rg members =
-    let basic_up = List.filter (fun m -> List.mem m cs.basic) members in
-    if basic_up <> [] then basic_up
-    else List.filteri (fun i _ -> i <= t.cfg.lambda) members
-  in
-  match t.cfg.topology with
-  | Lan -> basic_rg
-  | Wan { clusters; _ } ->
-      fun members ->
-        let near = List.filter (fun m -> clusters.(m) = clusters.(machine)) members in
-        if near <> [] then List.filteri (fun i _ -> i <= t.cfg.lambda) near
-        else basic_rg members
-
-(* Coalescing key for a remote mem-read, or [None] when the read must
-   go out itself: batching off, uncacheable template ([Pred] has no
-   structural identity), or — via the embedded mutation serial — any
-   replicated mutation of the class delivered since the would-be
-   primary was issued. *)
-let read_dedup_key t ~machine ~cls tmpl =
-  if t.cfg.batch = None then None
-  else
-    match template_key tmpl with
-    | None -> None
-    | Some tk ->
-        let serial = Option.value ~default:0 (Hashtbl.find_opt t.class_serial cls) in
-        Some (Printf.sprintf "%d|%s|%d|%s" machine cls serial tk)
-
-let require_up t machine op =
-  if machine < 0 || machine >= t.cfg.n then invalid_arg (op ^ ": bad machine id");
-  if not (Vsync.is_up t.vs machine) then invalid_arg (op ^ ": machine is down")
-
-let rec ensure_class t info =
-  match Hashtbl.find_opt t.classes info.Obj_class.name with
-  | Some cs -> cs
-  | None ->
-      let cls = info.Obj_class.name in
-      let group = group_of_class t.cfg cls in
-      (* Classes sharing a group share its (deterministic) basic
-         support, so the support is keyed on the group name. *)
-      let basic =
-        match Hashtbl.find_opt t.group_class group with
-        | Some classes -> (
-            match cls_state t (List.hd !classes) with
-            | Some peer -> peer.basic
-            | None -> compute_basic t.cfg group)
-        | None -> compute_basic t.cfg group
-      in
-      let cs = { info; group; basic } in
-      Hashtbl.add t.classes cls cs;
-      (* The class universe changed: drop the memoised universe and
-         every cached sc-list (the only invalidation point). *)
-      t.cached_universe <- None;
-      Hashtbl.reset t.sc_cache;
-      (match Hashtbl.find_opt t.group_class group with
-      | Some classes -> classes := List.sort compare (cls :: !classes)
-      | None -> Hashtbl.add t.group_class group (ref [ cls ]));
-      tracef t "class %s created, B(C) = {%s}" cls
-        (String.concat "," (List.map string_of_int basic));
-      Sim.Stats.incr t.sstats "paso.classes";
-      List.iter
-        (fun m ->
-          if Vsync.is_up t.vs m then
-            Vsync.join t.vs ~group ~node:m ~on_done:(fun () -> ()))
-        basic;
-      arm_waiters_for_new_class t cls;
-      cs
-
-and insert t ~machine fields ~on_done =
-  require_up t machine "System.insert";
-  let serial = t.serials.(machine) in
-  t.serials.(machine) <- serial + 1;
-  let uid = Uid.make ~machine ~serial in
-  let o = Pobj.make ~uid fields in
-  let info = Obj_class.classify t.cfg.classing o in
-  let cs = ensure_class t info in
-  let r = History.begin_op t.hist ~machine ~kind:History.Insert ~obj:o ~now:(now t) () in
-  History.note_inserted t.hist o ~cls:info.Obj_class.name ~now:(now t);
-  Sim.Stats.incr_counter t.hs.h_ops_insert;
-  (* Fault-injection site: the primitive is issued and recorded; a
-     handler crashing [machine] here crashes it between issue and
-     return (the op is orphaned; the §2 checker must still pass). *)
-  ignore
-    (Sim.Failpoint.hit t.fps ~site:"paso.op.issued" ~node:machine ~aux:r.History.op_id
-       ~group:info.Obj_class.name ());
-  let msg = Server.Store { cls = info.Obj_class.name; obj = o } in
-  (* Batched entry point: joins the group's accumulation window when
-     batching is configured, and is exactly [gcast] otherwise. *)
-  Vsync.gcast_batch t.vs ~group:cs.group ~from:machine ~msg_size:(Server.msg_size msg)
-    ~on_done:(fun ~resp:_ ~work:_ ~responders ->
-      let tnow = now t in
-      if responders > 0 then History.note_all_stored t.hist uid ~now:tnow;
-      History.end_op t.hist r ~now:tnow ~result:None;
-      on_done ())
-    msg
-
-and read_gen t ~machine ~kind tmpl ~on_done =
-  let opname =
-    match kind with History.Read -> "System.read" | _ -> "System.read_del"
-  in
-  require_up t machine opname;
-  let r = History.begin_op t.hist ~machine ~kind ~template:tmpl ~now:(now t) () in
-  Sim.Stats.incr_counter
-    (match kind with History.Read -> t.hs.h_ops_read | _ -> t.hs.h_ops_read_del);
-  (* Same site as in [insert]: crash between primitive issue and return. *)
-  ignore
-    (Sim.Failpoint.hit t.fps ~site:"paso.op.issued" ~node:machine ~aux:r.History.op_id ());
-  let candidates = sc_list t tmpl |> List.filter (Hashtbl.mem t.classes) in
-  let finish result =
-    History.end_op t.hist r ~now:(now t) ~result;
-    on_done result
-  in
-  let rec go = function
-    | [] -> finish None
-    | cls :: rest -> begin
-        match cls_state t cls with
-        | None -> go rest
-        | Some cs when probational t cs.group ->
-            (* Recovery quorum not yet reached: park rather than answer
-               from a possibly-resurrected replica. *)
-            defer_probation t ~machine ~group:cs.group (fun () -> go (cls :: rest))
-        | Some cs -> begin
-            match kind with
-            | History.Read when Vsync.is_member t.vs ~group:cs.group ~node:machine ->
-                (* Local mem-read: no messages, just Q(ℓ) work. *)
-                let work = Server.query_work t.servers.(machine) ~cls *. t.cfg.unit_work in
-                Vsync.exec_local t.vs ~node:machine ~work (fun () ->
-                    let resp, _ = Server.local_read t.servers.(machine) ~cls tmpl in
-                    Sim.Stats.incr_counter t.hs.h_local_reads;
-                    apply_policy t ~machine ~cls
-                      (Policy.Local_read
-                         { ell = Server.live_count t.servers.(machine) ~cls });
-                    match resp with Some o -> finish (Some o) | None -> go rest)
-            | History.Read ->
-                let msg = Server.Mem_read { cls; tmpl } in
-                let gen0 = probation_generation t cs.group in
-                let restrict =
-                  if t.cfg.use_read_groups then read_restrict t cs ~machine
-                  else fun members -> members
-                in
-                Sim.Stats.incr_counter t.hs.h_remote_reads;
-                (* Does this read have to cross the wide area? It does
-                   iff no write-group member shares the reader's
-                   cluster. Always false on the LAN. *)
-                let crossed_wan =
-                  match t.cfg.topology with
-                  | Lan -> false
-                  | Wan { clusters; _ } ->
-                      not
-                        (List.exists
-                           (fun m -> clusters.(m) = clusters.(machine))
-                           (Vsync.members t.vs ~group:cs.group))
-                in
-                let handle resp responders =
-                  (* ell piggybacked on the response (§5.1). *)
-                  apply_policy t ~machine ~cls
-                    (Policy.Remote_read
-                       { responders; ell = live_count t ~cls; wan = crossed_wan });
-                  match resp with
-                  | Some o -> finish (Some o)
-                  | None ->
-                      (* A miss refused by (or answered from) a group
-                         that lost its last member mid-op is not
-                         evidence of absence: the delivery gate blanks
-                         queries against the re-formed, pre-quorum
-                         state. Re-query — [go] parks on the class
-                         until the quorum's merge is authoritative. *)
-                      if
-                        probational t cs.group
-                        || probation_generation t cs.group <> gen0
-                      then go (cls :: rest)
-                        (* A fail is only evidence of absence if someone
-                           actually served the lookup: zero responders
-                           means the whole (possibly restricted) read
-                           group crashed mid-gcast — retry against the
-                           survivors rather than report a spurious
-                           fail. *)
-                      else if
-                        responders = 0
-                        && Vsync.members t.vs ~group:cs.group <> []
-                      then begin
-                        Sim.Stats.incr_counter t.hs.h_read_retries;
-                        go (cls :: rest)
-                      end
-                      else go rest
-                in
-                let issue on_resp =
-                  match t.cfg.batch with
-                  | Some _ ->
-                      (* Batched read fan-out. The eager flag does not
-                         compose with piggybacked batch responses, so it
-                         is dropped on this path. *)
-                      Vsync.gcast_batch t.vs ~restrict ~group:cs.group
-                        ~from:machine ~msg_size:(Server.msg_size msg)
-                        ~on_done:(fun ~resp ~work:_ ~responders ->
-                          on_resp resp responders)
-                        msg
-                  | None ->
-                      Vsync.gcast t.vs ~restrict ~eager:t.cfg.eager_reads
-                        ~group:cs.group ~from:machine
-                        ~msg_size:(Server.msg_size msg)
-                        ~on_done:(fun ~resp ~work:_ ~responders ->
-                          on_resp resp responders)
-                        msg
-                in
-                (match read_dedup_key t ~machine ~cls tmpl with
-                | Some key -> (
-                    match Hashtbl.find_opt t.read_coalesce key with
-                    | Some rc ->
-                        (* An identical read from this machine is
-                           already outstanding in the same window:
-                           piggyback on its response instead of
-                           gcasting again. *)
-                        Sim.Stats.incr_counter t.hs.h_reads_coalesced;
-                        rc.rc_waiters <- handle :: rc.rc_waiters
-                    | None ->
-                        let rc = { rc_machine = machine; rc_waiters = [] } in
-                        Hashtbl.add t.read_coalesce key rc;
-                        issue (fun resp responders ->
-                            Hashtbl.remove t.read_coalesce key;
-                            let waiters = List.rev rc.rc_waiters in
-                            handle resp responders;
-                            List.iter (fun k -> k resp responders) waiters))
-                | None -> issue handle)
-            | History.Read_del | History.Insert ->
-                let msg = Server.Remove { cls; tmpl } in
-                let gen0 = probation_generation t cs.group in
-                Sim.Stats.incr_counter t.hs.h_removes;
-                Vsync.gcast t.vs ~group:cs.group ~from:machine
-                  ~msg_size:(Server.msg_size msg)
-                  ~on_done:(fun ~resp ~work:_ ~responders:_ ->
-                    match resp with
-                    | Some o ->
-                        History.note_remove_ret t.hist (Pobj.uid o) ~op_id:r.History.op_id
-                          ~now:(now t);
-                        finish (Some o)
-                    | None ->
-                        (* Same probation straddle as the read path:
-                           the remove was refused (without mutating) by
-                           a re-formed group, or raced its loss —
-                           re-query instead of skipping the class. *)
-                        if
-                          probational t cs.group
-                          || probation_generation t cs.group <> gen0
-                        then go (cls :: rest)
-                        else go rest)
-                  msg
-          end
-      end
-  in
-  go candidates
-
-and read t ~machine tmpl ~on_done = read_gen t ~machine ~kind:History.Read tmpl ~on_done
-
-and read_del t ~machine tmpl ~on_done =
-  read_gen t ~machine ~kind:History.Read_del tmpl ~on_done
-
-(* --- blocking operations ------------------------------------------------ *)
-
-(* §4.3 read-markers, distributed: a parked waiter has a marker
-   replicated at every member of each candidate class's write group
-   (placed by a costed gcast). A store that matches consumes the marker
-   at every replica; the group leader sends one wake-up message to the
-   waiting machine, which retries. Total order per group makes the
-   protocol race-free: the retry after a (re-)placement is sequenced
-   after every insert the placement missed.
-
-   Invariant: a waiter in state [`Idle] has live markers in every known
-   candidate class. *)
-
-and marker_classes t tmpl = sc_list t tmpl |> List.filter (Hashtbl.mem t.classes)
-
-and gcast_marker t ~machine msg =
-  match cls_state t (Server.msg_class msg) with
-  | Some cs when Vsync.is_up t.vs machine ->
-      Vsync.gcast_batch t.vs ~group:cs.group ~from:machine
-        ~msg_size:(Server.msg_size msg)
-        ~on_done:(fun ~resp:_ ~work:_ ~responders:_ -> ())
-        msg
-  | Some _ | None -> ()
-
-and place_markers t w =
-  List.iter
-    (fun cls ->
-      Sim.Stats.incr_counter t.hs.h_marker_placements;
-      gcast_marker t ~machine:w.w_machine
-        (Server.Place_marker
-           { cls; mid = w.w_id; machine = w.w_machine; tmpl = w.w_tmpl }))
-    (marker_classes t w.w_tmpl)
-
-and cancel_markers t w =
-  if Vsync.is_up t.vs w.w_machine then
-    List.iter
-      (fun cls ->
-        gcast_marker t ~machine:w.w_machine
-          (Server.Cancel_marker { cls; mid = w.w_id }))
-      (marker_classes t w.w_tmpl)
-
-(* One place-and-retry cycle; entered when the waiter's markers are not
-   (known to be) live. *)
-and marker_cycle t w =
-  place_markers t w;
-  attempt t w ~fallback:`Park
-
-(* Run the non-blocking operation for a waiter. [fallback] says what a
-   plain failure means: [`Park] — markers are live, go idle; [`Cycle] —
-   no markers yet (the fast path), enter the marker cycle. *)
-and attempt t w ~fallback =
-  if Vsync.is_up t.vs w.w_machine then begin
-    w.w_state <- `Attempting false;
-    let op = match w.w_kind with `Read -> read | `Take -> read_del in
-    op t ~machine:w.w_machine w.w_tmpl ~on_done:(fun result ->
-        if Hashtbl.mem t.waiters w.w_id then begin
-          match result with
-          | Some o ->
-              Hashtbl.remove t.waiters w.w_id;
-              cancel_markers t w;
-              w.w_notify o
-          | None -> (
-              match (w.w_state, fallback) with
-              | `Attempting true, _ ->
-                  (* A wake consumed the markers mid-attempt. *)
-                  marker_cycle t w
-              | (`Attempting false | `Idle), `Cycle -> marker_cycle t w
-              | (`Attempting false | `Idle), `Park -> w.w_state <- `Idle)
-        end
-        else begin
-          (* The waiter vanished mid-attempt (its marker expired): a
-             successful take consumed an object with nobody to give it
-             to — compensate by re-inserting its contents. *)
-          match result with
-          | Some o when w.w_kind = `Take && Vsync.is_up t.vs w.w_machine ->
-              Sim.Stats.incr t.sstats "paso.expired_take_reinserts";
-              insert t ~machine:w.w_machine (Pobj.fields o) ~on_done:(fun () -> ())
-          | Some _ | None -> ()
-        end)
-  end
-
-and wake_waiter t mid =
-  match Hashtbl.find_opt t.waiters mid with
-  | None -> () (* satisfied, expired, or crashed meanwhile *)
-  | Some w -> (
-      match w.w_state with
-      | `Idle -> marker_cycle t w (* the fired marker is gone: re-arm and retry *)
-      | `Attempting _ -> w.w_state <- `Attempting true)
-
-(* Markers for templates that may match classes created later: when a
-   class appears, arm every parked waiter whose criterion covers it. *)
-and arm_waiters_for_new_class t cls =
-  Hashtbl.fold (fun _ w acc -> w :: acc) t.waiters []
-  |> List.sort (fun a b -> compare a.w_id b.w_id)
-  |> List.iter (fun w ->
-         if
-           Vsync.is_up t.vs w.w_machine
-           && List.mem cls (marker_classes t w.w_tmpl)
-         then begin
-           Sim.Stats.incr_counter t.hs.h_marker_placements;
-           gcast_marker t ~machine:w.w_machine
-             (Server.Place_marker
-                { cls; mid = w.w_id; machine = w.w_machine; tmpl = w.w_tmpl })
-         end)
-
-let () = wake_forward := wake_waiter
-
-let fresh_waiter_id t =
-  let id = t.next_waiter in
-  t.next_waiter <- id + 1;
-  id
-
-let new_waiter t ~machine ~kind tmpl notify =
-  let w =
-    {
-      w_id = fresh_waiter_id t;
-      w_machine = machine;
-      w_tmpl = tmpl;
-      w_kind = kind;
-      w_notify = notify;
-      w_state = `Attempting false;
-    }
-  in
-  Hashtbl.replace t.waiters w.w_id w;
-  w
-
-let blocking_gen ?poll t ~machine ~kind tmpl ~on_done =
-  require_up t machine "System.blocking";
-  match poll with
-  | None ->
-      Sim.Stats.incr_counter t.hs.h_markers;
-      (* Fast path first: if the object is already there, no marker
-         traffic; the first failure enters the marker cycle. *)
-      let w = new_waiter t ~machine ~kind tmpl on_done in
-      attempt t w ~fallback:`Cycle
-  | Some period ->
-      if period <= 0.0 then invalid_arg "System: poll period must be positive";
-      let op = match kind with `Read -> read | `Take -> read_del in
-      let rec loop () =
-        if Vsync.is_up t.vs machine then
-          op t ~machine tmpl ~on_done:(function
-            | Some o -> on_done o
-            | None ->
-                Sim.Stats.incr t.sstats "paso.poll_retries";
-                ignore (Sim.Engine.schedule t.eng ~delay:period loop))
-      in
-      loop ()
-
-let read_blocking ?poll t ~machine tmpl ~on_done =
-  blocking_gen ?poll t ~machine ~kind:`Read tmpl ~on_done
-
-let read_del_blocking ?poll t ~machine tmpl ~on_done =
-  blocking_gen ?poll t ~machine ~kind:`Take tmpl ~on_done
-
-(* Hybrid blocking (§4.3): leave a marker, expire it after [ttl]. The
-   marker keeps its id across lost take-races, so one expiry event
-   covers the whole wait. *)
-let blocking_ttl_gen t ~ttl ~machine ~kind tmpl ~on_done =
-  require_up t machine "System.blocking";
-  if ttl <= 0.0 then invalid_arg "System: ttl must be positive";
-  Sim.Stats.incr_counter t.hs.h_markers;
-  let expiry = ref None in
-  let notify o =
-    (match !expiry with Some e -> Sim.Engine.cancel t.eng e | None -> ());
-    on_done (Some o)
-  in
-  let w = new_waiter t ~machine ~kind tmpl notify in
-  expiry :=
-    Some
-      (Sim.Engine.schedule t.eng ~delay:ttl (fun () ->
-           if Hashtbl.mem t.waiters w.w_id then begin
-             Hashtbl.remove t.waiters w.w_id;
-             cancel_markers t w;
-             Sim.Stats.incr t.sstats "paso.marker_expiries";
-             on_done None
-           end));
-  attempt t w ~fallback:`Cycle
-
-let read_blocking_ttl t ~ttl ~machine tmpl ~on_done =
-  blocking_ttl_gen t ~ttl ~machine ~kind:`Read tmpl ~on_done
-
-let read_del_blocking_ttl t ~ttl ~machine tmpl ~on_done =
-  blocking_ttl_gen t ~ttl ~machine ~kind:`Take tmpl ~on_done
-
-(* --- faults ------------------------------------------------------------- *)
-
-let operational_members t cs =
-  List.filter (fun m -> Vsync.is_up t.vs m) (Vsync.members t.vs ~group:cs.group)
-
-let sorted_classes t =
-  Hashtbl.fold (fun cls _ acc -> cls :: acc) t.classes [] |> List.sort compare
-
-(* Live support selection (§5.2): keep the class's support at λ+1 by
-   bringing in a replacement, which pays the state-transfer copy. *)
-let repair_class t strategy cls cs ~failed =
-  cs.basic <- List.filter (fun m -> m <> failed) cs.basic;
-  Repair.note_support_exit t.repair_state ~cls ~machine:failed ~now:(now t);
-  let members = Vsync.members t.vs ~group:cs.group in
-  let candidates =
-    List.filter
-      (fun m -> Vsync.is_up t.vs m && (not (List.mem m cs.basic)) && not (List.mem m members))
-      (List.init t.cfg.n Fun.id)
-  in
-  match Repair.choose t.repair_state strategy ~cls ~candidates with
-  | Some replacement ->
-      cs.basic <- List.sort compare (replacement :: cs.basic);
-      Sim.Stats.incr t.sstats "repair.copies";
-      tracef t "repair: machine %d replaces %d in support of %s" replacement failed cls;
-      Vsync.join t.vs ~group:cs.group ~node:replacement ~on_done:(fun () -> ())
-  | None -> tracef t "repair: no candidate to replace %d in %s" failed cls
-
-let crash t ~machine =
-  if machine < 0 || machine >= t.cfg.n then invalid_arg "System.crash: bad machine id";
-  if Vsync.is_up t.vs machine then begin
-    Sim.Stats.incr t.sstats "faults.crashes";
-    tracef t "machine %d crashes" machine;
-    Vsync.crash t.vs ~node:machine;
-    Server.wipe t.servers.(machine);
-    t.has_recovered.(machine) <- false;
-    (* The simulated disk survives the crash (its unsynced tail may be
-       damaged by an armed ["durable.crash.tail"]). *)
-    (match t.durable with Some d -> d.du_crash ~machine | None -> ());
-    t.cfg.policy.Policy.reset_machine ~machine;
-    Repair.note_failure t.repair_state ~machine ~now:(now t);
-    (match t.cfg.repair with
-    | Some strategy ->
-        List.iter
-          (fun cls ->
-            match cls_state t cls with
-            | Some cs when List.mem machine cs.basic ->
-                repair_class t strategy cls cs ~failed:machine
-            | Some _ | None -> ())
-          (sorted_classes t)
-    | None -> ());
-    (* Markers are local memory: lost with the machine. *)
-    let stale =
-      Hashtbl.fold (fun id w acc -> if w.w_machine = machine then id :: acc else acc)
-        t.waiters []
-    in
-    List.iter (Hashtbl.remove t.waiters) stale;
-    (* Coalesced reads are the machine's local memory too: the primary's
-       vsync callback is orphaned with the issuer, so drop the entries
-       here or later identical reads could attach to a dead primary. *)
-    let stale_rc =
-      Hashtbl.fold
-        (fun key rc acc -> if rc.rc_machine = machine then key :: acc else acc)
-        t.read_coalesce []
-    in
-    List.iter (Hashtbl.remove t.read_coalesce) stale_rc;
-    (* Class-data loss (all replicas gone) is detected by the vsync
-       layer at the exact instant a group empties — see on_group_lost
-       in [create]. *)
-    ()
-  end
-
-let recover t ~machine =
-  if machine < 0 || machine >= t.cfg.n then invalid_arg "System.recover: bad machine id";
-  if not (Vsync.is_up t.vs machine) then begin
-    Sim.Stats.incr t.sstats "faults.recoveries";
-    tracef t "machine %d recovering (init phase %g)" machine t.cfg.init_delay;
-    Vsync.recover t.vs ~node:machine;
-    (* Durable recovery: rebuild the local stores from checkpoint+log
-       replay before rejoining, so the join can reconcile by delta (or,
-       for a group with no survivors, seed it with the recovered
-       state). *)
-    (match t.durable with
-    | Some d -> (
-        match d.du_recover ~machine with
-        | Some snapshot ->
-            Server.install t.servers.(machine) snapshot;
-            t.has_recovered.(machine) <- true;
-            let tnow = now t in
-            List.iter
-              (fun (_, (objs, _, _)) ->
-                List.iter
-                  (fun o -> History.note_recovered t.hist (Pobj.uid o) ~now:tnow)
-                  objs)
-              snapshot
-        | None -> ())
-    | None -> ());
-    ignore
-      (Sim.Engine.schedule t.eng ~delay:t.cfg.init_delay (fun () ->
-           if Vsync.is_up t.vs machine then
-             List.iter
-               (fun cls ->
-                 match cls_state t cls with
-                 | Some cs when List.mem machine cs.basic ->
-                     Vsync.join t.vs ~group:cs.group ~node:machine ~on_done:(fun () -> ())
-                 | Some _ | None -> ())
-               (sorted_classes t)))
-  end
-
-(* --- durability attachment ---------------------------------------------- *)
-
-let set_durability t d =
-  match t.durable with
-  | Some _ -> invalid_arg "System.set_durability: already attached"
-  | None ->
-      t.durable <- Some d;
-      (* Reconciliation needs remove evidence from here on. *)
-      Array.iter Server.enable_tombstones t.servers
-
-let durability_attached t = t.durable <> None
-
-let server_snapshot t ~machine =
-  if machine < 0 || machine >= t.cfg.n then
-    invalid_arg "System.server_snapshot: bad machine id";
-  let s = t.servers.(machine) in
-  Server.snapshot s ~classes:(Server.classes s)
-
-let replicas t ~cls =
-  match cls_state t cls with
-  | None -> []
-  | Some cs ->
-      List.map
-        (fun m ->
-          let snapshot, _ = Server.snapshot t.servers.(m) ~classes:[ cls ] in
-          let uids =
-            match snapshot with [ (_, (objs, _, _)) ] -> List.map Pobj.uid objs | _ -> []
-          in
-          (m, uids))
-        (operational_members t cs)
-
-let audit_replicas t =
-  List.filter_map
-    (fun cls ->
-      match replicas t ~cls with
-      | [] | [ _ ] -> None
-      | (m0, ref_uids) :: rest ->
-          let bad =
-            List.filter_map
-              (fun (m, uids) ->
-                if uids <> ref_uids then
-                  Some
-                    (Printf.sprintf "machine %d holds %d objects vs %d at machine %d" m
-                       (List.length uids) (List.length ref_uids) m0)
-                else None)
-              rest
-          in
-          (match bad with [] -> None | d :: _ -> Some (cls, d)))
-    (sorted_classes t)
-
-let wan_cost t = Sim.Stats.total t.sstats "net.wan_cost"
-
-let check_quiescent t = Vsync.pending_groups t.vs
-
-let check_fault_tolerance t =
-  let down = t.cfg.n - up_count t in
-  let k = min down t.cfg.lambda in
-  List.filter_map
-    (fun cls ->
-      match cls_state t cls with
-      | Some cs ->
-          let size = List.length (operational_members t cs) in
-          if size <= t.cfg.lambda - k then Some (cls, size) else None
-      | None -> None)
-    (sorted_classes t)

@@ -15,7 +15,7 @@
     operation is recorded in the {!History.t} for the §2 semantics
     checker, and all costs land in the {!Sim.Stats.t}. *)
 
-type topology =
+type topology = Router.topology =
   | Lan  (** the paper's single shared bus, priced by [config.cost] *)
   | Wan of { clusters : int array; remote : Net.Cost_model.t }
       (** the paper's closing open problem, explored: machines grouped
@@ -69,6 +69,24 @@ type config = {
           group (paying the state-transfer copy), chosen by this
           strategy; the failed machine is dropped from the class's
           basic support and does not re-join it on recovery *)
+  op_deadline : float option;
+      (** per-op virtual-time deadline: an insert / read / read&del
+          still in flight this long after issue terminates with fail,
+          and its late real response is discarded (a late successful
+          remove is compensated by re-insertion, counted under
+          ["paso.op.late_reinserts"]). Expiries are counted under
+          ["paso.op.deadline_expired"]. [None] (the default) schedules
+          nothing, leaving event schedules byte-identical. *)
+  retry_budget : int option;
+      (** cap on per-op re-queries (probation straddles,
+          zero-responder retries): an op out of budget terminates with
+          fail (counted under ["paso.op.budget_exhausted"]). [None]
+          (the default) is unbounded — the pre-existing behaviour. *)
+  retry_backoff : float;
+      (** delay before the [k]-th re-query of an op:
+          [backoff * 2^(k-1)]. [0.0] (the default) re-queries
+          immediately in the same event, preserving the pre-existing
+          event schedule exactly. *)
   seed : int;  (** seeds basic-support placement *)
 }
 
@@ -109,7 +127,13 @@ val stats : t -> Sim.Stats.t
     "server.removes"] (per-replica operation counts),
     ["cache.sc_hits"/"cache.sc_misses"] (sc-list memoisation),
     ["paso.reads_coalesced"] (duplicate remote reads answered by one
-    request under batching), and the ["vsync.*"] protocol counters
+    request under batching), the ["paso.op.stage.*"] lifecycle
+    counters (issued / fanned_out / collecting / retrying / done /
+    failed transitions of the {!Op} state machine) with
+    ["paso.op.retries"/"paso.op.deadline_expired"/
+    "paso.op.budget_exhausted"/"paso.op.late_reinserts"] when
+    deadlines or retry budgets are configured, and the ["vsync.*"]
+    protocol counters
     (gcasts, joins, leaves, view_changes, state_bytes, crashes,
     recoveries, directs; batches, batched_ops and batch_cuts when
     batching is on). Under batching, coalesced frames are counted once

@@ -34,6 +34,9 @@ let counter t key =
       Hashtbl.add t.counters key c;
       c
 
+let counter_bank t ~prefix names =
+  Array.map (fun name -> counter t (prefix ^ "." ^ name)) names
+
 let accumulator t key =
   match Hashtbl.find_opt t.totals key with
   | Some a -> a

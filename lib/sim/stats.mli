@@ -34,6 +34,14 @@ val counter : t -> string -> counter
 (** Resolve (creating if absent) the counter cell for a key. The
     handle stays valid for the lifetime of [t], across {!reset}. *)
 
+val counter_bank : t -> prefix:string -> string array -> counter array
+(** Intern a family of counters sharing a dotted prefix:
+    [counter_bank t ~prefix:"paso.op.stage" [|"issued"; "done"|]]
+    resolves (creating if absent) the cells ["paso.op.stage.issued"]
+    and ["paso.op.stage.done"], in order. A state machine indexes the
+    returned array by stage number, so recording a transition is one
+    array read plus one field write — no hashing per event. *)
+
 val accumulator : t -> string -> accumulator
 val series : t -> string -> series
 

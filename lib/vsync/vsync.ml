@@ -1,131 +1,5 @@
 module View = View
-module IntSet = Set.Make (Int)
-
-type ('msg, 'resp, 'state) callbacks = {
-  deliver : node:int -> group:string -> from:int -> 'msg -> 'resp option * float;
-  resp_size : 'resp option -> int;
-  state_of : node:int -> group:string -> 'state * int;
-  state_delta : node:int -> group:string -> joiner:int -> ('state * int * int) option;
-  install_state : node:int -> group:string -> 'state -> unit;
-  on_view : node:int -> View.t -> unit;
-  on_evict : node:int -> group:string -> unit;
-  on_group_lost : group:string -> unit;
-}
-
-type 'resp inflight = {
-  mutable waiting : IntSet.t;
-  mutable resp : 'resp option; (* first non-fail response seen *)
-  mutable work : float;
-  if_responders : int;
-  if_leader : int;
-  if_issuer : int;
-  if_issuer_epoch : int;
-  if_eager : bool;
-  mutable processed : int; (* members that actually ran deliver *)
-  mutable resp_sent : bool; (* eager mode: response already forwarded *)
-  mutable completed : bool;
-  if_on_done : resp:'resp option -> work:float -> responders:int -> unit;
-}
-
-(* One logical gcast riding a batch: the same data as [Op_gcast] minus
-   the eager flag (the response-time optimisation does not compose
-   with piggybacked responses; batched ops always respond on batch
-   completion). *)
-type ('msg, 'resp) bitem = {
-  bi_from : int;
-  bi_epoch : int;
-  bi_msg : 'msg;
-  bi_size : int;
-  bi_restrict : int list -> int list;
-  bi_done : resp:'resp option -> work:float -> responders:int -> unit;
-}
-
-(* Per-item completion state inside an executing batch. *)
-type 'resp bstate = {
-  mutable bs_resp : 'resp option; (* first non-fail response seen *)
-  mutable bs_work : float;
-  mutable bs_processed : int; (* members that ran deliver for this item *)
-}
-
-type ('msg, 'resp) binflight = {
-  mutable b_waiting : IntSet.t;
-  b_leader : int;
-  b_items : (('msg, 'resp) bitem * 'resp bstate) array; (* batch order *)
-  mutable b_completed : bool;
-}
-
-type ('msg, 'resp) op =
-  | Op_gcast of {
-      oc_from : int;
-      oc_epoch : int;
-      oc_msg : 'msg;
-      oc_size : int;
-      oc_eager : bool;
-      oc_restrict : int list -> int list;
-      oc_done : resp:'resp option -> work:float -> responders:int -> unit;
-    }
-  | Op_gcast_batch of { ob_items : ('msg, 'resp) bitem list }
-  | Op_join of { oj_node : int; oj_epoch : int; oj_done : unit -> unit }
-  | Op_leave of { ol_node : int; ol_done : unit -> unit }
-  | Op_crash_remove of { ox_node : int }
-
-type ('msg, 'resp) gstate = {
-  gname : string;
-  mutable members : IntSet.t;
-  mutable view_id : int;
-  mutable busy : bool;
-  mutable inflight : 'resp inflight option;
-  mutable binflight : ('msg, 'resp) binflight option;
-  mutable joining : int option; (* node whose state transfer is in flight *)
-  urgent : ('msg, 'resp) op Queue.t;
-  normal : ('msg, 'resp) op Queue.t;
-  (* The batcher's accumulation window: gcasts enqueued here ride the
-     next flushed batch. Cancellation (a pending issuer crashing) uses
-     the shared lazy-tombstone queue. *)
-  pending : ('msg, 'resp) bitem Sim.Pending.t;
-  mutable pending_bytes : int;
-  mutable hold_timer : Sim.Engine.event_id option;
-}
-
-(* Stat handles interned at [make]: the protocol counters fire on
-   every gcast/delivery, so they record through resolved cells rather
-   than hashing a key each time. *)
-type vstats = {
-  c_view_changes : Sim.Stats.counter;
-  c_gcasts : Sim.Stats.counter;
-  c_joins : Sim.Stats.counter;
-  c_leaves : Sim.Stats.counter;
-  c_directs : Sim.Stats.counter;
-  c_crashes : Sim.Stats.counter;
-  c_recoveries : Sim.Stats.counter;
-  c_batches : Sim.Stats.counter;
-  c_batched_ops : Sim.Stats.counter;
-  c_batch_cuts : Sim.Stats.counter;
-  a_work_total : Sim.Stats.accumulator;
-  a_state_bytes : Sim.Stats.accumulator;
-}
-
-type ('msg, 'resp, 'state) t = {
-  eng : Sim.Engine.t;
-  fabric : Net.Fabric.t;
-  stats : Sim.Stats.t;
-  vstats : vstats;
-  trace : Sim.Trace.t;
-  fps : Sim.Failpoint.t;
-  nodes : int;
-  cbs : ('msg, 'resp, 'state) callbacks;
-  batch : Net.Batch.cfg option;
-  frame_size : ('msg * int) list -> int;
-  up : bool array;
-  epoch : int array;
-  busy_until : float array; (* each node is a serial processor *)
-  groups : (string, ('msg, 'resp) gstate) Hashtbl.t;
-}
-
-let view_note_size = 16
-
-let default_frame_size items =
-  List.fold_left (fun acc (_, size) -> acc + size) 0 items
+include Vrep
 
 let make ?(failpoints = Sim.Failpoint.create ()) ?batch
     ?(frame_size = default_frame_size) ~engine ~fabric ~stats ~trace ~n cbs =
@@ -166,35 +40,9 @@ let failpoints t = t.fps
 let n t = t.nodes
 let engine t = t.eng
 
-let check_node t i =
-  if i < 0 || i >= t.nodes then invalid_arg "Vsync: bad node id"
-
 let is_up t i =
   check_node t i;
   t.up.(i)
-
-let group_state t name =
-  match Hashtbl.find_opt t.groups name with
-  | Some g -> g
-  | None ->
-      let g =
-        {
-          gname = name;
-          members = IntSet.empty;
-          view_id = 0;
-          busy = false;
-          inflight = None;
-          binflight = None;
-          joining = None;
-          urgent = Queue.create ();
-          normal = Queue.create ();
-          pending = Sim.Pending.create ();
-          pending_bytes = 0;
-          hold_timer = None;
-        }
-      in
-      Hashtbl.add t.groups name g;
-      g
 
 let members t ~group =
   match Hashtbl.find_opt t.groups group with
@@ -216,53 +64,6 @@ let groups_of t ~node =
     (fun name g acc -> if IntSet.mem node g.members then name :: acc else acc)
     t.groups []
   |> List.sort compare
-
-let tracef t fmt = Sim.Trace.emitf t.trace ~time:(Sim.Engine.now t.eng) ~tag:"vsync" fmt
-
-(* Transmit on the fabric; run [k] at delivery only if [dst] is still up
-   in the same incarnation as when the message was sent. *)
-let send_to t ~src ~dst ~size k =
-  let e = t.epoch.(dst) in
-  Net.Fabric.transmit t.fabric ~src ~dst ~size (fun () ->
-      if t.up.(dst) && t.epoch.(dst) = e then k ())
-
-(* Transmit for cost only; [k] always runs at delivery time (used for
-   acks, whose bookkeeping lives in the control plane). *)
-let send_raw t ~src ~dst ~size k = Net.Fabric.transmit t.fabric ~src ~dst ~size k
-
-(* One coalesced frame (α charged once), epoch-guarded like [send_to]. *)
-let send_frame_to t ~src ~dst ~ops ~bytes k =
-  let e = t.epoch.(dst) in
-  Net.Fabric.transmit_frame t.fabric ~src ~dst ~ops ~bytes (fun () ->
-      if t.up.(dst) && t.epoch.(dst) = e then k ())
-
-let alive t node e = t.up.(node) && t.epoch.(node) = e
-
-(* --- view installation ------------------------------------------------ *)
-
-let notify_view t g ~extra =
-  g.view_id <- g.view_id + 1;
-  Sim.Stats.incr_counter t.vstats.c_view_changes;
-  let v = View.make ~group:g.gname ~view_id:g.view_id ~members:(IntSet.elements g.members) in
-  tracef t "view %a" View.pp v;
-  let targets =
-    match extra with
-    | Some x when not (IntSet.mem x g.members) -> IntSet.add x g.members
-    | _ -> g.members
-  in
-  let src = match IntSet.min_elt_opt g.members with Some l -> l | None -> 0 in
-  IntSet.iter
-    (fun m ->
-      let send () =
-        send_to t ~src ~dst:m ~size:view_note_size (fun () -> t.cbs.on_view ~node:m v)
-      in
-      (* An armed delay here postpones this member's view installation —
-         the window in which it still acts on the stale view. *)
-      match Sim.Failpoint.hit t.fps ~site:"vsync.view.notify" ~node:m ~group:g.gname () with
-      | Sim.Failpoint.Delay d when d > 0.0 ->
-          ignore (Sim.Engine.schedule t.eng ~delay:d send)
-      | _ -> send ())
-    targets
 
 (* --- the per-group op pump --------------------------------------------- *)
 
@@ -292,7 +93,7 @@ and exec t g = function
       if not (alive t oc_from oc_epoch) then finish t g (* orphaned request *)
       else exec_gcast t g ~from_:oc_from ~epoch:oc_epoch ~msg:oc_msg ~size:oc_size
              ~eager:oc_eager ~restrict:oc_restrict ~on_done:oc_done
-  | Op_gcast_batch { ob_items } -> exec_gcast_batch t g ob_items
+  | Op_gcast_batch { ob_items } -> Vbatch.exec ~finish:(finish t) t g ob_items
   | Op_join { oj_node; oj_epoch; oj_done } ->
       if not (alive t oj_node oj_epoch) then finish t g
       else exec_join t g ~node:oj_node ~on_done:oj_done
@@ -397,188 +198,6 @@ and check_complete t g infl =
             infl.if_on_done ~resp ~work:infl.work ~responders:infl.processed)
   end
 
-(* A flushed batch executes as ONE totally-ordered group operation: the
-   group is busy for the whole batch, every member receives one
-   coalesced frame carrying its item vector (α charged once —
-   {!Net.Fabric.transmit_frame}), processes the items in batch order,
-   and sends a single empty ack for the whole frame. Responses are
-   piggybacked: one return frame per distinct issuer. Term for term,
-   a batch of [k] ops to a group of size [g] with [r] distinct issuers
-   costs [α(2g + r) + β(Σ coalesced frames + Σ responses)] against the
-   unbatched [k·α(2g+1) + ...]. *)
-and exec_gcast_batch t g items =
-  (* Per-item begin site (same site as the unbatched path, so arms that
-     crash an issuer at gcast-begin bite here too), then drop orphaned
-     items: a dead issuer's op vanishes exactly as [Op_gcast] would. *)
-  let items =
-    List.filter
-      (fun it ->
-        ignore
-          (Sim.Failpoint.hit t.fps ~site:"vsync.gcast.begin" ~node:it.bi_from
-             ~group:g.gname ());
-        alive t it.bi_from it.bi_epoch)
-      items
-  in
-  match items with
-  | [] -> finish t g
-  | first :: _ ->
-      List.iter
-        (fun _ ->
-          Sim.Stats.incr_counter t.vstats.c_gcasts;
-          Sim.Stats.incr_counter t.vstats.c_batched_ops)
-        items;
-      Sim.Stats.incr_counter t.vstats.c_batches;
-      let all = List.filter (fun m -> t.up.(m)) (IntSet.elements g.members) in
-      (* Each item's restrict is applied at exec time against the
-         current up-members, with the same default-to-all rule as the
-         unbatched path. *)
-      let targets =
-        List.map
-          (fun it ->
-            let chosen = List.filter (fun m -> List.mem m all) (it.bi_restrict all) in
-            if chosen = [] then all else chosen)
-          items
-      in
-      let union =
-        List.fold_left
-          (fun acc ms -> List.fold_left (fun a m -> IntSet.add m a) acc ms)
-          IntSet.empty targets
-      in
-      if IntSet.is_empty union then begin
-        (* Empty group: every issuer learns failure, as for Op_gcast. *)
-        ignore
-          (Sim.Engine.schedule t.eng ~delay:0.0 (fun () ->
-               List.iter
-                 (fun it ->
-                   if alive t it.bi_from it.bi_epoch then
-                     it.bi_done ~resp:None ~work:0.0 ~responders:0)
-                 items));
-        finish t g
-      end
-      else begin
-        let arr =
-          Array.of_list
-            (List.map
-               (fun it -> (it, { bs_resp = None; bs_work = 0.0; bs_processed = 0 }))
-               items)
-        in
-        let tarr = Array.of_list targets in
-        let bi =
-          {
-            b_waiting = union;
-            b_leader = IntSet.min_elt union;
-            b_items = arr;
-            b_completed = false;
-          }
-        in
-        g.binflight <- Some bi;
-        tracef t "batch of %d ops -> %s (%d members)" (Array.length arr) g.gname
-          (IntSet.cardinal union);
-        (* The frame rides the uplink of the issuer whose op opened the
-           batch — on the shared bus the cost is source-independent;
-           under WAN it prices by that issuer's cluster. *)
-        let src = first.bi_from in
-        let deliver_frame m my () =
-          let e = t.epoch.(m) in
-          ignore
-            (Sim.Failpoint.hit t.fps ~site:"vsync.gcast.deliver" ~node:m
-               ~group:g.gname ());
-          if alive t m e then begin
-            let total_w = ref 0.0 in
-            List.iter
-              (fun i ->
-                let it, bs = arr.(i) in
-                let resp, w =
-                  t.cbs.deliver ~node:m ~group:g.gname ~from:it.bi_from it.bi_msg
-                in
-                bs.bs_processed <- bs.bs_processed + 1;
-                (match (bs.bs_resp, resp) with
-                | None, Some r -> bs.bs_resp <- Some r
-                | _ -> ());
-                bs.bs_work <- bs.bs_work +. w;
-                Sim.Stats.add_to t.vstats.a_work_total w;
-                total_w := !total_w +. w)
-              my;
-            let now = Sim.Engine.now t.eng in
-            let start = Float.max now t.busy_until.(m) in
-            let fin = start +. !total_w in
-            t.busy_until.(m) <- fin;
-            (* One empty "done" ack for the whole frame. *)
-            ignore
-              (Sim.Engine.schedule t.eng ~delay:(fin -. now) (fun () ->
-                   send_raw t ~src:m ~dst:bi.b_leader ~size:0 (fun () ->
-                       bi.b_waiting <- IntSet.remove m bi.b_waiting;
-                       check_batch_complete t g bi)))
-          end
-        in
-        IntSet.iter
-          (fun m ->
-            let my = ref [] in
-            Array.iteri
-              (fun i ms -> if List.mem m ms then my := i :: !my)
-              tarr;
-            let my = List.rev !my in
-            let bytes =
-              t.frame_size
-                (List.map
-                   (fun i ->
-                     let it, _ = arr.(i) in
-                     (it.bi_msg, it.bi_size))
-                   my)
-            in
-            send_frame_to t ~src ~dst:m ~ops:(List.length my) ~bytes
-              (deliver_frame m my))
-          union
-      end
-
-and check_batch_complete t g bi =
-  if (not bi.b_completed) && IntSet.is_empty bi.b_waiting then begin
-    bi.b_completed <- true;
-    (* The group is stable again; responses travel independently. *)
-    (match g.binflight with
-    | Some cur when cur == bi -> finish t g
-    | Some _ | None -> ());
-    (* Piggybacked responses: one return frame per distinct issuer, in
-       order of first appearance in the batch, each carrying that
-       issuer's per-item responses. *)
-    let seen = Hashtbl.create 8 in
-    Array.iter
-      (fun (it, _) ->
-        if not (Hashtbl.mem seen it.bi_from) then
-          Hashtbl.add seen it.bi_from it.bi_epoch)
-      bi.b_items;
-    let issuers =
-      Array.to_list bi.b_items
-      |> List.filter_map (fun (it, _) ->
-             if Hashtbl.mem seen it.bi_from then begin
-               let e = Hashtbl.find seen it.bi_from in
-               Hashtbl.remove seen it.bi_from;
-               Some (it.bi_from, e)
-             end
-             else None)
-    in
-    List.iter
-      (fun (issuer, epoch) ->
-        let mine =
-          Array.to_list bi.b_items
-          |> List.filter (fun (it, _) -> it.bi_from = issuer)
-        in
-        let bytes =
-          List.fold_left
-            (fun acc (_, bs) -> acc + t.cbs.resp_size bs.bs_resp)
-            0 mine
-        in
-        send_frame_to t ~src:bi.b_leader ~dst:issuer ~ops:(List.length mine)
-          ~bytes (fun () ->
-            if t.epoch.(issuer) = epoch then
-              List.iter
-                (fun (it, bs) ->
-                  it.bi_done ~resp:bs.bs_resp ~work:bs.bs_work
-                    ~responders:bs.bs_processed)
-                mine))
-      issuers
-  end
-
 and exec_join t g ~node ~on_done =
   Sim.Stats.incr_counter t.vstats.c_joins;
   if IntSet.mem node g.members then begin
@@ -646,37 +265,9 @@ and exec_leave t g ~node ~on_done =
   ignore (Sim.Engine.schedule t.eng ~delay:0.0 on_done);
   finish t g
 
-(* --- the batcher's accumulation window ---------------------------------- *)
-
-(* Move every pending item into one [Op_gcast_batch] on the normal
-   queue. The ["vsync.batch.flush"] site fires just before the batch
-   is enqueued: an armed [Delay] postpones the enqueue (widening the
-   window in which a view change can overtake the batch), and a
-   handler may crash nodes to test crash-mid-batch atomicity. *)
-let flush_batch t g =
-  (match g.hold_timer with
-  | Some id ->
-      Sim.Engine.cancel t.eng id;
-      g.hold_timer <- None
-  | None -> ());
-  if not (Sim.Pending.is_empty g.pending) then begin
-    let acc = ref [] in
-    Sim.Pending.drain g.pending (fun _ it -> acc := it :: !acc);
-    g.pending_bytes <- 0;
-    let items = List.rev !acc in
-    tracef t "batch flush: %d ops for %s" (List.length items) g.gname;
-    let enqueue () =
-      Queue.push (Op_gcast_batch { ob_items = items }) g.normal;
-      pump t g
-    in
-    match
-      Sim.Failpoint.hit t.fps ~site:"vsync.batch.flush"
-        ~node:(List.hd items).bi_from ~group:g.gname ()
-    with
-    | Sim.Failpoint.Delay d when d > 0.0 ->
-        ignore (Sim.Engine.schedule t.eng ~delay:d enqueue)
-    | _ -> enqueue ()
-  end
+(* The batcher's accumulation window and batch execution live in
+   {!Vbatch}; the pump re-enters through the closures. *)
+let flush_batch t g = Vbatch.flush ~pump:(pump t) t g
 
 (* --- public operations -------------------------------------------------- *)
 
@@ -869,7 +460,7 @@ let crash t ~node =
       (match g.binflight with
       | Some bi when IntSet.mem node bi.b_waiting ->
           bi.b_waiting <- IntSet.remove node bi.b_waiting;
-          check_batch_complete t g bi
+          Vbatch.check_complete ~finish:(finish t) t g bi
       | Some _ | None -> ());
       pump t g
     in

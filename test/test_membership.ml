@@ -1,0 +1,239 @@
+(* Unit tests for the membership layer in isolation: class placement,
+   and the probation / loss-generation machinery under synthetic view
+   changes (crashes and rejoins driven directly through the vsync
+   layer, no [System] on top). *)
+
+open Paso
+
+type h = {
+  eng : Sim.Engine.t;
+  stats : Sim.Stats.t;
+  mem : Membership.t;
+  vs : Membership.vsync;
+}
+
+(* λ = 1 so a two-member quorum lifts probation: the smallest setup in
+   which a group can lose its last member and re-form. *)
+let make ?(n = 6) ?(lambda = 1) () =
+  let eng = Sim.Engine.create () in
+  let stats = Sim.Stats.create () in
+  let trace = Sim.Trace.create () in
+  let bus =
+    Net.Fabric.shared_bus eng (Net.Cost_model.v ~alpha:100.0 ~beta:1.0) stats
+  in
+  let servers =
+    Array.init n (fun machine -> Server.create ~stats ~machine ~kind:Storage.Hash ())
+  in
+  let mem =
+    Membership.create ~n ~lambda ~seed:7 ~use_read_groups:true ~group_map:None
+      ~servers ~engine:eng ~stats ~trace
+  in
+  let callbacks =
+    {
+      Vsync.deliver =
+        (fun ~node ~group:_ ~from:_ msg ->
+          let resp, work, _woken = Server.handle servers.(node) msg in
+          (resp, work));
+      resp_size = (function None -> 0 | Some o -> Pobj.size o);
+      state_of =
+        (fun ~node ~group ->
+          let snapshot, size =
+            Server.snapshot servers.(node)
+              ~classes:(Membership.classes_of_group mem group)
+          in
+          (Membership.Full snapshot, size));
+      state_delta = (fun ~node:_ ~group:_ ~joiner:_ -> None);
+      install_state =
+        (fun ~node ~group:_ -> function
+          | Membership.Full s -> Server.install servers.(node) s
+          | Membership.Delta d -> Server.install_delta servers.(node) d);
+      on_view = (fun ~node:_ _ -> Membership.flush_probation mem);
+      on_evict = (fun ~node:_ ~group:_ -> ());
+      on_group_lost = (fun ~group -> ignore (Membership.note_group_lost mem ~group));
+    }
+  in
+  let vs = Vsync.make ~engine:eng ~fabric:bus ~stats ~trace ~n callbacks in
+  Membership.attach_vsync mem vs;
+  { eng; stats; mem; vs }
+
+let info name = { Obj_class.name; cls_arity = 2; head = Some (Value.Sym name) }
+
+(* Register a class and run the support's joins to quiescence. *)
+let ensure h name =
+  let cs, created = Membership.ensure h.mem (info name) in
+  Sim.Engine.run h.eng;
+  (cs, created)
+
+let crash_members h group =
+  List.iter (fun node -> Vsync.crash h.vs ~node) (Vsync.members h.vs ~group);
+  Sim.Engine.run h.eng
+
+let rejoin h group nodes =
+  List.iter
+    (fun node ->
+      Vsync.recover h.vs ~node;
+      Vsync.join h.vs ~group ~node ~on_done:(fun () -> ()))
+    nodes;
+  Sim.Engine.run h.eng
+
+(* --- class placement ----------------------------------------------------- *)
+
+let test_ensure_support () =
+  let h = make ~lambda:1 () in
+  let cs, created = ensure h "t" in
+  Alcotest.(check bool) "created" true created;
+  Alcotest.(check int) "basic support is lambda+1" 2 (List.length cs.Membership.basic);
+  Alcotest.(check (list int))
+    "support joined the write group" cs.Membership.basic
+    (Vsync.members h.vs ~group:cs.Membership.group);
+  let cs', created' = ensure h "t" in
+  Alcotest.(check bool) "second ensure finds it" false created';
+  Alcotest.(check string) "same group" cs.Membership.group cs'.Membership.group
+
+let test_write_group_tracks_views () =
+  let h = make ~lambda:1 () in
+  let cs, _ = ensure h "t" in
+  let outsider =
+    List.find
+      (fun m -> not (List.mem m cs.Membership.basic))
+      [ 0; 1; 2; 3; 4; 5 ]
+  in
+  rejoin h cs.Membership.group [ outsider ];
+  Alcotest.(check bool) "joined member visible in wg" true
+    (List.mem outsider (Membership.write_group h.mem ~cls:"t"))
+
+(* --- probation under synthetic view changes ------------------------------ *)
+
+let test_probation_gated_by_durability () =
+  let h = make ~lambda:1 () in
+  let cs, _ = ensure h "t" in
+  let group = cs.Membership.group in
+  crash_members h group;
+  (* Without durability a lost group cannot re-form from disks, so the
+     gate stays open even though the loss was recorded. *)
+  Alcotest.(check bool) "no probation before enable" false
+    (Membership.probational h.mem group);
+  Alcotest.(check int) "loss generation still bumped" 1
+    (Membership.probation_generation h.mem group)
+
+let test_probation_lifts_at_quorum () =
+  let h = make ~lambda:1 () in
+  Membership.enable_probation h.mem;
+  let cs, _ = ensure h "t" in
+  let group = cs.Membership.group in
+  let support = cs.Membership.basic in
+  crash_members h group;
+  Alcotest.(check bool) "probational after total loss" true
+    (Membership.probational h.mem group);
+  (* One recovered member is not a quorum at λ = 1... *)
+  rejoin h group [ List.hd support ];
+  Alcotest.(check bool) "one member below quorum" true
+    (Membership.probational h.mem group);
+  (* ...two are: the probational check itself lifts the quarantine. *)
+  rejoin h group [ List.nth support 1 ];
+  Alcotest.(check bool) "quorum lifts probation" false
+    (Membership.probational h.mem group);
+  Alcotest.(check bool) "stays lifted" false (Membership.probational h.mem group)
+
+let test_generation_counts_losses () =
+  let h = make ~lambda:1 () in
+  Membership.enable_probation h.mem;
+  let cs, _ = ensure h "t" in
+  let group = cs.Membership.group in
+  Alcotest.(check int) "no losses yet" 0 (Membership.probation_generation h.mem group);
+  crash_members h group;
+  rejoin h group cs.Membership.basic;
+  crash_members h group;
+  Alcotest.(check int) "one bump per total loss" 2
+    (Membership.probation_generation h.mem group)
+
+let test_straddle_guard () =
+  let h = make ~lambda:1 () in
+  Membership.enable_probation h.mem;
+  let cs, _ = ensure h "t" in
+  let group = cs.Membership.group in
+  let clean = Membership.straddle_guard h.mem group in
+  Alcotest.(check bool) "no loss, no straddle" false (clean ());
+  let straddled = Membership.straddle_guard h.mem group in
+  crash_members h group;
+  rejoin h group cs.Membership.basic;
+  (* Probation has lifted, but the generation moved while the op was in
+     flight: the guard captured before the loss must still fire... *)
+  Alcotest.(check bool) "probation lifted" false (Membership.probational h.mem group);
+  Alcotest.(check bool) "guard sees the straddle" true (straddled ());
+  (* ...and a guard captured after the loss must not. *)
+  let fresh = Membership.straddle_guard h.mem group in
+  Alcotest.(check bool) "fresh guard is clean" false (fresh ())
+
+let test_defer_and_flush () =
+  let h = make ~lambda:1 () in
+  Membership.enable_probation h.mem;
+  let cs, _ = ensure h "t" in
+  let group = cs.Membership.group in
+  let issuer =
+    List.find (fun m -> not (List.mem m cs.Membership.basic)) [ 0; 1; 2; 3; 4; 5 ]
+  in
+  crash_members h group;
+  let resumed = ref 0 in
+  Membership.defer_probation h.mem ~machine:issuer ~group (fun () -> incr resumed);
+  Membership.flush_probation h.mem;
+  Sim.Engine.run h.eng;
+  Alcotest.(check int) "parked while probational" 0 !resumed;
+  (* The rejoin's view change flushes through the harness's [on_view]. *)
+  rejoin h group cs.Membership.basic;
+  Alcotest.(check int) "resumed at quorum" 1 !resumed;
+  Alcotest.(check bool) "defer counted" true
+    (Sim.Stats.count h.stats "durable.probation_defers" >= 1)
+
+let test_dead_issuer_not_resumed () =
+  let h = make ~lambda:1 () in
+  Membership.enable_probation h.mem;
+  let cs, _ = ensure h "t" in
+  let group = cs.Membership.group in
+  let issuer =
+    List.find (fun m -> not (List.mem m cs.Membership.basic)) [ 0; 1; 2; 3; 4; 5 ]
+  in
+  crash_members h group;
+  let resumed = ref 0 in
+  Membership.defer_probation h.mem ~machine:issuer ~group (fun () -> incr resumed);
+  Vsync.crash h.vs ~node:issuer;
+  rejoin h group cs.Membership.basic;
+  Alcotest.(check int) "parked op died with its issuer" 0 !resumed
+
+let test_schedule_rejoin () =
+  let h = make ~lambda:1 () in
+  let cs, _ = ensure h "t" in
+  let machine = List.hd cs.Membership.basic in
+  Vsync.crash h.vs ~node:machine;
+  Sim.Engine.run h.eng;
+  Alcotest.(check bool) "left the group" false
+    (List.mem machine (Vsync.members h.vs ~group:cs.Membership.group));
+  Vsync.recover h.vs ~node:machine;
+  Membership.schedule_rejoin h.mem ~machine ~delay:10.0;
+  Sim.Engine.run h.eng;
+  Alcotest.(check bool) "rejoined its basic-support group" true
+    (List.mem machine (Vsync.members h.vs ~group:cs.Membership.group))
+
+let () =
+  Alcotest.run "membership"
+    [
+      ( "placement",
+        [
+          Alcotest.test_case "ensure places lambda+1 support" `Quick test_ensure_support;
+          Alcotest.test_case "write group tracks views" `Quick
+            test_write_group_tracks_views;
+        ] );
+      ( "probation",
+        [
+          Alcotest.test_case "gated by durability" `Quick
+            test_probation_gated_by_durability;
+          Alcotest.test_case "lifts at quorum" `Quick test_probation_lifts_at_quorum;
+          Alcotest.test_case "generation counts losses" `Quick
+            test_generation_counts_losses;
+          Alcotest.test_case "straddle guard" `Quick test_straddle_guard;
+          Alcotest.test_case "defer and flush" `Quick test_defer_and_flush;
+          Alcotest.test_case "dead issuer not resumed" `Quick
+            test_dead_issuer_not_resumed;
+          Alcotest.test_case "schedule_rejoin" `Quick test_schedule_rejoin;
+        ] );
+    ]

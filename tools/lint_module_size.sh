@@ -1,0 +1,23 @@
+#!/bin/sh
+# Module-size lint: no implementation file under lib/ may exceed the
+# cap. The cap is the guard rail behind the system.ml decomposition —
+# a module that outgrows it should be split along a layer boundary,
+# not extended (see DESIGN.md §11 for the current module map).
+set -eu
+
+cap=${MODULE_SIZE_CAP:-700}
+bad=0
+
+for f in $(find lib -name '*.ml' | sort); do
+  n=$(wc -l < "$f")
+  if [ "$n" -gt "$cap" ]; then
+    echo "FAIL $f: $n lines (cap $cap)"
+    bad=1
+  fi
+done
+
+if [ "$bad" -ne 0 ]; then
+  echo "module-size lint failed: split the offending module(s)"
+  exit 1
+fi
+echo "module-size lint OK (cap $cap)"
