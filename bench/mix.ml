@@ -108,6 +108,70 @@ let run_sim ?batch ~n ~lambda ~classes ~ops () =
   let _, _, s = run_once ?batch ~n ~lambda ~classes ~ops () in
   s
 
+(* Read-heavy mix for the fast-read gate: 1 insert : 1 take : 8 reads
+   per 10 draws (>= 80% reads) over a standing population seeded before
+   the measured window, so takes never drain a class and the metrics
+   count only the read-dominated steady state. Deterministic — no wall
+   clock — and returns the fast-read hit/fallback counters alongside
+   the sim metrics so the profile can report how often the one-member
+   path actually held.
+
+   Pumped every 8 issues, not 64 like [run_once]: everything issued
+   between pumps shares one sim timestamp, so a 64-op burst makes every
+   read concurrent with ~1 mutation of its own class and the freshness
+   token (correctly) forces the quorum fallback on most of them — that
+   shape measures the token's conservatism, not the read path. Eight
+   concurrent ops models a steady client stream while still leaving
+   real mutation races in the window (the fallback counter stays well
+   above zero). *)
+let run_read_heavy ?batch ?(fast_read = false) ~n ~lambda ~classes ~ops () =
+  let sys = System.create { System.default_config with n; lambda; batch; fast_read } in
+  let rng = Sim.Rng.make 77 in
+  let heads = Array.init classes (fun i -> Printf.sprintf "c%d" i) in
+  Array.iteri
+    (fun ci head ->
+      for j = 0 to 3 do
+        System.insert sys ~machine:((ci + j) mod n)
+          [ Value.Sym head; Value.Int (-1 - j) ]
+          ~on_done:(fun () -> ())
+      done)
+    heads;
+  System.run sys;
+  let stats = System.stats sys in
+  let msgs0 = Sim.Stats.count stats "net.msgs" in
+  let frames0 = Sim.Stats.count stats "net.frames" in
+  let cost0 = Sim.Stats.total stats "net.msg_cost" in
+  let events0 = Sim.Engine.events_executed (System.engine sys) in
+  for i = 1 to ops do
+    let m = Sim.Rng.int rng n in
+    let head = Sim.Rng.choice rng heads in
+    (match Sim.Rng.int rng 10 with
+    | 0 ->
+        System.insert sys ~machine:m
+          [ Value.Sym head; Value.Int i ]
+          ~on_done:(fun () -> ())
+    | 1 ->
+        System.read_del sys ~machine:m
+          (Template.headed head [ Template.Any ])
+          ~on_done:(fun _ -> ())
+    | _ ->
+        System.read sys ~machine:m
+          (Template.headed head [ Template.Any ])
+          ~on_done:(fun _ -> ()));
+    if i mod 8 = 0 then System.run sys
+  done;
+  System.run sys;
+  ( {
+      s_ops = ops;
+      s_events = Sim.Engine.events_executed (System.engine sys) - events0;
+      s_msgs = Sim.Stats.count stats "net.msgs" - msgs0;
+      s_frames = Sim.Stats.count stats "net.frames" - frames0;
+      s_msg_cost = Sim.Stats.total stats "net.msg_cost" -. cost0;
+      s_p99_latency = p99_of_history (System.history sys);
+    },
+    Sim.Stats.count stats "paso.fast_reads",
+    Sim.Stats.count stats "paso.fast_read_fallbacks" )
+
 let measure ?(warmup = 1) ?(reps = 3) ?batch ~n ~lambda ~classes ~ops () =
   (* Shed whatever heap the caller (e.g. the kernel suite running
      before the mix in perf.exe) left behind: a large fragmented major

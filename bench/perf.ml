@@ -344,6 +344,54 @@ let op_lifecycle_profile ~ops =
   show "tight" tight;
   J.Obj [ ("default", default); ("tight", tight) ]
 
+(* ---- read path (single-replica fast reads vs quorum) ----
+
+   The headline gate of the fast-read work: the same read-heavy mix
+   (>= 80% reads over a standing population) measured with fast reads
+   off and on. Every number is a deterministic sim metric — no wall
+   clock, no calibration — so the required >= 25% msgs/op reduction is
+   asserted right here on every run: a freshness token that silently
+   started forcing fallbacks fails the build even before the JSON gate
+   compares against the committed baseline. *)
+
+let read_path_required_reduction = 0.25
+
+let read_path_json s ~fast_reads ~fallbacks =
+  J.Obj
+    [
+      ("msgs_per_op", J.Num (Mix.sim_msgs_per_op s));
+      ("msg_cost_per_op", J.Num (Mix.sim_msg_cost_per_op s));
+      ("fast_reads", J.Num (float_of_int fast_reads));
+      ("fallbacks", J.Num (float_of_int fallbacks));
+    ]
+
+let read_path_profile ~ops =
+  let n, lambda, classes = (32, 2, 8) in
+  let off, _, _ = Mix.run_read_heavy ~n ~lambda ~classes ~ops () in
+  let on, fast_reads, fallbacks =
+    Mix.run_read_heavy ~fast_read:true ~n ~lambda ~classes ~ops ()
+  in
+  let reduction = 1.0 -. (Mix.sim_msgs_per_op on /. Mix.sim_msgs_per_op off) in
+  Printf.printf
+    "  read-heavy mix:        %.2f -> %.2f msgs/op (%.0f%% reduction), %.0f -> %.0f \
+     cost/op  [%d fast, %d fallbacks]\n\
+     %!"
+    (Mix.sim_msgs_per_op off) (Mix.sim_msgs_per_op on) (reduction *. 100.0)
+    (Mix.sim_msg_cost_per_op off) (Mix.sim_msg_cost_per_op on) fast_reads fallbacks;
+  if reduction < read_path_required_reduction then begin
+    Printf.eprintf
+      "read_path: fast reads cut msgs/op by only %.1f%% (< required %.0f%%)\n"
+      (reduction *. 100.0)
+      (read_path_required_reduction *. 100.0);
+    exit 1
+  end;
+  J.Obj
+    [
+      ("off", read_path_json off ~fast_reads:0 ~fallbacks:0);
+      ("on", read_path_json on ~fast_reads ~fallbacks);
+      ("msgs_reduction", J.Num reduction);
+    ]
+
 (* ---- profile assembly ---- *)
 
 let acceptance = (32, 2, 8, 3000) (* n, lambda, classes, ops *)
@@ -389,6 +437,7 @@ let profile ~fast =
         Bench_json.table_row_json ~n ~classes r)
       (table_shapes ~fast)
   in
+  let read_path = read_path_profile ~ops:(if fast then 2000 else 5000) in
   let recovery = recovery_profile ~reps ~ops:(if fast then 400 else 1200) in
   let op_lifecycle = op_lifecycle_profile ~ops:(if fast then 1000 else 3000) in
   J.Obj
@@ -400,6 +449,7 @@ let profile ~fast =
             ("off", Bench_json.mix_json mix);
             ("on", Bench_json.mix_json mix_on);
           ] );
+      ("read_path", read_path);
       ("e8_table", J.Arr table);
       ("kernels", J.Arr kernels);
       ("recovery", recovery);
@@ -489,6 +539,13 @@ let gate_against ~path ~tol fresh =
               [ "e8_mix"; "msg_cost_per_op" ];
               [ "batching"; "on"; "msgs_per_op" ];
               [ "batching"; "on"; "msg_cost_per_op" ];
+              (* read-heavy mix, fast reads off and on: the off row
+                 pins the quorum read path, the on row pins the
+                 one-member path (its >=25% reduction vs off is
+                 additionally hard-asserted in [read_path_profile]). *)
+              [ "read_path"; "off"; "msgs_per_op" ];
+              [ "read_path"; "on"; "msgs_per_op" ];
+              [ "read_path"; "on"; "msg_cost_per_op" ];
             ];
           List.iter
             (fun (name, base_ns) ->
@@ -519,6 +576,8 @@ let trajectory_row label p =
       ("msg_cost_per_op", num [ "e8_mix"; "msg_cost_per_op" ]);
       ("batched_msgs_per_op", num [ "batching"; "on"; "msgs_per_op" ]);
       ("batched_msg_cost_per_op", num [ "batching"; "on"; "msg_cost_per_op" ]);
+      ("fast_read_msgs_per_op", num [ "read_path"; "on"; "msgs_per_op" ]);
+      ("fast_read_msgs_reduction", num [ "read_path"; "msgs_reduction" ]);
       ("p99_sim_latency", num [ "e8_mix"; "p99_sim_latency" ]);
     ]
 

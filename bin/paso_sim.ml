@@ -56,6 +56,16 @@ let batch_hold_arg =
            ~doc:"Gcast batching: flush a frame at most D time units after its first \
                  operation (0 = default hold window).")
 
+(* Single-replica fast reads, shared by run and check. *)
+let fast_read_arg =
+  Arg.(value & flag
+       & info [ "fast-read" ]
+           ~doc:"Single-replica fast reads: route each read to ONE live write-group \
+                 member tagged with the class's freshness token, falling back to the \
+                 quorum read path whenever the token moved or the responder is on \
+                 probation (results stay quorum-equivalent). With $(b,check --matrix): \
+                 force fast reads onto every matrix configuration.")
+
 let batch_cfg ~ops ~bytes ~hold =
   if ops = 0 && bytes = 0 && hold = 0.0 then None
   else
@@ -117,8 +127,15 @@ let run_cmd =
              ~doc:"Run over a WAN with this many clusters (0 = the paper's LAN). \
                    Machines are assigned round-robin; inter-cluster messages cost 20x.")
   in
+  let snapshots =
+    Arg.(value & opt int 0
+         & info [ "snapshots" ] ~docv:"K"
+             ~doc:"Issue K atomic multi-class snapshots (round-robin issuers) after \
+                   the workload drains, print their per-class results and audit \
+                   snapshot atomicity.")
+  in
   let go n lambda seed k storage policy workload read_frac length faults trace eager
-      repair wan batch_ops batch_bytes batch_hold =
+      repair wan batch_ops batch_bytes batch_hold fast_read snapshots =
     let topology =
       if wan <= 0 then Paso.System.Lan
       else
@@ -151,6 +168,7 @@ let run_cmd =
           repair;
           topology;
           batch = batch_cfg ~ops:batch_ops ~bytes:batch_bytes ~hold:batch_hold;
+          fast_read;
         }
     in
     let rng = Sim.Rng.make seed in
@@ -182,6 +200,35 @@ let run_cmd =
         (Sim.Stats.count (Paso.System.stats sys) "vsync.batched_ops")
         (Sim.Stats.count (Paso.System.stats sys) "net.frames")
         (Sim.Stats.count (Paso.System.stats sys) "vsync.batch_cuts");
+    if fast_read then
+      Printf.printf "fast reads   %d served single-replica, %d quorum fallbacks\n"
+        (Sim.Stats.count (Paso.System.stats sys) "paso.fast_reads")
+        (Sim.Stats.count (Paso.System.stats sys) "paso.fast_read_fallbacks");
+    if snapshots > 0 then begin
+      let done_ = ref 0 in
+      let hits = ref 0 and classes_seen = ref 0 in
+      for i = 0 to snapshots - 1 do
+        Paso.System.snapshot sys ~machine:(i mod n)
+          (Paso.Template.make [ Paso.Template.Any; Paso.Template.Any ])
+          ~on_done:(function
+            | None -> ()
+            | Some r ->
+                incr done_;
+                classes_seen := !classes_seen + List.length r;
+                hits := !hits + List.length (List.filter (fun (_, o) -> o <> None) r))
+      done;
+      Paso.System.run sys;
+      Printf.printf
+        "snapshots    %d/%d completed: %d class scans, %d matches, %d retried classes\n"
+        !done_ snapshots !classes_seen !hits
+        (Sim.Stats.count (Paso.System.stats sys) "paso.snapshot_retries");
+      match Check.Invariants.snapshot_atomicity sys with
+      | [] -> print_endline "snapshots    atomic (no torn cuts, no resurrections)"
+      | vs ->
+          Printf.printf "snapshots    %d ATOMICITY VIOLATIONS\n" (List.length vs);
+          List.iter (fun r -> Format.printf "  %a@." Check.Invariants.pp_report r) vs;
+          exit 1
+    end;
     Printf.printf "server work  %.1f\n" o.Workload.Live_driver.work;
     Printf.printf "makespan     %.0f\n" o.Workload.Live_driver.makespan;
     Printf.printf "crashes      %d, recoveries %d\n"
@@ -211,7 +258,7 @@ let run_cmd =
   let term =
     Term.(const go $ n_arg $ lambda_arg $ seed_arg $ k_arg $ storage $ policy $ workload
           $ read_frac $ length_arg $ faults $ trace $ eager $ repair $ wan
-          $ batch_ops_arg $ batch_bytes_arg $ batch_hold_arg)
+          $ batch_ops_arg $ batch_bytes_arg $ batch_hold_arg $ fast_read_arg $ snapshots)
   in
   Cmd.v (Cmd.info "run" ~doc:"Drive a live simulated PASO system with a workload.") term
 
@@ -439,7 +486,8 @@ let check_cmd =
         end
   in
   let do_campaign n lambda seed schedules use_matrix classing storage policy coalesce
-      eager durable wan repair batch_ops batch_bytes batch_hold out use_shrink arms =
+      eager durable fast_read wan repair batch_ops batch_bytes batch_hold out use_shrink
+      arms =
     let configs =
       if use_matrix then Check.Fuzz.matrix ~n ~lambda ()
       else
@@ -462,7 +510,12 @@ let check_cmd =
       List.map
         (fun c ->
           let c =
-            { c with Check.Schedule.arms; durable = durable || c.Check.Schedule.durable }
+            {
+              c with
+              Check.Schedule.arms;
+              durable = durable || c.Check.Schedule.durable;
+              fast_read = fast_read || c.Check.Schedule.fast_read;
+            }
           in
           (* like --durable: with --matrix, force batching onto every
              configuration that doesn't already set its own knobs *)
@@ -513,20 +566,22 @@ let check_cmd =
         exit 1
   in
   let go n lambda seed schedules use_matrix classing storage policy coalesce eager
-      durable wan repair batch_ops batch_bytes batch_hold out use_shrink replay arms =
+      durable fast_read wan repair batch_ops batch_bytes batch_hold out use_shrink replay
+      arms =
     match replay with
     | Some file -> do_replay file
     | None -> (
         try
           do_campaign n lambda seed schedules use_matrix classing storage policy coalesce
-            eager durable wan repair batch_ops batch_bytes batch_hold out use_shrink arms
+            eager durable fast_read wan repair batch_ops batch_bytes batch_hold out
+            use_shrink arms
         with Invalid_argument msg ->
           Printf.eprintf "paso-sim check: %s\n" msg;
           exit 2)
   in
   let term =
     Term.(const go $ n_arg $ lambda_arg $ seed_arg $ schedules $ matrix $ classing
-          $ storage $ policy $ coalesce $ eager $ durable $ wan $ repair
+          $ storage $ policy $ coalesce $ eager $ durable $ fast_read_arg $ wan $ repair
           $ batch_ops_arg $ batch_bytes_arg $ batch_hold_arg $ out $ shrink
           $ replay $ arms)
   in

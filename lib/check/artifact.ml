@@ -25,7 +25,7 @@ let step_to_json (s : Schedule.step) =
     ::
     (match s with
     | Insert (m, h) | Read (m, h) | Take (m, h) -> [ num m; num h ]
-    | Crash m -> [ num m ]
+    | Snapshot m | Crash m -> [ num m ]
     | Recover | Advance -> []))
 
 let arm_to_json (a : Schedule.arm) =
@@ -51,8 +51,10 @@ let config_to_json (c : Schedule.config) =
       ("repair", Json.Str c.repair);
       ("durable", Json.Bool c.durable);
     ]
-    (* batch fields only when batching: pre-batching artifacts (and
-       their pinned digests) stay byte-identical *)
+    (* fast_read only when on, batch fields only when batching:
+       pre-feature artifacts (and their pinned digests) stay
+       byte-identical *)
+    @ (if c.fast_read then [ ("fast_read", Json.Bool true) ] else [])
     @ (if Schedule.batching c then
          [
            ("batch_ops", num c.batch_ops);
@@ -110,6 +112,12 @@ let step_of_json v =
               let* m = Json.to_int m in
               Ok (Schedule.Crash m)
           | _ -> Error "step \"crash\" wants one argument")
+      | "snapshot" -> (
+          match rest with
+          | [ m ] ->
+              let* m = Json.to_int m in
+              Ok (Schedule.Snapshot m)
+          | _ -> Error "step \"snapshot\" wants one argument")
       | "recover" -> if rest = [] then Ok Schedule.Recover else Error "recover is nullary"
       | "advance" -> if rest = [] then Ok Schedule.Advance else Error "advance is nullary"
       | _ -> Error (Printf.sprintf "unknown step %S" name))
@@ -143,6 +151,10 @@ let config_of_json v =
   let* durable =
     match Json.get v "durable" with None -> Ok false | Some x -> Json.to_bool x
   in
+  (* absent in pre-fast-read artifacts (and whenever off): false *)
+  let* fast_read =
+    match Json.get v "fast_read" with None -> Ok false | Some x -> Json.to_bool x
+  in
   (* absent in pre-batching artifacts (and in unbatched ones): 0 = off *)
   let opt_int name =
     match Json.get v name with None -> Ok 0 | Some x -> Json.to_int x
@@ -170,6 +182,7 @@ let config_of_json v =
       wan_clusters;
       repair;
       durable;
+      fast_read;
       batch_ops;
       batch_bytes;
       batch_hold;

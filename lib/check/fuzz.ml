@@ -1,12 +1,17 @@
+(* 13-way draw: the six original step kinds keep their equal relative
+   weights (two slots each), snapshots take the one odd slot — rare
+   enough not to crowd out the mutation/fault mix they must interleave
+   with to be worth checking. *)
 let gen_steps rng ~len =
   List.init len (fun _ ->
-      match Sim.Rng.int rng 6 with
-      | 0 -> Schedule.Insert (Sim.Rng.int rng 64, Sim.Rng.int rng 8)
-      | 1 -> Schedule.Read (Sim.Rng.int rng 64, Sim.Rng.int rng 8)
-      | 2 -> Schedule.Take (Sim.Rng.int rng 64, Sim.Rng.int rng 8)
-      | 3 -> Schedule.Crash (Sim.Rng.int rng 64)
-      | 4 -> Schedule.Recover
-      | _ -> Schedule.Advance)
+      match Sim.Rng.int rng 13 with
+      | 0 | 1 -> Schedule.Insert (Sim.Rng.int rng 64, Sim.Rng.int rng 8)
+      | 2 | 3 -> Schedule.Read (Sim.Rng.int rng 64, Sim.Rng.int rng 8)
+      | 4 | 5 -> Schedule.Take (Sim.Rng.int rng 64, Sim.Rng.int rng 8)
+      | 6 | 7 -> Schedule.Crash (Sim.Rng.int rng 64)
+      | 8 | 9 -> Schedule.Recover
+      | 10 | 11 -> Schedule.Advance
+      | _ -> Schedule.Snapshot (Sim.Rng.int rng 64))
 
 let matrix ?(n = 8) ?(lambda = 2) () =
   let base = { Schedule.default with n; lambda } in
@@ -43,6 +48,31 @@ let matrix ?(n = 8) ?(lambda = 2) () =
             arm_skip = 0;
             arm_times = 2;
             arm_action = "torn:5";
+          };
+        ];
+    };
+    (* single-replica fast reads: the freshness-token fallback must keep
+       every result quorum-equivalent under the full fault mix *)
+    { base with fast_read = true };
+    (* view-change straddle: an adaptive policy migrating write groups
+       while fast reads race the token's view component *)
+    { base with fast_read = true; policy = "counter:4"; eager = true };
+    (* probation straddle: durable rejoiners are probational until
+       resync — a fast pick landing on one must fall back *)
+    { base with fast_read = true; durable = true; policy = "counter:4" };
+    (* crash-during-collect: kill the machine delivering a gcast while
+       snapshots (and fast reads) are in flight; bounded so the run
+       stays within the λ recovery discipline *)
+    {
+      base with
+      fast_read = true;
+      arms =
+        [
+          {
+            Schedule.arm_site = "vsync.gcast.deliver";
+            arm_skip = 25;
+            arm_times = 2;
+            arm_action = "crash-hit-node";
           };
         ];
     };

@@ -103,6 +103,62 @@ let durability sys =
       !reports)
     (History.lifecycles (System.history sys))
 
+(* Snapshot atomicity, audited from the raw evidence each completed
+   snapshot records (per class: the mutation serial at its accepted
+   collect's issue and the serial re-read at the one confirm instant
+   that accepted the scan). Two rules:
+
+   - {e torn cut}: the serials must agree for every class — a mismatch
+     means the scan returned class states separated by a mutation it
+     also missed, i.e. the confirm loop accepted without re-collecting
+     a moved class.
+   - {e resurrection}: a returned object must have been possibly alive
+     at some instant within [accepted collect issue, confirm instant] —
+     the same §2 alive bracket ordinary reads are judged by. *)
+let snapshot_atomicity sys =
+  let h = System.history sys in
+  List.concat_map
+    (fun (s : System.snapshot_record) ->
+      List.concat_map
+        (fun (c : System.snapshot_class) ->
+          let torn =
+            if c.sn_serial = c.sn_confirm then []
+            else
+              [
+                {
+                  inv = "snapshot-atomicity";
+                  detail =
+                    Printf.sprintf
+                      "snapshot #%d (machine %d): class %s moved under the accepted \
+                       cut (serial %d at collect, %d at confirm)"
+                      s.sn_id s.sn_machine c.sn_cls c.sn_serial c.sn_confirm;
+                }
+              ]
+          in
+          let dead =
+            match c.sn_result with
+            | Some o
+              when not
+                     (Semantics.alive_in_snapshot h ~uid:(Pobj.uid o) ~from_:c.sn_issue
+                        ~until:s.sn_accept) ->
+                [
+                  {
+                    inv = "snapshot-atomicity/resurrected";
+                    detail =
+                      Printf.sprintf
+                        "snapshot #%d (machine %d): class %s returned object %s, not \
+                         alive at any point in [%g, %g]"
+                        s.sn_id s.sn_machine c.sn_cls
+                        (Uid.to_string (Pobj.uid o))
+                        c.sn_issue s.sn_accept;
+                  }
+                ]
+            | Some _ | None -> []
+          in
+          torn @ dead)
+        s.sn_classes)
+    (System.snapshots sys)
+
 let all sys =
   replica_consistency sys @ semantics sys @ fault_tolerance sys @ quiescence sys
-  @ durability sys
+  @ durability sys @ snapshot_atomicity sys

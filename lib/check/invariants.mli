@@ -38,7 +38,18 @@ val durability : Paso.System.t -> report list
     provided the class has operational members. Reports are named
     ["durability/resurrected"] and ["durability/lost"]. *)
 
+val snapshot_atomicity : Paso.System.t -> report list
+(** Atomic multi-class scans, audited from the per-class evidence each
+    completed snapshot records: {e no torn cut} — the mutation serial
+    captured at the accepted collect's issue equals the serial re-read
+    at the one confirm instant, for every class (else the scan saw
+    class states separated by a mutation it also missed); {e no
+    resurrection} — a returned object was possibly alive inside
+    [collect issue, confirm instant] by the §2 bracket
+    ({!Paso.Semantics.alive_in_snapshot}). Reports are named
+    ["snapshot-atomicity"] and ["snapshot-atomicity/resurrected"]. *)
+
 val all : Paso.System.t -> report list
-(** The five packs above, concatenated in the order listed. *)
+(** The six packs above, concatenated in the order listed. *)
 
 val pp_report : Format.formatter -> report -> unit

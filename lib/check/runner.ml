@@ -64,6 +64,7 @@ let system_config (c : Schedule.config) : System.config =
     storage = storage_of_string c.storage;
     policy = policy_of_string c.policy;
     eager_reads = c.eager;
+    fast_read = c.fast_read;
     group_map = (if c.coalesce then Some (fun _ -> "shared") else None);
     repair = repair_of_string c.repair;
     batch = batch_cfg c;
@@ -149,6 +150,17 @@ let run_with_system (c : Schedule.config) steps =
           | _ ->
               let m = List.nth up (m mod List.length up) in
               System.read_del sys ~machine:m (tmpl h) ~on_done:(fun _ -> ())
+        end
+      | Snapshot m -> begin
+          match up with
+          | [] -> ()
+          | _ ->
+              let m = List.nth up (m mod List.length up) in
+              (* [Any; Any] covers every arity-2 head class the driver
+                 inserts — a genuinely multi-class atomic scan. *)
+              System.snapshot sys ~machine:m
+                (Template.make [ Template.Any; Template.Any ])
+                ~on_done:(fun _ -> ())
         end
       | Crash m ->
           if List.length !down < c.lambda then begin

@@ -2,6 +2,7 @@ type step =
   | Insert of int * int
   | Read of int * int
   | Take of int * int
+  | Snapshot of int
   | Crash of int
   | Recover
   | Advance
@@ -19,6 +20,7 @@ type config = {
   wan_clusters : int;
   repair : string;
   durable : bool;
+  fast_read : bool;
   batch_ops : int;
   batch_bytes : int;
   batch_hold : float;
@@ -40,6 +42,7 @@ let default =
     wan_clusters = 0;
     repair = "none";
     durable = false;
+    fast_read = false;
     batch_ops = 0;
     batch_bytes = 0;
     batch_hold = 0.0;
@@ -56,6 +59,7 @@ let label c =
   if c.wan_clusters > 1 then Buffer.add_string b (Printf.sprintf " wan=%d" c.wan_clusters);
   if c.repair <> "none" then Buffer.add_string b (Printf.sprintf " repair=%s" c.repair);
   if c.durable then Buffer.add_string b " durable";
+  if c.fast_read then Buffer.add_string b " fast-read";
   if batching c then
     Buffer.add_string b
       (Printf.sprintf " batch=%d/%d/%g" c.batch_ops c.batch_bytes c.batch_hold);
@@ -68,6 +72,7 @@ let step_name = function
   | Insert _ -> "insert"
   | Read _ -> "read"
   | Take _ -> "take"
+  | Snapshot _ -> "snapshot"
   | Crash _ -> "crash"
   | Recover -> "recover"
   | Advance -> "advance"
@@ -76,6 +81,7 @@ let pp_step ppf = function
   | Insert (m, h) -> Format.fprintf ppf "insert(m=%d,h=%d)" m h
   | Read (m, h) -> Format.fprintf ppf "read(m=%d,h=%d)" m h
   | Take (m, h) -> Format.fprintf ppf "take(m=%d,h=%d)" m h
+  | Snapshot m -> Format.fprintf ppf "snapshot(m=%d)" m
   | Crash m -> Format.fprintf ppf "crash(m=%d)" m
   | Recover -> Format.fprintf ppf "recover"
   | Advance -> Format.fprintf ppf "advance"

@@ -11,6 +11,7 @@ type step =
   | Insert of int * int  (** machine hint, head hint *)
   | Read of int * int
   | Take of int * int
+  | Snapshot of int  (** machine hint; atomic multi-class scan *)
   | Crash of int  (** machine hint; respects the λ cap *)
   | Recover  (** most recently crashed machine comes back *)
   | Advance  (** run the simulation forward 20 000 time units *)
@@ -48,6 +49,7 @@ type config = {
   wan_clusters : int;  (** [0] = LAN, else machines mod-[c] clustered *)
   repair : string;  (** ["none" | "lrf" | "fifo" | "random"] *)
   durable : bool;  (** attach {!Durable.Manager} (WAL + checkpoints) *)
+  fast_read : bool;  (** single-replica fast reads (freshness-token gated) *)
   batch_ops : int;  (** gcast batch op cap; [0] = default when batching *)
   batch_bytes : int;  (** gcast batch byte cap; [0] = default *)
   batch_hold : float;  (** gcast batch hold window δ; [0] = default *)

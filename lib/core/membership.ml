@@ -24,6 +24,11 @@ type t = {
          probational group, flushed on the view change that reaches
          quorum *)
   probation_gen : (string, int) Hashtbl.t;
+  mut_serial : (string, int) Hashtbl.t;
+      (* per-class mutation serial: bumped on every delivered
+         Store/Remove. One component of the freshness token (the others
+         — view id and loss generation — live in vsync / probation_gen);
+         also the read-coalescing window key in [Router]. *)
   mutable gates_probation : bool; (* durability attached *)
 }
 
@@ -44,6 +49,7 @@ let create ~n ~lambda ~seed ~use_read_groups ~group_map ~servers ~engine ~stats 
     probation = Hashtbl.create 8;
     prob_waiters = Hashtbl.create 8;
     probation_gen = Hashtbl.create 8;
+    mut_serial = Hashtbl.create 16;
     gates_probation = false;
   }
 
@@ -317,6 +323,46 @@ let note_group_lost m ~group =
   Hashtbl.replace m.probation group ();
   Hashtbl.replace m.probation_gen group (1 + probation_generation m group);
   classes_of_group m group
+
+(* --- per-class freshness (one generation source of truth) ---------------- *)
+
+(* Everything that can make a cached or single-replica view of a class
+   stale is condensed into one comparable token owned here:
+
+   - [tk_mut]   the class's mutation serial — bumped on every delivered
+                Store/Remove (the read-coalescing window key);
+   - [tk_view]  the write group's view id — bumped on join, leave,
+                crash and recovery (piggybacked on view installation);
+   - [tk_loss]  the group's loss generation — bumped when the group
+                loses its last member and may re-form from recovered
+                disks (the probation straddle).
+
+   [straddle_guard] above is the loss-only projection of this token
+   (quorum reads only distrust a miss across a loss); [fresh_guard] is
+   the full token, which is what a single-replica fast read must check
+   before trusting its one responder. *)
+
+type token = { tk_mut : int; tk_view : int; tk_loss : int }
+
+let mutation_serial m ~cls =
+  Option.value ~default:0 (Hashtbl.find_opt m.mut_serial cls)
+
+let note_mutation m ~cls = Hashtbl.replace m.mut_serial cls (1 + mutation_serial m ~cls)
+
+let class_token m ~cls =
+  let tk_mut = mutation_serial m ~cls in
+  match find m cls with
+  | None -> { tk_mut; tk_view = 0; tk_loss = 0 }
+  | Some cs ->
+      {
+        tk_mut;
+        tk_view = Vsync.view_id (vs m) ~group:cs.group;
+        tk_loss = probation_generation m cs.group;
+      }
+
+let fresh_guard m ~cls ~group =
+  let t0 = class_token m ~cls in
+  fun () -> (not (probational m group)) && class_token m ~cls = t0
 
 (* --- adaptive policy dispatch (§5) --------------------------------------- *)
 

@@ -167,6 +167,41 @@ val note_group_lost : t -> group:string -> string list
     generation, and return its classes (the caller records the class
     losses in the history). *)
 
+(** {1 Per-class freshness (one generation source of truth)}
+
+    Every staleness question in the system — may a coalesced read
+    reuse an outstanding response, must a quorum miss re-query, may a
+    single-replica fast read trust its one responder — is answered
+    from one per-class token owned here. Its components: the class's
+    mutation serial (bumped on every delivered Store/Remove), the
+    write group's view id (bumped on join/leave/crash/recovery,
+    piggybacked on view installation by the vsync layer), and the
+    group's loss generation ({!probation_generation}).
+    {!straddle_guard} is the loss-only projection of the same token. *)
+
+type token = { tk_mut : int; tk_view : int; tk_loss : int }
+
+val mutation_serial : t -> cls:string -> int
+(** The class's mutation serial (0 for an unknown or untouched class).
+    [Router]'s read-coalescing key embeds it so no read rides a
+    response computed against a pre-mutation store. *)
+
+val note_mutation : t -> cls:string -> unit
+(** A replicated mutation (Store/Remove) of the class was delivered:
+    advance its serial. Called from the vsync deliver callback,
+    unconditionally — the token must move whether or not any consumer
+    (batching, fast reads) is currently configured. *)
+
+val class_token : t -> cls:string -> token
+(** The class's current freshness token. *)
+
+val fresh_guard : t -> cls:string -> group:string -> unit -> bool
+(** [fresh_guard m ~cls ~group] captures the class's token now; the
+    returned thunk answers "is a response computed since the capture
+    still fresh?" — false if the group is probational or any token
+    component moved. A fast read that tags its request with this guard
+    and gets [false] back must fall back to the quorum path. *)
+
 (** {1 Adaptive policy dispatch (§5)} *)
 
 val apply_policy : t -> policy:Policy.t -> machine:int -> cls:string -> Policy.event -> unit

@@ -22,9 +22,12 @@ type t = {
   (* sc-list memoisation: the classing strategy is fixed per system, so
      the cache is keyed by the template's structural signature alone. *)
   sc_cache : (string, string list) Hashtbl.t;
+  (* scratch for [template_key]: the router is single-threaded and the
+     key is fully built before any lookup, so one reusable buffer
+     replaces a fresh 64-byte allocation on every op issue. *)
+  key_buf : Buffer.t;
   mutable cached_universe : Obj_class.info list option;
   read_coalesce : (string, coalesce) Hashtbl.t;
-  class_serial : (string, int) Hashtbl.t; (* per-class mutation serial *)
   c_sc_hits : Sim.Stats.counter;
   c_sc_misses : Sim.Stats.counter;
   c_reads_coalesced : Sim.Stats.counter;
@@ -40,9 +43,9 @@ let create ~classing ~lambda ~topology ~batching ~mem ~stats =
     mem;
     r_vs = None;
     sc_cache = Hashtbl.create 64;
+    key_buf = Buffer.create 64;
     cached_universe = None;
     read_coalesce = Hashtbl.create 16;
-    class_serial = Hashtbl.create 16;
     c_sc_hits = Sim.Stats.counter stats "cache.sc_hits";
     c_sc_misses = Sim.Stats.counter stats "cache.sc_misses";
     c_reads_coalesced = Sim.Stats.counter stats "paso.reads_coalesced";
@@ -83,8 +86,9 @@ let invalidate r =
    fields). [None] marks a template as uncacheable: a [Pred] spec's
    behaviour is its closure, which has no serialisable identity. The
    [where] clause never affects candidate derivation, so it is ignored. *)
-let template_key tmpl =
-  let buf = Buffer.create 64 in
+let template_key r tmpl =
+  let buf = r.key_buf in
+  Buffer.clear buf;
   let add_str tag s =
     Buffer.add_char buf tag;
     Buffer.add_string buf (string_of_int (String.length s));
@@ -133,7 +137,7 @@ let sc_list r tmpl =
   in
   if not cacheable then derive ()
   else
-    match template_key tmpl with
+    match template_key r tmpl with
     | None -> derive ()
     | Some key -> (
         match Hashtbl.find_opt r.sc_cache key with
@@ -167,6 +171,22 @@ let crossed_wan r ~machine ~members =
   | Lan -> false
   | Wan { clusters; _ } ->
       not (List.exists (fun m -> clusters.(m) = clusters.(machine)) members)
+
+(* Single-replica fast read: collapse the read group to ONE member, so
+   the gcast costs 2 messages (copy + response) instead of the full
+   α(2g+1) fan-out. The pick rotates with the issuing machine to spread
+   concurrent readers over the read group. Safety is the caller's
+   problem: it tags the request with the class's freshness token
+   ([Membership.fresh_guard]) and falls back to the quorum restriction
+   when the token moved. A crashed pick degrades gracefully — the vsync
+   exec-time rule (restrict filtered against live members, empty → all)
+   turns it back into a full fan-out. *)
+let fast_restrict r ~basic ~machine =
+  let quorum = read_restrict r ~basic ~machine in
+  fun members ->
+    match quorum members with
+    | [] -> []
+    | picks -> [ List.nth picks (machine mod List.length picks) ]
 
 (* --- fan-out (batching hand-off) ----------------------------------------- *)
 
@@ -234,23 +254,20 @@ let arm_new_class r waiters ~cls =
 
 (* --- read coalescing (batching only) ------------------------------------- *)
 
-let note_mutation r cls =
-  if r.batching then
-    Hashtbl.replace r.class_serial cls
-      (1 + Option.value ~default:0 (Hashtbl.find_opt r.class_serial cls))
-
 (* Coalescing key for a remote mem-read, or [None] when the read must
    go out itself: batching off, uncacheable template ([Pred] has no
    structural identity), or — via the embedded mutation serial — any
    replicated mutation of the class delivered since the would-be
-   primary was issued. *)
+   primary was issued. The serial is read from [Membership]'s per-class
+   freshness token, the one generation source of truth (the router used
+   to keep its own batching-gated copy). *)
 let dedup_key r ~machine ~cls tmpl =
   if not r.batching then None
   else
-    match template_key tmpl with
+    match template_key r tmpl with
     | None -> None
     | Some tk ->
-        let serial = Option.value ~default:0 (Hashtbl.find_opt r.class_serial cls) in
+        let serial = Membership.mutation_serial r.mem ~cls in
         Some (Printf.sprintf "%d|%s|%d|%s" machine cls serial tk)
 
 let coalesced_issue r ~machine ~cls tmpl ~handle ~issue =

@@ -77,6 +77,15 @@ val crossed_wan : t -> machine:int -> members:int list -> bool
     no write-group member shares the reader's cluster; always false on
     the LAN. *)
 
+val fast_restrict : t -> basic:int list -> machine:int -> int list -> int list
+(** Single-replica fast read: the read-group restriction collapsed to
+    ONE member (rotating with the issuing machine), so the gcast costs
+    2 messages instead of the full rg(C) fan-out. Only sound when the
+    caller tags the request with the class's freshness token
+    ({!Membership.fresh_guard}) and falls back to {!read_restrict} on a
+    stale or probational response; a crashed pick degrades to the full
+    fan-out via the vsync exec-time restrict rule. *)
+
 (** {1 Fan-out (batching hand-off)} *)
 
 val fan_out_batched :
@@ -129,11 +138,6 @@ val arm_new_class : t -> Op.waiter list -> cls:string -> unit
     which may match classes that do not exist yet). *)
 
 (** {1 Read coalescing (batching only)} *)
-
-val note_mutation : t -> string -> unit
-(** A replicated mutation of the class was delivered: closes its read
-    coalescing window (a later identical read must not ride a response
-    computed against the pre-mutation store). No-op unless batching. *)
 
 val coalesced_issue :
   t ->

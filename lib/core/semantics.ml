@@ -36,6 +36,17 @@ let possibly_alive_overlaps (l : History.lifecycle) ~from_ ~until =
       || match l.recovered_at with Some rc -> rc <= until | None -> false)
   | None -> true
 
+(* Resurrection test for a snapshot component: a scan that returns an
+   object must have caught it inside its possibly-alive bracket. An
+   unknown uid is never alive — a snapshot cannot return an object no
+   insert produced. Shared with [Check.Invariants]' snapshot-atomicity
+   audit, so the snapshot path is judged by exactly the same alive
+   brackets as ordinary reads. *)
+let alive_in_snapshot h ~uid ~from_ ~until =
+  match History.lifecycle h uid with
+  | None -> false
+  | Some l -> possibly_alive_overlaps l ~from_ ~until
+
 let check_lifecycles h =
   List.concat_map
     (fun (l : History.lifecycle) ->

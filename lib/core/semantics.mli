@@ -33,4 +33,12 @@ val check : History.t -> violation list
     (never-returned) operations — e.g. issued by crashed machines or
     still blocked — are skipped, as §2 permits them to hang. *)
 
+val alive_in_snapshot : History.t -> uid:Uid.t -> from_:float -> until:float -> bool
+(** Was the object possibly alive at some instant in [[from_, until]]?
+    The same generous bracket (insert issue to remover's return, loss
+    reopened by durable recovery) the read-return rule uses, exposed so
+    the snapshot-atomicity audit in [Check.Invariants] judges snapshot
+    components by the §2 alive intervals rather than its own. [false]
+    for a uid no insert produced. *)
+
 val pp_violation : Format.formatter -> violation -> unit

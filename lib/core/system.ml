@@ -22,6 +22,8 @@ type t = {
   repair_state : Repair.t;
   hist : History.t;
   hs : hot_stats;
+  mutable snap_seq : int;
+  mutable snaps : snapshot_record list; (* newest first; see [snapshots] *)
 }
 
 let engine t = t.eng
@@ -164,47 +166,79 @@ let read_gen t ~machine ~kind tmpl ~on_done =
                       match resp with Some o -> finish (Some o) | None -> go rest)
               | History.Read ->
                   let msg = Server.Mem_read { cls; tmpl } in
-                  let straddled = Membership.straddle_guard t.mem cs.Membership.group in
-                  let restrict =
-                    if t.cfg.use_read_groups then
-                      Router.read_restrict t.router ~basic:cs.Membership.basic ~machine
-                    else fun members -> members
+                  (* [fast]: restrict to a single replica, tagging the
+                     request with the class's freshness token; a stale or
+                     probational responder falls back — transparently, no
+                     retry budget spent — to the quorum read-group path,
+                     so the result is always quorum-equivalent. *)
+                  let rec attempt ~fast =
+                    let straddled = Membership.straddle_guard t.mem cs.Membership.group in
+                    let restrict =
+                      if fast then
+                        Router.fast_restrict t.router ~basic:cs.Membership.basic ~machine
+                      else if t.cfg.use_read_groups then
+                        Router.read_restrict t.router ~basic:cs.Membership.basic ~machine
+                      else fun members -> members
+                    in
+                    let fresh =
+                      if fast then
+                        Membership.fresh_guard t.mem ~cls ~group:cs.Membership.group
+                      else fun () -> true
+                    in
+                    Sim.Stats.incr_counter t.hs.h_remote_reads;
+                    let crossed_wan =
+                      Router.crossed_wan t.router ~machine
+                        ~members:(Vsync.members t.vs ~group:cs.Membership.group)
+                    in
+                    let handle resp responders =
+                      Op.collecting op;
+                      (* ell piggybacked on the response (§5.1). *)
+                      apply_policy t ~machine ~cls
+                        (Policy.Remote_read
+                           { responders; ell = live_count t ~cls; wan = crossed_wan });
+                      if fast && not (fresh ()) then begin
+                        (* The token moved between issue and response (view
+                           change, group loss, mutation) or the group is
+                           probational: the single replica's answer is not
+                           quorum-equivalent evidence either way. *)
+                        Sim.Stats.incr_counter t.hs.h_fast_fallbacks;
+                        attempt ~fast:false
+                      end
+                      else
+                        match resp with
+                        | Some o ->
+                            if fast then Sim.Stats.incr_counter t.hs.h_fast_reads;
+                            finish (Some o)
+                        | None ->
+                            (* A loss straddled the op: the miss is not evidence
+                               of absence — re-query ([go] parks on the class
+                               until the quorum's merge is authoritative). *)
+                            if straddled () then retry (fun () -> go (cls :: rest))
+                              (* Zero responders: the whole (possibly restricted)
+                                 read group crashed mid-gcast — retry against the
+                                 survivors rather than report a spurious fail. *)
+                            else if
+                              responders = 0
+                              && Vsync.members t.vs ~group:cs.Membership.group <> []
+                            then begin
+                              Sim.Stats.incr_counter t.hs.h_read_retries;
+                              retry (fun () -> go (cls :: rest))
+                            end
+                            else begin
+                              (* A fresh single-replica miss is as good as the
+                                 quorum's: total order means every replica
+                                 holds the same class state. *)
+                              if fast then Sim.Stats.incr_counter t.hs.h_fast_reads;
+                              go rest
+                            end
+                    in
+                    Op.fan_out op;
+                    Router.coalesced_issue t.router ~machine ~cls tmpl ~handle
+                      ~issue:(fun h ->
+                        Router.fan_out_read t.router ~restrict ~eager:t.cfg.eager_reads
+                          ~group:cs.Membership.group ~from:machine msg ~on_done:h)
                   in
-                  Sim.Stats.incr_counter t.hs.h_remote_reads;
-                  let crossed_wan =
-                    Router.crossed_wan t.router ~machine
-                      ~members:(Vsync.members t.vs ~group:cs.Membership.group)
-                  in
-                  let handle resp responders =
-                    Op.collecting op;
-                    (* ell piggybacked on the response (§5.1). *)
-                    apply_policy t ~machine ~cls
-                      (Policy.Remote_read
-                         { responders; ell = live_count t ~cls; wan = crossed_wan });
-                    match resp with
-                    | Some o -> finish (Some o)
-                    | None ->
-                        (* A loss straddled the op: the miss is not evidence
-                           of absence — re-query ([go] parks on the class
-                           until the quorum's merge is authoritative). *)
-                        if straddled () then retry (fun () -> go (cls :: rest))
-                          (* Zero responders: the whole (possibly restricted)
-                             read group crashed mid-gcast — retry against the
-                             survivors rather than report a spurious fail. *)
-                        else if
-                          responders = 0
-                          && Vsync.members t.vs ~group:cs.Membership.group <> []
-                        then begin
-                          Sim.Stats.incr_counter t.hs.h_read_retries;
-                          retry (fun () -> go (cls :: rest))
-                        end
-                        else go rest
-                  in
-                  Op.fan_out op;
-                  Router.coalesced_issue t.router ~machine ~cls tmpl ~handle
-                    ~issue:(fun h ->
-                      Router.fan_out_read t.router ~restrict ~eager:t.cfg.eager_reads
-                        ~group:cs.Membership.group ~from:machine msg ~on_done:h)
+                  attempt ~fast:t.cfg.fast_read
               | History.Read_del | History.Insert ->
                   let msg = Server.Remove { cls; tmpl } in
                   let straddled = Membership.straddle_guard t.mem cs.Membership.group in
@@ -252,6 +286,135 @@ let read_blocking_ttl t ~ttl ~machine tmpl ~on_done =
 let read_del_blocking_ttl t ~ttl ~machine tmpl ~on_done =
   require_up t machine "System.blocking";
   Op.Waiters.blocking_ttl t.waiters ~ttl ~machine ~kind:`Take tmpl ~on_done
+
+(* --- snapshot: atomic multi-class scan ----------------------------------- *)
+
+let snapshots t = List.rev t.snaps
+
+(* Two-phase collect/confirm over per-class mutation serials. Collect
+   reads every candidate class (local when a member, quorum-restricted
+   gcast otherwise), capturing each class's serial at issue. Once all
+   classes answered, confirm re-reads every serial at one instant:
+   classes whose serial moved — and only those — are re-collected, and
+   the confirm repeats. When no serial moved, every response was
+   computed against exactly the class state of the confirm instant, so
+   the results form one atomic cut; the per-class evidence is recorded
+   for [Check.Invariants]. Amortisation follows Garg et al.: a retry
+   re-pays only the moved classes, not the whole scan. *)
+let snapshot t ~machine tmpl ~on_done =
+  require_up t machine "System.snapshot";
+  Sim.Stats.incr_counter t.hs.h_ops_snapshot;
+  let sid = t.snap_seq in
+  t.snap_seq <- sid + 1;
+  ignore (Sim.Failpoint.hit t.fps ~site:"paso.op.issued" ~node:machine ~aux:sid ());
+  let op = Op.make t.opctl ~machine ~op_id:sid in
+  let candidates = Router.sc_list t.router tmpl |> List.filter (Membership.knows t.mem) in
+  let acc : (string, snapshot_class) Hashtbl.t = Hashtbl.create 8 in
+  let finish result = if Op.finish op ~ok:(result <> None) then on_done result in
+  Op.arm_deadline op ~on_expire:(fun () -> on_done None);
+  let retry k = if not (Op.retry op k) then finish None in
+  let rec confirm () =
+    if not (Op.terminal op) then begin
+      let moved =
+        List.filter
+          (fun cls ->
+            match Hashtbl.find_opt acc cls with
+            | Some sc -> Membership.mutation_serial t.mem ~cls <> sc.sn_serial
+            | None -> true)
+          candidates
+      in
+      match moved with
+      | [] ->
+          let classes =
+            List.map
+              (fun cls ->
+                let sc = Hashtbl.find acc cls in
+                { sc with sn_confirm = Membership.mutation_serial t.mem ~cls })
+              candidates
+          in
+          t.snaps <-
+            { sn_id = sid; sn_machine = machine; sn_accept = now t;
+              sn_retries = Op.retries op; sn_classes = classes }
+            :: t.snaps;
+          finish (Some (List.map (fun sc -> (sc.sn_cls, sc.sn_result)) classes))
+      | _ :: _ ->
+          Sim.Stats.incr_counter t.hs.h_snapshot_retries;
+          retry (fun () -> collect moved)
+    end
+  and collect classes =
+    if Op.terminal op then ()
+    else if classes = [] then confirm ()
+    else begin
+      let outstanding = ref (List.length classes) in
+      let done_one () =
+        decr outstanding;
+        if !outstanding = 0 && not (Op.terminal op) then begin
+          Op.collecting op;
+          confirm ()
+        end
+      in
+      let collect_one cls =
+        let record serial0 issue_time resp =
+          Hashtbl.replace acc cls
+            { sn_cls = cls; sn_serial = serial0; sn_confirm = serial0;
+              sn_issue = issue_time; sn_result = resp };
+          done_one ()
+        in
+        let rec one () =
+          if Op.terminal op then ()
+          else
+            match Membership.find t.mem cls with
+            | None -> record (Membership.mutation_serial t.mem ~cls) (now t) None
+            | Some cs when Membership.probational t.mem cs.Membership.group ->
+                Membership.defer_probation t.mem ~machine ~group:cs.Membership.group one
+            | Some cs ->
+                let serial0 = Membership.mutation_serial t.mem ~cls in
+                let issue_time = now t in
+                let straddled = Membership.straddle_guard t.mem cs.Membership.group in
+                if Vsync.is_member t.vs ~group:cs.Membership.group ~node:machine then begin
+                  let work =
+                    Server.query_work t.servers.(machine) ~cls *. t.cfg.unit_work
+                  in
+                  Vsync.exec_local t.vs ~node:machine ~work (fun () ->
+                      let resp, _ = Server.local_read t.servers.(machine) ~cls tmpl in
+                      Sim.Stats.incr_counter t.hs.h_local_reads;
+                      record serial0 issue_time resp)
+                end
+                else begin
+                  let msg = Server.Mem_read { cls; tmpl } in
+                  let restrict =
+                    if t.cfg.use_read_groups then
+                      Router.read_restrict t.router ~basic:cs.Membership.basic ~machine
+                    else fun members -> members
+                  in
+                  Sim.Stats.incr_counter t.hs.h_remote_reads;
+                  let handle resp responders =
+                    match resp with
+                    | Some _ -> record serial0 issue_time resp
+                    | None ->
+                        (* Same distrust rules as [read_gen]: a miss across
+                           a loss, or a zero-responder gcast against a
+                           non-empty group, is re-collected. *)
+                        if
+                          straddled ()
+                          || responders = 0
+                             && Vsync.members t.vs ~group:cs.Membership.group <> []
+                        then retry one
+                        else record serial0 issue_time None
+                  in
+                  Router.coalesced_issue t.router ~machine ~cls tmpl ~handle
+                    ~issue:(fun h ->
+                      Router.fan_out_read t.router ~restrict ~eager:t.cfg.eager_reads
+                        ~group:cs.Membership.group ~from:machine msg ~on_done:h)
+                end
+        in
+        one ()
+      in
+      Op.fan_out op;
+      List.iter collect_one classes
+    end
+  in
+  collect candidates
 
 (* --- faults ------------------------------------------------------------- *)
 
@@ -401,9 +564,10 @@ let create ?(tracing = false) ?failpoints cfg =
         match msg with
         | Server.Store _ | Server.Remove _ ->
             let cls = Server.msg_class msg in
-            (* A replicated mutation closes the class's read-coalescing
-               window. *)
-            Router.note_mutation router cls;
+            (* A replicated mutation advances the class's freshness
+               token: closes its read-coalescing window, invalidates
+               in-flight fast reads, retries straddled snapshots. *)
+            Membership.note_mutation mem ~cls;
             apply_policy t ~machine:node ~cls
               (Policy.Update { ell = Server.live_count servers.(node) ~cls })
         | Server.Mem_read _ | Server.Place_marker _ | Server.Cancel_marker _ -> ()
@@ -480,7 +644,7 @@ let create ?(tracing = false) ?failpoints cfg =
       has_recovered = Array.make cfg.n false; mem; router; opctl; waiters;
       serials = Array.make cfg.n 0;
       repair_state = Repair.create ~n:cfg.n ~seed:(cfg.seed + 1); hist;
-      hs = hot_stats sstats }
+      hs = hot_stats sstats; snap_seq = 0; snaps = [] }
   in
   tref := Some t;
   (* Wiring the waiter fan-outs after [t] exists is what lets the vsync

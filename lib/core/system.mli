@@ -40,6 +40,20 @@ type config = {
           remote-read response without waiting for the whole read
           group to acknowledge (same message cost, lower latency).
           Ignored on gcasts routed through the batcher (see [batch]) *)
+  fast_read : bool;
+      (** single-replica fast reads: a remote [read] is gcast to ONE
+          live read-group member (rotating with the issuing machine) —
+          2 messages instead of the full rg(C) fan-out — and tagged
+          with the class's freshness token
+          ({!Membership.class_token}: mutation serial, write-group
+          view id, loss generation). A response arriving after the
+          token moved, or from a probational group, transparently
+          falls back to the quorum read-group path (no retry budget
+          spent), so results are always quorum-equivalent. Trusted
+          fast responses are counted under ["paso.fast_reads"],
+          fallbacks under ["paso.fast_read_fallbacks"]. [false] (the
+          default) leaves every message and event byte-identical to
+          the quorum-only system. *)
   batch : Net.Batch.cfg option;
       (** opt-in gcast batching: inserts, marker traffic and remote
           read fan-outs join a per-group accumulation window
@@ -117,8 +131,12 @@ val engine : t -> Sim.Engine.t
 val stats : t -> Sim.Stats.t
 (** Cost accounting for the run. Keys: ["net.msgs"]/["net.msg_cost"]
     (bus messages and their total §3.3 cost), ["work.total"] (server
-    processing), ["ops.insert"/"ops.read"/"ops.read_del"],
+    processing), ["ops.insert"/"ops.read"/"ops.read_del"/
+    "ops.snapshot"],
     ["paso.local_reads"/"paso.remote_reads"/"paso.removes"],
+    ["paso.fast_reads"/"paso.fast_read_fallbacks"] (fast reads
+    trusted / fallen back to the quorum path) and
+    ["paso.snapshot_retries"] (snapshot confirm-phase re-collections),
     ["paso.markers"/"paso.marker_placements"/"paso.marker_wakeups"/
     "paso.marker_expiries"/"paso.poll_retries"/"paso.read_retries"/
     "paso.expired_take_reinserts"], ["policy.joins"/"policy.leaves"],
@@ -183,6 +201,53 @@ val read_blocking_ttl :
 
 val read_del_blocking_ttl :
   t -> ttl:float -> machine:int -> Template.t -> on_done:(Pobj.t option -> unit) -> unit
+
+(** {1 Snapshot: atomic multi-class scan}
+
+    A [snapshot] reads every candidate class of a template — the whole
+    [sc-list] — as one atomic cut: no snapshot may observe class
+    states separated by a mutation it also misses. Implemented as a
+    two-phase collect/confirm over the per-class mutation serials of
+    {!Membership}'s freshness token: collect reads each class (local
+    where the machine is a member, quorum-restricted gcast otherwise,
+    riding the batcher when batching is on), capturing the class's
+    serial at issue; confirm re-reads all serials at one instant and
+    re-collects only the classes whose serial moved. Completed
+    snapshots leave their per-class serial evidence behind
+    ({!snapshots}) for [Check.Invariants]' atomicity audit. *)
+
+type snapshot_class = {
+  sn_cls : string;
+  sn_serial : int;  (** mutation serial at the accepted collect's issue *)
+  sn_confirm : int;  (** serial re-read at the accepting confirm instant *)
+  sn_issue : float;  (** issue time of the accepted collect *)
+  sn_result : Pobj.t option;
+}
+
+type snapshot_record = {
+  sn_id : int;
+  sn_machine : int;
+  sn_accept : float;  (** the confirm instant — the snapshot's atomic cut *)
+  sn_retries : int;
+  sn_classes : snapshot_class list;
+}
+
+val snapshot :
+  t ->
+  machine:int ->
+  Template.t ->
+  on_done:((string * Pobj.t option) list option -> unit) ->
+  unit
+(** Atomic multi-class scan: per candidate class (in sorted sc-list
+    order), the class's [mem-read] answer at the snapshot's cut.
+    [None] = the op failed (deadline expired or retry budget exhausted
+    before a consistent cut was found). Counted under
+    ["ops.snapshot"]; confirm-phase re-collections under
+    ["paso.snapshot_retries"].
+    @raise Invalid_argument if the machine is down or the id invalid. *)
+
+val snapshots : t -> snapshot_record list
+(** Evidence of every completed snapshot, oldest first. *)
 
 (** {1 Durability}
 

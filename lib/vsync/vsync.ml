@@ -54,6 +54,11 @@ let view t ~group =
   | Some g -> View.make ~group ~view_id:g.view_id ~members:(IntSet.elements g.members)
   | None -> View.make ~group ~view_id:0 ~members:[]
 
+(* The id alone, allocation-free: consulted on every fast-read token
+   capture/check, where materialising the member list would be waste. *)
+let view_id t ~group =
+  match Hashtbl.find_opt t.groups group with Some g -> g.view_id | None -> 0
+
 let is_member t ~group ~node =
   match Hashtbl.find_opt t.groups group with
   | Some g -> IntSet.mem node g.members

@@ -106,6 +106,14 @@ val members : ('msg, 'resp, 'state) t -> group:string -> int list
 
 val view : ('msg, 'resp, 'state) t -> group:string -> View.t
 
+val view_id : ('msg, 'resp, 'state) t -> group:string -> int
+(** The group's current view id without materialising the view (0 for
+    an unknown group). View ids increase monotonically per group and
+    every installation is announced to all members ({!callbacks.on_view}
+    notes on the bus), so the id doubles as a membership {e generation}
+    the layer above piggybacks into its per-class freshness token: any
+    join, leave, crash or recovery of the group moves it. *)
+
 val is_member : ('msg, 'resp, 'state) t -> group:string -> node:int -> bool
 
 val groups_of : ('msg, 'resp, 'state) t -> node:int -> string list

@@ -101,6 +101,38 @@ let config_c =
     batch_hold = 300.0;
   }
 
+(* Schedule A again with single-replica fast reads on: the fast path
+   (freshness-token capture, one-member restrict, transparent fallback)
+   gets its own replay pin. The unmodified pins above double as the
+   proof that fast-read off is byte-identical to the pre-fast-read
+   code. *)
+let config_d = { config_a with Check.Schedule.fast_read = true }
+
+(* A snapshot-bearing schedule: atomic multi-class scans interleaved
+   with mutations, faults and recoveries. Pinned with every new feature
+   off (config A's fault arms), and again through fast reads + the
+   batching layer — the two-phase collect/confirm protocol must be
+   deterministic in both regimes. *)
+let steps_e =
+  let r = lcg 41 in
+  List.init 120 (fun _ ->
+      match r 12 with
+      | 0 | 1 | 2 -> Check.Schedule.Insert (r 8, r 3)
+      | 3 | 4 -> Check.Schedule.Read (r 8, r 3)
+      | 5 | 6 -> Check.Schedule.Take (r 8, r 3)
+      | 7 -> Check.Schedule.Snapshot (r 8)
+      | 8 -> Check.Schedule.Crash (r 8)
+      | 9 -> Check.Schedule.Recover
+      | _ -> Check.Schedule.Advance)
+
+let config_f =
+  {
+    config_d with
+    Check.Schedule.batch_ops = 4;
+    batch_bytes = 512;
+    batch_hold = 300.0;
+  }
+
 type golden = {
   g_trace_digest : string;
   g_artifact_digest : string;
@@ -205,9 +237,51 @@ let golden_c =
     g_work_total = "142";
   }
 
+(* Pinned at the commit that introduced fast reads and snapshots. *)
+let golden_d =
+  {
+    g_trace_digest = "55c08882341a765e6e5b1810b16c8117";
+    g_artifact_digest = "538299eabcdd1470fede94ed6786f0ed";
+    g_ops = 110;
+    g_completed = 86;
+    g_final_time = "236600";
+    g_net_msgs = 453;
+    g_net_msg_cost = "235850";
+    g_work_total = "163";
+  }
+
+let golden_e =
+  {
+    g_trace_digest = "02fb8ef537ed3e31d5bfc6bc5b21ee06";
+    g_artifact_digest = "51e114c250fb5b6994faf0cdfd20895c";
+    g_ops = 65;
+    g_completed = 64;
+    g_final_time = "527626";
+    g_net_msgs = 815;
+    g_net_msg_cost = "419912";
+    g_work_total = "344";
+  }
+
+let golden_f =
+  {
+    g_trace_digest = "c094d394d8a0d1531c5a65ad4bad3104";
+    g_artifact_digest = "01e517b373c8ff78195a7b189a88bfe8";
+    g_ops = 65;
+    g_completed = 64;
+    g_final_time = "453338";
+    g_net_msgs = 502;
+    g_net_msg_cost = "259872";
+    g_work_total = "232";
+  }
+
 let test_lan () = run_pinned "lan/head/faults" config_a steps_a golden_a
 let test_wan () = run_pinned "wan/signature/repair" config_b steps_b golden_b
 let test_batched () = run_pinned "lan/head/faults/batched" config_c steps_a golden_c
+let test_fast_read () = run_pinned "lan/head/faults/fast-read" config_d steps_a golden_d
+let test_snapshots () = run_pinned "lan/snapshots" config_a steps_e golden_e
+
+let test_snapshots_fast_batched () =
+  run_pinned "lan/snapshots/fast-read/batched" config_f steps_e golden_f
 
 (* The same schedule twice in one process must agree with itself —
    catches accidental global mutable state in the optimised paths. *)
@@ -225,6 +299,10 @@ let () =
           Alcotest.test_case "lan schedule byte-identical" `Quick test_lan;
           Alcotest.test_case "wan schedule byte-identical" `Quick test_wan;
           Alcotest.test_case "batched schedule byte-identical" `Quick test_batched;
+          Alcotest.test_case "fast-read schedule byte-identical" `Quick test_fast_read;
+          Alcotest.test_case "snapshot schedule byte-identical" `Quick test_snapshots;
+          Alcotest.test_case "snapshot+fast-read+batched byte-identical" `Quick
+            test_snapshots_fast_batched;
           Alcotest.test_case "self agreement" `Quick test_self_agreement;
         ] );
     ]

@@ -165,6 +165,64 @@ let test_straddle_guard () =
   let fresh = Membership.straddle_guard h.mem group in
   Alcotest.(check bool) "fresh guard is clean" false (fresh ())
 
+(* --- per-class freshness token ------------------------------------------- *)
+
+(* Regression (one generation source of truth): the router used to keep
+   its own per-class mutation serial, advanced only under gcast
+   batching — with batching off, nothing tracked mutations and a
+   freshness consumer would have trusted a stale capture. The serial
+   now lives here, advanced unconditionally; Membership has no batching
+   knowledge at all, so the token moves identically in every router
+   mode. *)
+let test_token_tracks_mutations () =
+  let h = make ~lambda:1 () in
+  let _cs, _ = ensure h "t" in
+  Alcotest.(check int) "serial starts at zero" 0
+    (Membership.mutation_serial h.mem ~cls:"t");
+  let t0 = Membership.class_token h.mem ~cls:"t" in
+  Membership.note_mutation h.mem ~cls:"t";
+  Alcotest.(check int) "mutation advances the serial" 1
+    (Membership.mutation_serial h.mem ~cls:"t");
+  Alcotest.(check bool) "token moved" true
+    (Membership.class_token h.mem ~cls:"t" <> t0);
+  Alcotest.(check int) "other classes unaffected" 0
+    (Membership.mutation_serial h.mem ~cls:"u")
+
+let test_fresh_guard_mutation_and_view () =
+  let h = make ~lambda:1 () in
+  let cs, _ = ensure h "t" in
+  let group = cs.Membership.group in
+  let fresh = Membership.fresh_guard h.mem ~cls:"t" ~group in
+  Alcotest.(check bool) "untouched class is fresh" true (fresh ());
+  (* A replicated mutation invalidates captures taken before it... *)
+  let stale_mut = Membership.fresh_guard h.mem ~cls:"t" ~group in
+  Membership.note_mutation h.mem ~cls:"t";
+  Alcotest.(check bool) "mutation staled the capture" false (stale_mut ());
+  Alcotest.(check bool) "recapture is fresh again" true
+    (Membership.fresh_guard h.mem ~cls:"t" ~group ());
+  (* ...and so does a view change (an outsider joining the group). *)
+  let stale_view = Membership.fresh_guard h.mem ~cls:"t" ~group in
+  let outsider =
+    List.find (fun m -> not (List.mem m cs.Membership.basic)) [ 0; 1; 2; 3; 4; 5 ]
+  in
+  rejoin h group [ outsider ];
+  Alcotest.(check bool) "view change staled the capture" false (stale_view ())
+
+let test_fresh_guard_probation () =
+  let h = make ~lambda:1 () in
+  Membership.enable_probation h.mem;
+  let cs, _ = ensure h "t" in
+  let group = cs.Membership.group in
+  crash_members h group;
+  rejoin h group [ List.hd cs.Membership.basic ];
+  (* One member is below the λ+1 recovery quorum: probational, so even
+     a guard captured now must refuse to certify a response. *)
+  Alcotest.(check bool) "probational group never fresh" false
+    (Membership.fresh_guard h.mem ~cls:"t" ~group ());
+  rejoin h group [ List.nth cs.Membership.basic 1 ];
+  Alcotest.(check bool) "quorum restores freshness" true
+    (Membership.fresh_guard h.mem ~cls:"t" ~group ())
+
 let test_defer_and_flush () =
   let h = make ~lambda:1 () in
   Membership.enable_probation h.mem;
@@ -231,6 +289,11 @@ let () =
           Alcotest.test_case "generation counts losses" `Quick
             test_generation_counts_losses;
           Alcotest.test_case "straddle guard" `Quick test_straddle_guard;
+          Alcotest.test_case "token tracks mutations (batching-independent)" `Quick
+            test_token_tracks_mutations;
+          Alcotest.test_case "fresh guard: mutation and view" `Quick
+            test_fresh_guard_mutation_and_view;
+          Alcotest.test_case "fresh guard: probation" `Quick test_fresh_guard_probation;
           Alcotest.test_case "defer and flush" `Quick test_defer_and_flush;
           Alcotest.test_case "dead issuer not resumed" `Quick
             test_dead_issuer_not_resumed;
