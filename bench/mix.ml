@@ -172,6 +172,55 @@ let run_read_heavy ?batch ?(fast_read = false) ~n ~lambda ~classes ~ops () =
     Sim.Stats.count stats "paso.fast_reads",
     Sim.Stats.count stats "paso.fast_read_fallbacks" )
 
+(* ---- sharded E8 mix (multi-domain engine) ----
+
+   The same operation blend driven through [Shard]: classes partition
+   across [shards] engine shards, shard engines run on [domains]
+   domains between pumps. Pumped every 1024 issues, not 64: each pump
+   is a full parallel round (a Domain.spawn/join fan-out at D > 1), so
+   per-round per-shard work must amortise the fork cost — at 64 the
+   harness would measure domain creation, not the engine. The driver
+   RNG runs on the coordinator, so the issue stream — and with
+   [~tracing] the merged trace — is byte-identical at any D. *)
+let run_once_sharded ?(tracing = false) ~shards ~domains ~n ~lambda ~classes ~ops () =
+  let sh = Shard.create ~tracing ~shards ~domains { System.default_config with n; lambda } in
+  let rng = Sim.Rng.make 99 in
+  let heads = Array.init classes (fun i -> Printf.sprintf "c%d" i) in
+  let t0 = now_s () in
+  for i = 1 to ops do
+    let m = Sim.Rng.int rng n in
+    let head = Sim.Rng.choice rng heads in
+    (match Sim.Rng.int rng 3 with
+    | 0 ->
+        Shard.insert sh ~machine:m
+          [ Value.Sym head; Value.Int i ]
+          ~on_done:(fun () -> ())
+    | 1 ->
+        Shard.read sh ~machine:m
+          (Template.headed head [ Template.Any ])
+          ~on_done:(fun _ -> ())
+    | _ ->
+        Shard.read_del sh ~machine:m
+          (Template.headed head [ Template.Any ])
+          ~on_done:(fun _ -> ()));
+    if i mod 1024 = 0 then Shard.run sh
+  done;
+  Shard.run sh;
+  let wall = now_s () -. t0 in
+  (wall, sh)
+
+(* Minimum wall over repetitions, like [measure] (noise is additive). *)
+let measure_sharded ?(warmup = 1) ?(reps = 3) ~shards ~domains ~n ~lambda ~classes ~ops () =
+  Gc.compact ();
+  for _ = 1 to warmup do
+    ignore (run_once_sharded ~shards ~domains ~n ~lambda ~classes ~ops ())
+  done;
+  let walls =
+    List.init reps (fun _ ->
+        fst (run_once_sharded ~shards ~domains ~n ~lambda ~classes ~ops ()))
+  in
+  List.fold_left Float.min Float.infinity walls
+
 let measure ?(warmup = 1) ?(reps = 3) ?batch ~n ~lambda ~classes ~ops () =
   (* Shed whatever heap the caller (e.g. the kernel suite running
      before the mix in perf.exe) left behind: a large fragmented major

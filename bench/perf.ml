@@ -392,6 +392,80 @@ let read_path_profile ~ops =
       ("msgs_reduction", J.Num reduction);
     ]
 
+(* ---- sharded engine (multi-domain scaling) ----
+
+   The E8 mix driven through the sharded composition root (Shard): the
+   class universe partitioned over a fixed S = 8 engine shards, domain
+   count swept over {1, 2, 4, 8}. Before any timing, byte-identity is
+   hard-asserted: a traced run at D = 2 and D = 4 must produce the same
+   merged trace digest as D = 1 — the scheduling knob must never change
+   output. The D=4/D=1 speedup is then gated at >= 2x, but only on
+   hosts with at least 4 cores ([Domain.recommended_domain_count]): on
+   a 1-core box the parallel rounds serialise and the honest numbers
+   are printed without failing the build. Like "recovery", the section
+   is absent from older baselines, so the JSON gate ignores it — the
+   speedup assertion here is the gate. *)
+
+let shard_speedup_required = 2.0
+let shard_sweep = [ 1; 2; 4; 8 ]
+
+let sharding_profile ~reps ~fast =
+  let n, lambda, classes = (32, 2, 8) in
+  let shards = 8 in
+  let ops = if fast then 4000 else 12000 in
+  let digest d =
+    let _, sh =
+      Mix.run_once_sharded ~tracing:true ~shards ~domains:d ~n ~lambda ~classes
+        ~ops:512 ()
+    in
+    Digest.to_hex (Digest.string (Shard.rendered_trace sh))
+  in
+  let d1 = digest 1 in
+  List.iter
+    (fun d ->
+      if digest d <> d1 then begin
+        Printf.eprintf "sharding: merged trace at D=%d diverges from D=1\n" d;
+        exit 1
+      end)
+    [ 2; 4 ];
+  let cores = Domain.recommended_domain_count () in
+  let rows =
+    List.map
+      (fun d ->
+        let wall =
+          Mix.measure_sharded ~warmup:1 ~reps ~shards ~domains:d ~n ~lambda ~classes
+            ~ops ()
+        in
+        let ops_s = float_of_int ops /. Float.max 1e-12 wall in
+        Printf.printf "  sharded mix S=%d D=%d:   %10.0f ops/s\n%!" shards d ops_s;
+        (d, ops_s))
+      shard_sweep
+  in
+  let at d = List.assoc d rows in
+  let speedup_d4 = at 4 /. at 1 in
+  Printf.printf "  sharded speedup D=4/D=1: %.2fx  (%d cores%s)\n%!" speedup_d4 cores
+    (if cores >= 4 then "" else "; gate skipped, < 4 cores");
+  if cores >= 4 && speedup_d4 < shard_speedup_required then begin
+    Printf.eprintf "sharding: D=4 speedup %.2fx < required %.1fx\n" speedup_d4
+      shard_speedup_required;
+    exit 1
+  end;
+  J.Obj
+    [
+      ("shards", J.Num (float_of_int shards));
+      ("cores", J.Num (float_of_int cores));
+      ( "sweep",
+        J.Arr
+          (List.map
+             (fun (d, ops_s) ->
+               J.Obj
+                 [ ("domains", J.Num (float_of_int d)); ("ops_per_s", J.Num ops_s) ])
+             rows) );
+      ("ops_per_s_d1", J.Num (at 1));
+      ("ops_per_s_d4", J.Num (at 4));
+      ("speedup_d4", J.Num speedup_d4);
+    ]
+
 (* ---- profile assembly ---- *)
 
 let acceptance = (32, 2, 8, 3000) (* n, lambda, classes, ops *)
@@ -438,6 +512,7 @@ let profile ~fast =
       (table_shapes ~fast)
   in
   let read_path = read_path_profile ~ops:(if fast then 2000 else 5000) in
+  let sharding = sharding_profile ~reps ~fast in
   let recovery = recovery_profile ~reps ~ops:(if fast then 400 else 1200) in
   let op_lifecycle = op_lifecycle_profile ~ops:(if fast then 1000 else 3000) in
   J.Obj
@@ -450,6 +525,7 @@ let profile ~fast =
             ("on", Bench_json.mix_json mix_on);
           ] );
       ("read_path", read_path);
+      ("sharding", sharding);
       ("e8_table", J.Arr table);
       ("kernels", J.Arr kernels);
       ("recovery", recovery);
@@ -578,6 +654,8 @@ let trajectory_row label p =
       ("batched_msg_cost_per_op", num [ "batching"; "on"; "msg_cost_per_op" ]);
       ("fast_read_msgs_per_op", num [ "read_path"; "on"; "msgs_per_op" ]);
       ("fast_read_msgs_reduction", num [ "read_path"; "msgs_reduction" ]);
+      ("sharded_ops_per_s_d4", num [ "sharding"; "ops_per_s_d4" ]);
+      ("shard_speedup_d4", num [ "sharding"; "speedup_d4" ]);
       ("p99_sim_latency", num [ "e8_mix"; "p99_sim_latency" ]);
     ]
 

@@ -26,38 +26,23 @@ module J = Check.Json
 
 let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
 
-(* Run [total] tasks over [domains] domains, task [i] on domain
-   [i mod D]. Returns the rows in index order plus per-domain timing.
-   [run] must be safe to call from several domains at once: every
-   simulation is self-contained (no shared mutable state), which is
-   what makes this partition sound. *)
+(* The task partition itself ([i] on domain [i mod D], index-ordered
+   reassembly) lives in [Sim.Parallel], shared with the sharded engine
+   runner; this wrapper only shapes the timing report as JSON. *)
 let run_tasks ~domains ~total run =
-  let slice d =
-    let t0 = now_s () in
-    let rows = ref [] in
-    let i = ref d in
-    while !i < total do
-      rows := (!i, run !i) :: !rows;
-      i := !i + domains
-    done;
-    (!rows, List.length !rows, now_s () -. t0)
-  in
-  let spawned = List.init (domains - 1) (fun k -> Domain.spawn (fun () -> slice (k + 1))) in
-  let joined = slice 0 :: List.map Domain.join spawned in
-  let out = Array.make (max total 1) J.Null in
-  List.iter (fun (rows, _, _) -> List.iter (fun (i, row) -> out.(i) <- row) rows) joined;
+  let rows, timing = Sim.Parallel.map ~domains ~now:now_s ~total run in
   let timing =
-    List.mapi
-      (fun d (_, tasks, wall) ->
+    List.map
+      (fun td ->
         J.Obj
           [
-            ("domain", J.Num (float_of_int d));
-            ("tasks", J.Num (float_of_int tasks));
-            ("wall_s", J.Num wall);
+            ("domain", J.Num (float_of_int td.Sim.Parallel.td_domain));
+            ("tasks", J.Num (float_of_int td.Sim.Parallel.td_tasks));
+            ("wall_s", J.Num td.Sim.Parallel.td_wall_s);
           ])
-      joined
+      timing
   in
-  (Array.to_list (Array.sub out 0 total), timing)
+  (Array.to_list rows, timing)
 
 (* --mode bench: the E11 grid. *)
 
@@ -80,8 +65,10 @@ let bench_row (n, batched, lambda, classes, ops) =
 
 (* --mode fuzz: a Check.Fuzz campaign, one row per schedule. *)
 
-let fuzz_row ~configs ~seed i =
-  let config, _steps, outcome = Check.Fuzz.run_one ~configs ~seed i in
+let fuzz_row ?shard_domains ~configs ~seed i =
+  let config, _steps, outcome =
+    Check.Fuzz.run_one ?domains:shard_domains ~configs ~seed i
+  in
   J.Obj
     [
       ("index", J.Num (float_of_int i));
@@ -119,6 +106,8 @@ let () =
   let schedules = ref 200 in
   let seed = ref 7 in
   let durable_only = ref false in
+  let sharded_only = ref false in
+  let shard_domains = ref 1 in
   let spec =
     [
       ("--mode", Arg.Symbol ([ "bench"; "fuzz" ], fun m -> mode := m), " sweep kind (default bench)");
@@ -131,6 +120,10 @@ let () =
       ("--schedules", Arg.Set_int schedules, "N fuzz schedules (default 200)");
       ("--seed", Arg.Set_int seed, "S fuzz campaign seed (default 7)");
       ("--durable", Arg.Set durable_only, " fuzz only the durable configs of the matrix");
+      ("--sharded", Arg.Set sharded_only, " fuzz only the sharded (shards > 1) configs of the matrix");
+      ( "--shard-domains",
+        Arg.Set_int shard_domains,
+        "D domains per sharded schedule's engine shards (default 1; output identical for any D)" );
     ]
   in
   Arg.parse spec
@@ -146,10 +139,15 @@ let () =
     | _ ->
         let configs =
           let m = Check.Fuzz.matrix () in
-          if !durable_only then List.filter (fun c -> c.Check.Schedule.durable) m else m
+          let m =
+            if !durable_only then List.filter (fun c -> c.Check.Schedule.durable) m
+            else m
+          in
+          if !sharded_only then List.filter (fun c -> c.Check.Schedule.shards > 1) m
+          else m
         in
         run_tasks ~domains:!domains ~total:!schedules (fun i ->
-            fuzz_row ~configs ~seed:!seed i)
+            fuzz_row ~shard_domains:!shard_domains ~configs ~seed:!seed i)
   in
   emit ~path:!out
     (J.Obj

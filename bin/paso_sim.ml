@@ -397,6 +397,24 @@ let check_cmd =
     Arg.(value & opt string "none"
          & info [ "repair" ] ~doc:"Support repair: none, lrf, fifo or random.")
   in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"S"
+             ~doc:"Run each schedule through the multi-domain sharded engine with S \
+                   per-class System shards (1 = the plain unsharded runner). With \
+                   $(b,--matrix): force S shards onto every configuration that has no \
+                   armed failpoints (arms are per-shard and would desynchronise the \
+                   mirrored machine state, so the sharded runner refuses them). The \
+                   shard count is part of the schedule's replay artifact; the domain \
+                   count is not.")
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"D"
+             ~doc:"Run each sharded schedule's shard engines across D OCaml domains. \
+                   Scheduling only: every output (trace digest, violations, counters) \
+                   is byte-identical for any D.")
+  in
   let out =
     Arg.(value & opt string "check-artifacts"
          & info [ "out" ] ~docv:"DIR" ~doc:"Directory for failing-schedule artifacts.")
@@ -486,8 +504,8 @@ let check_cmd =
         end
   in
   let do_campaign n lambda seed schedules use_matrix classing storage policy coalesce
-      eager durable fast_read wan repair batch_ops batch_bytes batch_hold out use_shrink
-      arms =
+      eager durable fast_read wan repair batch_ops batch_bytes batch_hold shards domains
+      out use_shrink arms =
     let configs =
       if use_matrix then Check.Fuzz.matrix ~n ~lambda ()
       else
@@ -519,16 +537,23 @@ let check_cmd =
           in
           (* like --durable: with --matrix, force batching onto every
              configuration that doesn't already set its own knobs *)
-          if
-            (batch_ops > 0 || batch_bytes > 0 || batch_hold > 0.0)
-            && not (Check.Schedule.batching c)
-          then
-            { c with Check.Schedule.batch_ops = batch_ops; batch_bytes; batch_hold }
+          let c =
+            if
+              (batch_ops > 0 || batch_bytes > 0 || batch_hold > 0.0)
+              && not (Check.Schedule.batching c)
+            then
+              { c with Check.Schedule.batch_ops = batch_ops; batch_bytes; batch_hold }
+            else c
+          in
+          (* the sharded runner refuses armed failpoints (arms are
+             per-shard), so never force shards onto an armed config *)
+          if shards > 1 && c.Check.Schedule.arms = [] then
+            { c with Check.Schedule.shards }
           else c)
         configs
     in
     let failures =
-      Check.Fuzz.campaign ~configs ~schedules ~seed
+      Check.Fuzz.campaign ~domains ~configs ~schedules ~seed
         ~on_schedule:(fun i _ _ ->
           if (i + 1) mod 250 = 0 then
             Printf.printf "  ... %d/%d schedules\n%!" (i + 1) schedules)
@@ -566,15 +591,15 @@ let check_cmd =
         exit 1
   in
   let go n lambda seed schedules use_matrix classing storage policy coalesce eager
-      durable fast_read wan repair batch_ops batch_bytes batch_hold out use_shrink replay
-      arms =
+      durable fast_read wan repair batch_ops batch_bytes batch_hold shards domains out
+      use_shrink replay arms =
     match replay with
     | Some file -> do_replay file
     | None -> (
         try
           do_campaign n lambda seed schedules use_matrix classing storage policy coalesce
-            eager durable fast_read wan repair batch_ops batch_bytes batch_hold out
-            use_shrink arms
+            eager durable fast_read wan repair batch_ops batch_bytes batch_hold shards
+            domains out use_shrink arms
         with Invalid_argument msg ->
           Printf.eprintf "paso-sim check: %s\n" msg;
           exit 2)
@@ -582,8 +607,8 @@ let check_cmd =
   let term =
     Term.(const go $ n_arg $ lambda_arg $ seed_arg $ schedules $ matrix $ classing
           $ storage $ policy $ coalesce $ eager $ durable $ fast_read_arg $ wan $ repair
-          $ batch_ops_arg $ batch_bytes_arg $ batch_hold_arg $ out $ shrink
-          $ replay $ arms)
+          $ batch_ops_arg $ batch_bytes_arg $ batch_hold_arg $ shards $ domains $ out
+          $ shrink $ replay $ arms)
   in
   Cmd.v
     (Cmd.info "check"

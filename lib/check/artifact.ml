@@ -62,6 +62,8 @@ let config_to_json (c : Schedule.config) =
            ("batch_hold", Json.Num c.batch_hold);
          ]
        else [])
+    (* shards only when sharded: pre-sharding artifacts stay byte-identical *)
+    @ (if c.shards > 1 then [ ("shards", num c.shards) ] else [])
     @ [ ("seed", num c.seed); ("arms", Json.Arr (List.map arm_to_json c.arms)) ])
 
 let to_json t =
@@ -167,6 +169,10 @@ let config_of_json v =
     | Some (Json.Num x) -> Ok x
     | Some _ -> Error "field \"batch_hold\": expected a number"
   in
+  (* absent in pre-sharding artifacts (and unsharded ones): 1 shard *)
+  let* shards =
+    match Json.get v "shards" with None -> Ok 1 | Some x -> Json.to_int x
+  in
   let* seed = field v "seed" Json.to_int in
   let* arms = field v "arms" Json.to_list in
   let* arms = map_result arm_of_json arms in
@@ -186,6 +192,7 @@ let config_of_json v =
       batch_ops;
       batch_bytes;
       batch_hold;
+      shards;
       seed;
       arms;
     }

@@ -76,6 +76,14 @@ let matrix ?(n = 8) ?(lambda = 2) () =
           };
         ];
     };
+    (* sharded engine: classes partitioned across per-domain System
+       instances, crash/recover mirrored, results merged
+       deterministically. No arms here — failpoint arms are per-System
+       and refused by the sharded runner. *)
+    { base with shards = 2 };
+    { base with shards = 4; classing = "signature"; storage = "tree" };
+    { base with shards = 2; policy = "counter:4"; eager = true };
+    { base with shards = 4; durable = true };
   ]
 
 type failure = {
@@ -89,7 +97,7 @@ type failure = {
    config rotation and both seed derivations depend only on ([configs],
    [seed], [i]), so a campaign can be partitioned across domains (see
    bench/sweep.ml) with outcomes identical to the sequential run. *)
-let run_one ~configs ~seed i =
+let run_one ?domains ~configs ~seed i =
   if configs = [] then invalid_arg "Check.Fuzz.run_one: no configs";
   let config =
     let c = List.nth configs (i mod List.length configs) in
@@ -98,13 +106,13 @@ let run_one ~configs ~seed i =
   let rng = Sim.Rng.make ((seed * 1_000_003) + i) in
   let len = 10 + Sim.Rng.int rng 111 in
   let steps = gen_steps rng ~len in
-  (config, steps, Runner.run config steps)
+  (config, steps, Runner.run ?domains config steps)
 
-let campaign ~configs ~schedules ~seed ?(on_schedule = fun _ _ _ -> ()) () =
+let campaign ?domains ~configs ~schedules ~seed ?(on_schedule = fun _ _ _ -> ()) () =
   if configs = [] then invalid_arg "Check.Fuzz.campaign: no configs";
   let failures = ref [] in
   for i = 0 to schedules - 1 do
-    let config, steps, outcome = run_one ~configs ~seed i in
+    let config, steps, outcome = run_one ?domains ~configs ~seed i in
     on_schedule i config outcome;
     if outcome.Runner.violations <> [] then
       failures := { f_index = i; f_config = config; f_steps = steps; f_outcome = outcome } :: !failures

@@ -13,9 +13,10 @@ val matrix : ?n:int -> ?lambda:int -> unit -> Schedule.config list
 (** The coverage matrix mirroring [test_convergence]: the four
     classing×storage pairings, counter and doubling policies,
     coalesced groups, eager reads, a 2-cluster WAN, LRF repair, the
-    durable layer (clean and with torn WAL tails), and gcast batching
-    (default knobs, and tight caps with counter + durable) — fifteen
-    configs. Defaults [n = 8], [lambda = 2]. *)
+    durable layer (clean and with torn WAL tails), gcast batching
+    (default knobs, and tight caps with counter + durable), and the
+    sharded engine at 2 and 4 shards (clean, adaptive and durable).
+    Defaults [n = 8], [lambda = 2]. *)
 
 type failure = {
   f_index : int;  (** schedule number within the campaign *)
@@ -25,6 +26,7 @@ type failure = {
 }
 
 val run_one :
+  ?domains:int ->
   configs:Schedule.config list ->
   seed:int ->
   int ->
@@ -33,9 +35,12 @@ val run_one :
     the same config rotation, per-schedule seed derivation and step
     generation as {!campaign}, as a pure function of the index — so a
     campaign partitioned across domains (bench/sweep.ml) produces
-    outcomes identical to the sequential run. *)
+    outcomes identical to the sequential run. [domains] is forwarded
+    to {!Runner.run} for sharded configs; it never affects the
+    outcome. *)
 
 val campaign :
+  ?domains:int ->
   configs:Schedule.config list ->
   schedules:int ->
   seed:int ->

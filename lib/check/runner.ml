@@ -204,7 +204,74 @@ let run_with_system (c : Schedule.config) steps =
     },
     sys )
 
-let run c steps = fst (run_with_system c steps)
+(* ---- the sharded drive loop ----
+
+   The same step interpretation driven through a [Shard.t]: classes
+   live on [c.shards] engine shards, crash/recover fan out across
+   them, and the digest hashes the merged (shard-index-ordered) trace.
+   Failpoint arms are per-System and an armed crash on one shard would
+   desynchronise the mirrored up/down state, so sharded configs refuse
+   them; scheduled Crash/Recover steps cover fault interleavings. *)
+let run_sharded ?(domains = 1) (c : Schedule.config) steps =
+  if c.arms <> [] then
+    invalid_arg "Check.Runner: failpoint arms are unsupported with shards > 1";
+  let sh = Shard.create ~tracing:true ~shards:c.shards ~domains (system_config c) in
+  if c.durable then
+    Array.iter (fun s -> ignore (Durable.Manager.attach s)) (Shard.systems sh);
+  let down = ref [] in
+  let tmpl h = Template.headed heads.(h mod Array.length heads) [ Template.Any ] in
+  let fields i h = [ Value.Sym heads.(h mod Array.length heads); Value.Int i ] in
+  List.iteri
+    (fun i (step : Schedule.step) ->
+      let up = List.filter (Shard.is_up sh) (List.init c.n Fun.id) in
+      let pick m = List.nth up (m mod List.length up) in
+      match step with
+      | Insert (m, h) ->
+          if up <> [] then
+            Shard.insert sh ~machine:(pick m) (fields i h) ~on_done:(fun () -> ())
+      | Read (m, h) ->
+          if up <> [] then Shard.read sh ~machine:(pick m) (tmpl h) ~on_done:(fun _ -> ())
+      | Take (m, h) ->
+          if up <> [] then
+            Shard.read_del sh ~machine:(pick m) (tmpl h) ~on_done:(fun _ -> ())
+      | Snapshot m ->
+          if up <> [] then
+            Shard.snapshot sh ~machine:(pick m)
+              (Template.make [ Template.Any; Template.Any ])
+              ~on_done:(fun _ -> ())
+      | Crash m ->
+          if List.length !down < c.lambda && up <> [] then begin
+            let m = pick m in
+            Shard.crash sh ~machine:m;
+            down := m :: !down
+          end
+      | Recover -> begin
+          match !down with
+          | m :: rest ->
+              Shard.recover sh ~machine:m;
+              down := rest
+          | [] -> ()
+        end
+      | Advance -> Shard.advance sh 20000.0)
+    steps;
+  List.iter
+    (fun m -> if not (Shard.is_up sh m) then Shard.recover sh ~machine:m)
+    (List.sort_uniq compare !down);
+  Shard.run sh;
+  let subs = Shard.systems sh in
+  let sum f = Array.fold_left (fun acc s -> acc + f (System.history s)) 0 subs in
+  ( {
+      violations = Array.to_list subs |> List.concat_map Invariants.all;
+      trace_digest = Digest.to_hex (Digest.string (Shard.rendered_trace sh));
+      ops = sum History.op_count;
+      completed = sum History.completed_ops;
+      final_time = Shard.now sh;
+    },
+    sh )
+
+let run ?domains c steps =
+  if c.Schedule.shards <= 1 then fst (run_with_system c steps)
+  else fst (run_sharded ?domains c steps)
 
 let failure_signature o =
   match o.violations with [] -> None | r :: _ -> Some r.Invariants.inv

@@ -19,13 +19,27 @@ val batch_cfg : Schedule.config -> Net.Batch.cfg option
     {!Schedule.batching}, with zero fields taking the [Net.Batch.cfg]
     defaults. *)
 
-val run : Schedule.config -> Schedule.step list -> outcome
-(** @raise Invalid_argument on a malformed config (unknown classing /
-    storage / policy / repair name, or an unknown arm action). *)
+val run : ?domains:int -> Schedule.config -> Schedule.step list -> outcome
+(** Configs with [shards <= 1] run the plain single-{!Paso.System}
+    drive loop; [shards > 1] run the {!Paso.Shard} sharded one.
+    [domains] (default 1) only schedules shard engines onto OCaml
+    domains — the outcome is byte-identical for any value, and it is
+    ignored entirely by the unsharded path.
+    @raise Invalid_argument on a malformed config (unknown classing /
+    storage / policy / repair name, or an unknown arm action), or on a
+    sharded config carrying failpoint arms (arms are per-System and
+    would desynchronise the shards' mirrored up/down state). *)
 
 val run_with_system : Schedule.config -> Schedule.step list -> outcome * Paso.System.t
-(** As {!run}, also exposing the quiescent system for deeper
-    inspection (tests use it to audit stats and groups). *)
+(** As {!run} restricted to the unsharded path, also exposing the
+    quiescent system for deeper inspection (tests use it to audit
+    stats and groups). *)
+
+val run_sharded :
+  ?domains:int -> Schedule.config -> Schedule.step list -> outcome * Paso.Shard.t
+(** The sharded drive loop, exposing the quiescent shard composition
+    (tests use it for the cross-shard atomicity audit). Requires
+    [shards >= 1] in the config; arms are refused as in {!run}. *)
 
 val failure_signature : outcome -> string option
 (** The [inv] name of the first violation, if any — the shrinker's

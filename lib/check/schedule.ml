@@ -24,6 +24,7 @@ type config = {
   batch_ops : int;
   batch_bytes : int;
   batch_hold : float;
+  shards : int;
   seed : int;
   arms : arm list;
 }
@@ -46,6 +47,7 @@ let default =
     batch_ops = 0;
     batch_bytes = 0;
     batch_hold = 0.0;
+    shards = 1;
     seed = 0;
     arms = [];
   }
@@ -63,6 +65,7 @@ let label c =
   if batching c then
     Buffer.add_string b
       (Printf.sprintf " batch=%d/%d/%g" c.batch_ops c.batch_bytes c.batch_hold);
+  if c.shards > 1 then Buffer.add_string b (Printf.sprintf " shards=%d" c.shards);
   if c.arms <> [] then
     Buffer.add_string b
       (Printf.sprintf " arms=[%s]" (String.concat ";" (List.map (fun a -> a.arm_site) c.arms)));

@@ -53,6 +53,11 @@ type config = {
   batch_ops : int;  (** gcast batch op cap; [0] = default when batching *)
   batch_bytes : int;  (** gcast batch byte cap; [0] = default *)
   batch_hold : float;  (** gcast batch hold window δ; [0] = default *)
+  shards : int;
+      (** engine shards: [1] (the default) runs the plain single
+          {!Core.System}; [> 1] runs the {!Core.Shard} multi-domain
+          sharded composition (classes partitioned by the deterministic
+          class→shard hash, merged in shard-index order) *)
   seed : int;  (** basic-support placement seed *)
   arms : arm list;
 }

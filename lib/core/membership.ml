@@ -1,4 +1,15 @@
-type cls = { info : Obj_class.info; group : string; mutable basic : int list }
+type cls = {
+  info : Obj_class.info;
+  group : string;
+  mutable basic : int list;
+  mutable mut : int;
+      (* per-class mutation serial: bumped on every delivered
+         Store/Remove. One component of the freshness token (the others
+         — view id and loss generation — live in vsync / probation_gen);
+         also the read-coalescing window key in [Router]. Lives in the
+         class record so the hot deliver path pays one table lookup,
+         not a separate serial-table find+replace. *)
+}
 type xfer = Full of Server.snapshot | Delta of Server.delta
 type vsync = (Server.msg, Pobj.t, xfer) Vsync.t
 
@@ -24,11 +35,6 @@ type t = {
          probational group, flushed on the view change that reaches
          quorum *)
   probation_gen : (string, int) Hashtbl.t;
-  mut_serial : (string, int) Hashtbl.t;
-      (* per-class mutation serial: bumped on every delivered
-         Store/Remove. One component of the freshness token (the others
-         — view id and loss generation — live in vsync / probation_gen);
-         also the read-coalescing window key in [Router]. *)
   mutable gates_probation : bool; (* durability attached *)
 }
 
@@ -49,7 +55,6 @@ let create ~n ~lambda ~seed ~use_read_groups ~group_map ~servers ~engine ~stats 
     probation = Hashtbl.create 8;
     prob_waiters = Hashtbl.create 8;
     probation_gen = Hashtbl.create 8;
-    mut_serial = Hashtbl.create 16;
     gates_probation = false;
   }
 
@@ -94,7 +99,7 @@ let ensure m info =
             | None -> compute_basic m group)
         | None -> compute_basic m group
       in
-      let cs = { info; group; basic } in
+      let cs = { info; group; basic; mut = 0 } in
       Hashtbl.add m.classes cls cs;
       (match Hashtbl.find_opt m.group_class group with
       | Some classes -> classes := List.sort compare (cls :: !classes)
@@ -345,17 +350,21 @@ let note_group_lost m ~group =
 type token = { tk_mut : int; tk_view : int; tk_loss : int }
 
 let mutation_serial m ~cls =
-  Option.value ~default:0 (Hashtbl.find_opt m.mut_serial cls)
+  match Hashtbl.find_opt m.classes cls with Some cs -> cs.mut | None -> 0
 
-let note_mutation m ~cls = Hashtbl.replace m.mut_serial cls (1 + mutation_serial m ~cls)
+let note_mutation_cs cs = cs.mut <- cs.mut + 1
+
+let note_mutation m ~cls =
+  match Hashtbl.find_opt m.classes cls with
+  | Some cs -> note_mutation_cs cs
+  | None -> ()
 
 let class_token m ~cls =
-  let tk_mut = mutation_serial m ~cls in
   match find m cls with
-  | None -> { tk_mut; tk_view = 0; tk_loss = 0 }
+  | None -> { tk_mut = 0; tk_view = 0; tk_loss = 0 }
   | Some cs ->
       {
-        tk_mut;
+        tk_mut = cs.mut;
         tk_view = Vsync.view_id (vs m) ~group:cs.group;
         tk_loss = probation_generation m cs.group;
       }

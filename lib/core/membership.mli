@@ -23,6 +23,10 @@ type cls = {
   mutable basic : int list;
       (** B(C): the λ+1 machines currently responsible (as amended by
           support repair), sorted *)
+  mutable mut : int;
+      (** the class's mutation serial — read it through
+          {!mutation_serial}, advance it through {!note_mutation} /
+          {!note_mutation_cs} *)
 }
 
 (** State-transfer payload: the full snapshot of the ordinary join
@@ -190,7 +194,13 @@ val note_mutation : t -> cls:string -> unit
 (** A replicated mutation (Store/Remove) of the class was delivered:
     advance its serial. Called from the vsync deliver callback,
     unconditionally — the token must move whether or not any consumer
-    (batching, fast reads) is currently configured. *)
+    (batching, fast reads) is currently configured. A no-op for
+    unknown classes (delivered mutations always target ensured ones). *)
+
+val note_mutation_cs : cls -> unit
+(** {!note_mutation} through an already-resolved registry entry: the
+    deliver callback sits on the hottest path in the system and has
+    the entry in hand. *)
 
 val class_token : t -> cls:string -> token
 (** The class's current freshness token. *)

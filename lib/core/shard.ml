@@ -1,0 +1,283 @@
+(* Sharded composition root: S per-class System instances, one round
+   loop, deterministic merge. See shard.mli for the architecture and
+   the determinism argument; the invariants each piece leans on are
+   noted inline. *)
+
+type t = {
+  cfg : System.config;
+  shards : int;
+  domains : int;
+  sys : System.t array;
+  out : (unit -> unit) Sim.Mailbox.t array;
+      (* out.(s): posts from shard [s]. Producer is whichever domain
+         runs shard [s] in the current round (exactly one, by the
+         [i mod D] slicing); the coordinator is the only consumer and
+         only touches it between rounds. Spawn/join carry the
+         happens-before edges between the two regimes. *)
+  ovf : (unit -> unit) list ref array;
+      (* producer-local overflow for a full ring, reversed-FIFO;
+         drained after the ring at the same barrier *)
+  known : (string, unit) Hashtbl.t;
+  mutable universe : Obj_class.info list; (* sorted by name *)
+  mutable xretries : int;
+}
+
+(* FNV-1a 64-bit over the class name: the partition must be a pure
+   function of the name — stable across runs, processes and OCaml
+   versions — so replay artifacts stay valid. Hashtbl.hash promises
+   none of that. *)
+let shard_of_class ~shards cls =
+  if shards <= 1 then 0
+  else begin
+    let h = ref 0xCBF29CE484222325L in
+    String.iter
+      (fun c ->
+        h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+      cls;
+    Int64.to_int (Int64.rem (Int64.logand !h Int64.max_int) (Int64.of_int shards))
+  end
+
+let create ?(tracing = false) ~shards ?(domains = 1) cfg =
+  if shards < 1 then invalid_arg "Shard.create: shards < 1";
+  if domains < 1 then invalid_arg "Shard.create: domains < 1";
+  let sys =
+    Array.init shards (fun k ->
+        System.create ~tracing { cfg with System.seed = Sim.Rng.derive cfg.System.seed ~stream:k })
+  in
+  {
+    cfg;
+    shards;
+    domains;
+    sys;
+    out = Array.init shards (fun _ -> Sim.Mailbox.create ());
+    ovf = Array.init shards (fun _ -> ref []);
+    known = Hashtbl.create 64;
+    universe = [];
+    xretries = 0;
+  }
+
+let shard_count t = t.shards
+let domain_count t = t.domains
+let sub t k = t.sys.(k)
+let systems t = t.sys
+let owner t cls = shard_of_class ~shards:t.shards cls
+let cross_retries t = t.xretries
+
+let post t s f = if not (Sim.Mailbox.push t.out.(s) f) then t.ovf.(s) := f :: !(t.ovf.(s))
+
+(* --- round loop --------------------------------------------------------- *)
+
+(* Drain posts in shard-index order. A thunk may post again (to any
+   shard, including one already drained this pass — picked up next
+   round) and may issue fresh operations: the engines are idle here, so
+   issuing is safe, and the new events run next round. *)
+let drain_posts t =
+  let n = ref 0 in
+  for s = 0 to t.shards - 1 do
+    n := !n + Sim.Mailbox.drain t.out.(s) (fun f -> f ());
+    let o = t.ovf.(s) in
+    if !o <> [] then begin
+      let fs = List.rev !o in
+      o := [];
+      List.iter
+        (fun f ->
+          incr n;
+          f ())
+        fs
+    end
+  done;
+  !n
+
+let run t =
+  let continue = ref true in
+  while !continue do
+    Sim.Parallel.run ~domains:t.domains ~total:t.shards (fun s -> System.run t.sys.(s));
+    (* Engines quiesced and the drain injected nothing: globally done. *)
+    if drain_posts t = 0 then continue := false
+  done
+
+let advance t d =
+  let horizon = Array.map (fun s -> System.now s +. d) t.sys in
+  let continue = ref true in
+  while !continue do
+    Sim.Parallel.run ~domains:t.domains ~total:t.shards (fun s ->
+        System.run_until t.sys.(s) horizon.(s));
+    if drain_posts t = 0 then continue := false
+  done
+
+let now t = Array.fold_left (fun acc s -> Float.max acc (System.now s)) 0.0 t.sys
+
+(* --- class registry and routing ----------------------------------------- *)
+
+let note_class t info =
+  if not (Hashtbl.mem t.known info.Obj_class.name) then begin
+    Hashtbl.replace t.known info.Obj_class.name ();
+    t.universe <-
+      List.merge
+        (fun a b -> compare a.Obj_class.name b.Obj_class.name)
+        [ info ] t.universe
+  end
+
+(* Global candidate classes for a template, filtered (like System's
+   operations) to classes that exist. *)
+let candidates t tmpl =
+  Obj_class.sc_list t.cfg.System.classing ~universe:t.universe tmpl
+  |> List.filter (Hashtbl.mem t.known)
+
+(* Owning shards in order of first candidate appearance: the global
+   read walk is shard-major (all of a shard's candidates, then the
+   next shard's). A template with no known candidate still visits
+   shard 0, which records and fails the op exactly like the plain
+   System would — keeping the 1-shard composition byte-identical to an
+   unsharded run. *)
+let owners_of t cands =
+  let seen = Array.make t.shards false in
+  match
+    List.filter_map
+      (fun c ->
+        let s = shard_of_class ~shards:t.shards c in
+        if seen.(s) then None
+        else begin
+          seen.(s) <- true;
+          Some s
+        end)
+      cands
+  with
+  | [] -> [ 0 ]
+  | owners -> owners
+
+(* --- primitives --------------------------------------------------------- *)
+
+let insert t ~machine fields ~on_done =
+  let probe = Pobj.make ~uid:(Uid.make ~machine ~serial:0) fields in
+  let info = Obj_class.classify t.cfg.System.classing probe in
+  note_class t info;
+  let s = shard_of_class ~shards:t.shards info.Obj_class.name in
+  System.insert t.sys.(s) ~machine fields ~on_done:(fun () -> post t s on_done)
+
+(* Shared walk for read / read&del: visit owning shards in order; each
+   shard's own System walks its candidates. Continuations hop through
+   the shard's outbox so they (and the final [on_done]) run on the
+   coordinator at a barrier. A shard with no surviving candidate (class
+   lost since issue) answers synchronously — that happens only while
+   the engines are idle, so posting from here is still the coordinator
+   producing. *)
+let read_walk op t ~machine tmpl ~on_done =
+  match owners_of t (candidates t tmpl) with
+  | [] -> assert false (* owners_of yields at least [0] *)
+  | first :: rest ->
+      let rec visit s rest =
+        op t.sys.(s) ~machine tmpl ~on_done:(fun res ->
+            match (res, rest) with
+            | Some _, _ -> post t s (fun () -> on_done res)
+            | None, [] -> post t s (fun () -> on_done None)
+            | None, s' :: rest' -> post t s (fun () -> visit s' rest'))
+      in
+      visit first rest
+
+let read t = read_walk System.read t
+let read_del t = read_walk System.read_del t
+
+(* Cross-shard snapshot: per-owner System.snapshot sub-collects; each
+   accepted sub-snapshot captures its classes' serials at its local cut
+   (inside on_done, i.e. at the accepting confirm event, on the shard's
+   own domain — reading its own Membership is safe there). Once all
+   owners have voted, the coordinator — at a barrier, every engine
+   idle — re-reads every serial: an unmoved set means the barrier
+   instant is a cut consistent with every local cut, and the merge is
+   atomic; otherwise only the moved shards re-collect. *)
+let snapshot t ~machine tmpl ~on_done =
+  match owners_of t (candidates t tmpl) with
+  | [] -> assert false (* owners_of yields at least [0] *)
+  | owners ->
+      let results = Array.make t.shards None in
+      let serials = Array.make t.shards [] in
+      let pending = ref (List.length owners) in
+      let failed = ref false in
+      let rec issue s =
+        System.snapshot t.sys.(s) ~machine tmpl ~on_done:(fun res ->
+            (match res with
+            | Some rows ->
+                results.(s) <- Some rows;
+                serials.(s) <-
+                  List.map
+                    (fun (cls, _) -> (cls, System.mutation_serial t.sys.(s) ~cls))
+                    rows
+            | None -> results.(s) <- None);
+            post t s (fun () -> note res))
+      and note res =
+        (match res with None -> failed := true | Some _ -> ());
+        decr pending;
+        if !pending = 0 then confirm ()
+      and confirm () =
+        if !failed then on_done None
+        else begin
+          (* A single-owner snapshot is already atomic by its sub-
+             snapshot's own confirm — no cross-shard consistency to
+             establish (and skipping keeps a 1-shard run byte-identical
+             to the plain System, which never re-collects after its
+             accept). *)
+          let moved =
+            match owners with
+            | [ _ ] -> []
+            | _ ->
+                List.filter
+                  (fun s ->
+                    List.exists
+                      (fun (cls, sn) -> System.mutation_serial t.sys.(s) ~cls <> sn)
+                      serials.(s))
+                  owners
+          in
+          match moved with
+          | [] ->
+              let merged =
+                List.concat_map
+                  (fun s -> match results.(s) with Some rows -> rows | None -> [])
+                  owners
+              in
+              on_done (Some merged)
+          | _ ->
+              t.xretries <- t.xretries + List.length moved;
+              pending := List.length moved;
+              List.iter issue moved
+        end
+      in
+      List.iter issue owners
+
+(* --- faults ------------------------------------------------------------- *)
+
+let crash t ~machine = Array.iter (fun s -> System.crash s ~machine) t.sys
+let recover t ~machine = Array.iter (fun s -> System.recover s ~machine) t.sys
+let is_up t machine = System.is_up t.sys.(0) machine
+let up_count t = System.up_count t.sys.(0)
+
+(* --- merged observation ------------------------------------------------- *)
+
+let stat_count t key =
+  Array.fold_left (fun acc s -> acc + Sim.Stats.count (System.stats s) key) 0 t.sys
+
+let stat_total t key =
+  Array.fold_left (fun acc s -> acc +. Sim.Stats.total (System.stats s) key) 0.0 t.sys
+
+let stat_keys t =
+  Array.fold_left
+    (fun acc s -> List.rev_append (Sim.Stats.keys (System.stats s)) acc)
+    [] t.sys
+  |> List.sort_uniq compare
+
+let rendered_trace t =
+  let b = Buffer.create 4096 in
+  Array.iter
+    (fun s ->
+      List.iter
+        (fun r -> Buffer.add_string b (Format.asprintf "%a@." Sim.Trace.pp_record r))
+        (Sim.Trace.records (System.trace s)))
+    t.sys;
+  Buffer.contents b
+
+let waiter_count t = Array.fold_left (fun acc s -> acc + System.waiter_count s) 0 t.sys
+
+let concat_over t f = Array.to_list t.sys |> List.concat_map f
+let audit_replicas t = concat_over t System.audit_replicas
+let check_fault_tolerance t = concat_over t System.check_fault_tolerance
+let check_quiescent t = concat_over t System.check_quiescent

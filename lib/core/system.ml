@@ -48,6 +48,7 @@ let basic_support t ~cls = Membership.basic_support t.mem ~cls
 let write_group t ~cls = Membership.write_group t.mem ~cls
 let read_group t ~cls = Membership.read_group t.mem ~cls
 let live_count t ~cls = Membership.live_count t.mem ~cls
+let mutation_serial t ~cls = Membership.mutation_serial t.mem ~cls
 let replicas t ~cls = Membership.replicas t.mem ~cls
 let audit_replicas t = Membership.audit_replicas t.mem
 let check_fault_tolerance t = Membership.check_fault_tolerance t.mem
@@ -57,6 +58,14 @@ let check_quiescent t = Vsync.pending_groups t.vs
 
 let apply_policy t ~machine ~cls event =
   Membership.apply_policy t.mem ~policy:t.cfg.policy ~machine ~cls event
+
+(* The default policy ignores every event, yet feeding it costs a
+   class lookup, a live-object count and an event allocation on every
+   delivered mutation and every read response. Physical equality with
+   [Policy.static] is exact for every construction path in the repo
+   (config default, Runner's "static" decoding); a hand-rolled no-op
+   policy merely misses the shortcut. *)
+let static_policy t = t.cfg.policy == Policy.static
 
 let require_up t machine op =
   if machine < 0 || machine >= t.cfg.n then invalid_arg (op ^ ": bad machine id");
@@ -160,9 +169,10 @@ let read_gen t ~machine ~kind tmpl ~on_done =
                       let resp, _ = Server.local_read t.servers.(machine) ~cls tmpl in
                       Sim.Stats.incr_counter t.hs.h_local_reads;
                       Op.collecting op;
-                      apply_policy t ~machine ~cls
-                        (Policy.Local_read
-                           { ell = Server.live_count t.servers.(machine) ~cls });
+                      if not (static_policy t) then
+                        apply_policy t ~machine ~cls
+                          (Policy.Local_read
+                             { ell = Server.live_count t.servers.(machine) ~cls });
                       match resp with Some o -> finish (Some o) | None -> go rest)
               | History.Read ->
                   let msg = Server.Mem_read { cls; tmpl } in
@@ -186,16 +196,22 @@ let read_gen t ~machine ~kind tmpl ~on_done =
                       else fun () -> true
                     in
                     Sim.Stats.incr_counter t.hs.h_remote_reads;
+                    (* Captured at issue time, like the response the
+                       policy event describes; skipped entirely (the
+                       member walk is not free) under the static
+                       policy, which never reads it. *)
                     let crossed_wan =
-                      Router.crossed_wan t.router ~machine
-                        ~members:(Vsync.members t.vs ~group:cs.Membership.group)
+                      (not (static_policy t))
+                      && Router.crossed_wan t.router ~machine
+                           ~members:(Vsync.members t.vs ~group:cs.Membership.group)
                     in
                     let handle resp responders =
                       Op.collecting op;
                       (* ell piggybacked on the response (§5.1). *)
-                      apply_policy t ~machine ~cls
-                        (Policy.Remote_read
-                           { responders; ell = live_count t ~cls; wan = crossed_wan });
+                      if not (static_policy t) then
+                        apply_policy t ~machine ~cls
+                          (Policy.Remote_read
+                             { responders; ell = live_count t ~cls; wan = crossed_wan });
                       if fast && not (fresh ()) then begin
                         (* The token moved between issue and response (view
                            change, group loss, mutation) or the group is
@@ -568,8 +584,9 @@ let create ?(tracing = false) ?failpoints cfg =
                token: closes its read-coalescing window, invalidates
                in-flight fast reads, retries straddled snapshots. *)
             Membership.note_mutation mem ~cls;
-            apply_policy t ~machine:node ~cls
-              (Policy.Update { ell = Server.live_count servers.(node) ~cls })
+            if not (static_policy t) then
+              apply_policy t ~machine:node ~cls
+                (Policy.Update { ell = Server.live_count servers.(node) ~cls })
         | Server.Mem_read _ | Server.Place_marker _ | Server.Cancel_marker _ -> ()
       end
     | None -> ());

@@ -335,6 +335,13 @@ val live_count : t -> cls:string -> int
 (** ℓ: live objects in the class, read from the lowest operational
     replica (0 if none). *)
 
+val mutation_serial : t -> cls:string -> int
+(** The class's current mutation serial (0 for unknown classes) — the
+    freshness component of {!Membership.class_token}. The sharded
+    runner's cross-shard snapshot confirm reads these at its barrier
+    (all shard engines idle) to decide whether a collected cut is
+    atomic across shards. *)
+
 val waiter_count : t -> int
 (** Outstanding blocking-operation markers. *)
 

@@ -1,0 +1,55 @@
+type 'a t = {
+  slots : 'a option array;
+  mask : int;
+  head : int Atomic.t; (* next index to pop; owned by the consumer *)
+  tail : int Atomic.t; (* next index to push; owned by the producer *)
+}
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ?(capacity = 1024) () =
+  if capacity < 1 then invalid_arg "Mailbox.create: capacity < 1";
+  let cap = pow2 capacity 1 in
+  { slots = Array.make cap None; mask = cap - 1; head = Atomic.make 0; tail = Atomic.make 0 }
+
+let capacity t = t.mask + 1
+
+(* Indices grow without wrapping (63-bit ints outlive any run); a slot
+   is free iff tail - head <= mask. The producer writes the slot BEFORE
+   publishing the new tail and the consumer reads it before publishing
+   the new head, so the Atomic.set/get pairs carry the needed
+   happens-before edges. *)
+
+let push t x =
+  let tail = Atomic.get t.tail in
+  if tail - Atomic.get t.head > t.mask then false
+  else begin
+    t.slots.(tail land t.mask) <- Some x;
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let pop t =
+  let head = Atomic.get t.head in
+  if Atomic.get t.tail = head then None
+  else begin
+    let i = head land t.mask in
+    let x = t.slots.(i) in
+    t.slots.(i) <- None;
+    Atomic.set t.head (head + 1);
+    x
+  end
+
+let length t = Atomic.get t.tail - Atomic.get t.head
+
+let drain t f =
+  let n = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match pop t with
+    | Some x ->
+        incr n;
+        f x
+    | None -> continue := false
+  done;
+  !n

@@ -1,0 +1,39 @@
+(** Bounded single-producer/single-consumer mailbox.
+
+    The cross-domain hand-off primitive of the sharded engine runner:
+    during a parallel round, the domain running a shard (the single
+    producer) posts cross-shard work — read-walk continuations,
+    snapshot sub-results, fault fan-in notes — into its outbox; the
+    coordinating domain (the single consumer) drains the outboxes in
+    shard-index order at the round barrier, which is what keeps the
+    merged outcome independent of how shards were scheduled onto
+    domains.
+
+    The ring is a fixed-capacity power-of-two buffer with monotonic
+    [Atomic] head/tail indices: [push] writes the slot then publishes
+    by bumping the tail, [pop] reads the slot then releases it by
+    bumping the head, so exactly one domain ever writes each index.
+    No locks, no blocking — a full ring refuses the push (the caller
+    keeps a producer-local overflow and re-posts after the barrier). *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] (default 1024) is rounded up to a power of two. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> bool
+(** Enqueue from the producer domain. [false] iff the ring is full —
+    the item was NOT accepted. *)
+
+val pop : 'a t -> 'a option
+(** Dequeue from the consumer domain, [None] when empty. *)
+
+val length : 'a t -> int
+(** Items currently queued. Exact only at a quiescent point (e.g. at
+    the round barrier); a racing producer may make it stale by one. *)
+
+val drain : 'a t -> ('a -> unit) -> int
+(** Pop until empty, applying the function to each item in FIFO order;
+    returns how many were drained. Consumer side only. *)

@@ -1,0 +1,41 @@
+type timing = { td_domain : int; td_tasks : int; td_wall_s : float }
+
+let map ?(domains = 1) ?(now = fun () -> 0.0) ~total f =
+  if domains < 1 then invalid_arg "Parallel.map: domains < 1";
+  if total < 0 then invalid_arg "Parallel.map: negative total";
+  let slice d =
+    let t0 = now () in
+    let rows = ref [] in
+    let count = ref 0 in
+    let i = ref d in
+    while !i < total do
+      rows := (!i, f !i) :: !rows;
+      incr count;
+      i := !i + domains
+    done;
+    (!rows, !count, now () -. t0)
+  in
+  (* Domain 0 is the calling domain: its slice runs between the spawns
+     and the joins, so [domains - 1] is also the peak extra-domain
+     count. *)
+  let spawned = List.init (domains - 1) (fun k -> Domain.spawn (fun () -> slice (k + 1))) in
+  let joined = slice 0 :: List.map Domain.join spawned in
+  (* Reassemble in task-index order: which domain computed a row never
+     reaches the caller. *)
+  let out = ref [||] in
+  List.iter
+    (fun (rows, _, _) ->
+      List.iter
+        (fun (i, row) ->
+          if Array.length !out = 0 then out := Array.make total row;
+          !out.(i) <- row)
+        rows)
+    joined;
+  let timing =
+    List.mapi
+      (fun d (_, tasks, wall) -> { td_domain = d; td_tasks = tasks; td_wall_s = wall })
+      joined
+  in
+  (!out, timing)
+
+let run ?domains ~total f = ignore (map ?domains ~total f)

@@ -1,0 +1,34 @@
+(** Deterministic task fan-out across OCaml 5 domains.
+
+    The one partitioning pattern every multicore consumer of the
+    simulator shares (the bench/fuzz sweep runner, the sharded engine
+    runner): task [i] runs on domain [i mod domains], and results are
+    reassembled in task-index order — so the output is a pure function
+    of the tasks, byte-identical for any [domains] value. Per-domain
+    wall timing is the only partitioning-dependent observable and is
+    reported separately.
+
+    Tasks must be safe to run from several domains at once: every
+    simulation is self-contained (no shared mutable state), which is
+    what makes the partition sound. *)
+
+type timing = { td_domain : int; td_tasks : int; td_wall_s : float }
+(** One domain's share of a run: its index, how many tasks it ran, and
+    the wall-clock seconds its slice took (by [now], when provided). *)
+
+val map :
+  ?domains:int ->
+  ?now:(unit -> float) ->
+  total:int ->
+  (int -> 'a) ->
+  'a array * timing list
+(** [map ~domains ~total f] runs [f i] for every [i] in [0..total-1],
+    task [i] on domain [i mod domains], and returns the results in
+    index order plus one {!timing} per domain (in domain order).
+    [domains] defaults to 1 (fully sequential, no domain is spawned);
+    domain 0 is the calling domain. [now] supplies the clock for the
+    timing report; without it every [td_wall_s] is 0. Exceptions from
+    [f] propagate (spawned domains re-raise on join). *)
+
+val run : ?domains:int -> total:int -> (int -> unit) -> unit
+(** {!map} for effect-only tasks: same partition, no result array. *)

@@ -16,6 +16,19 @@ let bits64 t =
 let split t = { state = bits64 t }
 let copy t = { state = t.state }
 
+let derive seed ~stream =
+  if stream = 0 then seed
+  else
+    let z =
+      mix64
+        (Int64.add
+           (Int64.mul (Int64.of_int stream) golden_gamma)
+           (Int64.of_int seed))
+    in
+    (* Mask into OCaml's positive int range: seeds travel through
+       configs and JSON as plain ints. *)
+    Int64.to_int (Int64.logand z 0x3FFFFFFFFFFFFFFFL)
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
   (* Rejection-free for our purposes: modulo bias is negligible for

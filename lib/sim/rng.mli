@@ -12,6 +12,13 @@ val make : int -> t
 val split : t -> t
 (** An independent stream derived from (and advancing) [t]. *)
 
+val derive : int -> stream:int -> int
+(** [derive seed ~stream] is a seed for an independent stream, a pure
+    function of [(seed, stream)] (SplitMix64 finalizer over both).
+    [derive seed ~stream:0 = seed], so "stream 0" of any component is
+    byte-identical to the unstreamed configuration — the property the
+    sharded runner leans on for its shard-0-equals-whole-system pins. *)
+
 val copy : t -> t
 
 val bits64 : t -> int64

@@ -1,0 +1,253 @@
+(* The sharded composition root (Core.Shard): partition totality and
+   stability, domain-count independence (merged trace, stats and
+   outcome are byte-identical at any D — the property that makes the
+   multi-domain runner safe to use for checking at all), cross-shard
+   snapshot atomicity, and a pinned sharded replay digest.
+
+   Set PASO_PIN_PRINT=1 to print actual values when intentionally
+   re-pinning. *)
+
+open Paso
+
+let printing = Sys.getenv_opt "PASO_PIN_PRINT" = Some "1"
+let vs s = Value.Sym s
+let vi i = Value.Int i
+
+(* ------------------------------------------------------------------ *)
+(* Partition: total, stable, pinned                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_partition () =
+  let names = List.init 200 (fun i -> Printf.sprintf "2:h%d" i) in
+  List.iter
+    (fun shards ->
+      List.iter
+        (fun c ->
+          let s = Shard.shard_of_class ~shards c in
+          Alcotest.(check bool) "in range" true (s >= 0 && s < shards);
+          Alcotest.(check int) "stable" s (Shard.shard_of_class ~shards c))
+        names)
+    [ 1; 2; 4; 8 ];
+  Alcotest.(check int) "single shard takes all" 0 (Shard.shard_of_class ~shards:1 "anything");
+  (* The partition is part of the replay-artifact contract: a sharded
+     artifact only reproduces if the class→shard map never changes.
+     Pin a sample so an accidental hash tweak is caught here, not by a
+     drifted replay digest. *)
+  let sample = [ "2:a"; "2:b"; "2:c"; "2:d"; "3:x"; "all" ] in
+  let actual = List.map (Shard.shard_of_class ~shards:4) sample in
+  if printing then
+    Format.printf "partition pin: [%s]@."
+      (String.concat "; " (List.map string_of_int actual));
+  Alcotest.(check (list int)) "pinned class->shard sample" [ 0; 1; 2; 3; 0; 0 ] actual
+
+(* ------------------------------------------------------------------ *)
+(* The SPSC mailbox and the shared task partitioner                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_mailbox () =
+  let mb = Sim.Mailbox.create ~capacity:4 () in
+  Alcotest.(check int) "capacity" 4 (Sim.Mailbox.capacity mb);
+  List.iter (fun i -> Alcotest.(check bool) "push accepted" true (Sim.Mailbox.push mb i)) [ 1; 2; 3; 4 ];
+  Alcotest.(check bool) "full ring refuses" false (Sim.Mailbox.push mb 5);
+  Alcotest.(check int) "length" 4 (Sim.Mailbox.length mb);
+  Alcotest.(check (option int)) "fifo pop" (Some 1) (Sim.Mailbox.pop mb);
+  Alcotest.(check bool) "freed slot accepts" true (Sim.Mailbox.push mb 5);
+  let drained = ref [] in
+  Alcotest.(check int) "drain count" 4 (Sim.Mailbox.drain mb (fun x -> drained := x :: !drained));
+  Alcotest.(check (list int)) "fifo drain" [ 2; 3; 4; 5 ] (List.rev !drained);
+  Alcotest.(check (option int)) "empty" None (Sim.Mailbox.pop mb)
+
+let test_parallel () =
+  let seq, _ = Sim.Parallel.map ~total:10 (fun i -> i * i) in
+  List.iter
+    (fun domains ->
+      let rows, timing = Sim.Parallel.map ~domains ~total:10 (fun i -> i * i) in
+      Alcotest.(check (list int))
+        (Printf.sprintf "index-ordered at D=%d" domains)
+        (Array.to_list seq) (Array.to_list rows);
+      Alcotest.(check int) "one timing row per domain" domains (List.length timing))
+    [ 1; 2; 3; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Domain-count independence over random sharded schedules             *)
+(* ------------------------------------------------------------------ *)
+
+(* 200 random schedules rotating over the sharded rows of the fuzz
+   matrix (2 and 4 shards; head/hash, signature/tree, adaptive+eager,
+   durable), each run at D = 1, 2 and 4: every observable of the
+   outcome must be byte-identical. *)
+let test_domain_independence () =
+  let configs =
+    List.filter (fun c -> c.Check.Schedule.shards > 1) (Check.Fuzz.matrix ())
+  in
+  Alcotest.(check bool) "sharded matrix rows present" true (List.length configs >= 3);
+  for i = 0 to 199 do
+    let _, _, o1 = Check.Fuzz.run_one ~domains:1 ~configs ~seed:5 i in
+    let _, _, o2 = Check.Fuzz.run_one ~domains:2 ~configs ~seed:5 i in
+    let _, _, o4 = Check.Fuzz.run_one ~domains:4 ~configs ~seed:5 i in
+    let eq name f =
+      Alcotest.(check string) (Printf.sprintf "schedule %d: %s" i name) (f o1) (f o2);
+      Alcotest.(check string) (Printf.sprintf "schedule %d: %s (D=4)" i name) (f o1) (f o4)
+    in
+    eq "trace digest" (fun o -> o.Check.Runner.trace_digest);
+    eq "ops" (fun o -> string_of_int o.Check.Runner.ops);
+    eq "completed" (fun o -> string_of_int o.Check.Runner.completed);
+    eq "final time" (fun o -> Printf.sprintf "%h" o.Check.Runner.final_time);
+    Alcotest.(check int)
+      (Printf.sprintf "schedule %d: clean" i)
+      0
+      (List.length o1.Check.Runner.violations)
+  done
+
+(* The merged stat bank is part of the deterministic output too: same
+   keys, same counts, same totals at any D. *)
+let test_stats_merge_independent () =
+  let config = { Check.Schedule.default with shards = 4; seed = 3 } in
+  let steps = Check.Fuzz.gen_steps (Sim.Rng.make 99) ~len:120 in
+  let _, t1 = Check.Runner.run_sharded ~domains:1 config steps in
+  let _, t3 = Check.Runner.run_sharded ~domains:3 config steps in
+  let keys = Shard.stat_keys t1 in
+  Alcotest.(check (list string)) "same stat keys" keys (Shard.stat_keys t3);
+  List.iter
+    (fun k ->
+      Alcotest.(check int) ("count " ^ k) (Shard.stat_count t1 k) (Shard.stat_count t3 k);
+      Alcotest.(check bool) ("total " ^ k) true
+        (Shard.stat_total t1 k = Shard.stat_total t3 k))
+    keys;
+  Alcotest.(check string) "same merged trace" (Shard.rendered_trace t1)
+    (Shard.rendered_trace t3)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-shard snapshot atomicity                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Force the race the confirm phase exists for: shard 1's collect is
+   delayed by a failpoint, and once shard 0's sub-snapshot has locally
+   accepted we mutate shard 0's class. When shard 1's vote finally
+   lands, the coordinator's barrier re-read must notice shard 0's
+   moved serial, re-collect it, and only then accept — so the merged
+   result reflects one global cut, not two divergent local ones. *)
+let test_snapshot_atomicity () =
+  let cfg = { System.default_config with n = 6; lambda = 1 } in
+  let t = Shard.create ~shards:2 cfg in
+  let name h =
+    (Obj_class.classify cfg.System.classing
+       (Pobj.make ~uid:(Uid.make ~machine:0 ~serial:0) [ vs h; vi 0 ]))
+      .Obj_class.name
+  in
+  let heads = [ "a"; "b"; "c"; "d"; "e"; "f" ] in
+  let h0 = List.find (fun h -> Shard.shard_of_class ~shards:2 (name h) = 0) heads in
+  let h1 = List.find (fun h -> Shard.shard_of_class ~shards:2 (name h) = 1) heads in
+  Shard.insert t ~machine:0 [ vs h0; vi 1 ] ~on_done:(fun () -> ());
+  Shard.insert t ~machine:1 [ vs h1; vi 1 ] ~on_done:(fun () -> ());
+  Shard.run t;
+  (* issue from a machine outside wg(h1) so shard 1's collect really
+     goes over the wire — and delay its first message by 8000 (the
+     [net.transmit] site honours Delay; the deliver site only serves
+     crash handlers) *)
+  let wg1 = System.write_group (Shard.sub t 1) ~cls:(name h1) in
+  let m = List.find (fun m -> not (List.mem m wg1)) (List.init cfg.System.n Fun.id) in
+  Sim.Failpoint.arm
+    (System.failpoints (Shard.sub t 1))
+    ~site:"net.transmit" ~skip:0 ~times:1
+    (fun _ -> Sim.Failpoint.Delay 8000.0);
+  let fired = ref 0 in
+  let result = ref None in
+  Shard.snapshot t ~machine:m
+    (Template.make [ Template.Any; Template.Any ])
+    ~on_done:(fun r ->
+      incr fired;
+      result := r);
+  (* step until shard 0 has locally accepted, while shard 1 is still
+     held up by the delayed delivery *)
+  let sub0 = Shard.sub t 0 in
+  let guard = ref 0 in
+  while System.snapshots sub0 = [] && !guard < 60 do
+    incr guard;
+    Shard.advance t 100.0
+  done;
+  Alcotest.(check bool) "shard 0 accepted early" true (System.snapshots sub0 <> []);
+  Alcotest.(check int) "cross-shard snapshot still pending" 0 !fired;
+  (* mutate shard 0's class after its local cut *)
+  Shard.insert t ~machine:0 [ vs h0; vi 2 ] ~on_done:(fun () -> ());
+  Shard.run t;
+  Alcotest.(check int) "completed exactly once" 1 !fired;
+  (match !result with
+  | Some rows ->
+      Alcotest.(check int) "both classes in the cut" 2 (List.length rows);
+      List.iter
+        (fun (_, o) -> Alcotest.(check bool) "every class answered" true (o <> None))
+        rows
+  | None -> Alcotest.fail "cross-shard snapshot failed");
+  Alcotest.(check bool) "moved shard was re-collected" true (Shard.cross_retries t >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded replay determinism pin                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A fixed sharded schedule's digest, pinned at the commit introducing
+   the sharded engine; and the artifact round-trip (the [shards] field
+   must survive JSON) replays to the same digest. *)
+let pinned_sharded_digest = "9c529ad42c97f53b3ca7d66f4a3c98aa"
+
+let test_replay_pin () =
+  let config = { Check.Schedule.default with shards = 4; seed = 2026 } in
+  let steps = Check.Fuzz.gen_steps (Sim.Rng.make 2026) ~len:80 in
+  let o1 = Check.Runner.run config steps in
+  Alcotest.(check int) "clean run" 0 (List.length o1.Check.Runner.violations);
+  if printing then
+    Format.printf "sharded replay pin: %S@." o1.Check.Runner.trace_digest;
+  Alcotest.(check string) "pinned sharded trace digest" pinned_sharded_digest
+    o1.Check.Runner.trace_digest;
+  let a = Check.Artifact.of_outcome config steps o1 in
+  match Check.Artifact.of_json (Check.Artifact.to_json a) with
+  | Error e -> Alcotest.fail ("artifact round-trip: " ^ e)
+  | Ok a' ->
+      Alcotest.(check int) "shards survive the artifact JSON" 4
+        a'.Check.Artifact.a_config.Check.Schedule.shards;
+      let o2 = Check.Runner.run ~domains:2 a'.Check.Artifact.a_config a'.Check.Artifact.a_steps in
+      Alcotest.(check string) "replayed digest" o1.Check.Runner.trace_digest
+        o2.Check.Runner.trace_digest
+
+(* Shard 0 of any sharded system is seeded with stream 0 = the config
+   seed itself: a 1-shard Shard.t is byte-identical to the plain
+   System on the same schedule. *)
+let test_single_shard_equals_system () =
+  let config = { Check.Schedule.default with seed = 17 } in
+  let steps = Check.Fuzz.gen_steps (Sim.Rng.make 17) ~len:100 in
+  let plain = Check.Runner.run config steps in
+  let sharded, _ = Check.Runner.run_sharded { config with shards = 1 } steps in
+  Alcotest.(check string) "1-shard trace == plain System trace"
+    plain.Check.Runner.trace_digest sharded.Check.Runner.trace_digest;
+  Alcotest.(check int) "same ops" plain.Check.Runner.ops sharded.Check.Runner.ops;
+  Alcotest.(check int) "same completions" plain.Check.Runner.completed
+    sharded.Check.Runner.completed
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "partition",
+        [
+          Alcotest.test_case "total, stable, pinned" `Quick test_partition;
+        ] );
+      ( "plumbing",
+        [
+          Alcotest.test_case "spsc mailbox" `Quick test_mailbox;
+          Alcotest.test_case "parallel map reassembly" `Quick test_parallel;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "200 schedules, D in {1,2,4}" `Quick test_domain_independence;
+          Alcotest.test_case "merged stats independent of D" `Quick
+            test_stats_merge_independent;
+          Alcotest.test_case "1 shard == plain system" `Quick
+            test_single_shard_equals_system;
+          Alcotest.test_case "sharded replay pin + artifact round-trip" `Quick
+            test_replay_pin;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "cross-shard atomic cut under races" `Quick
+            test_snapshot_atomicity;
+        ] );
+    ]
