@@ -14,6 +14,9 @@
      perf.exe --fast                  reduced iteration counts (CI)
      perf.exe --merge F --label L     write profile as label L into F
      perf.exe --gate F [--tolerance t]  compare vs F's "after" profile
+     perf.exe --only slo [--slo-domains D]  just the traffic-suite SLO
+                                      section (virtual-time quantiles;
+                                      deterministic, host-independent)
 *)
 
 open Paso
@@ -27,6 +30,8 @@ let gate = ref ""
 let tolerance = ref 0.25
 let trajectory = ref ""
 let pr = ref ""
+let only = ref ""
+let slo_domains = ref 1
 
 let args =
   [
@@ -46,6 +51,14 @@ let args =
       Arg.Set_string trajectory,
       "FILE append (or replace) this run's row in the per-PR trajectory file" );
     ("--pr", Arg.Set_string pr, "LABEL trajectory row label (e.g. pr4)");
+    ( "--only",
+      Arg.Set_string only,
+      "SECTION compute only this section (supported: slo) — skips the wall-clock \
+       benches, so a CI job can gate the deterministic SLO rows alone" );
+    ( "--slo-domains",
+      Arg.Set_int slo_domains,
+      "D domains for the slo scenario replays (default 1; the numbers are \
+       byte-identical at any D, only wall-clock changes)" );
   ]
 
 let median = Mix.median
@@ -466,6 +479,33 @@ let sharding_profile ~reps ~fast =
       ("speedup_d4", J.Num speedup_d4);
     ]
 
+(* ---- SLO section: the traffic-harness scenario suite ----
+
+   Replays every shipped open-loop scenario (lib/traffic) against the
+   2-shard engine and records the latency quantiles, goodput and
+   deadline misses the SLO gate pins. These are virtual-time metrics —
+   no wall clock anywhere — so they are deterministic on any host and
+   the gate applies the fixed sim tolerance to them, not the calibrated
+   throughput tolerance. The domain count only changes wall-clock (the
+   replay is byte-identical at any D, which `paso-sim traffic --verify`
+   and test_traffic pin); CI runs D=2 to keep the pool exercised. *)
+let slo_profile ~domains =
+  let rows =
+    List.map
+      (fun sc ->
+        let o = Traffic.Driver.run ~shards:2 ~domains sc in
+        Printf.printf
+          "  slo %-16s p50 %8.0f  p99 %8.0f  p999 %8.0f  goodput %.6f/t  expired %d\n%!"
+          o.Traffic.Driver.o_name
+          (Traffic.Hist.p50 o.Traffic.Driver.o_hist)
+          (Traffic.Hist.p99 o.Traffic.Driver.o_hist)
+          (Traffic.Hist.p999 o.Traffic.Driver.o_hist)
+          o.Traffic.Driver.o_goodput o.Traffic.Driver.o_deadline_expired;
+        (o.Traffic.Driver.o_name, Traffic.Driver.to_json o))
+      Traffic.Scenario.all
+  in
+  J.Obj rows
+
 (* ---- profile assembly ---- *)
 
 let acceptance = (32, 2, 8, 3000) (* n, lambda, classes, ops *)
@@ -515,6 +555,7 @@ let profile ~fast =
   let sharding = sharding_profile ~reps ~fast in
   let recovery = recovery_profile ~reps ~ops:(if fast then 400 else 1200) in
   let op_lifecycle = op_lifecycle_profile ~ops:(if fast then 1000 else 3000) in
+  let slo = slo_profile ~domains:!slo_domains in
   J.Obj
     [
       ("e8_mix", Bench_json.mix_json mix);
@@ -530,6 +571,7 @@ let profile ~fast =
       ("kernels", J.Arr kernels);
       ("recovery", recovery);
       ("op_lifecycle", op_lifecycle);
+      ("slo", slo);
     ]
 
 (* ---- regression gate ---- *)
@@ -610,8 +652,8 @@ let gate_against ~path ~tol fresh =
               | Some f, Some b ->
                   check_sim_metric (String.concat "." path) f b
               | _ -> ())
-            [
-              [ "e8_mix"; "msgs_per_op" ];
+            ([
+               [ "e8_mix"; "msgs_per_op" ];
               [ "e8_mix"; "msg_cost_per_op" ];
               [ "batching"; "on"; "msgs_per_op" ];
               [ "batching"; "on"; "msg_cost_per_op" ];
@@ -622,7 +664,14 @@ let gate_against ~path ~tol fresh =
               [ "read_path"; "off"; "msgs_per_op" ];
               [ "read_path"; "on"; "msgs_per_op" ];
               [ "read_path"; "on"; "msg_cost_per_op" ];
-            ];
+            ]
+            (* SLO rows: tail latency of every shipped traffic scenario.
+               Virtual-time quantiles, so the fixed sim tolerance
+               applies; a protocol change that fattens a scenario's p99
+               or p999 by >10% fails the gate on any host. *)
+            @ List.concat_map
+                (fun nm -> [ [ "slo"; nm; "p99" ]; [ "slo"; nm; "p999" ] ])
+                Traffic.Scenario.names);
           List.iter
             (fun (name, base_ns) ->
               if name <> "calibration" then
@@ -657,6 +706,8 @@ let trajectory_row label p =
       ("sharded_ops_per_s_d4", num [ "sharding"; "ops_per_s_d4" ]);
       ("shard_speedup_d4", num [ "sharding"; "speedup_d4" ]);
       ("p99_sim_latency", num [ "e8_mix"; "p99_sim_latency" ]);
+      ("slo_ramp_p99", num [ "slo"; "ramp"; "p99" ]);
+      ("slo_ramp_p999", num [ "slo"; "ramp"; "p999" ]);
     ]
 
 let append_trajectory ~path ~label p =
@@ -677,8 +728,20 @@ let append_trajectory ~path ~label p =
 
 let () =
   Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "perf.exe [options]";
-  Printf.printf "perf baseline harness (%s profile)\n%!" (if !fast then "fast" else "full");
-  let p = profile ~fast:!fast in
+  Printf.printf "perf baseline harness (%s profile)\n%!"
+    (if !only <> "" then !only ^ " only" else if !fast then "fast" else "full");
+  let p =
+    match !only with
+    | "" -> profile ~fast:!fast
+    | "slo" ->
+        (* just the deterministic scenario suite — the CI slo job's
+           path: no wall-clock benches, so it gates identically on any
+           host and runner load is irrelevant *)
+        J.Obj [ ("slo", slo_profile ~domains:!slo_domains) ]
+    | s ->
+        Printf.eprintf "perf: unknown --only section %S (supported: slo)\n" s;
+        exit 2
+  in
   if !out <> "" then Bench_json.save !out (J.Obj [ ("version", J.Num 1.0); (!label, p) ]);
   if !merge_into <> "" then Bench_json.merge ~path:!merge_into ~label:!label p;
   if !trajectory <> "" then

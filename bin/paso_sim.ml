@@ -6,6 +6,7 @@
      support      play the support-selection game (Theorem 4)
      check        fuzz whole-system schedules against the invariant pack
      recover      crash a durable system (blackout or single machine) and audit recovery
+     traffic      replay open-loop traffic scenarios (SLO histograms, replay pins)
 
    Examples:
      paso-sim run --n 10 --lambda 2 --policy counter --workload phased --ops 600
@@ -14,7 +15,9 @@
      paso-sim check --schedules 1500 --matrix --shrink
      paso-sim check --replay check-artifacts/schedule-0007.json
      paso-sim recover --scenario blackout --n 8 --lambda 2 --ops 400
-     paso-sim recover --scenario crash --torn-tail 40 *)
+     paso-sim recover --scenario crash --torn-tail 40
+     paso-sim traffic ramp --shards 4 --domains 2 --json
+     paso-sim traffic --suite --verify --out slo.json *)
 
 open Cmdliner
 
@@ -809,9 +812,161 @@ let paging_cmd =
     (Cmd.info "paging" ~doc:"Run the paging substrate behind the Theorem 4 reduction.")
     term
 
+(* --- traffic ----------------------------------------------------------------- *)
+
+let traffic_cmd =
+  let scenario_pos =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"SCENARIO" ~doc:"Named scenario to replay (see --list).")
+  in
+  let list_flag =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the shipped scenarios and exit.")
+  in
+  let suite =
+    Arg.(value & flag & info [ "suite" ] ~doc:"Replay every shipped scenario.")
+  in
+  let file =
+    Arg.(value & opt (some string) None
+         & info [ "file" ] ~docv:"FILE"
+             ~doc:"Load the scenario from a JSON file instead of the shipped library.")
+  in
+  let print_flag =
+    Arg.(value & flag
+         & info [ "print" ] ~doc:"Print the selected scenario(s) as JSON and exit.")
+  in
+  let shards =
+    Arg.(value & opt int 0
+         & info [ "shards" ] ~docv:"S"
+             ~doc:"Drive the sharded engine with S shards (0 = bare System).")
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"D"
+             ~doc:"Domains for the sharded engine (output is byte-identical at any D).")
+  in
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ] ~doc:"Arm the event trace and report its digest.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit results as JSON.") in
+  let out =
+    Arg.(value & opt string ""
+         & info [ "out" ] ~docv:"FILE" ~doc:"Also write the JSON results to FILE.")
+  in
+  let verify =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"Replay each scenario on the bare System, the 1-shard and the 4-shard \
+                   engine at D = 1 and D = 2, and fail (exit 1) unless traces and \
+                   latency histograms are byte-identical where the determinism \
+                   contract requires it.")
+  in
+  let go name list_flag suite file print_flag shards domains trace json out verify =
+    if list_flag then begin
+      List.iter print_endline Traffic.Scenario.names;
+      exit 0
+    end;
+    let scenarios =
+      if suite then Traffic.Scenario.all
+      else
+        match (file, name) with
+        | Some f, _ -> begin
+            let contents =
+              try In_channel.with_open_text f In_channel.input_all
+              with Sys_error e ->
+                Printf.eprintf "traffic: cannot read %s: %s\n" f e;
+                exit 2
+            in
+            match Traffic.Scenario.parse contents with
+            | Ok sc -> [ sc ]
+            | Error e ->
+                Printf.eprintf "traffic: %s: %s\n" f e;
+                exit 2
+          end
+        | None, Some nm -> begin
+            match Traffic.Scenario.find nm with
+            | Some sc -> [ sc ]
+            | None ->
+                Printf.eprintf "traffic: unknown scenario %S (try --list)\n" nm;
+                exit 2
+          end
+        | None, None ->
+            Printf.eprintf "traffic: name a scenario, or pass --suite / --list\n";
+            exit 2
+    in
+    if print_flag then begin
+      List.iter (fun sc -> print_endline (Traffic.Scenario.to_string sc)) scenarios;
+      exit 0
+    end;
+    let failures = ref 0 in
+    let run_verified sc =
+      let o = Traffic.Driver.run ~tracing:(trace || verify) ~shards ~domains sc in
+      if verify then begin
+        (* The determinism contract: bare ≡ 1-shard composition, and a
+           fixed shard count is byte-identical at any domain count. *)
+        let bare = Traffic.Driver.run ~tracing:true sc in
+        let s1 = Traffic.Driver.run ~tracing:true ~shards:1 ~domains:1 sc in
+        let s4a = Traffic.Driver.run ~tracing:true ~shards:4 ~domains:1 sc in
+        let s4b = Traffic.Driver.run ~tracing:true ~shards:4 ~domains:2 sc in
+        let expect what a b =
+          if a <> b then begin
+            incr failures;
+            Printf.eprintf "traffic: %s: %s diverges (%s vs %s)\n" sc.Traffic.Scenario.sc_name
+              what a b
+          end
+        in
+        let td o = Option.value ~default:"-" o.Traffic.Driver.o_trace_digest in
+        expect "bare-vs-1-shard trace" (td bare) (td s1);
+        expect "bare-vs-1-shard histogram" bare.o_hist_digest s1.o_hist_digest;
+        expect "4-shard D1-vs-D2 trace" (td s4a) (td s4b);
+        expect "4-shard D1-vs-D2 histogram" s4a.o_hist_digest s4b.o_hist_digest
+      end;
+      o
+    in
+    let outcomes = List.map run_verified scenarios in
+    let report o =
+      let open Traffic.Driver in
+      Printf.printf
+        "%-16s issued %6d  completed %6d  goodput %8.5f/t  p50 %10.0f  p90 %10.0f  \
+         p99 %10.0f  p999 %10.0f  expired %4d  wan %6d%s\n"
+        o.o_name o.o_issued o.o_completed o.o_goodput
+        (Traffic.Hist.p50 o.o_hist) (Traffic.Hist.p90 o.o_hist)
+        (Traffic.Hist.p99 o.o_hist) (Traffic.Hist.p999 o.o_hist)
+        o.o_deadline_expired o.o_wan_msgs
+        (match o.o_trace_digest with Some d -> "  trace " ^ d | None -> "")
+    in
+    let j =
+      Check.Json.Obj
+        [
+          ("version", Check.Json.Num 1.0);
+          ("rows", Check.Json.Arr (List.map Traffic.Driver.to_json outcomes));
+        ]
+    in
+    if json then print_endline (Check.Json.pretty j) else List.iter report outcomes;
+    if out <> "" then
+      Out_channel.with_open_text out (fun oc ->
+          Out_channel.output_string oc (Check.Json.pretty j));
+    if !failures > 0 then exit 1
+  in
+  let term =
+    Term.(const go $ scenario_pos $ list_flag $ suite $ file $ print_flag $ shards
+          $ domains $ trace $ json $ out $ verify)
+  in
+  Cmd.v
+    (Cmd.info "traffic"
+       ~doc:"Replay declarative open-loop traffic scenarios (Poisson / bursty arrivals \
+             over Zipf-distributed clients, scripted faults) against the bare or \
+             sharded engine, reporting latency histograms, goodput and deadline \
+             misses; --verify pins byte-identical replay across backends and domain \
+             counts.")
+    term
+
 let () =
   let doc = "Simulated PASO memory: Westbrook & Zuck, PODC 1994 (TR-1013)." in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "paso-sim" ~version:"1.0.0" ~doc)
-          [ run_cmd; competitive_cmd; support_cmd; check_cmd; recover_cmd; paging_cmd ]))
+          [
+            run_cmd; competitive_cmd; support_cmd; check_cmd; recover_cmd; paging_cmd;
+            traffic_cmd;
+          ]))

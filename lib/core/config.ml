@@ -18,6 +18,7 @@ type config = {
   use_read_groups : bool;
   eager_reads : bool;
   fast_read : bool;
+  wan_latency_aware : bool;
   batch : Net.Batch.cfg option;
   policy : Policy.t;
   init_delay : float;
@@ -41,6 +42,7 @@ let default_config =
     use_read_groups = true;
     eager_reads = false;
     fast_read = false;
+    wan_latency_aware = false;
     batch = None;
     policy = Policy.static;
     init_delay = 5000.0;

@@ -17,6 +17,14 @@ type t = {
   lambda : int;
   topology : topology;
   batching : bool;
+  latency_aware : bool;
+  (* Per-machine EWMA of observed read-response latency (virtual time),
+     fed by [fan_out_read] when [latency_aware]; [lat_n.(m) = 0] means
+     never observed, which sorts as 0 — optimistic, so unprobed
+     replicas still get tried and an all-zero table leaves the
+     restriction byte-identical to the latency-blind one. *)
+  lat : float array;
+  lat_n : int array;
   mem : Membership.t;
   mutable r_vs : Membership.vsync option;
   (* sc-list memoisation: the classing strategy is fixed per system, so
@@ -34,12 +42,15 @@ type t = {
   c_marker_placements : Sim.Stats.counter;
 }
 
-let create ~classing ~lambda ~topology ~batching ~mem ~stats =
+let create ~classing ~lambda ~topology ~batching ~latency_aware ~n ~mem ~stats =
   {
     classing;
     lambda;
     topology;
     batching;
+    latency_aware;
+    lat = Array.make n 0.0;
+    lat_n = Array.make n 0;
     mem;
     r_vs = None;
     sc_cache = Hashtbl.create 64;
@@ -152,7 +163,34 @@ let sc_list r tmpl =
 
 (* --- read-group restriction --------------------------------------------- *)
 
+(* Latency-weighted replica observation (WAN read steering, §4.3): the
+   read fan-out records how long each restricted pick took to answer;
+   the EWMA feeds the ordering below. Virtual-time observations, so the
+   table — like everything else — is deterministic. *)
+let observe_read_latency r ~machine dt =
+  if machine >= 0 && machine < Array.length r.lat then
+    if r.lat_n.(machine) = 0 then begin
+      r.lat_n.(machine) <- 1;
+      r.lat.(machine) <- dt
+    end
+    else begin
+      r.lat_n.(machine) <- r.lat_n.(machine) + 1;
+      r.lat.(machine) <- (0.8 *. r.lat.(machine)) +. (0.2 *. dt)
+    end
+
+let observed_latency r ~machine =
+  if machine >= 0 && machine < Array.length r.lat && r.lat_n.(machine) > 0 then
+    Some r.lat.(machine)
+  else None
+
 let read_restrict r ~basic ~machine =
+  (* Stable, so ties — including the virgin all-zero table — preserve
+     member order and the restriction stays byte-identical to the
+     latency-blind path until observations actually differ. *)
+  let order ms =
+    if not r.latency_aware then ms
+    else List.stable_sort (fun a b -> Float.compare r.lat.(a) r.lat.(b)) ms
+  in
   let basic_rg members =
     let basic_up = List.filter (fun m -> List.mem m basic) members in
     if basic_up <> [] then basic_up
@@ -162,6 +200,7 @@ let read_restrict r ~basic ~machine =
   | Lan -> basic_rg
   | Wan { clusters; _ } ->
       fun members ->
+        let members = order members in
         let near = List.filter (fun m -> clusters.(m) = clusters.(machine)) members in
         if near <> [] then List.filteri (fun i _ -> i <= r.lambda) near
         else basic_rg members
@@ -196,6 +235,29 @@ let fan_out_batched r ~group ~from msg ~on_done =
     msg
 
 let fan_out_read r ~restrict ~eager ~group ~from msg ~on_done =
+  (* Under [latency_aware], wrap the restriction to capture the set it
+     actually picked (computed at gcast exec time) and the completion to
+     credit the issue→response interval to each pick. The wrap changes
+     no pick and no message — observation only. *)
+  let restrict, on_done =
+    if not r.latency_aware then (restrict, on_done)
+    else begin
+      let clock () = Sim.Engine.now (Vsync.engine (vs r)) in
+      let chosen = ref [] in
+      let t0 = clock () in
+      let restrict' ms =
+        let picks = restrict ms in
+        chosen := picks;
+        picks
+      in
+      let on_done' resp responders =
+        let dt = clock () -. t0 in
+        List.iter (fun m -> observe_read_latency r ~machine:m dt) !chosen;
+        on_done resp responders
+      in
+      (restrict', on_done')
+    end
+  in
   if r.batching then
     Vsync.gcast_batch (vs r) ~restrict ~group ~from ~msg_size:(Server.msg_size msg)
       ~on_done:(fun ~resp ~work:_ ~responders -> on_done resp responders)

@@ -35,9 +35,18 @@ val create :
   lambda:int ->
   topology:topology ->
   batching:bool ->
+  latency_aware:bool ->
+  n:int ->
   mem:Membership.t ->
   stats:Sim.Stats.t ->
   t
+(** [latency_aware] turns on latency-weighted replica
+    choice for WAN reads: the router keeps a per-machine EWMA of
+    observed read-response latency (virtual time, fed by its own read
+    fan-outs) and orders restriction candidates fastest-first before
+    the cluster-local filter. Off, the tables are never consulted and
+    every pick is byte-identical to the latency-blind router. [n] is
+    the machine count (sizes the observation tables). *)
 
 val attach_vsync : t -> Membership.vsync -> unit
 (** Wire the vsync instance (exactly once) — fan-outs need it. *)
@@ -70,7 +79,14 @@ val read_restrict : t -> basic:int list -> machine:int -> int list -> int list
     (§4.3). WAN: replicas in the reader's own cluster first — any
     replica's answer is valid for a read, and this is the natural
     wide-area refinement of the rg(C) optimisation (the paper's
-    closing open problem). *)
+    closing open problem). Under [latency_aware], WAN candidates are
+    first stably ordered by observed-latency EWMA (ties, including
+    never-observed replicas, keep member order — so the pick only
+    moves once real observations differ). *)
+
+val observed_latency : t -> machine:int -> float option
+(** The machine's read-latency EWMA (virtual time), [None] until its
+    first observation or when [latency_aware] is off. *)
 
 val crossed_wan : t -> machine:int -> members:int list -> bool
 (** Does a read from [machine] have to cross the wide area? True iff

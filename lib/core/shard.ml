@@ -105,6 +105,20 @@ let advance t d =
     if drain_posts t = 0 then continue := false
   done
 
+(* Absolute-horizon variant: every shard runs to the same instant, so
+   after the loop all shard clocks agree — the alignment the open-loop
+   traffic driver needs to issue an op "at time T" on any shard (and
+   the property that keeps a 1-shard composition byte-identical to a
+   bare System driven by [System.run_until] at the same instants;
+   [advance]'s per-shard [now + d] horizons drift apart instead). *)
+let advance_to t horizon =
+  let continue = ref true in
+  while !continue do
+    Sim.Parallel.run ~domains:t.domains ~total:t.shards (fun s ->
+        System.run_until t.sys.(s) horizon);
+    if drain_posts t = 0 then continue := false
+  done
+
 let now t = Array.fold_left (fun acc s -> Float.max acc (System.now s)) 0.0 t.sys
 
 (* --- class registry and routing ----------------------------------------- *)

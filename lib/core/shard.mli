@@ -110,6 +110,13 @@ val advance : t -> float -> unit
     [now + d]), draining cross-shard work between rounds. Events
     scheduled beyond a shard's horizon stay pending. *)
 
+val advance_to : t -> float -> unit
+(** Advance every shard to the same absolute instant [horizon]
+    ({!System.run_until} semantics: shards already past it are left
+    alone), draining cross-shard work between rounds. Afterwards every
+    shard clock reads [horizon] — the alignment the open-loop traffic
+    driver leans on to inject operations at exact virtual times. *)
+
 val now : t -> float
 (** Max over shards' clocks. *)
 

@@ -530,7 +530,8 @@ let create ?(tracing = false) ?failpoints cfg =
   in
   let router =
     Router.create ~classing:cfg.classing ~lambda:cfg.lambda ~topology:cfg.topology
-      ~batching:(cfg.batch <> None) ~mem ~stats:sstats
+      ~batching:(cfg.batch <> None) ~latency_aware:cfg.wan_latency_aware ~n:cfg.n ~mem
+      ~stats:sstats
   in
   let opctl =
     Op.ctl ~engine:eng ~stats:sstats ~trace:strace

@@ -54,6 +54,16 @@ type config = {
           fallbacks under ["paso.fast_read_fallbacks"]. [false] (the
           default) leaves every message and event byte-identical to
           the quorum-only system. *)
+  wan_latency_aware : bool;
+      (** latency-weighted WAN replica choice: the router keeps a
+          per-machine EWMA of observed read-response latency (virtual
+          time, fed by its own read fan-outs) and orders WAN read
+          restriction candidates fastest-first — cluster-local picks
+          before cross-WAN, then by measured speed within a tier
+          ({!Router.read_restrict}). No effect on the LAN topology.
+          [false] (the default) never consults or feeds the tables,
+          leaving every pick byte-identical to the latency-blind
+          router. *)
   batch : Net.Batch.cfg option;
       (** opt-in gcast batching: inserts, marker traffic and remote
           read fan-outs join a per-group accumulation window

@@ -8,6 +8,15 @@
     wall timing is the only partitioning-dependent observable and is
     reported separately.
 
+    Fan-outs run on a process-global {e persistent worker pool}: the
+    first [map ~domains:(d > 1)] spawns [d - 1] worker domains which
+    are then reused (epoch barrier per call) instead of paying a
+    [Domain.spawn]/join per call — the round-rate consumer this exists
+    for is [Shard], which fans out once per pump. The pool grows on
+    demand, is shared by every caller in the process, and is joined at
+    exit. A nested [map] issued from inside a pool worker falls back to
+    ad-hoc spawning, so composition cannot deadlock the pool.
+
     Tasks must be safe to run from several domains at once: every
     simulation is self-contained (no shared mutable state), which is
     what makes the partition sound. *)
@@ -25,10 +34,16 @@ val map :
 (** [map ~domains ~total f] runs [f i] for every [i] in [0..total-1],
     task [i] on domain [i mod domains], and returns the results in
     index order plus one {!timing} per domain (in domain order).
-    [domains] defaults to 1 (fully sequential, no domain is spawned);
-    domain 0 is the calling domain. [now] supplies the clock for the
-    timing report; without it every [td_wall_s] is 0. Exceptions from
-    [f] propagate (spawned domains re-raise on join). *)
+    [domains] defaults to 1 (fully sequential: no pool interaction, no
+    locking); domain 0 is the calling domain. [now] supplies the clock
+    for the timing report; without it every [td_wall_s] is 0.
+    Exceptions from [f] propagate after the barrier (every slice
+    finishes first; the lowest-indexed slice's exception is re-raised),
+    leaving the pool reusable. *)
 
 val run : ?domains:int -> total:int -> (int -> unit) -> unit
 (** {!map} for effect-only tasks: same partition, no result array. *)
+
+val pool_size : unit -> int
+(** Worker domains currently alive in the persistent pool (0 until the
+    first [map] with [domains > 1]). Observability only. *)

@@ -1,0 +1,51 @@
+type process =
+  | Poisson of { rate : float }
+  | Onoff of { rate_on : float; rate_off : float; mean_on : float; mean_off : float }
+
+type t = {
+  proc : process;
+  rng : Sim.Rng.t;
+  (* ON/OFF phase timeline, tiled lazily from 0: [phase_end] closes the
+     current phase, [phase_on] says which it is. Unused for Poisson. *)
+  mutable phase_on : bool;
+  mutable phase_end : float;
+}
+
+let make proc ~seed =
+  (match proc with
+  | Poisson { rate } -> if rate <= 0.0 then invalid_arg "Arrival.make: rate <= 0"
+  | Onoff { rate_on; rate_off; mean_on; mean_off } ->
+      if rate_on <= 0.0 then invalid_arg "Arrival.make: rate_on <= 0";
+      if rate_off < 0.0 then invalid_arg "Arrival.make: negative rate_off";
+      if mean_on <= 0.0 || mean_off <= 0.0 then
+        invalid_arg "Arrival.make: non-positive dwell mean");
+  { proc; rng = Sim.Rng.make seed; phase_on = false; phase_end = 0.0 }
+
+(* Exponential thinning across phase boundaries: draw a candidate gap at
+   the current phase's rate; a candidate past the phase boundary is
+   discarded and the draw restarts at the boundary under the next
+   phase's rate — exact for Poisson processes (memorylessness), and the
+   standard way to sample an MMPP without inverting its integrated
+   rate. *)
+let next t after =
+  match t.proc with
+  | Poisson { rate } -> after +. Sim.Rng.exponential t.rng ~mean:(1.0 /. rate)
+  | Onoff { rate_on; rate_off; mean_on; mean_off } ->
+      let flip () =
+        t.phase_on <- not t.phase_on;
+        t.phase_end <-
+          t.phase_end
+          +. Sim.Rng.exponential t.rng ~mean:(if t.phase_on then mean_on else mean_off)
+      in
+      let rec go from =
+        if t.phase_end <= from then flip ();
+        if t.phase_end <= from then go from (* zero-length dwell *)
+        else begin
+          let rate = if t.phase_on then rate_on else rate_off in
+          if rate <= 0.0 then go t.phase_end
+          else
+            let cand = from +. Sim.Rng.exponential t.rng ~mean:(1.0 /. rate) in
+            if cand <= t.phase_end then cand else go t.phase_end
+        end
+      in
+      go after

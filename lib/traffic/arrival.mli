@@ -1,0 +1,32 @@
+(** Open-loop arrival processes over virtual time.
+
+    Generators of client arrival instants that are independent of
+    completions — the defining property of open-loop load: the next
+    request is due when the process says so, whether or not the system
+    has answered the previous one, so queueing delay shows up in the
+    latency tail instead of silently throttling the offered rate.
+
+    Both processes are driven by a private {!Sim.Rng} stream, so an
+    arrival sequence is a pure function of [(process, seed)]. *)
+
+type process =
+  | Poisson of { rate : float }
+      (** memoryless arrivals at [rate] per virtual-time unit *)
+  | Onoff of { rate_on : float; rate_off : float; mean_on : float; mean_off : float }
+      (** two-state MMPP: the process alternates exponentially
+          distributed ON ([mean_on]) and OFF ([mean_off]) dwell times,
+          emitting Poisson arrivals at [rate_on] / [rate_off]
+          respectively — bursty, flash-crowd-shaped load. The timeline
+          starts in the ON state. *)
+
+type t
+
+val make : process -> seed:int -> t
+(** @raise Invalid_argument on a non-positive rate ([rate_off] may be
+    0: a fully silent OFF state) or non-positive dwell mean. *)
+
+val next : t -> float -> float
+(** [next t after] is the first arrival strictly after time [after].
+    Calls must be monotone ([after] never decreasing) — the generator
+    advances its phase timeline as it answers, which is what keeps the
+    sequence deterministic. *)

@@ -1,0 +1,56 @@
+(** Open-loop scenario driver over both engine backends.
+
+    Replays a {!Scenario.t} against either a bare {!Paso.System} or the
+    sharded {!Paso.Shard} composition, issuing every operation at its
+    exact virtual-time arrival instant (advance-to-T, inject, repeat)
+    and applying the fault script at its exact instants — the same
+    coordinator-paced sequence of calls for every backend. All
+    stochastic draws (arrivals, Zipf client/class picks, mix picks)
+    happen on the coordinator from streams derived from the scenario
+    seed, and completions only bump driver counters, so a scenario's
+    trace and latency histogram are byte-identical across domain
+    counts, and a 1-shard sharded run is byte-identical to the bare
+    system — the replay pins the traffic tests check.
+
+    After the last phase the driver applies any fault instants past the
+    timeline (recoveries always land) and runs the backend to
+    quiescence, so in-flight operations terminate (completing, or
+    expiring against [op_deadline]) before the histogram is read. *)
+
+type outcome = {
+  o_name : string;
+  o_shards : int;  (** 0 = bare [System] backend *)
+  o_domains : int;
+  o_issued : int;
+  o_completed : int;  (** ops with a recorded return (success or fail) *)
+  o_duration : float;  (** scenario timeline length (sum of phases) *)
+  o_final_time : float;  (** backend clock after quiescence *)
+  o_goodput : float;  (** completed ops per virtual-time unit of timeline *)
+  o_deadline_expired : int;  (** ["paso.op.deadline_expired"] *)
+  o_msgs : int;
+  o_wan_msgs : int;
+  o_hist : Hist.t;  (** completed-op latency, virtual time *)
+  o_hist_digest : string;  (** MD5 of {!Hist.render} — the replay pin *)
+  o_trace_digest : string option;  (** MD5 of the rendered trace, when traced *)
+}
+
+val run : ?tracing:bool -> ?shards:int -> ?domains:int -> Scenario.t -> outcome
+(** Replay the scenario. [shards = 0] (default) drives a bare
+    {!Paso.System}; [shards >= 1] drives {!Paso.Shard} with that shard
+    count on [domains] (default 1) domains. [tracing] arms the event
+    trace and fills [o_trace_digest] (slower, bigger).
+    @raise Invalid_argument if {!Scenario.validate} rejects the
+    scenario. *)
+
+val run_checked :
+  ?tracing:bool -> ?shards:int -> ?domains:int -> Scenario.t ->
+  outcome * Check.Invariants.report list
+(** {!run}, then the §2 invariant checks (A1–A3 safety: replica
+    consistency, operation semantics, quiescence) over the backend's
+    system(s) — every shard's reports concatenated in shard order. An
+    empty list means the run is clean. *)
+
+val to_json : outcome -> Check.Json.t
+(** Everything but the histogram's buckets: identity, counts, goodput,
+    deadline misses, p50/p90/p99/p999, digests. The artifact rows the
+    SLO gate reads. *)

@@ -1,0 +1,60 @@
+(** Log-bucketed latency histogram (HDR-style), shared by the traffic
+    driver and the bench mixes.
+
+    A recorder over non-negative samples with bounded memory at any
+    sample count: each positive sample lands in one of 128 linear
+    sub-buckets of its binary octave (the [frexp] exponent), so the
+    bucket's lower edge under-reports a sample by at most 1/128
+    (≈ 0.79%) relative — the documented accuracy of every quantile
+    this module reports. Exact count, sum, min and max are kept on the
+    side; a quantile whose rank falls on the last sample returns the
+    exact maximum.
+
+    Everything is deterministic: same samples (any order) ⇒ same
+    buckets ⇒ same {!render} string, which is what the traffic
+    replay pins digest. *)
+
+type t
+
+val create : unit -> t
+val record : t -> float -> unit
+(** Add one sample. Non-positive samples (a same-instant completion)
+    are counted in a dedicated zero bucket. *)
+
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+(** 0 when empty. *)
+
+val max_v : t -> float
+val min_v : t -> float
+(** 0 when empty. *)
+
+val quantile : t -> permille:int -> float
+(** Nearest-rank quantile at [permille]/1000: the value at 1-based rank
+    [min count (count·permille/1000 + 1)] — integer arithmetic, so
+    [permille:990] ranks exactly like the classic
+    [sorted.(min (n-1) (n·99/100))] scan it replaces. Returns the
+    bucket's lower edge (≤ the true sample by < 1/128 relative), or
+    the exact maximum when the rank is the last sample. 0 when empty.
+    @raise Invalid_argument unless [0 <= permille <= 1000]. *)
+
+val p50 : t -> float
+val p90 : t -> float
+val p99 : t -> float
+val p999 : t -> float
+
+val merge : into:t -> t -> unit
+(** Add every bucket and the exact side-stats of the second histogram
+    into [into]. *)
+
+val of_history : Paso.History.t -> t
+(** The completed-op latency histogram of a recorded history: one
+    sample [ret − issue] per record with a return time, in record
+    order. *)
+
+val render : t -> string
+(** Canonical textual rendering — header (count / zero-bucket count /
+    sum / min / max) plus one [index count] line per occupied bucket in
+    index order. Byte-identical for equal histograms; digest this for
+    replay pins. *)
