@@ -198,6 +198,103 @@ let run_once_sharded ?(tracing = false) ~shards ~domains ~n ~lambda ~classes ~op
   let wall = now_s () -. t0 in
   (wall, sh)
 
+(* ---- Zipf-skewed sharded mix (the rebalancing workload) ----
+
+   Same blend, but class popularity follows a Zipf law (rank r drawn
+   with probability ∝ 1/r^s) and the head names are chosen so that the
+   top [shards] ranks all hash to shard 0 — the adversarial placement
+   class migration exists for: a static partition serialises the hot
+   classes on one engine while the others idle, and the rebalancer's
+   job is to spread them. [s = 0] degenerates to the uniform mix on the
+   same colocated layout. *)
+
+let zipf_sampler ~classes ~s =
+  if s <= 0.0 then fun rng -> Sim.Rng.int rng classes
+  else begin
+    let cum = Array.make classes 0.0 in
+    let total = ref 0.0 in
+    for i = 0 to classes - 1 do
+      total := !total +. (1.0 /. (float_of_int (i + 1) ** s));
+      cum.(i) <- !total
+    done;
+    let total = !total in
+    fun rng ->
+      let u = Sim.Rng.float rng total in
+      let lo = ref 0 and hi = ref (classes - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if cum.(mid) > u then hi := mid else lo := mid + 1
+      done;
+      !lo
+  end
+
+(* Head names ranked hottest-first: ranks [0, shards) all map to shard
+   0 under the FNV partition, the tail takes candidates as they come.
+   Pure function of (cfg, shards, classes) — the workload layout is
+   part of the deterministic configuration. *)
+let skewed_heads ~cfg ~shards ~classes =
+  let cls_name h =
+    (Obj_class.classify cfg.System.classing
+       (Pobj.make ~uid:(Uid.make ~machine:0 ~serial:0) [ Value.Sym h; Value.Int 0 ]))
+      .Obj_class.name
+  in
+  let nhot = min shards classes in
+  let hot = ref [] and rest = ref [] and i = ref 0 in
+  while List.length !hot < nhot || List.length !rest < classes - nhot do
+    let h = Printf.sprintf "k%d" !i in
+    incr i;
+    if Shard.shard_of_class ~shards (cls_name h) = 0 && List.length !hot < nhot then
+      hot := h :: !hot
+    else if List.length !rest < classes - nhot then rest := h :: !rest
+  done;
+  Array.of_list (List.rev !hot @ List.rev !rest)
+
+let run_skewed_sharded ?(tracing = false) ?rebalance ~shards ~domains ~n ~lambda ~classes
+    ~ops ~zipf () =
+  let cfg = { System.default_config with n; lambda } in
+  let sh = Shard.create ~tracing ~shards ~domains ?rebalance cfg in
+  let rng = Sim.Rng.make 99 in
+  let heads = skewed_heads ~cfg ~shards ~classes in
+  let sample = zipf_sampler ~classes ~s:zipf in
+  let t0 = now_s () in
+  for i = 1 to ops do
+    let m = Sim.Rng.int rng n in
+    let head = heads.(sample rng) in
+    (match Sim.Rng.int rng 3 with
+    | 0 ->
+        Shard.insert sh ~machine:m
+          [ Value.Sym head; Value.Int i ]
+          ~on_done:(fun () -> ())
+    | 1 ->
+        Shard.read sh ~machine:m
+          (Template.headed head [ Template.Any ])
+          ~on_done:(fun _ -> ())
+    | _ ->
+        Shard.read_del sh ~machine:m
+          (Template.headed head [ Template.Any ])
+          ~on_done:(fun _ -> ()));
+    if i mod 1024 = 0 then Shard.run sh
+  done;
+  Shard.run sh;
+  let wall = now_s () -. t0 in
+  (wall, sh)
+
+(* Minimum wall over reps; also hands back the last run's shard handle
+   so the caller can read migration counters and per-shard loads. *)
+let measure_skewed_sharded ?(warmup = 1) ?(reps = 3) ?rebalance ~shards ~domains ~n
+    ~lambda ~classes ~ops ~zipf () =
+  Gc.compact ();
+  for _ = 1 to warmup do
+    ignore (run_skewed_sharded ?rebalance ~shards ~domains ~n ~lambda ~classes ~ops ~zipf ())
+  done;
+  let runs =
+    List.init reps (fun _ ->
+        run_skewed_sharded ?rebalance ~shards ~domains ~n ~lambda ~classes ~ops ~zipf ())
+  in
+  let wall = List.fold_left (fun acc (w, _) -> Float.min acc w) Float.infinity runs in
+  let _, sh = List.nth runs (reps - 1) in
+  (wall, sh)
+
 (* Minimum wall over repetitions, like [measure] (noise is additive). *)
 let measure_sharded ?(warmup = 1) ?(reps = 3) ~shards ~domains ~n ~lambda ~classes ~ops () =
   Gc.compact ();

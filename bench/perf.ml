@@ -53,8 +53,9 @@ let args =
     ("--pr", Arg.Set_string pr, "LABEL trajectory row label (e.g. pr4)");
     ( "--only",
       Arg.Set_string only,
-      "SECTION compute only this section (supported: slo) — skips the wall-clock \
-       benches, so a CI job can gate the deterministic SLO rows alone" );
+      "SECTION compute only this section (supported: slo, rebalance) — slo skips \
+       the wall-clock benches so a CI job can gate the deterministic SLO rows \
+       alone; rebalance runs just the skewed-mix migration gate" );
     ( "--slo-domains",
       Arg.Set_int slo_domains,
       "D domains for the slo scenario replays (default 1; the numbers are \
@@ -479,6 +480,84 @@ let sharding_profile ~reps ~fast =
       ("speedup_d4", J.Num speedup_d4);
     ]
 
+(* ---- rebalance (hot-class migration under Zipf skew) ----
+
+   The tentpole gate of the rebalancing work: the E8 mix with its class
+   popularity Zipf-skewed (s = 1.2) and the head names chosen
+   adversarially so every hot rank hashes to shard 0 — the static
+   partition serialises the hot classes on one engine while the other
+   shards idle. The same workload with the rent-to-buy rebalancer armed
+   must reach >= 1.5x the static throughput at S=8, D=4. Before any
+   timing, byte-identity is hard-asserted: a traced rebalancing run at
+   D = 2 and D = 4 must match D = 1's merged trace digest, migration
+   count and final placements — the §5.1 counters only ever read
+   round-barrier load totals, so every migration decision is a pure
+   function of the round sequence. The speedup gate only arms on hosts
+   with >= 4 cores, like the sharding gate; the section is absent from
+   older baselines, so the JSON gate ignores it there. *)
+
+let rebalance_speedup_required = 1.5
+
+let rebalance_profile ~reps ~fast =
+  let n, lambda, classes = (32, 2, 16) in
+  let shards = 8 and domains = 4 in
+  let zipf = 1.2 in
+  let ops = if fast then 4000 else 12000 in
+  let fingerprint d =
+    let _, sh =
+      Mix.run_skewed_sharded ~tracing:true ~rebalance:Rebalance.default_cfg ~shards
+        ~domains:d ~n ~lambda ~classes ~ops:512 ~zipf ()
+    in
+    ( Digest.to_hex (Digest.string (Shard.rendered_trace sh)),
+      Shard.migrations sh,
+      Shard.placements sh )
+  in
+  let f1 = fingerprint 1 in
+  List.iter
+    (fun d ->
+      if fingerprint d <> f1 then begin
+        Printf.eprintf "rebalance: traced run at D=%d diverges from D=1\n" d;
+        exit 1
+      end)
+    [ 2; 4 ];
+  let cores = Domain.recommended_domain_count () in
+  let wall_static, _ =
+    Mix.measure_skewed_sharded ~warmup:1 ~reps ~shards ~domains ~n ~lambda ~classes
+      ~ops ~zipf ()
+  in
+  let wall_rb, sh =
+    Mix.measure_skewed_sharded ~warmup:1 ~reps ~rebalance:Rebalance.default_cfg ~shards
+      ~domains ~n ~lambda ~classes ~ops ~zipf ()
+  in
+  let ops_s w = float_of_int ops /. Float.max 1e-12 w in
+  let static_ops_s = ops_s wall_static and rb_ops_s = ops_s wall_rb in
+  let speedup = rb_ops_s /. static_ops_s in
+  Printf.printf
+    "  skewed mix S=%d D=%d zipf %.1f:  static %10.0f ops/s   rebalanced %10.0f \
+     ops/s   %.2fx  (%d migrations, %d deferred)\n\
+     %!"
+    shards domains zipf static_ops_s rb_ops_s speedup (Shard.migrations sh)
+    (Shard.deferrals sh);
+  if cores >= 4 && speedup < rebalance_speedup_required then begin
+    Printf.eprintf "rebalance: skewed speedup %.2fx < required %.1fx\n" speedup
+      rebalance_speedup_required;
+    exit 1
+  end;
+  if cores < 4 then
+    Printf.printf "  rebalance gate skipped (< 4 cores: %d)\n%!" cores;
+  J.Obj
+    [
+      ("shards", J.Num (float_of_int shards));
+      ("domains", J.Num (float_of_int domains));
+      ("zipf", J.Num zipf);
+      ("cores", J.Num (float_of_int cores));
+      ("static_ops_per_s", J.Num static_ops_s);
+      ("skewed", J.Obj [ ("ops_per_s", J.Num rb_ops_s) ]);
+      ("speedup", J.Num speedup);
+      ("migrations", J.Num (float_of_int (Shard.migrations sh)));
+      ("deferred", J.Num (float_of_int (Shard.deferrals sh)));
+    ]
+
 (* ---- SLO section: the traffic-harness scenario suite ----
 
    Replays every shipped open-loop scenario (lib/traffic) against the
@@ -553,6 +632,7 @@ let profile ~fast =
   in
   let read_path = read_path_profile ~ops:(if fast then 2000 else 5000) in
   let sharding = sharding_profile ~reps ~fast in
+  let rebalance = rebalance_profile ~reps ~fast in
   let recovery = recovery_profile ~reps ~ops:(if fast then 400 else 1200) in
   let op_lifecycle = op_lifecycle_profile ~ops:(if fast then 1000 else 3000) in
   let slo = slo_profile ~domains:!slo_domains in
@@ -567,6 +647,7 @@ let profile ~fast =
           ] );
       ("read_path", read_path);
       ("sharding", sharding);
+      ("rebalance", rebalance);
       ("e8_table", J.Arr table);
       ("kernels", J.Arr kernels);
       ("recovery", recovery);
@@ -644,6 +725,18 @@ let gate_against ~path ~tol fresh =
            with
           | Some f, Some b -> check_throughput "e8_mix.events_per_s" f b
           | _ -> ());
+          (* The rebalanced skewed-mix throughput: only comparable when
+             this host actually ran the parallel rounds in parallel (the
+             >= 1.5x vs static assertion already hard-failed inside
+             [rebalance_profile] on such hosts). *)
+          (match
+             ( Bench_json.get_num fresh [ "rebalance"; "cores" ],
+               Bench_json.get_num fresh [ "rebalance"; "skewed"; "ops_per_s" ],
+               Bench_json.get_num base [ "rebalance"; "skewed"; "ops_per_s" ] )
+           with
+          | Some cores, Some f, Some b when cores >= 4.0 ->
+              check_throughput "rebalance.skewed.ops_per_s" f b
+          | _ -> ());
           List.iter
             (fun path ->
               match
@@ -705,6 +798,9 @@ let trajectory_row label p =
       ("fast_read_msgs_reduction", num [ "read_path"; "msgs_reduction" ]);
       ("sharded_ops_per_s_d4", num [ "sharding"; "ops_per_s_d4" ]);
       ("shard_speedup_d4", num [ "sharding"; "speedup_d4" ]);
+      ("rebalance_skewed_ops_per_s", num [ "rebalance"; "skewed"; "ops_per_s" ]);
+      ("rebalance_speedup", num [ "rebalance"; "speedup" ]);
+      ("rebalance_migrations", num [ "rebalance"; "migrations" ]);
       ("p99_sim_latency", num [ "e8_mix"; "p99_sim_latency" ]);
       ("slo_ramp_p99", num [ "slo"; "ramp"; "p99" ]);
       ("slo_ramp_p999", num [ "slo"; "ramp"; "p999" ]);
@@ -738,8 +834,14 @@ let () =
            path: no wall-clock benches, so it gates identically on any
            host and runner load is irrelevant *)
         J.Obj [ ("slo", slo_profile ~domains:!slo_domains) ]
+    | "rebalance" ->
+        (* just the skewed-mix migration gate: the D-sweep byte-identity
+           assert plus the >= 1.5x static-vs-rebalanced throughput check
+           (self-gating, >= 4 cores) *)
+        J.Obj
+          [ ("rebalance", rebalance_profile ~reps:(if !fast then 2 else 3) ~fast:!fast) ]
     | s ->
-        Printf.eprintf "perf: unknown --only section %S (supported: slo)\n" s;
+        Printf.eprintf "perf: unknown --only section %S (supported: slo, rebalance)\n" s;
         exit 2
   in
   if !out <> "" then Bench_json.save !out (J.Obj [ ("version", J.Num 1.0); (!label, p) ]);

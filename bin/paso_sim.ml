@@ -848,6 +848,12 @@ let traffic_cmd =
     Arg.(value & flag
          & info [ "trace" ] ~doc:"Arm the event trace and report its digest.")
   in
+  let rebalance =
+    Arg.(value & flag
+         & info [ "rebalance" ]
+             ~doc:"Arm the load-aware hot-class rebalancer (needs --shards >= 1). \
+                   Reports migration counts and per-shard loads.")
+  in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit results as JSON.") in
   let out =
     Arg.(value & opt string ""
@@ -861,7 +867,12 @@ let traffic_cmd =
                    latency histograms are byte-identical where the determinism \
                    contract requires it.")
   in
-  let go name list_flag suite file print_flag shards domains trace json out verify =
+  let go name list_flag suite file print_flag shards domains trace rebalance json out
+      verify =
+    if rebalance && shards <= 0 then begin
+      Printf.eprintf "traffic: --rebalance needs --shards >= 1\n";
+      exit 2
+    end;
     if list_flag then begin
       List.iter print_endline Traffic.Scenario.names;
       exit 0
@@ -899,8 +910,11 @@ let traffic_cmd =
       exit 0
     end;
     let failures = ref 0 in
+    let rb = if rebalance then Some Paso.Rebalance.default_cfg else None in
     let run_verified sc =
-      let o = Traffic.Driver.run ~tracing:(trace || verify) ~shards ~domains sc in
+      let o =
+        Traffic.Driver.run ~tracing:(trace || verify) ~shards ~domains ?rebalance:rb sc
+      in
       if verify then begin
         (* The determinism contract: bare ≡ 1-shard composition, and a
            fixed shard count is byte-identical at any domain count. *)
@@ -933,7 +947,12 @@ let traffic_cmd =
         (Traffic.Hist.p50 o.o_hist) (Traffic.Hist.p90 o.o_hist)
         (Traffic.Hist.p99 o.o_hist) (Traffic.Hist.p999 o.o_hist)
         o.o_deadline_expired o.o_wan_msgs
-        (match o.o_trace_digest with Some d -> "  trace " ^ d | None -> "")
+        (match o.o_trace_digest with Some d -> "  trace " ^ d | None -> "");
+      if o.o_rebalanced then
+        Printf.printf "%-16s migrations %d  deferred %d  shard loads [%s]\n" ""
+          o.o_migrations o.o_deferred
+          (String.concat "; "
+             (Array.to_list (Array.map (Printf.sprintf "%.0f") o.o_shard_loads)))
     in
     let j =
       Check.Json.Obj
@@ -950,7 +969,7 @@ let traffic_cmd =
   in
   let term =
     Term.(const go $ scenario_pos $ list_flag $ suite $ file $ print_flag $ shards
-          $ domains $ trace $ json $ out $ verify)
+          $ domains $ trace $ rebalance $ json $ out $ verify)
   in
   Cmd.v
     (Cmd.info "traffic"

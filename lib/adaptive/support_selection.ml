@@ -1,10 +1,11 @@
 module IntSet = Set.Make (Int)
 
-type strategy = Lrf | Lff | Fifo_replace | Random_replace | Marking_replace | Opt_replace
+type strategy = Lrf | Lff | Bgop | Fifo_replace | Random_replace | Marking_replace | Opt_replace
 
 let strategy_name = function
   | Lrf -> "LRF"
   | Lff -> "LFF"
+  | Bgop -> "BGOP"
   | Fifo_replace -> "FIFO"
   | Random_replace -> "RAND"
   | Marking_replace -> "MARK"
@@ -13,6 +14,7 @@ let strategy_name = function
 let paging_algo = function
   | Lrf -> Paging.Lru
   | Lff -> Paging.Lfu
+  | Bgop -> invalid_arg "Support_selection.paging_algo: BGOP has no paging analogue"
   | Fifo_replace -> Paging.Fifo
   | Random_replace -> Paging.Random_evict
   | Marking_replace -> Paging.Marking
@@ -81,6 +83,22 @@ let choose st strategy ~step =
   match strategy with
   | Lrf -> argmin_by (fun m -> (st.last_failure.(m), m)) outs
   | Lff -> argmin_by (fun m -> (st.failure_count.(m), m)) outs
+  | Bgop ->
+      (* Tiered best→good→ok→poor: rank candidates by reliability
+         evidence — never failed, then below-average lifetime failure
+         frequency, then merely quiet for the last n steps, then the
+         rest — and let LRF break ties inside the winning tier. Unlike
+         pure LRF it will not refill the group with a chronically flaky
+         machine just because its last crash has aged out. *)
+      let total = List.fold_left (fun acc m -> acc + st.failure_count.(m)) 0 outs in
+      let ncand = List.length outs in
+      let tier m =
+        if st.last_failure.(m) < 0 then 0
+        else if st.failure_count.(m) * ncand < total then 1
+        else if st.clock - st.last_failure.(m) > st.n then 2
+        else 3
+      in
+      argmin_by (fun m -> (tier m, st.last_failure.(m), m)) outs
   | Fifo_replace -> argmin_by (fun m -> (st.out_since.(m), m)) outs
   | Random_replace -> Sim.Rng.choice st.rng (Array.of_list outs)
   | Marking_replace ->
@@ -141,7 +159,7 @@ let adversarial_failures ?(length = 500) strategy ~n ~lambda =
   (match strategy with
   | Random_replace | Marking_replace | Opt_replace ->
       invalid_arg "Support_selection.adversarial_failures: deterministic strategies only"
-  | Lrf | Lff | Fifo_replace -> ());
+  | Lrf | Lff | Bgop | Fifo_replace -> ());
   validate ~n ~lambda [||];
   let st = make_state ~n ~lambda ~with_future:false [||] in
   let s_limit = n - lambda in

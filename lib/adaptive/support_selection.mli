@@ -20,6 +20,15 @@ type strategy =
   | Lrf  (** least recently failed — the paper's LRU analogue *)
   | Lff  (** least frequently failed — the LFU analogue: the natural
              "fewest lifetime crashes = most reliable" heuristic *)
+  | Bgop
+      (** best→good→ok→poor tiered replacement: candidates are ranked
+          into four reliability tiers — never failed; below-average
+          lifetime failure frequency; quiet for the last [n] steps;
+          everyone else — and LRF breaks ties inside the winning tier.
+          Combines frequency and recency evidence where LRF uses
+          recency alone, so a chronically flaky machine is not invited
+          back merely because its last crash has aged out. No paging
+          analogue ({!paging_algo} raises). *)
   | Fifo_replace
   | Random_replace
   | Marking_replace
@@ -29,7 +38,8 @@ val strategy_name : strategy -> string
 
 val paging_algo : strategy -> Paging.algo
 (** The paging policy this strategy corresponds to under the
-    Theorem 4 reduction. *)
+    Theorem 4 reduction.
+    @raise Invalid_argument for {!Bgop}, which has no analogue. *)
 
 type outcome = {
   copies : int;  (** replacements performed (each costs one g(ℓ) state copy) *)

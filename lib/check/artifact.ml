@@ -62,8 +62,10 @@ let config_to_json (c : Schedule.config) =
            ("batch_hold", Json.Num c.batch_hold);
          ]
        else [])
-    (* shards only when sharded: pre-sharding artifacts stay byte-identical *)
+    (* shards only when sharded, rebalance only when on: pre-sharding
+       (and pre-rebalancing) artifacts stay byte-identical *)
     @ (if c.shards > 1 then [ ("shards", num c.shards) ] else [])
+    @ (if c.rebalance then [ ("rebalance", Json.Bool true) ] else [])
     @ [ ("seed", num c.seed); ("arms", Json.Arr (List.map arm_to_json c.arms)) ])
 
 let to_json t =
@@ -173,6 +175,10 @@ let config_of_json v =
   let* shards =
     match Json.get v "shards" with None -> Ok 1 | Some x -> Json.to_int x
   in
+  (* absent in pre-rebalancing artifacts (and whenever off): false *)
+  let* rebalance =
+    match Json.get v "rebalance" with None -> Ok false | Some x -> Json.to_bool x
+  in
   let* seed = field v "seed" Json.to_int in
   let* arms = field v "arms" Json.to_list in
   let* arms = map_result arm_of_json arms in
@@ -193,6 +199,7 @@ let config_of_json v =
       batch_bytes;
       batch_hold;
       shards;
+      rebalance;
       seed;
       arms;
     }

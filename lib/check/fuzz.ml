@@ -84,6 +84,31 @@ let matrix ?(n = 8) ?(lambda = 2) () =
     { base with shards = 4; classing = "signature"; storage = "tree" };
     { base with shards = 2; policy = "counter:4"; eager = true };
     { base with shards = 4; durable = true };
+    (* load-aware class migration: rent-to-buy moves fire at round
+       barriers (the runner uses an aggressive rebalance config so
+       short schedules migrate); snapshots and reads race migrations
+       through the coordinator's in-flight refcounts *)
+    { base with shards = 2; rebalance = true };
+    { base with shards = 4; rebalance = true; classing = "signature"; storage = "tree" };
+    { base with shards = 4; rebalance = true; durable = true };
+    { base with shards = 2; rebalance = true; fast_read = true; policy = "counter:4" };
+    (* migrate-under-crash: crash machines exactly when a class move
+       fires; the move's preconditions are re-checked and a now-invalid
+       move is dropped, never half-applied *)
+    {
+      base with
+      shards = 2;
+      rebalance = true;
+      arms =
+        [
+          {
+            Schedule.arm_site = "rebalance.migrate";
+            arm_skip = 0;
+            arm_times = 2;
+            arm_action = "crash-hit-node";
+          };
+        ];
+    };
   ]
 
 type failure = {

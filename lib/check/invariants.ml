@@ -87,8 +87,8 @@ let durability sys =
             :: !reports
       | Some _ | None -> ());
       if
-        durable && (not held) && nreps > 0 && l.all_stored <> None
-        && l.first_removal = None && l.remove_ret = None
+        durable && (not held) && (not l.migrated_out) && nreps > 0
+        && l.all_stored <> None && l.first_removal = None && l.remove_ret = None
       then
         reports :=
           {

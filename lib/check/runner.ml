@@ -209,16 +209,76 @@ let run_with_system (c : Schedule.config) steps =
    The same step interpretation driven through a [Shard.t]: classes
    live on [c.shards] engine shards, crash/recover fan out across
    them, and the digest hashes the merged (shard-index-ordered) trace.
-   Failpoint arms are per-System and an armed crash on one shard would
-   desynchronise the mirrored up/down state, so sharded configs refuse
-   them; scheduled Crash/Recover steps cover fault interleavings. *)
+   Failpoint arms naming per-System sites are refused — they are
+   per-shard and an armed crash on one shard would desynchronise the
+   mirrored up/down state; scheduled Crash/Recover steps cover fault
+   interleavings. Arms naming coordinator sites (["rebalance.*"]) are
+   fine: they fire on the coordinator at a barrier and their crashes
+   fan out across every shard like a scheduled Crash. *)
+
+(* Much more trigger-happy than [Rebalance.default_cfg]: fuzz
+   schedules run 10-120 steps with a handful of round barriers, so
+   maturation must happen within a few barriers for the matrix rows to
+   exercise migration at all. *)
+let checker_rebalance_cfg =
+  {
+    Rebalance.rb_interval = 2;
+    rb_threshold = 1.05;
+    rb_migration_cost = 8.0;
+    rb_cooldown = 1;
+    rb_decay = 0.5;
+  }
+
+let coordinator_site (a : Schedule.arm) =
+  String.length a.arm_site >= 10 && String.sub a.arm_site 0 10 = "rebalance."
+
+(* Coordinator-registry arms support the crash actions only: the
+   barrier sites instrument no write or transmission a Delay/Truncate
+   could act on. *)
+let install_shard_arm sh ~down (a : Schedule.arm) =
+  let n = (System.config (Shard.sub sh 0)).System.n in
+  let crash m =
+    if m >= 0 && m < n && Shard.is_up sh m then begin
+      Shard.crash sh ~machine:m;
+      down := m :: !down
+    end
+  in
+  let handler : Sim.Failpoint.info -> Sim.Failpoint.effect_ =
+    match String.split_on_char ':' a.arm_action with
+    | [ "crash-hit-node" ] ->
+        fun info ->
+          crash info.Sim.Failpoint.fp_node;
+          Sim.Failpoint.Nothing
+    | [ "crash-aux-node" ] ->
+        fun info ->
+          crash info.Sim.Failpoint.fp_aux;
+          Sim.Failpoint.Nothing
+    | [ "crash-node"; i ] -> (
+        match int_of_string_opt i with
+        | Some m ->
+            fun _ ->
+              crash m;
+              Sim.Failpoint.Nothing
+        | None -> invalid_arg ("Check.Runner: bad machine in arm action " ^ a.arm_action))
+    | _ ->
+        invalid_arg
+          ("Check.Runner: unsupported coordinator arm action " ^ a.arm_action)
+  in
+  let times = if a.arm_times < 0 then None else Some a.arm_times in
+  Sim.Failpoint.arm (Shard.failpoints sh) ~site:a.arm_site ~skip:a.arm_skip ?times handler
+
 let run_sharded ?(domains = 1) (c : Schedule.config) steps =
-  if c.arms <> [] then
+  let coord_arms, sys_arms = List.partition coordinator_site c.arms in
+  if sys_arms <> [] then
     invalid_arg "Check.Runner: failpoint arms are unsupported with shards > 1";
-  let sh = Shard.create ~tracing:true ~shards:c.shards ~domains (system_config c) in
+  let rebalance = if c.rebalance then Some checker_rebalance_cfg else None in
+  let sh =
+    Shard.create ~tracing:true ~shards:c.shards ~domains ?rebalance (system_config c)
+  in
   if c.durable then
     Array.iter (fun s -> ignore (Durable.Manager.attach s)) (Shard.systems sh);
   let down = ref [] in
+  List.iter (install_shard_arm sh ~down) coord_arms;
   let tmpl h = Template.headed heads.(h mod Array.length heads) [ Template.Any ] in
   let fields i h = [ Value.Sym heads.(h mod Array.length heads); Value.Int i ] in
   List.iteri

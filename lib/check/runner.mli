@@ -27,8 +27,12 @@ val run : ?domains:int -> Schedule.config -> Schedule.step list -> outcome
     ignored entirely by the unsharded path.
     @raise Invalid_argument on a malformed config (unknown classing /
     storage / policy / repair name, or an unknown arm action), or on a
-    sharded config carrying failpoint arms (arms are per-System and
-    would desynchronise the shards' mirrored up/down state). *)
+    sharded config carrying per-System failpoint arms (they are
+    per-shard and would desynchronise the shards' mirrored up/down
+    state). Arms naming coordinator sites (["rebalance.*"], crash
+    actions only) are accepted with [shards > 1]: they fire on the
+    coordinating domain at a round barrier and their crashes fan out
+    across every shard like a scheduled Crash step. *)
 
 val run_with_system : Schedule.config -> Schedule.step list -> outcome * Paso.System.t
 (** As {!run} restricted to the unsharded path, also exposing the

@@ -25,6 +25,7 @@ type config = {
   batch_bytes : int;
   batch_hold : float;
   shards : int;
+  rebalance : bool;
   seed : int;
   arms : arm list;
 }
@@ -48,6 +49,7 @@ let default =
     batch_bytes = 0;
     batch_hold = 0.0;
     shards = 1;
+    rebalance = false;
     seed = 0;
     arms = [];
   }
@@ -66,6 +68,7 @@ let label c =
     Buffer.add_string b
       (Printf.sprintf " batch=%d/%d/%g" c.batch_ops c.batch_bytes c.batch_hold);
   if c.shards > 1 then Buffer.add_string b (Printf.sprintf " shards=%d" c.shards);
+  if c.rebalance then Buffer.add_string b " rebalance";
   if c.arms <> [] then
     Buffer.add_string b
       (Printf.sprintf " arms=[%s]" (String.concat ";" (List.map (fun a -> a.arm_site) c.arms)));

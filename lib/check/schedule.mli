@@ -58,6 +58,11 @@ type config = {
           {!Core.System}; [> 1] runs the {!Core.Shard} multi-domain
           sharded composition (classes partitioned by the deterministic
           class→shard hash, merged in shard-index order) *)
+  rebalance : bool;
+      (** load-aware class migration between shards (rent-to-buy
+          rebalancer at round barriers); only meaningful with
+          [shards > 1], where the runner enables it with an aggressive
+          checker config so short schedules actually migrate *)
   seed : int;  (** basic-support placement seed *)
   arms : arm list;
 }

@@ -23,6 +23,7 @@ type lifecycle = {
   mutable removed_by : int option;
   mutable lost_at : float option;
   mutable recovered_at : float option;
+  mutable migrated_out : bool;
 }
 
 (* Records live in a growable array indexed by op id — no per-op cons
@@ -82,6 +83,7 @@ let note_inserted t o ~cls ~now =
         removed_by = None;
         lost_at = None;
         recovered_at = None;
+        migrated_out = false;
       }
 
 let with_life t uid f =
@@ -113,6 +115,21 @@ let note_class_lost t ~cls ~now =
       | Some s
         when l.cls = cls && s <= now && l.lost_at = None && l.first_removal = None ->
           l.lost_at <- Some now
+      | Some _ | None -> ())
+    t.lives
+
+let note_class_migrated t ~cls ~now =
+  (* Same alive-interval cut as a loss — later template-matched fails
+     against this System are legal — but marked as a deliberate
+     handoff: the objects continue life (re-keyed) in another System,
+     so the durability audit must not count them as silently dropped
+     if the class ever migrates back here. *)
+  Uid.Tbl.iter
+    (fun _ l ->
+      match l.first_store with
+      | Some s when l.cls = cls && s <= now && l.first_removal = None ->
+          if l.lost_at = None then l.lost_at <- Some now;
+          l.migrated_out <- true
       | Some _ | None -> ())
     t.lives
 

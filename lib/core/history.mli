@@ -37,6 +37,10 @@ type lifecycle = {
   mutable recovered_at : float option;
       (** the object reappeared after a loss — rebuilt from a durable
           WAL/checkpoint replay at a rejoining machine *)
+  mutable migrated_out : bool;
+      (** the class was handed to another shard's System: the object
+          continues life there under a fresh uid, so this lifecycle's
+          disappearance is deliberate, not a durability loss *)
 }
 
 type t
@@ -67,6 +71,13 @@ val note_class_lost : t -> cls:string -> now:float -> unit
     stored somewhere (and not yet removed) is now gone. Objects whose
     inserts are still in flight are unaffected — reliable gcast
     delivers them to the group's next incarnation. *)
+
+val note_class_migrated : t -> cls:string -> now:float -> unit
+(** The class was extracted for migration to another shard: same
+    alive-interval cut as {!note_class_lost} (sets [lost_at] for every
+    stored, un-removed object — later fails here are legal), plus the
+    [migrated_out] mark that exempts the objects from the durability
+    audit should the class ever migrate back. *)
 
 val note_recovered : t -> Uid.t -> now:float -> unit
 (** The object was rebuilt from durable state at a machine about to

@@ -9,6 +9,11 @@ type cls = {
          also the read-coalescing window key in [Router]. Lives in the
          class record so the hot deliver path pays one table lookup,
          not a separate serial-table find+replace. *)
+  mutable load : float;
+      (* §4 cost-model weighted op count since the last [take_loads]:
+         the rebalancer's per-class demand signal, accumulated at issue
+         sites that already hold the record and drained at round
+         barriers. *)
 }
 type xfer = Full of Server.snapshot | Delta of Server.delta
 type vsync = (Server.msg, Pobj.t, xfer) Vsync.t
@@ -99,7 +104,7 @@ let ensure m info =
             | None -> compute_basic m group)
         | None -> compute_basic m group
       in
-      let cs = { info; group; basic; mut = 0 } in
+      let cs = { info; group; basic; mut = 0; load = 0.0 } in
       Hashtbl.add m.classes cls cs;
       (match Hashtbl.find_opt m.group_class group with
       | Some classes -> classes := List.sort compare (cls :: !classes)
@@ -372,6 +377,53 @@ let class_token m ~cls =
 let fresh_guard m ~cls ~group =
   let t0 = class_token m ~cls in
   fun () -> (not (probational m group)) && class_token m ~cls = t0
+
+(* --- per-class load accounting (rebalancer demand signal) ---------------- *)
+
+let note_load_cs cs w = cs.load <- cs.load +. w
+
+let take_loads m =
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun cls cs ->
+      if cs.load > 0.0 then begin
+        acc := (cls, cs.load) :: !acc;
+        cs.load <- 0.0
+      end)
+    m.classes;
+  List.sort compare !acc
+
+(* --- class migration (coordinator-side extract / install) ---------------- *)
+
+let forget m ~cls =
+  match Hashtbl.find_opt m.classes cls with
+  | None -> invalid_arg (Printf.sprintf "Membership.forget: unknown class %s" cls)
+  | Some cs ->
+      Hashtbl.remove m.classes cls;
+      (match Hashtbl.find_opt m.group_class cs.group with
+      | Some classes ->
+          classes := List.filter (fun c -> c <> cls) !classes;
+          if !classes = [] then Hashtbl.remove m.group_class cs.group
+      | None -> ())
+
+let adopt m info ~basic ~mut ~loss_gen =
+  let cls = info.Obj_class.name in
+  if Hashtbl.mem m.classes cls then
+    invalid_arg (Printf.sprintf "Membership.adopt: class %s already known" cls);
+  let group = group_of_class m cls in
+  let cs = { info; group; basic; mut; load = 0.0 } in
+  Hashtbl.add m.classes cls cs;
+  (match Hashtbl.find_opt m.group_class group with
+  | Some classes -> classes := List.sort compare (cls :: !classes)
+  | None -> Hashtbl.add m.group_class group (ref [ cls ]));
+  if loss_gen > probation_generation m group then
+    Hashtbl.replace m.probation_gen group loss_gen;
+  (* "paso.classes" is deliberately not advanced: the class was counted
+     when it was created at the source, and a migration is a move, so
+     the sum over shards stays one per class. *)
+  tracef m "class %s adopted, B(C) = {%s}" cls
+    (String.concat "," (List.map string_of_int basic));
+  cs
 
 (* --- adaptive policy dispatch (§5) --------------------------------------- *)
 

@@ -27,6 +27,10 @@ type cls = {
       (** the class's mutation serial — read it through
           {!mutation_serial}, advance it through {!note_mutation} /
           {!note_mutation_cs} *)
+  mutable load : float;
+      (** §4 cost-model weighted op count since the last {!take_loads}
+          — the rebalancer's per-class demand signal, advanced through
+          {!note_load_cs} at issue sites that already hold the record *)
 }
 
 (** State-transfer payload: the full snapshot of the ordinary join
@@ -211,6 +215,40 @@ val fresh_guard : t -> cls:string -> group:string -> unit -> bool
     still fresh?" — false if the group is probational or any token
     component moved. A fast read that tags its request with this guard
     and gets [false] back must fall back to the quorum path. *)
+
+(** {1 Per-class load accounting (rebalancer demand signal)} *)
+
+val note_load_cs : cls -> float -> unit
+(** Charge [w] cost-model units of demand to the class: called at op
+    issue with the registry entry already in hand (the §4 weights —
+    [2g+1] for a replicated op, [1] for a local read — are computed by
+    the caller, which knows the op shape). *)
+
+val take_loads : t -> (string * float) list
+(** Drain the per-class demand accumulated since the previous call:
+    sorted [(class, load)] pairs with every drained cell reset to zero,
+    classes with zero demand omitted. Called by the sharded engine at
+    round barriers; shard-local, so merging the drains in shard-index
+    order is domain-count independent. *)
+
+(** {1 Class migration (coordinator-side extract / install)} *)
+
+val forget : t -> cls:string -> unit
+(** Remove the class from the registry and from its group's class
+    list (dropping the list when it empties). The extraction half of a
+    migration: the caller has already quiesced and dissolved the vsync
+    group and evicted the replicas. ["paso.classes"] is not
+    decremented — the class still exists, elsewhere. Raises
+    [Invalid_argument] for an unknown class. *)
+
+val adopt : t -> Obj_class.info -> basic:int list -> mut:int -> loss_gen:int -> cls
+(** Install a migrated class preserving its identity: the basic
+    support and mutation serial travel unchanged (so freshness tokens
+    remain comparable), and the group's loss generation is raised to
+    at least [loss_gen]. No vsync joins are issued — the caller forms
+    the group administratively — and ["paso.classes"] is not advanced
+    (the class was counted at creation). Raises [Invalid_argument] if
+    the class is already known. *)
 
 (** {1 Adaptive policy dispatch (§5)} *)
 

@@ -20,6 +20,20 @@ type t = {
   known : (string, unit) Hashtbl.t;
   mutable universe : Obj_class.info list; (* sorted by name *)
   mutable xretries : int;
+  overlay : (string, int) Hashtbl.t;
+      (* class → shard for migrated classes; consulted ahead of the
+         hash. Written only by the coordinator at barriers. *)
+  inflight : (string, int ref) Hashtbl.t;
+      (* coordinator-side per-class refcount of operations between
+         issue and [on_done]: a class with in-flight traffic must not
+         migrate (its walk continuations hold shard indices). *)
+  rb : Rebalance.t option;
+  fp : Sim.Failpoint.t;
+      (* coordinator-level registry — the per-shard Systems each carry
+         their own; this one covers barrier-time sites *)
+  cum_load : float array; (* drained §4-weighted load per shard *)
+  mutable nmigrations : int;
+  mutable ndeferred : int; (* moves dropped at apply time (crash races) *)
 }
 
 (* FNV-1a 64-bit over the class name: the partition must be a pure
@@ -37,7 +51,7 @@ let shard_of_class ~shards cls =
     Int64.to_int (Int64.rem (Int64.logand !h Int64.max_int) (Int64.of_int shards))
   end
 
-let create ?(tracing = false) ~shards ?(domains = 1) cfg =
+let create ?(tracing = false) ~shards ?(domains = 1) ?rebalance cfg =
   if shards < 1 then invalid_arg "Shard.create: shards < 1";
   if domains < 1 then invalid_arg "Shard.create: domains < 1";
   let sys =
@@ -54,14 +68,54 @@ let create ?(tracing = false) ~shards ?(domains = 1) cfg =
     known = Hashtbl.create 64;
     universe = [];
     xretries = 0;
+    overlay = Hashtbl.create 16;
+    inflight = Hashtbl.create 64;
+    rb = Option.map (fun cfg -> Rebalance.create ~cfg ~shards ()) rebalance;
+    fp = Sim.Failpoint.create ();
+    cum_load = Array.make shards 0.0;
+    nmigrations = 0;
+    ndeferred = 0;
   }
 
 let shard_count t = t.shards
 let domain_count t = t.domains
 let sub t k = t.sys.(k)
 let systems t = t.sys
-let owner t cls = shard_of_class ~shards:t.shards cls
+
+let owner t cls =
+  match Hashtbl.find_opt t.overlay cls with
+  | Some s -> s
+  | None -> shard_of_class ~shards:t.shards cls
+
 let cross_retries t = t.xretries
+let rebalancing t = t.rb <> None
+let failpoints t = t.fp
+let shard_loads t = Array.copy t.cum_load
+let migrations t = t.nmigrations
+
+let deferrals t =
+  t.ndeferred + match t.rb with Some rb -> Rebalance.deferrals rb | None -> 0
+
+let placements t =
+  Hashtbl.fold (fun cls s acc -> (cls, s) :: acc) t.overlay [] |> List.sort compare
+
+(* In-flight refcounts: held from issue to the coordinator-side
+   [on_done]. Both ends run on the coordinator (issue happens between
+   rounds or inside a drained thunk), so plain mutation is safe. *)
+let hold t cls =
+  match Hashtbl.find_opt t.inflight cls with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.inflight cls (ref 1)
+
+let release t cls =
+  match Hashtbl.find_opt t.inflight cls with
+  | Some r ->
+      decr r;
+      if !r <= 0 then Hashtbl.remove t.inflight cls
+  | None -> ()
+
+let in_flight t cls =
+  match Hashtbl.find_opt t.inflight cls with Some r -> !r > 0 | None -> false
 
 let post t s f = if not (Sim.Mailbox.push t.out.(s) f) then t.ovf.(s) := f :: !(t.ovf.(s))
 
@@ -88,12 +142,64 @@ let drain_posts t =
   done;
   !n
 
+(* One migration: executed entirely on the coordinator at a barrier,
+   every engine idle. The failpoint fires before the extract so a
+   handler can crash machines against the in-flight move; a crash may
+   invalidate the move's preconditions, so eligibility is re-checked
+   and a refused move is dropped (the rebalancer re-selects the class
+   if it stays hot). *)
+let apply_move t { Rebalance.mv_cls = cls; mv_from = src; mv_to = dst } =
+  ignore
+    (Sim.Failpoint.hit t.fp ~site:"rebalance.migrate" ~node:dst ~aux:src ~group:cls ());
+  if System.class_migratable t.sys.(src) ~cls then begin
+    let mg = System.extract_class t.sys.(src) ~cls in
+    System.install_class t.sys.(dst) mg;
+    Hashtbl.replace t.overlay cls dst;
+    t.nmigrations <- t.nmigrations + 1;
+    true
+  end
+  else begin
+    t.ndeferred <- t.ndeferred + 1;
+    false
+  end
+
+(* Round-barrier tick: drain the §4-weighted per-class load counters in
+   shard-index order — the merged triples are a pure function of the
+   round sequence, so everything derived from them (including every
+   migration decision) is byte-identical at any domain count — then let
+   the rebalancer decide and apply its moves. Returns the number of
+   migrations attempted, which keeps the round loop alive so a
+   post-migration round re-establishes quiescence. *)
+let barrier_tick t =
+  let loads =
+    List.concat
+      (List.init t.shards (fun s ->
+           List.map (fun (cls, w) -> (cls, w, s)) (System.take_class_loads t.sys.(s))))
+  in
+  List.iter (fun (_, w, s) -> t.cum_load.(s) <- t.cum_load.(s) +. w) loads;
+  match t.rb with
+  | None -> 0
+  | Some rb ->
+      let eligible cls =
+        (not (in_flight t cls)) && System.class_migratable t.sys.(owner t cls) ~cls
+      in
+      let moves = Rebalance.round rb ~loads ~eligible in
+      (* Count attempted moves, not applied ones: a move dropped at
+         apply time may still have crashed machines through its
+         failpoint, and the round loop must run those events to
+         quiescence before it is allowed to stop. *)
+      List.iter (fun mv -> ignore (apply_move t mv)) moves;
+      List.length moves
+
 let run t =
   let continue = ref true in
   while !continue do
     Sim.Parallel.run ~domains:t.domains ~total:t.shards (fun s -> System.run t.sys.(s));
-    (* Engines quiesced and the drain injected nothing: globally done. *)
-    if drain_posts t = 0 then continue := false
+    (* Engines quiesced, the drain injected nothing and no class moved:
+       globally done. *)
+    let drained = drain_posts t in
+    let moved = barrier_tick t in
+    if drained = 0 && moved = 0 then continue := false
   done
 
 let advance t d =
@@ -102,7 +208,9 @@ let advance t d =
   while !continue do
     Sim.Parallel.run ~domains:t.domains ~total:t.shards (fun s ->
         System.run_until t.sys.(s) horizon.(s));
-    if drain_posts t = 0 then continue := false
+    let drained = drain_posts t in
+    let moved = barrier_tick t in
+    if drained = 0 && moved = 0 then continue := false
   done
 
 (* Absolute-horizon variant: every shard runs to the same instant, so
@@ -116,7 +224,9 @@ let advance_to t horizon =
   while !continue do
     Sim.Parallel.run ~domains:t.domains ~total:t.shards (fun s ->
         System.run_until t.sys.(s) horizon);
-    if drain_posts t = 0 then continue := false
+    let drained = drain_posts t in
+    let moved = barrier_tick t in
+    if drained = 0 && moved = 0 then continue := false
   done
 
 let now t = Array.fold_left (fun acc s -> Float.max acc (System.now s)) 0.0 t.sys
@@ -149,7 +259,7 @@ let owners_of t cands =
   match
     List.filter_map
       (fun c ->
-        let s = shard_of_class ~shards:t.shards c in
+        let s = owner t c in
         if seen.(s) then None
         else begin
           seen.(s) <- true;
@@ -166,8 +276,14 @@ let insert t ~machine fields ~on_done =
   let probe = Pobj.make ~uid:(Uid.make ~machine ~serial:0) fields in
   let info = Obj_class.classify t.cfg.System.classing probe in
   note_class t info;
-  let s = shard_of_class ~shards:t.shards info.Obj_class.name in
-  System.insert t.sys.(s) ~machine fields ~on_done:(fun () -> post t s on_done)
+  let cls = info.Obj_class.name in
+  let s = owner t cls in
+  hold t cls;
+  System.insert t.sys.(s) ~machine fields
+    ~on_done:(fun () ->
+      post t s (fun () ->
+          release t cls;
+          on_done ()))
 
 (* Shared walk for read / read&del: visit owning shards in order; each
    shard's own System walks its candidates. Continuations hop through
@@ -177,14 +293,23 @@ let insert t ~machine fields ~on_done =
    the engines are idle, so posting from here is still the coordinator
    producing. *)
 let read_walk op t ~machine tmpl ~on_done =
-  match owners_of t (candidates t tmpl) with
+  let cands = candidates t tmpl in
+  (* The walk's continuations name shard indices, so every candidate
+     class is pinned for the op's whole lifetime — not just the class
+     that ends up answering. *)
+  List.iter (hold t) cands;
+  let finish res =
+    List.iter (release t) cands;
+    on_done res
+  in
+  match owners_of t cands with
   | [] -> assert false (* owners_of yields at least [0] *)
   | first :: rest ->
       let rec visit s rest =
         op t.sys.(s) ~machine tmpl ~on_done:(fun res ->
             match (res, rest) with
-            | Some _, _ -> post t s (fun () -> on_done res)
-            | None, [] -> post t s (fun () -> on_done None)
+            | Some _, _ -> post t s (fun () -> finish res)
+            | None, [] -> post t s (fun () -> finish None)
             | None, s' :: rest' -> post t s (fun () -> visit s' rest'))
       in
       visit first rest
@@ -201,7 +326,17 @@ let read_del t = read_walk System.read_del t
    instant is a cut consistent with every local cut, and the merge is
    atomic; otherwise only the moved shards re-collect. *)
 let snapshot t ~machine tmpl ~on_done =
-  match owners_of t (candidates t tmpl) with
+  let cands = candidates t tmpl in
+  (* A multi-shard snapshot spans barriers (collect, then a confirm that
+     may re-collect): pin every candidate class until the merge — a
+     migration mid-snapshot would silently move a class's serial under
+     the confirm's feet. *)
+  List.iter (hold t) cands;
+  let on_done res =
+    List.iter (release t) cands;
+    on_done res
+  in
+  match owners_of t cands with
   | [] -> assert false (* owners_of yields at least [0] *)
   | owners ->
       let results = Array.make t.shards None in
@@ -268,7 +403,12 @@ let up_count t = System.up_count t.sys.(0)
 (* --- merged observation ------------------------------------------------- *)
 
 let stat_count t key =
-  Array.fold_left (fun acc s -> acc + Sim.Stats.count (System.stats s) key) 0 t.sys
+  (* Coordinator-side counters answer through the same surface as the
+     per-System stats, so facades built on [stat_count] see them. *)
+  match key with
+  | "rebalance.migrations" -> migrations t
+  | "rebalance.deferred" -> deferrals t
+  | _ -> Array.fold_left (fun acc s -> acc + Sim.Stats.count (System.stats s) key) 0 t.sys
 
 let stat_total t key =
   Array.fold_left (fun acc s -> acc +. Sim.Stats.total (System.stats s) key) 0.0 t.sys

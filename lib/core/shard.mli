@@ -46,12 +46,20 @@ val shard_of_class : shards:int -> string -> int
     name, mod [shards]. Pure, stable across runs and processes (no
     [Hashtbl.hash]). *)
 
-val create : ?tracing:bool -> shards:int -> ?domains:int -> System.config -> t
+val create :
+  ?tracing:bool -> shards:int -> ?domains:int -> ?rebalance:Rebalance.cfg -> System.config -> t
 (** [S = shards] sub-systems, shard [k] configured as the given config
     with [seed = Sim.Rng.derive seed ~stream:k] (so shard 0 is
     byte-identical to the unsharded system). [domains] (default 1)
     only schedules shard engines onto domains and never affects any
-    output.
+    output. [rebalance] (default off) enables load-aware class
+    migration: at every round barrier the coordinator drains the §4
+    cost-model-weighted per-class load counters in shard-index order
+    and feeds a {!Rebalance.t}; matured moves are applied right there —
+    engines idle, merged state only — so rebalanced runs stay
+    byte-identical at any [domains]. A 1-shard composition never
+    migrates (there is nowhere to go), keeping it byte-identical to a
+    bare {!System}.
     @raise Invalid_argument if [shards < 1] or [domains < 1]. *)
 
 val shard_count : t -> int
@@ -62,7 +70,37 @@ val sub : t -> int -> System.t
 
 val systems : t -> System.t array
 val owner : t -> string -> int
-(** The shard owning a class name ([shard_of_class]). *)
+(** The shard owning a class name: the migration overlay first, then
+    [shard_of_class]. *)
+
+(** {1 Rebalancing observability} *)
+
+val rebalancing : t -> bool
+(** Whether load-aware class migration is enabled. *)
+
+val shard_loads : t -> float array
+(** Cumulative §4-weighted load drained per shard at round barriers
+    (the ["shard.load[s]"] surface) — maintained whether or not
+    rebalancing is on, so static and rebalanced runs can be compared. *)
+
+val migrations : t -> int
+(** Class migrations actually performed. *)
+
+val deferrals : t -> int
+(** Rebalancer selections refused so far: classes deferred a round for
+    in-flight operations plus moves dropped at apply time because a
+    failpoint-injected crash invalidated them. *)
+
+val placements : t -> (string * int) list
+(** The migration overlay — classes living away from their hash shard —
+    sorted by class name. *)
+
+val failpoints : t -> Sim.Failpoint.t
+(** The coordinator-level failpoint registry (distinct from each
+    sub-system's own). Sites: ["rebalance.migrate"] — a matured class
+    move is about to execute (node = target shard, aux = source shard,
+    group = class); a handler that crashes machines here races the
+    crash against the migration. *)
 
 (** {1 PASO primitives}
 
@@ -133,7 +171,9 @@ val up_count : t -> int
 (** {1 Merged observation} *)
 
 val stat_count : t -> string -> int
-(** Sum of the key's counter across shards. *)
+(** Sum of the key's counter across shards. The coordinator's own
+    counters answer here too: ["rebalance.migrations"] and
+    ["rebalance.deferred"] map to {!migrations} / {!deferrals}. *)
 
 val stat_total : t -> string -> float
 val stat_keys : t -> string list

@@ -59,6 +59,13 @@ let check_quiescent t = Vsync.pending_groups t.vs
 let apply_policy t ~machine ~cls event =
   Membership.apply_policy t.mem ~policy:t.cfg.policy ~machine ~cls event
 
+let take_class_loads t = Membership.take_loads t.mem
+
+(* §4 cost-model weight of one replicated op against the class: the
+   message term of α(2g+1), with g its basic-support size. The absolute
+   scale only matters relative to [Rebalance]'s migration cost. *)
+let op_weight cs = float_of_int ((2 * List.length cs.Membership.basic) + 1)
+
 (* The default policy ignores every event, yet feeding it costs a
    class lookup, a live-object count and an event allocation on every
    delivered mutation and every read response. Physical equality with
@@ -90,6 +97,7 @@ let insert t ~machine fields ~on_done =
   let o = Pobj.make ~uid fields in
   let info = Router.classify t.router o in
   let cs = ensure_class t info in
+  Membership.note_load_cs cs (op_weight cs);
   let r = History.begin_op t.hist ~machine ~kind:History.Insert ~obj:o ~now:(now t) () in
   History.note_inserted t.hist o ~cls:info.Obj_class.name ~now:(now t);
   Sim.Stats.incr_counter t.hs.h_ops_insert;
@@ -161,6 +169,7 @@ let read_gen t ~machine ~kind tmpl ~on_done =
               | History.Read when Vsync.is_member t.vs ~group:cs.Membership.group ~node:machine
                 ->
                   (* Local mem-read: no messages, just Q(ℓ) work. *)
+                  Membership.note_load_cs cs 1.0;
                   let work =
                     Server.query_work t.servers.(machine) ~cls *. t.cfg.unit_work
                   in
@@ -175,6 +184,7 @@ let read_gen t ~machine ~kind tmpl ~on_done =
                              { ell = Server.live_count t.servers.(machine) ~cls });
                       match resp with Some o -> finish (Some o) | None -> go rest)
               | History.Read ->
+                  Membership.note_load_cs cs (op_weight cs);
                   let msg = Server.Mem_read { cls; tmpl } in
                   (* [fast]: restrict to a single replica, tagging the
                      request with the class's freshness token; a stale or
@@ -256,6 +266,7 @@ let read_gen t ~machine ~kind tmpl ~on_done =
                   in
                   attempt ~fast:t.cfg.fast_read
               | History.Read_del | History.Insert ->
+                  Membership.note_load_cs cs (op_weight cs);
                   let msg = Server.Remove { cls; tmpl } in
                   let straddled = Membership.straddle_guard t.mem cs.Membership.group in
                   Sim.Stats.incr_counter t.hs.h_removes;
@@ -500,6 +511,135 @@ let server_snapshot t ~machine =
     invalid_arg "System.server_snapshot: bad machine id";
   let s = t.servers.(machine) in
   Server.snapshot s ~classes:(Server.classes s)
+
+(* --- class migration between shards (coordinator-only) ------------------- *)
+
+(* The coordinator calls these at a round barrier with every shard
+   engine idle; nothing here schedules events or sends messages — a
+   migration is an administrative cut between rounds, which is what
+   keeps traces and results byte-identical at any domain count. *)
+
+type migrated = {
+  mg_info : Obj_class.info;
+  mg_basic : int list;
+  mg_members : int list;  (* live write-group members at the cut *)
+  mg_view_id : int;
+  mg_mut : int;  (* mutation serial (freshness token component) *)
+  mg_loss_gen : int;
+  mg_objs : Pobj.t list;  (* replica contents, insertion order *)
+  mg_marks : Server.marker list;  (* armed markers travel with the class *)
+  mg_lands : (float * float option * float option) list;
+      (* per object: (insert_issue, first_store, all_stored) *)
+}
+
+let class_migratable t ~cls =
+  match Membership.find t.mem cls with
+  | None -> false
+  | Some cs ->
+      let group = cs.Membership.group in
+      (not (Membership.probational t.mem group))
+      && Membership.classes_of_group t.mem group = [ cls ]
+      && Vsync.members t.vs ~group <> []
+      && Vsync.admin_quiescent t.vs ~group
+
+let extract_class t ~cls =
+  if not (class_migratable t ~cls) then
+    invalid_arg (Printf.sprintf "System.extract_class: class %s is not migratable" cls);
+  let cs = Option.get (Membership.find t.mem cls) in
+  let group = cs.Membership.group in
+  let members = Vsync.members t.vs ~group in
+  let objs, marks =
+    match Server.snapshot t.servers.(List.hd members) ~classes:[ cls ] with
+    | [ (_, (objs, marks, _)) ], _ -> (objs, marks)
+    | _ -> ([], [])
+  in
+  let lands =
+    List.map
+      (fun o ->
+        match History.lifecycle t.hist (Pobj.uid o) with
+        | Some l -> (l.History.insert_issue, l.History.first_store, l.History.all_stored)
+        | None ->
+            let tnow = now t in
+            (tnow, Some tnow, Some tnow))
+      objs
+  in
+  let mg =
+    {
+      mg_info = cs.Membership.info;
+      mg_basic = cs.Membership.basic;
+      mg_members = members;
+      mg_view_id = 0;  (* filled after the dissolve below *)
+      mg_mut = cs.Membership.mut;
+      mg_loss_gen = Membership.probation_generation t.mem group;
+      mg_objs = objs;
+      mg_marks = marks;
+      mg_lands = lands;
+    }
+  in
+  let view_id = Vsync.admin_dissolve t.vs ~group in
+  List.iter (fun m -> Server.evict t.servers.(m) ~cls) members;
+  (* The durable image must follow the evict, or a later replay would
+     resurrect the migrated-away replicas here. *)
+  (match t.durable with
+  | Some d -> List.iter (fun m -> d.du_resync ~machine:m) members
+  | None -> ());
+  (* End the migrated objects' alive intervals in THIS history: later
+     template-matched fails here must not be judged against objects
+     that now live on another shard. (The objects are not lost — the
+     target installs them under fresh lifecycles — so the durability
+     audit must not flag them if the class ever migrates back.) *)
+  History.note_class_migrated t.hist ~cls ~now:(now t);
+  Membership.forget t.mem ~cls;
+  Router.invalidate t.router;
+  tracef t "class %s migrated out (%d objects, serial %d)" cls (List.length objs)
+    mg.mg_mut;
+  { mg with mg_view_id = view_id }
+
+let install_class t mg =
+  let cls = mg.mg_info.Obj_class.name in
+  let cs =
+    Membership.adopt t.mem mg.mg_info ~basic:mg.mg_basic ~mut:mg.mg_mut
+      ~loss_gen:mg.mg_loss_gen
+  in
+  let group = cs.Membership.group in
+  Vsync.admin_form t.vs ~group ~members:mg.mg_members ~view_id:mg.mg_view_id;
+  (* Uid serials are per-System: a migrated object's source uid may
+     collide with one this System already issued (or will issue) for
+     its own machine/serial stream. Re-key every object onto this
+     System's allocator — fields, class and landmarks are what identify
+     it to users and to the §2 checker; the uid is plumbing. Source
+     tombstones are dropped for the same reason (their uids are
+     meaningless here, and the removals they witness never happened in
+     this System). *)
+  let tnow = now t in
+  let objs =
+    List.map2
+      (fun o (issue, first_store, all_stored) ->
+        let machine = (Pobj.uid o).Uid.machine in
+        let serial = t.serials.(machine) in
+        t.serials.(machine) <- serial + 1;
+        let o' = Pobj.make ~uid:(Uid.make ~machine ~serial) (Pobj.fields o) in
+        let uid' = Pobj.uid o' in
+        History.note_inserted t.hist o' ~cls ~now:(Float.min issue tnow);
+        (match first_store with
+        | Some s -> History.note_first_store t.hist uid' ~now:(Float.min s tnow)
+        | None -> ());
+        (match all_stored with
+        | Some s -> History.note_all_stored t.hist uid' ~now:(Float.min s tnow)
+        | None -> ());
+        o')
+      mg.mg_objs mg.mg_lands
+  in
+  let snapshot = [ (cls, (objs, mg.mg_marks, [])) ] in
+  let live = List.filter (fun m -> Vsync.is_up t.vs m) mg.mg_members in
+  List.iter (fun m -> Server.install t.servers.(m) snapshot) live;
+  (match t.durable with
+  | Some d -> List.iter (fun m -> d.du_resync ~machine:m) live
+  | None -> ());
+  Router.invalidate t.router;
+  Router.arm_new_class t.router (Op.Waiters.sorted t.waiters) ~cls;
+  tracef t "class %s migrated in (%d objects, serial %d)" cls (List.length objs)
+    mg.mg_mut
 
 (* --- construction ------------------------------------------------------- *)
 

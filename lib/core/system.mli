@@ -299,6 +299,66 @@ val server_snapshot : t -> machine:int -> Server.snapshot * int
 (** Snapshot of every class the machine's server currently holds, with
     its encoded wire size — checkpoint support for the durable layer. *)
 
+(** {1 Class migration between shards}
+
+    The sharded engine's rebalancer ([Paso.Shard] + {!Rebalance})
+    moves a hot class to another shard by extracting its full state
+    from the owning System and installing it in the target. Both
+    halves run on the coordinator at a round barrier with every shard
+    engine idle: nothing here schedules events or sends messages, so a
+    migration is an administrative cut between rounds and traces stay
+    byte-identical at any domain count. *)
+
+type migrated = {
+  mg_info : Obj_class.info;
+  mg_basic : int list;  (** B(C), preserved across the move *)
+  mg_members : int list;  (** live write-group members at the cut *)
+  mg_view_id : int;  (** group view id, preserved so freshness tokens
+                         remain comparable *)
+  mg_mut : int;  (** mutation serial (freshness token component) *)
+  mg_loss_gen : int;  (** group loss generation *)
+  mg_objs : Pobj.t list;  (** replica contents, insertion order *)
+  mg_marks : Server.marker list;  (** armed markers travel with the class *)
+  mg_lands : (float * float option * float option) list;
+      (** per object: insert issue, first store, all-stored landmarks *)
+}
+
+val class_migratable : t -> cls:string -> bool
+(** Whether the class can be extracted right now: known here, its
+    group non-probational, populated, completely quiescent
+    ({!Vsync.admin_quiescent}), and not sharing a write group with
+    other classes (shared-group classes are never migrated). The
+    caller additionally guarantees no in-flight operations touch the
+    class. *)
+
+val extract_class : t -> cls:string -> migrated
+(** Remove the class from this System and return its full portable
+    state: replicas are evicted (with a durable resync so replay
+    cannot resurrect them), the vsync group dissolved administratively,
+    the registry entry forgotten, routing caches invalidated, and the
+    migrated objects' alive intervals ended in this history (later
+    template-matched fails here must not be judged against objects now
+    living elsewhere).
+    @raise Invalid_argument if not {!class_migratable}. *)
+
+val install_class : t -> migrated -> unit
+(** Install an extracted class here: registry entry adopted with its
+    basic support and mutation serial intact, the group formed
+    administratively with the same members and view id, and the
+    replica state installed at every live member (durable resync
+    each). Objects are re-keyed onto this System's uid allocator —
+    serials are per-System, so the source uids could collide — and
+    given fresh lifecycles carrying the source insert landmarks
+    (clamped to this System's clock).
+    @raise Invalid_argument if the class is already known here. *)
+
+val take_class_loads : t -> (string * float) list
+(** Drain the per-class demand accumulated since the previous call
+    ({!Membership.take_loads}): §4 cost-model weighted op counts,
+    charged at issue — [2g+1] for replicated inserts / remote reads /
+    removes, [1] for local reads. The sharded engine drains every
+    shard at its round barriers to feed the rebalancer. *)
+
 (** {1 Faults} *)
 
 val crash : t -> machine:int -> unit

@@ -1,6 +1,13 @@
 type process =
   | Poisson of { rate : float }
   | Onoff of { rate_on : float; rate_off : float; mean_on : float; mean_off : float }
+  | Selfsim of {
+      rate_on : float;
+      rate_off : float;
+      mean_on : float;
+      mean_off : float;
+      alpha : float;
+    }
 
 type t = {
   proc : process;
@@ -11,41 +18,67 @@ type t = {
   mutable phase_end : float;
 }
 
+let validate_onoff ~rate_on ~rate_off ~mean_on ~mean_off =
+  if rate_on <= 0.0 then invalid_arg "Arrival.make: rate_on <= 0";
+  if rate_off < 0.0 then invalid_arg "Arrival.make: negative rate_off";
+  if mean_on <= 0.0 || mean_off <= 0.0 then
+    invalid_arg "Arrival.make: non-positive dwell mean"
+
 let make proc ~seed =
   (match proc with
   | Poisson { rate } -> if rate <= 0.0 then invalid_arg "Arrival.make: rate <= 0"
   | Onoff { rate_on; rate_off; mean_on; mean_off } ->
-      if rate_on <= 0.0 then invalid_arg "Arrival.make: rate_on <= 0";
-      if rate_off < 0.0 then invalid_arg "Arrival.make: negative rate_off";
-      if mean_on <= 0.0 || mean_off <= 0.0 then
-        invalid_arg "Arrival.make: non-positive dwell mean");
+      validate_onoff ~rate_on ~rate_off ~mean_on ~mean_off
+  | Selfsim { rate_on; rate_off; mean_on; mean_off; alpha } ->
+      validate_onoff ~rate_on ~rate_off ~mean_on ~mean_off;
+      if alpha <= 1.0 then invalid_arg "Arrival.make: alpha <= 1 (infinite mean dwell)");
   { proc; rng = Sim.Rng.make seed; phase_on = false; phase_end = 0.0 }
+
+(* Pareto dwell with the given mean: inverse-CDF over the scale
+   xm = mean·(α−1)/α, so E[X] = xm·α/(α−1) = mean. 1 < α ≤ 2 gives
+   infinite variance — the heavy-tailed dwell whose ON/OFF
+   superposition is the classical self-similar traffic construction
+   (Willinger et al.): burst lengths correlate across every
+   timescale instead of averaging out. *)
+let pareto rng ~mean ~alpha =
+  let xm = mean *. (alpha -. 1.0) /. alpha in
+  let u = Sim.Rng.float rng 1.0 in
+  xm *. ((1.0 -. u) ** (-1.0 /. alpha))
 
 (* Exponential thinning across phase boundaries: draw a candidate gap at
    the current phase's rate; a candidate past the phase boundary is
    discarded and the draw restarts at the boundary under the next
    phase's rate — exact for Poisson processes (memorylessness), and the
    standard way to sample an MMPP without inverting its integrated
-   rate. *)
+   rate. The dwell distribution only shapes the phase timeline, so the
+   same walk serves exponential (Onoff) and Pareto (Selfsim) dwells. *)
+let onoff_next t ~rate_on ~rate_off ~dwell after =
+  let flip () =
+    t.phase_on <- not t.phase_on;
+    t.phase_end <- t.phase_end +. dwell t.phase_on
+  in
+  let rec go from =
+    if t.phase_end <= from then flip ();
+    if t.phase_end <= from then go from (* zero-length dwell *)
+    else begin
+      let rate = if t.phase_on then rate_on else rate_off in
+      if rate <= 0.0 then go t.phase_end
+      else
+        let cand = from +. Sim.Rng.exponential t.rng ~mean:(1.0 /. rate) in
+        if cand <= t.phase_end then cand else go t.phase_end
+    end
+  in
+  go after
+
 let next t after =
   match t.proc with
   | Poisson { rate } -> after +. Sim.Rng.exponential t.rng ~mean:(1.0 /. rate)
   | Onoff { rate_on; rate_off; mean_on; mean_off } ->
-      let flip () =
-        t.phase_on <- not t.phase_on;
-        t.phase_end <-
-          t.phase_end
-          +. Sim.Rng.exponential t.rng ~mean:(if t.phase_on then mean_on else mean_off)
-      in
-      let rec go from =
-        if t.phase_end <= from then flip ();
-        if t.phase_end <= from then go from (* zero-length dwell *)
-        else begin
-          let rate = if t.phase_on then rate_on else rate_off in
-          if rate <= 0.0 then go t.phase_end
-          else
-            let cand = from +. Sim.Rng.exponential t.rng ~mean:(1.0 /. rate) in
-            if cand <= t.phase_end then cand else go t.phase_end
-        end
-      in
-      go after
+      onoff_next t ~rate_on ~rate_off
+        ~dwell:(fun on ->
+          Sim.Rng.exponential t.rng ~mean:(if on then mean_on else mean_off))
+        after
+  | Selfsim { rate_on; rate_off; mean_on; mean_off; alpha } ->
+      onoff_next t ~rate_on ~rate_off
+        ~dwell:(fun on -> pareto t.rng ~mean:(if on then mean_on else mean_off) ~alpha)
+        after

@@ -18,12 +18,26 @@ type process =
           emitting Poisson arrivals at [rate_on] / [rate_off]
           respectively — bursty, flash-crowd-shaped load. The timeline
           starts in the ON state. *)
+  | Selfsim of {
+      rate_on : float;
+      rate_off : float;
+      mean_on : float;
+      mean_off : float;
+      alpha : float;
+    }
+      (** like {!Onoff} but with Pareto-distributed dwell times of the
+          given means and tail index [alpha] — the classical
+          self-similar traffic construction: for [1 < alpha <= 2] the
+          dwells have infinite variance, so burstiness persists across
+          every timescale instead of averaging out the way exponential
+          dwells do (no characteristic burst length). *)
 
 type t
 
 val make : process -> seed:int -> t
 (** @raise Invalid_argument on a non-positive rate ([rate_off] may be
-    0: a fully silent OFF state) or non-positive dwell mean. *)
+    0: a fully silent OFF state), non-positive dwell mean, or a
+    {!Selfsim} tail index [alpha <= 1] (infinite mean dwell). *)
 
 val next : t -> float -> float
 (** [next t after] is the first arrival strictly after time [after].

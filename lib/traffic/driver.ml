@@ -16,6 +16,10 @@ type outcome = {
   o_hist : Hist.t;
   o_hist_digest : string;
   o_trace_digest : string option;
+  o_rebalanced : bool;
+  o_shard_loads : float array;
+  o_migrations : int;
+  o_deferred : int;
 }
 
 (* The backend facade: the one deterministic call surface the replay
@@ -37,6 +41,7 @@ type backend = {
   b_stat_count : string -> int;
   b_trace : unit -> string;
   b_invariants : unit -> Check.Invariants.report list;
+  b_shard_loads : unit -> float array;  (* [||] for the bare system *)
 }
 
 let rendered_trace_sys sys =
@@ -62,10 +67,11 @@ let system_backend ~tracing cfg =
     b_stat_count = (fun key -> Sim.Stats.count (System.stats sys) key);
     b_trace = (fun () -> rendered_trace_sys sys);
     b_invariants = (fun () -> Check.Invariants.all sys);
+    b_shard_loads = (fun () -> [||]);
   }
 
-let shard_backend ~tracing ~shards ~domains cfg =
-  let sh = Shard.create ~tracing ~shards ~domains cfg in
+let shard_backend ~tracing ~shards ~domains ?rebalance cfg =
+  let sh = Shard.create ~tracing ~shards ~domains ?rebalance cfg in
   {
     b_insert = Shard.insert sh;
     b_read = Shard.read sh;
@@ -84,6 +90,7 @@ let shard_backend ~tracing ~shards ~domains cfg =
       (fun () ->
         Array.to_list (Shard.systems sh)
         |> List.concat_map Check.Invariants.all);
+    b_shard_loads = (fun () -> Shard.shard_loads sh);
   }
 
 let config_of (sc : Scenario.t) =
@@ -120,14 +127,16 @@ let config_of (sc : Scenario.t) =
     seed = sc.sc_seed;
   }
 
-let run_be ?(tracing = false) ?(shards = 0) ?(domains = 1) (sc : Scenario.t) =
+let run_be ?(tracing = false) ?(shards = 0) ?(domains = 1) ?rebalance (sc : Scenario.t) =
   (match Scenario.validate sc with
   | Ok () -> ()
   | Error e -> invalid_arg (Printf.sprintf "Driver.run: invalid scenario: %s" e));
+  if rebalance <> None && shards <= 0 then
+    invalid_arg "Driver.run: rebalance needs a sharded backend (shards >= 1)";
   let cfg = config_of sc in
   let be =
     if shards <= 0 then system_backend ~tracing cfg
-    else shard_backend ~tracing ~shards ~domains cfg
+    else shard_backend ~tracing ~shards ~domains ?rebalance cfg
   in
   (* Every draw below happens on the coordinator, streams derived from
      the scenario seed — the issue sequence is a pure function of the
@@ -227,13 +236,18 @@ let run_be ?(tracing = false) ?(shards = 0) ?(domains = 1) (sc : Scenario.t) =
       o_hist_digest = Digest.to_hex (Digest.string (Hist.render hist));
       o_trace_digest =
         (if tracing then Some (Digest.to_hex (Digest.string (be.b_trace ()))) else None);
+      o_rebalanced = rebalance <> None;
+      o_shard_loads = be.b_shard_loads ();
+      o_migrations = be.b_stat_count "rebalance.migrations";
+      o_deferred = be.b_stat_count "rebalance.deferred";
     },
     be )
 
-let run ?tracing ?shards ?domains sc = fst (run_be ?tracing ?shards ?domains sc)
+let run ?tracing ?shards ?domains ?rebalance sc =
+  fst (run_be ?tracing ?shards ?domains ?rebalance sc)
 
-let run_checked ?tracing ?shards ?domains sc =
-  let o, be = run_be ?tracing ?shards ?domains sc in
+let run_checked ?tracing ?shards ?domains ?rebalance sc =
+  let o, be = run_be ?tracing ?shards ?domains ?rebalance sc in
   (o, be.b_invariants ())
 
 let to_json o =
@@ -257,7 +271,19 @@ let to_json o =
        ("max", J.Num (Hist.max_v o.o_hist));
        ("hist_digest", J.Str o.o_hist_digest);
      ]
+    @ (match o.o_trace_digest with
+      | Some d -> [ ("trace_digest", J.Str d) ]
+      | None -> [])
+    @ (if Array.length o.o_shard_loads = 0 then []
+       else
+         [
+           ( "shard_loads",
+             J.Arr (Array.to_list (Array.map (fun x -> J.Num x) o.o_shard_loads)) );
+         ])
     @
-    match o.o_trace_digest with
-    | Some d -> [ ("trace_digest", J.Str d) ]
-    | None -> [])
+    if not o.o_rebalanced then []
+    else
+      [
+        ("rebalance_migrations", J.Num (float_of_int o.o_migrations));
+        ("rebalance_deferred", J.Num (float_of_int o.o_deferred));
+      ])

@@ -32,19 +32,27 @@ type outcome = {
   o_hist : Hist.t;  (** completed-op latency, virtual time *)
   o_hist_digest : string;  (** MD5 of {!Hist.render} — the replay pin *)
   o_trace_digest : string option;  (** MD5 of the rendered trace, when traced *)
+  o_rebalanced : bool;  (** a rebalance config was passed *)
+  o_shard_loads : float array;
+      (** cumulative §4 cost-model load per shard ([[||]] for bare) *)
+  o_migrations : int;  (** classes moved between shards *)
+  o_deferred : int;  (** moves skipped: in-flight class or cooldown *)
 }
 
-val run : ?tracing:bool -> ?shards:int -> ?domains:int -> Scenario.t -> outcome
+val run :
+  ?tracing:bool -> ?shards:int -> ?domains:int -> ?rebalance:Paso.Rebalance.cfg ->
+  Scenario.t -> outcome
 (** Replay the scenario. [shards = 0] (default) drives a bare
     {!Paso.System}; [shards >= 1] drives {!Paso.Shard} with that shard
-    count on [domains] (default 1) domains. [tracing] arms the event
+    count on [domains] (default 1) domains, optionally with the
+    load-aware rebalancer armed ([rebalance]). [tracing] arms the event
     trace and fills [o_trace_digest] (slower, bigger).
     @raise Invalid_argument if {!Scenario.validate} rejects the
-    scenario. *)
+    scenario, or if [rebalance] is given without [shards >= 1]. *)
 
 val run_checked :
-  ?tracing:bool -> ?shards:int -> ?domains:int -> Scenario.t ->
-  outcome * Check.Invariants.report list
+  ?tracing:bool -> ?shards:int -> ?domains:int -> ?rebalance:Paso.Rebalance.cfg ->
+  Scenario.t -> outcome * Check.Invariants.report list
 (** {!run}, then the §2 invariant checks (A1–A3 safety: replica
     consistency, operation semantics, quiescence) over the backend's
     system(s) — every shard's reports concatenated in shard order. An
@@ -52,5 +60,6 @@ val run_checked :
 
 val to_json : outcome -> Check.Json.t
 (** Everything but the histogram's buckets: identity, counts, goodput,
-    deadline misses, p50/p90/p99/p999, digests. The artifact rows the
-    SLO gate reads. *)
+    deadline misses, p50/p90/p99/p999, digests. Sharded runs add
+    ["shard_loads"]; rebalanced runs add ["rebalance_migrations"] and
+    ["rebalance_deferred"]. The artifact rows the SLO gate reads. *)

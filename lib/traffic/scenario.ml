@@ -40,17 +40,21 @@ let ( let* ) = Result.bind
 
 let check cond msg = if cond then Ok () else Error msg
 
+let validate_onoff name ~rate_on ~rate_off ~mean_on ~mean_off =
+  let* () = check (rate_on > 0.0) (Printf.sprintf "phase %s: rate_on <= 0" name) in
+  let* () = check (rate_off >= 0.0) (Printf.sprintf "phase %s: negative rate_off" name) in
+  check
+    (mean_on > 0.0 && mean_off > 0.0)
+    (Printf.sprintf "phase %s: non-positive dwell mean" name)
+
 let validate_arrival name = function
   | Arrival.Poisson { rate } ->
       check (rate > 0.0) (Printf.sprintf "phase %s: rate <= 0" name)
   | Arrival.Onoff { rate_on; rate_off; mean_on; mean_off } ->
-      let* () = check (rate_on > 0.0) (Printf.sprintf "phase %s: rate_on <= 0" name) in
-      let* () =
-        check (rate_off >= 0.0) (Printf.sprintf "phase %s: negative rate_off" name)
-      in
-      check
-        (mean_on > 0.0 && mean_off > 0.0)
-        (Printf.sprintf "phase %s: non-positive dwell mean" name)
+      validate_onoff name ~rate_on ~rate_off ~mean_on ~mean_off
+  | Arrival.Selfsim { rate_on; rate_off; mean_on; mean_off; alpha } ->
+      let* () = validate_onoff name ~rate_on ~rate_off ~mean_on ~mean_off in
+      check (alpha > 1.0) (Printf.sprintf "phase %s: alpha <= 1" name)
 
 let validate_phase p =
   let* () =
@@ -177,6 +181,16 @@ let arrival_to_json = function
           ("mean_on", J.Num mean_on);
           ("mean_off", J.Num mean_off);
         ]
+  | Arrival.Selfsim { rate_on; rate_off; mean_on; mean_off; alpha } ->
+      J.Obj
+        [
+          ("kind", J.Str "selfsim");
+          ("rate_on", J.Num rate_on);
+          ("rate_off", J.Num rate_off);
+          ("mean_on", J.Num mean_on);
+          ("mean_off", J.Num mean_off);
+          ("alpha", J.Num alpha);
+        ]
 
 let faults_to_json = function
   | No_faults -> J.Obj [ ("kind", J.Str "none") ]
@@ -272,6 +286,13 @@ let arrival_of_json j =
       let* mean_on = num j "mean_on" in
       let* mean_off = num j "mean_off" in
       Ok (Arrival.Onoff { rate_on; rate_off; mean_on; mean_off })
+  | "selfsim" ->
+      let* rate_on = num j "rate_on" in
+      let* rate_off = num j "rate_off" in
+      let* mean_on = num j "mean_on" in
+      let* mean_off = num j "mean_off" in
+      let* alpha = num j "alpha" in
+      Ok (Arrival.Selfsim { rate_on; rate_off; mean_on; mean_off; alpha })
   | k -> Error (Printf.sprintf "unknown arrival kind %S" k)
 
 let faults_of_json j =
@@ -469,6 +490,35 @@ let wan_partition =
       ];
   }
 
+(* Web-shaped self-similar load: Pareto ON/OFF dwells (α = 1.5, infinite
+   variance) make burst lengths correlate across every timescale, so
+   unlike [flash_crowd]'s exponential dwells the occasional very long ON
+   period drives deep queues that only the lulls drain. Rates sit below
+   flash_crowd's to compensate for the heavy upper dwell tail. *)
+let web_selfsim =
+  {
+    (base "web_selfsim" ~seed:1207) with
+    sc_clients = 250_000;
+    sc_class_skew = 1.2;
+    sc_phases =
+      [
+        {
+          ph_name = "selfsim";
+          ph_dur = 4.0e7;
+          ph_arrival =
+            Arrival.Selfsim
+              {
+                rate_on = 6.0e-4;
+                rate_off = 3.0e-5;
+                mean_on = 4.0e4;
+                mean_off = 1.6e5;
+                alpha = 1.5;
+              };
+          ph_mix = mix_read_heavy;
+        };
+      ];
+  }
+
 let recovery_storm =
   {
     (base "recovery_storm" ~seed:1206) with
@@ -477,6 +527,7 @@ let recovery_storm =
       [ { ph_name = "steady"; ph_dur = 4.0e7; ph_arrival = poisson 1.8e-4; ph_mix = mix_std } ];
   }
 
-let all = [ ramp; flash_crowd; diurnal; rolling_failures; wan_partition; recovery_storm ]
+let all =
+  [ ramp; flash_crowd; diurnal; web_selfsim; rolling_failures; wan_partition; recovery_storm ]
 let names = List.map (fun t -> t.sc_name) all
 let find name = List.find_opt (fun t -> t.sc_name = name) all

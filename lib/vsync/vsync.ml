@@ -365,6 +365,41 @@ let send_direct t ~from ~dst ~size k =
   Sim.Stats.incr_counter t.vstats.c_directs;
   send_to t ~src:from ~dst ~size k
 
+(* --- administrative membership (coordinator-side migration) ------------ *)
+
+let admin_idle g =
+  (not g.busy)
+  && Queue.is_empty g.urgent && Queue.is_empty g.normal
+  && Sim.Pending.length g.pending = 0
+  && g.joining = None && g.inflight = None && g.binflight = None
+  && g.hold_timer = None
+
+let admin_quiescent t ~group =
+  match Hashtbl.find_opt t.groups group with None -> true | Some g -> admin_idle g
+
+let admin_dissolve t ~group =
+  match Hashtbl.find_opt t.groups group with
+  | None -> invalid_arg (Printf.sprintf "Vsync.admin_dissolve: unknown group %s" group)
+  | Some g ->
+      if not (admin_idle g) then
+        invalid_arg
+          (Printf.sprintf "Vsync.admin_dissolve: group %s has in-flight traffic" group);
+      let vid = g.view_id in
+      Hashtbl.remove t.groups group;
+      vid
+
+let admin_form t ~group ~members ~view_id =
+  List.iter (check_node t) members;
+  (match Hashtbl.find_opt t.groups group with
+  | Some g ->
+      if (not (IntSet.is_empty g.members)) || not (admin_idle g) then
+        invalid_arg (Printf.sprintf "Vsync.admin_form: group %s already populated" group);
+      Hashtbl.remove t.groups group
+  | None -> ());
+  let g = group_state t group in
+  g.members <- IntSet.of_list (List.filter (fun m -> t.up.(m)) members);
+  g.view_id <- view_id
+
 let state_transfer_target t ~group =
   match Hashtbl.find_opt t.groups group with
   | Some g -> g.joining

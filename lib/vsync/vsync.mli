@@ -203,6 +203,30 @@ val send_direct :
     the continuation runs at delivery unless [dst] crashed in the
     meantime. Used for marker wake-ups. [from] is accounting only. *)
 
+val admin_quiescent : ('msg, 'resp, 'state) t -> group:string -> bool
+(** Whether the group's op pump is completely idle — nothing executing,
+    queued, pending in a batch window, or in a state transfer. An
+    unknown group is trivially quiescent. The precondition both
+    administrative operations below require. *)
+
+val admin_dissolve : ('msg, 'resp, 'state) t -> group:string -> int
+(** Administratively remove the group's state machine, returning its
+    final view id. Silent: no view change, no messages, no cost, no
+    [on_evict]/[on_group_lost] callbacks — this is the coordinator
+    extracting a quiesced group during class migration, not a failure.
+    Raises [Invalid_argument] if the group is unknown or not
+    {!admin_quiescent}. *)
+
+val admin_form :
+  ('msg, 'resp, 'state) t -> group:string -> members:int list -> view_id:int -> unit
+(** Administratively (re)create the group with the given membership and
+    view id — the receiving half of a class migration, installing the
+    dissolved group's membership unchanged so per-class freshness
+    tokens remain comparable. Only members currently up are installed
+    (up-state is mirrored across shards, so in practice the lists
+    agree). Silent like {!admin_dissolve}. Raises [Invalid_argument]
+    if a populated or non-idle group of that name already exists. *)
+
 val state_transfer_target : ('msg, 'resp, 'state) t -> group:string -> int option
 (** The node currently receiving a join-time state snapshot of the
     group, if a transfer is in flight. Such a node will hold the

@@ -341,6 +341,44 @@ let test_failures_of_outsiders_free () =
   let o = Support_selection.run Support_selection.Lrf ~n:6 ~lambda:1 ~failures in
   Alcotest.(check int) "no copies" 0 o.Support_selection.copies
 
+let test_bgop_vs_lrf () =
+  (* Machines 0 and 1 are chronically flaky; 2–5 are reliable. After
+     the flaky pair racks up failures and the reliable members 2, 3, 4
+     each crash once, LRF refills with machine 0 — its last crash has
+     aged out — and pays again when the flaky tail hits it. BGOP's
+     "good" tier (below-average failure frequency) keeps preferring the
+     once-failed reliable machines, so the tail failures land outside
+     the group and cost nothing. *)
+  let failures = [| 0; 1; 0; 1; 0; 1; 2; 3; 4; 0; 1; 0; 1 |] in
+  let run strat = Support_selection.run strat ~n:6 ~lambda:1 ~failures in
+  let lrf = run Support_selection.Lrf and bgop = run Support_selection.Bgop in
+  Alcotest.(check bool)
+    (Printf.sprintf "BGOP cheaper than LRF on flaky-pair trace (%d < %d)"
+       bgop.Support_selection.copies lrf.Support_selection.copies)
+    true
+    (bgop.Support_selection.copies < lrf.Support_selection.copies);
+  (* coverage: BGOP's final group avoids the flaky pair entirely *)
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "flaky machine %d kept out of BGOP's group" m)
+        false
+        (List.mem m bgop.Support_selection.final_group))
+    [ 0; 1 ];
+  Alcotest.(check int) "|wg| stays λ+1" 2
+    (List.length bgop.Support_selection.final_group);
+  (* with no failure history BGOP coincides with LRF: both fill from
+     the never-failed tier in id order *)
+  let one = [| 0 |] in
+  Alcotest.(check (list int)) "cold start matches LRF"
+    (Support_selection.run Support_selection.Lrf ~n:6 ~lambda:1 ~failures:one)
+      .Support_selection.final_group
+    (Support_selection.run Support_selection.Bgop ~n:6 ~lambda:1 ~failures:one)
+      .Support_selection.final_group;
+  Alcotest.check_raises "no paging analogue"
+    (Invalid_argument "Support_selection.paging_algo: BGOP has no paging analogue")
+    (fun () -> ignore (Support_selection.paging_algo Support_selection.Bgop))
+
 (* --- Live policy ------------------------------------------------------------------- *)
 
 let test_live_counter_policy_joins_and_leaves () =
@@ -458,6 +496,7 @@ let () =
           Alcotest.test_case "LFF prefers fewest failures" `Quick
             test_lff_prefers_fewest_failures;
           Alcotest.test_case "outsider failures free" `Quick test_failures_of_outsiders_free;
+          Alcotest.test_case "BGOP tiers beat LRF on flaky pair" `Quick test_bgop_vs_lrf;
         ] );
       ( "live_policy",
         [

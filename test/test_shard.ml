@@ -223,6 +223,161 @@ let test_single_shard_equals_system () =
   Alcotest.(check int) "same completions" plain.Check.Runner.completed
     sharded.Check.Runner.completed
 
+(* ------------------------------------------------------------------ *)
+(* Load-aware class migration (Core.Rebalance + the Shard overlay)     *)
+(* ------------------------------------------------------------------ *)
+
+(* Heads whose class names hash to shard 0 under [shards], plus cold
+   heads elsewhere — the adversarial colocation the rebalancer exists
+   to fix. *)
+let colocated_heads cfg ~shards ~hot ~cold =
+  let name h =
+    (Obj_class.classify cfg.System.classing
+       (Pobj.make ~uid:(Uid.make ~machine:0 ~serial:0) [ vs h; vi 0 ]))
+      .Obj_class.name
+  in
+  let hs = ref [] and cs = ref [] and i = ref 0 in
+  while List.length !hs < hot || List.length !cs < cold do
+    let h = Printf.sprintf "h%d" !i in
+    incr i;
+    if Shard.shard_of_class ~shards (name h) = 0 && List.length !hs < hot then
+      hs := h :: !hs
+    else if Shard.shard_of_class ~shards (name h) <> 0 && List.length !cs < cold then
+      cs := h :: !cs
+  done;
+  (List.rev !hs, List.rev !cs, name)
+
+(* Drive a hot-shard workload through a rebalancing Shard.t and return
+   it quiesced. 90% of traffic lands on the [hot] classes, all of which
+   start on shard 0. *)
+let drive_skewed ?(tracing = false) ?(ops = 2400) ~domains t hot cold =
+  let rng = Sim.Rng.make 4242 in
+  ignore (tracing, domains);
+  let hot = Array.of_list hot and cold = Array.of_list cold in
+  for i = 1 to ops do
+    let m = Sim.Rng.int rng 6 in
+    let head =
+      if Sim.Rng.int rng 10 < 9 then Sim.Rng.choice rng hot else Sim.Rng.choice rng cold
+    in
+    (match Sim.Rng.int rng 3 with
+    | 0 -> Shard.insert t ~machine:m [ vs head; vi i ] ~on_done:(fun () -> ())
+    | 1 ->
+        Shard.read t ~machine:m (Template.headed head [ Template.Any ])
+          ~on_done:(fun _ -> ())
+    | _ ->
+        Shard.read_del t ~machine:m
+          (Template.headed head [ Template.Any ])
+          ~on_done:(fun _ -> ()));
+    if i mod 64 = 0 then Shard.run t
+  done;
+  Shard.run t
+
+let make_rebalanced ?(tracing = false) ~domains () =
+  let cfg = { System.default_config with n = 6; lambda = 1 } in
+  let t = Shard.create ~tracing ~shards:4 ~domains ~rebalance:Rebalance.default_cfg cfg in
+  let hot, cold, _ = colocated_heads cfg ~shards:4 ~hot:3 ~cold:4 in
+  drive_skewed ~tracing ~domains t hot cold;
+  (t, hot, cold)
+
+let test_rebalance_migrates () =
+  let t, hot, _ = make_rebalanced ~domains:1 () in
+  Alcotest.(check bool) "classes migrated" true (Shard.migrations t > 0);
+  let placements = Shard.placements t in
+  Alcotest.(check bool) "overlay populated" true (placements <> []);
+  List.iter
+    (fun (_, s) -> Alcotest.(check bool) "moved off the hot shard" true (s <> 0))
+    placements;
+  (* migrated classes keep answering: inserts route via the overlay to
+     the target and reads find them there (a class may be empty after
+     the read_del mix, so seed each one first) *)
+  List.iter
+    (fun h -> Shard.insert t ~machine:0 [ vs h; vi 777_777 ] ~on_done:(fun () -> ()))
+    hot;
+  Shard.run t;
+  let answered = ref 0 in
+  List.iter
+    (fun h ->
+      Shard.read t ~machine:0 (Template.headed h [ Template.Any ])
+        ~on_done:(fun r -> if r <> None then incr answered))
+    hot;
+  Shard.run t;
+  Alcotest.(check int) "every hot class still answers" (List.length hot) !answered;
+  (* load actually spread: the hot shard no longer dominates the drain *)
+  let loads = Shard.shard_loads t in
+  let total = Array.fold_left ( +. ) 0.0 loads in
+  Alcotest.(check bool) "load recorded" true (total > 0.0);
+  Alcotest.(check (list (pair string string))) "replica audit clean" []
+    (Shard.audit_replicas t);
+  Alcotest.(check (list (pair string string))) "quiescent" [] (Shard.check_quiescent t)
+
+(* The tentpole determinism claim: with rebalancing on, the merged
+   trace, the migration count and the final placement are byte-identical
+   at any domain count. *)
+let test_rebalance_domain_independence () =
+  let t1, _, _ = make_rebalanced ~tracing:true ~domains:1 () in
+  let t2, _, _ = make_rebalanced ~tracing:true ~domains:2 () in
+  let t4, _, _ = make_rebalanced ~tracing:true ~domains:4 () in
+  Alcotest.(check bool) "migrations happened" true (Shard.migrations t1 > 0);
+  Alcotest.(check int) "same migrations at D=2" (Shard.migrations t1) (Shard.migrations t2);
+  Alcotest.(check int) "same migrations at D=4" (Shard.migrations t1) (Shard.migrations t4);
+  Alcotest.(check (list (pair string int))) "same placement at D=2" (Shard.placements t1)
+    (Shard.placements t2);
+  Alcotest.(check (list (pair string int))) "same placement at D=4" (Shard.placements t1)
+    (Shard.placements t4);
+  let d t = Digest.to_hex (Digest.string (Shard.rendered_trace t)) in
+  Alcotest.(check string) "same merged trace at D=2" (d t1) (d t2);
+  Alcotest.(check string) "same merged trace at D=4" (d t1) (d t4)
+
+(* A 1-shard composition with rebalancing enabled never migrates:
+   there is nowhere to go, and the trace matches the rebalancing-off
+   run byte for byte. *)
+let test_rebalance_single_shard_noop () =
+  let cfg = { System.default_config with n = 6; lambda = 1 } in
+  let run rebalance =
+    let t = Shard.create ~tracing:true ~shards:1 ?rebalance cfg in
+    let hot, cold, _ = colocated_heads cfg ~shards:4 ~hot:3 ~cold:4 in
+    drive_skewed ~tracing:true ~ops:800 ~domains:1 t hot cold;
+    t
+  in
+  let on = run (Some Rebalance.default_cfg) in
+  let off = run None in
+  Alcotest.(check int) "no migrations" 0 (Shard.migrations on);
+  Alcotest.(check (list (pair string int))) "empty overlay" [] (Shard.placements on);
+  Alcotest.(check string) "trace identical to rebalancing-off"
+    (Digest.to_hex (Digest.string (Shard.rendered_trace off)))
+    (Digest.to_hex (Digest.string (Shard.rendered_trace on)))
+
+(* The freshness token survives a migration: reads of a migrated class
+   under the fast-read path still return the latest value, and a read
+   racing a mutation still falls back to the quorum instead of serving
+   stale state (the mutation serial and view id travel with the
+   class). *)
+let test_rebalance_fast_read_token () =
+  let cfg = { System.default_config with n = 6; lambda = 1; fast_read = true } in
+  let t = Shard.create ~shards:4 ~rebalance:Rebalance.default_cfg cfg in
+  let hot, cold, name = colocated_heads cfg ~shards:4 ~hot:3 ~cold:4 in
+  drive_skewed t hot cold ~domains:1;
+  Alcotest.(check bool) "migrated" true (Shard.migrations t > 0);
+  let cls, target = List.hd (Shard.placements t) in
+  let head = List.find (fun h -> name h = cls) hot in
+  (* mutate the migrated class, then read concurrently: the fast path
+     must notice the moved serial and fall back *)
+  let sys = Shard.sub t target in
+  let fb0 = Sim.Stats.count (System.stats sys) "paso.fast_read_fallbacks" in
+  let latest = ref None in
+  Shard.insert t ~machine:0 [ vs head; vi 999_999 ] ~on_done:(fun () -> ());
+  Shard.read t ~machine:5 (Template.headed head [ Template.Any ]) ~on_done:(fun r -> latest := r);
+  Shard.run t;
+  Alcotest.(check bool) "read answered" true (!latest <> None);
+  Alcotest.(check bool) "stale fast read fell back to quorum" true
+    (Sim.Stats.count (System.stats sys) "paso.fast_read_fallbacks" > fb0);
+  (* quiesced fast read serves locally again post-migration *)
+  let fr0 = Sim.Stats.count (System.stats sys) "paso.fast_reads" in
+  Shard.read t ~machine:0 (Template.headed head [ Template.Any ]) ~on_done:(fun _ -> ());
+  Shard.run t;
+  Alcotest.(check bool) "fast path works after the move" true
+    (Sim.Stats.count (System.stats sys) "paso.fast_reads" > fr0)
+
 let () =
   Alcotest.run "shard"
     [
@@ -249,5 +404,16 @@ let () =
         [
           Alcotest.test_case "cross-shard atomic cut under races" `Quick
             test_snapshot_atomicity;
+        ] );
+      ( "rebalance",
+        [
+          Alcotest.test_case "hot classes migrate and keep answering" `Quick
+            test_rebalance_migrates;
+          Alcotest.test_case "rebalanced runs independent of D" `Quick
+            test_rebalance_domain_independence;
+          Alcotest.test_case "1 shard never migrates" `Quick
+            test_rebalance_single_shard_noop;
+          Alcotest.test_case "freshness token survives migration" `Quick
+            test_rebalance_fast_read_token;
         ] );
     ]

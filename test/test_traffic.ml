@@ -99,7 +99,7 @@ let test_scenario_roundtrip () =
             s
             (Traffic.Scenario.to_string sc'))
     Traffic.Scenario.all;
-  Alcotest.(check int) "six shipped scenarios" 6 (List.length Traffic.Scenario.all);
+  Alcotest.(check int) "seven shipped scenarios" 7 (List.length Traffic.Scenario.all);
   List.iter
     (fun sc ->
       match Traffic.Scenario.validate sc with
@@ -233,6 +233,51 @@ let test_replay_pins () =
   Alcotest.(check (pair string string)) "rerun reproduces" (digests bare) (digests again)
 
 (* ------------------------------------------------------------------ *)
+(* Self-similar arrivals                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The Pareto-dwell ON/OFF process: construction rejects a tail index
+   with infinite mean dwell, the shipped web_selfsim scenario survives
+   the JSON round-trip with its arrival intact, and its replay is
+   digest-pinned (a pure function of the scenario, like the others). *)
+let test_selfsim_pin () =
+  Alcotest.check_raises "alpha <= 1 rejected"
+    (Invalid_argument "Arrival.make: alpha <= 1 (infinite mean dwell)")
+    (fun () ->
+      ignore
+        (Traffic.Arrival.make
+           (Traffic.Arrival.Selfsim
+              {
+                rate_on = 1.0e-4;
+                rate_off = 0.0;
+                mean_on = 1.0e4;
+                mean_off = 1.0e4;
+                alpha = 1.0;
+              })
+           ~seed:1));
+  let sc =
+    match Traffic.Scenario.find "web_selfsim" with
+    | Some sc -> sc
+    | None -> Alcotest.fail "web_selfsim missing from the library"
+  in
+  (match Traffic.Scenario.parse (Traffic.Scenario.to_string sc) with
+  | Error e -> Alcotest.failf "web_selfsim round-trip failed: %s" e
+  | Ok sc' -> (
+      match (List.hd sc'.Traffic.Scenario.sc_phases).ph_arrival with
+      | Traffic.Arrival.Selfsim { alpha; _ } ->
+          Alcotest.(check (float 0.0)) "alpha survives round-trip" 1.5 alpha
+      | _ -> Alcotest.fail "web_selfsim arrival decoded to the wrong kind"));
+  let o = Traffic.Driver.run ~tracing:true sc in
+  if printing then
+    Format.printf "web_selfsim pin: trace=%s hist=%s issued=%d@."
+      (fst (digests o)) (snd (digests o)) o.Traffic.Driver.o_issued;
+  Alcotest.(check bool) "issued thousands" true (o.Traffic.Driver.o_issued > 2000);
+  Alcotest.(check (pair string string))
+    "web_selfsim digest pin"
+    ("0eb7593b940b3fa0ceaf15e258c39ae7", "7b7fc1298460b6bba3871a12852488fe")
+    (digests o)
+
+(* ------------------------------------------------------------------ *)
 (* Flash crowd through the invariant checks                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -277,6 +322,7 @@ let () =
       ( "replay",
         [
           Alcotest.test_case "bare/sharded, D in {1,2,4}" `Quick test_replay_pins;
+          Alcotest.test_case "web_selfsim digest pin" `Quick test_selfsim_pin;
         ] );
       ( "invariants",
         [
