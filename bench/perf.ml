@@ -53,7 +53,7 @@ let args =
     ("--pr", Arg.Set_string pr, "LABEL trajectory row label (e.g. pr4)");
     ( "--only",
       Arg.Set_string only,
-      "SECTION compute only this section (supported: slo, rebalance) — slo skips \
+      "SECTION compute only this section (supported: slo, rebalance, adaptive) — slo skips \
        the wall-clock benches so a CI job can gate the deterministic SLO rows \
        alone; rebalance runs just the skewed-mix migration gate" );
     ( "--slo-domains",
@@ -585,6 +585,164 @@ let slo_profile ~domains =
   in
   J.Obj rows
 
+module Model = Adaptive.Model
+module Competitive = Adaptive.Competitive
+module Doubling = Adaptive.Doubling
+
+(* ---- adaptive section: live-policy competitiveness (E15) ----
+
+   Deterministic model-level replays — no wall clock anywhere — of the
+   §5.1 counter and doubling/halving policies under the two regimes the
+   traffic library names: a Zipf flash crowd (hotspot issuers, s = 1.2)
+   and a diurnal shift (phased read locality), both laced with
+   λ-envelope failures so recoveries interleave with joins. Every run
+   is scored against the exact offline OPT (the [Offline_opt] two-state
+   DP) and its ratio hard-asserted within the theorem bound: 3 + λ/K
+   for counter (Theorem 2, q = 1), 6 + 2λ/K_min for doubling
+   (Theorem 3). A ratio past its bound fails the build before the JSON
+   gate even runs; the worst ratios also gate as sim metrics and feed
+   the trajectory. Absent from older baselines, so the gate ignores the
+   section there. *)
+
+let adaptive_params = Model.make_params ~n:10 ~lambda:2 ~basic:[ 0; 1; 2 ] ~k:4.0 ()
+
+let adaptive_scenarios p seed =
+  let rng = Sim.Rng.make seed in
+  let faulty ~fail_every ~down_for ev =
+    Workload.Reqgen.with_failures (Sim.Rng.split rng) p ~fail_every ~down_for ev
+  in
+  [
+    ( "flash_crowd",
+      faulty ~fail_every:300 ~down_for:60
+        (Workload.Reqgen.hotspot (Sim.Rng.split rng) p ~length:2400 ~read_frac:0.8
+           ~zipf_s:1.2) );
+    ( "diurnal",
+      faulty ~fail_every:400 ~down_for:80
+        (Workload.Reqgen.phased (Sim.Rng.split rng) p ~phases:8 ~phase_len:300
+           ~read_frac:0.8) );
+  ]
+
+(* The doubling alphabet needs ℓ to drift: updates become inserts and
+   deletes 3:1, so the class grows and K(ℓ) = max 2 ℓ climbs through
+   doubling thresholds over the run. *)
+let to_doubling_events events =
+  let upd = ref 0 in
+  Array.map
+    (function
+      | Model.Read m -> Doubling.Read m
+      | Model.Update m ->
+          incr upd;
+          if !upd mod 4 = 0 then Doubling.Del m else Doubling.Ins m
+      | Model.Fail m -> Doubling.Fail m
+      | Model.Recover m -> Doubling.Recover m)
+    events
+
+let adaptive_profile () =
+  let p = adaptive_params in
+  let row policy name (r : Competitive.result) =
+    Printf.printf
+      "  adaptive %-8s %-12s online %8.1f  opt %8.1f  ratio %.3f  (bound %.3f)  %d joins %d leaves\n%!"
+      policy name r.Competitive.online r.Competitive.opt r.Competitive.ratio
+      r.Competitive.bound r.Competitive.joins r.Competitive.leaves;
+    if r.Competitive.ratio > r.Competitive.bound +. 1e-9 then begin
+      Printf.eprintf "adaptive: %s ratio %.3f exceeds theorem bound %.3f on %s\n"
+        policy r.Competitive.ratio r.Competitive.bound name;
+      exit 1
+    end;
+    ( name,
+      J.Obj
+        [
+          ("online", J.Num r.Competitive.online);
+          ("opt", J.Num r.Competitive.opt);
+          ("ratio", J.Num r.Competitive.ratio);
+          ("bound", J.Num r.Competitive.bound);
+          ("joins", J.Num (float_of_int r.Competitive.joins));
+          ("leaves", J.Num (float_of_int r.Competitive.leaves));
+        ] )
+  in
+  let worst rows =
+    List.fold_left
+      (fun acc (_, r) ->
+        match J.get r "ratio" with Some (J.Num x) -> Float.max acc x | _ -> acc)
+      0.0 rows
+  in
+  let counter_rows =
+    List.map
+      (fun (name, ev) -> row "counter" name (Competitive.run_counter p ev))
+      (adaptive_scenarios p 11)
+  in
+  let doubling_rows =
+    List.map
+      (fun (name, ev) ->
+        row "doubling" name
+          (Doubling.run p
+             ~k_of_ell:(fun ell -> Float.max 2.0 (float_of_int ell))
+             ~ell0:4 (to_doubling_events ev)))
+      (adaptive_scenarios p 13)
+  in
+  J.Obj
+    [
+      ( "counter",
+        J.Obj (counter_rows @ [ ("worst_ratio", J.Num (worst counter_rows)) ]) );
+      ( "doubling",
+        J.Obj (doubling_rows @ [ ("worst_ratio", J.Num (worst doubling_rows)) ]) );
+    ]
+
+(* ---- cluster-local marker wakes (E13) ----
+
+   The satellite score for [cluster_markers]: a 3-cluster WAN ensemble
+   parks a blocking taker on every machine, then a single producer
+   satisfies them one at a time — each insert wakes every parked
+   marker, so the wake path dominates the run's WAN traffic. Virtual
+   time only, so the off/on rows are deterministic on any host. The
+   knob reroutes each wake to a write-group member in the waiter's own
+   cluster when one exists; it never moves the markers themselves
+   (every write-group member keeps one — a restricted placement would
+   lose wakes across leader changes). *)
+let cluster_markers_run ~on =
+  let n = 12 in
+  let clusters = Array.init n (fun m -> m / 4) in
+  let sys =
+    System.create
+      {
+        System.default_config with
+        n;
+        lambda = 5;
+        cluster_markers = on;
+        topology =
+          System.Wan { clusters; remote = Net.Cost_model.v ~alpha:5000.0 ~beta:4.0 };
+      }
+  in
+  let woken = ref 0 in
+  for m = 0 to n - 1 do
+    System.read_del_blocking sys ~machine:m
+      (Template.headed "tok" [ Template.Any ])
+      ~on_done:(fun _ -> incr woken)
+  done;
+  System.run sys;
+  for i = 1 to n do
+    System.insert sys ~machine:0 [ Value.Sym "tok"; Value.Int i ] ~on_done:(fun () -> ());
+    System.run sys
+  done;
+  (!woken, Sim.Stats.count (System.stats sys) "net.wan_msgs", System.wan_cost sys)
+
+let markers_profile () =
+  let report on =
+    let woken, wan_msgs, wan_cost = cluster_markers_run ~on in
+    if woken <> 12 then begin
+      Printf.eprintf "markers: %d of 12 takers woke (cluster_markers %b)\n" woken on;
+      exit 1
+    end;
+    Printf.printf "  markers cluster_markers=%-5b wan msgs %6d  wan cost %12.0f\n%!" on
+      wan_msgs wan_cost;
+    ( (if on then "on" else "off"),
+      J.Obj [ ("wan_msgs", J.Num (float_of_int wan_msgs)); ("wan_cost", J.Num wan_cost) ]
+    )
+  in
+  let off = report false in
+  let on = report true in
+  J.Obj [ off; on ]
+
 (* ---- profile assembly ---- *)
 
 let acceptance = (32, 2, 8, 3000) (* n, lambda, classes, ops *)
@@ -635,6 +793,8 @@ let profile ~fast =
   let rebalance = rebalance_profile ~reps ~fast in
   let recovery = recovery_profile ~reps ~ops:(if fast then 400 else 1200) in
   let op_lifecycle = op_lifecycle_profile ~ops:(if fast then 1000 else 3000) in
+  let adaptive = adaptive_profile () in
+  let markers = markers_profile () in
   let slo = slo_profile ~domains:!slo_domains in
   J.Obj
     [
@@ -652,6 +812,8 @@ let profile ~fast =
       ("kernels", J.Arr kernels);
       ("recovery", recovery);
       ("op_lifecycle", op_lifecycle);
+      ("adaptive", adaptive);
+      ("markers", markers);
       ("slo", slo);
     ]
 
@@ -757,6 +919,14 @@ let gate_against ~path ~tol fresh =
               [ "read_path"; "off"; "msgs_per_op" ];
               [ "read_path"; "on"; "msgs_per_op" ];
               [ "read_path"; "on"; "msg_cost_per_op" ];
+              (* E15: worst live-policy competitive ratio per policy —
+                 deterministic model replays, already hard-asserted
+                 within their theorem bounds before the gate runs *)
+              [ "adaptive"; "counter"; "worst_ratio" ];
+              [ "adaptive"; "doubling"; "worst_ratio" ];
+              (* E13: WAN wake traffic with cluster-local marker wakes
+                 on must never regress *)
+              [ "markers"; "on"; "wan_msgs" ];
             ]
             (* SLO rows: tail latency of every shipped traffic scenario.
                Virtual-time quantiles, so the fixed sim tolerance
@@ -801,6 +971,8 @@ let trajectory_row label p =
       ("rebalance_skewed_ops_per_s", num [ "rebalance"; "skewed"; "ops_per_s" ]);
       ("rebalance_speedup", num [ "rebalance"; "speedup" ]);
       ("rebalance_migrations", num [ "rebalance"; "migrations" ]);
+      ("adaptive_counter_worst_ratio", num [ "adaptive"; "counter"; "worst_ratio" ]);
+      ("adaptive_doubling_worst_ratio", num [ "adaptive"; "doubling"; "worst_ratio" ]);
       ("p99_sim_latency", num [ "e8_mix"; "p99_sim_latency" ]);
       ("slo_ramp_p99", num [ "slo"; "ramp"; "p99" ]);
       ("slo_ramp_p999", num [ "slo"; "ramp"; "p999" ]);
@@ -840,8 +1012,14 @@ let () =
            (self-gating, >= 4 cores) *)
         J.Obj
           [ ("rebalance", rebalance_profile ~reps:(if !fast then 2 else 3) ~fast:!fast) ]
+    | "adaptive" ->
+        (* just the deterministic E15 competitiveness rows and the E13
+           cluster-marker wake scoring — both virtual-time only, with
+           the theorem-bound asserts armed *)
+        J.Obj [ ("adaptive", adaptive_profile ()); ("markers", markers_profile ()) ]
     | s ->
-        Printf.eprintf "perf: unknown --only section %S (supported: slo, rebalance)\n" s;
+        Printf.eprintf
+          "perf: unknown --only section %S (supported: slo, rebalance, adaptive)\n" s;
         exit 2
   in
   if !out <> "" then Bench_json.save !out (J.Obj [ ("version", J.Num 1.0); (!label, p) ]);

@@ -854,6 +854,13 @@ let traffic_cmd =
              ~doc:"Arm the load-aware hot-class rebalancer (needs --shards >= 1). \
                    Reports migration counts and per-shard loads.")
   in
+  let policy =
+    Arg.(value & opt (some string) None
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"Override the scenario's adaptive replication policy: static, \
+                   counter[:K] or doubling (the spelling of $(b,paso-sim check)). \
+                   Join/leave counts appear in the JSON outcome when non-static.")
+  in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit results as JSON.") in
   let out =
     Arg.(value & opt string ""
@@ -867,12 +874,19 @@ let traffic_cmd =
                    latency histograms are byte-identical where the determinism \
                    contract requires it.")
   in
-  let go name list_flag suite file print_flag shards domains trace rebalance json out
-      verify =
+  let go name list_flag suite file print_flag shards domains trace rebalance policy
+      json out verify =
     if rebalance && shards <= 0 then begin
       Printf.eprintf "traffic: --rebalance needs --shards >= 1\n";
       exit 2
     end;
+    (match policy with
+    | Some p -> (
+        try ignore (Check.Runner.policy_of_string p)
+        with Invalid_argument _ ->
+          Printf.eprintf "traffic: unknown policy %S (static | counter[:K] | doubling)\n" p;
+          exit 2)
+    | None -> ());
     if list_flag then begin
       List.iter print_endline Traffic.Scenario.names;
       exit 0
@@ -904,6 +918,12 @@ let traffic_cmd =
         | None, None ->
             Printf.eprintf "traffic: name a scenario, or pass --suite / --list\n";
             exit 2
+    in
+    let scenarios =
+      match policy with
+      | None -> scenarios
+      | Some p ->
+          List.map (fun sc -> { sc with Traffic.Scenario.sc_policy = p }) scenarios
     in
     if print_flag then begin
       List.iter (fun sc -> print_endline (Traffic.Scenario.to_string sc)) scenarios;
@@ -952,7 +972,10 @@ let traffic_cmd =
         Printf.printf "%-16s migrations %d  deferred %d  shard loads [%s]\n" ""
           o.o_migrations o.o_deferred
           (String.concat "; "
-             (Array.to_list (Array.map (Printf.sprintf "%.0f") o.o_shard_loads)))
+             (Array.to_list (Array.map (Printf.sprintf "%.0f") o.o_shard_loads)));
+      if o.o_policy <> "static" then
+        Printf.printf "%-16s policy %s  joins %d  leaves %d\n" "" o.o_policy
+          o.o_policy_joins o.o_policy_leaves
     in
     let j =
       Check.Json.Obj
@@ -969,7 +992,7 @@ let traffic_cmd =
   in
   let term =
     Term.(const go $ scenario_pos $ list_flag $ suite $ file $ print_flag $ shards
-          $ domains $ trace $ rebalance $ json $ out $ verify)
+          $ domains $ trace $ rebalance $ policy $ json $ out $ verify)
   in
   Cmd.v
     (Cmd.info "traffic"

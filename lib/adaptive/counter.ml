@@ -51,6 +51,12 @@ let reset t =
   t.c <- 0.0;
   t.member <- false
 
+let restore t ~k ~counter ~member =
+  if k <= 0.0 then invalid_arg "Counter.restore: k <= 0";
+  t.kv <- k;
+  t.member <- member;
+  t.c <- Float.max 0.0 (Float.min counter k)
+
 let force_member t member =
   if t.member <> member then begin
     t.member <- member;

@@ -50,6 +50,12 @@ val set_k : t -> float -> unit
 val reset : t -> unit
 (** Forget all state (machine crashed). *)
 
+val restore : t -> k:float -> counter:float -> member:bool -> unit
+(** Re-install externally saved state exactly — [K], the counter value
+    (clamped to [0, K]) and the membership flag — so a class migrating
+    between shards keeps its counters mid-flight.
+    @raise Invalid_argument if [k <= 0]. *)
+
 val force_member : t -> bool -> unit
 (** Re-synchronise with externally-observed membership (the live
     system is the ground truth: crashes and evictions can change

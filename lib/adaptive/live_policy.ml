@@ -1,50 +1,93 @@
 (* Shared plumbing for counter-family live policies. [tune] runs before
    each event with the piggybacked class size, letting the doubling
    policy adjust K; [wan_factor] scales the counter increment of reads
-   that crossed a wide-area link (1.0 = the paper's LAN rule). *)
+   that crossed a wide-area link (1.0 = the paper's LAN rule). [fresh]
+   recurses so [clone] hands the sharded engine an independent
+   same-parameter instance (one counter table per shard). *)
 let make_policy ~name ~k ~q ~wan_factor ~tune =
-  let table : (int * string, Counter.t) Hashtbl.t = Hashtbl.create 32 in
-  let get machine cls =
-    let key = (machine, cls) in
-    match Hashtbl.find_opt table key with
-    | Some c -> c
-    | None ->
-        let c = Counter.create ~k ~q () in
-        Hashtbl.add table key c;
-        c
-  in
-  let on_event ~machine ~cls ~is_member event =
-    let c = get machine cls in
-    (* The system is the ground truth for membership: a crash-wiped or
-       evicted machine's counter must not believe it is still in. *)
-    Counter.force_member c is_member;
-    match event with
-    | Paso.Policy.Local_read { ell } ->
-        tune c ell;
-        let _ = Counter.on_read c ~responders:0 in
-        Paso.Policy.Stay
-    | Paso.Policy.Remote_read { responders; ell; wan } ->
-        tune c ell;
-        let responders =
-          if wan then
-            int_of_float (ceil (float_of_int responders *. wan_factor))
-          else responders
-        in
-        let o = Counter.on_read c ~responders in
-        if o.Counter.joined then Paso.Policy.Join else Paso.Policy.Stay
-    | Paso.Policy.Update { ell } ->
-        tune c ell;
-        let o = Counter.on_update c in
-        if o.Counter.left then Paso.Policy.Leave else Paso.Policy.Stay
-  in
-  let reset_machine ~machine =
-    let stale =
-      Hashtbl.fold (fun (m, cls) _ acc -> if m = machine then (m, cls) :: acc else acc)
-        table []
+  let rec fresh () =
+    let table : (int * string, Counter.t) Hashtbl.t = Hashtbl.create 32 in
+    let get machine cls =
+      let key = (machine, cls) in
+      match Hashtbl.find_opt table key with
+      | Some c -> c
+      | None ->
+          let c = Counter.create ~k ~q () in
+          Hashtbl.add table key c;
+          c
     in
-    List.iter (Hashtbl.remove table) stale
+    let on_event ~machine ~cls ~is_member event =
+      let c = get machine cls in
+      (* The system is the ground truth for membership: a crash-wiped or
+         evicted machine's counter must not believe it is still in. *)
+      Counter.force_member c is_member;
+      match event with
+      | Paso.Policy.Local_read { ell } ->
+          tune c ell;
+          let _ = Counter.on_read c ~responders:0 in
+          Paso.Policy.Stay
+      | Paso.Policy.Remote_read { responders; ell; wan } ->
+          tune c ell;
+          let responders =
+            if wan then
+              int_of_float (ceil (float_of_int responders *. wan_factor))
+            else responders
+          in
+          let o = Counter.on_read c ~responders in
+          if o.Counter.joined then Paso.Policy.Join else Paso.Policy.Stay
+      | Paso.Policy.Update { ell } ->
+          tune c ell;
+          let o = Counter.on_update c in
+          if o.Counter.left then Paso.Policy.Leave else Paso.Policy.Stay
+    in
+    let reset_machine ~machine =
+      let stale =
+        Hashtbl.fold (fun (m, cls) _ acc -> if m = machine then (m, cls) :: acc else acc)
+          table []
+      in
+      List.iter (Hashtbl.remove table) stale
+    in
+    (* Migration support: extract-and-remove the class's counters in
+       machine order, carrying the exact (c, K, member) triple so the
+       importing shard's decisions continue byte-for-byte. *)
+    let export_class ~cls =
+      let mine =
+        Hashtbl.fold
+          (fun (m, c) ctr acc -> if c = cls then (m, ctr) :: acc else acc)
+          table []
+      in
+      List.iter (fun (m, _) -> Hashtbl.remove table (m, cls)) mine;
+      List.sort compare
+        (List.map
+           (fun (m, ctr) ->
+             {
+               Paso.Policy.ms_machine = m;
+               ms_counter = Counter.counter ctr;
+               ms_k = Counter.k ctr;
+               ms_member = Counter.is_member ctr;
+             })
+           mine)
+    in
+    let import_class ~cls states =
+      List.iter
+        (fun s ->
+          let ctr = Counter.create ~k ~q () in
+          Counter.restore ctr ~k:s.Paso.Policy.ms_k ~counter:s.Paso.Policy.ms_counter
+            ~member:s.Paso.Policy.ms_member;
+          Hashtbl.replace table (s.Paso.Policy.ms_machine, cls) ctr)
+        states
+    in
+    ( table,
+      {
+        Paso.Policy.name;
+        on_event;
+        reset_machine;
+        clone = (fun () -> snd (fresh ()));
+        export_class;
+        import_class;
+      } )
   in
-  (table, { Paso.Policy.name; on_event; reset_machine })
+  fresh ()
 
 let no_tune _ _ = ()
 

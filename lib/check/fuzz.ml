@@ -109,6 +109,26 @@ let matrix ?(n = 8) ?(lambda = 2) () =
           };
         ];
     };
+    (* live policies under migration: doubling's tuned K and counters
+       must ride quiesce-extract-install with the class, and the
+       policy's joins/leaves must stay deterministic across domains *)
+    { base with shards = 4; rebalance = true; policy = "doubling" };
+    (* crash-resets-counters: kill the issuing machine mid-stream so
+       recovered machines restart their §5.1 counters from zero (and
+       feed the BGOP failure history) rather than resuming stale state *)
+    {
+      base with
+      policy = "counter:4";
+      arms =
+        [
+          {
+            Schedule.arm_site = "paso.op.issued";
+            arm_skip = 13;
+            arm_times = 2;
+            arm_action = "crash-hit-node";
+          };
+        ];
+    };
   ]
 
 type failure = {

@@ -19,6 +19,12 @@ val batch_cfg : Schedule.config -> Net.Batch.cfg option
     {!Schedule.batching}, with zero fields taking the [Net.Batch.cfg]
     defaults. *)
 
+val policy_of_string : string -> Paso.Policy.t
+(** A fresh adaptive-policy instance for the spelling used across the
+    CLIs and scenario files: ["static"], ["counter"] (K = 4),
+    ["counter:K"], or ["doubling"] (K(ℓ) = max 2 ℓ).
+    @raise Invalid_argument on anything else. *)
+
 val run : ?domains:int -> Schedule.config -> Schedule.step list -> outcome
 (** Configs with [shards <= 1] run the plain single-{!Paso.System}
     drive loop; [shards > 1] run the {!Paso.Shard} sharded one.

@@ -19,6 +19,8 @@ type config = {
   eager_reads : bool;
   fast_read : bool;
   wan_latency_aware : bool;
+  bgop_reads : bool;
+  cluster_markers : bool;
   batch : Net.Batch.cfg option;
   policy : Policy.t;
   init_delay : float;
@@ -43,6 +45,8 @@ let default_config =
     eager_reads = false;
     fast_read = false;
     wan_latency_aware = false;
+    bgop_reads = false;
+    cluster_markers = false;
     batch = None;
     policy = Policy.static;
     init_delay = 5000.0;

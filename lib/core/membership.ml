@@ -382,6 +382,11 @@ let fresh_guard m ~cls ~group =
 
 let note_load_cs cs w = cs.load <- cs.load +. w
 
+(* §4 cost-model weight of one replicated op against the class: the
+   message term of α(2g+1), with g its basic-support size. The absolute
+   scale only matters relative to [Rebalance]'s migration cost. *)
+let op_weight cs = float_of_int ((2 * List.length cs.basic) + 1)
+
 let take_loads m =
   let acc = ref [] in
   Hashtbl.iter

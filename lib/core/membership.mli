@@ -224,6 +224,12 @@ val note_load_cs : cls -> float -> unit
     [2g+1] for a replicated op, [1] for a local read — are computed by
     the caller, which knows the op shape). *)
 
+val op_weight : cls -> float
+(** §4 cost-model weight of one replicated op against the class: the
+    message term of α(2g+1), with g its basic-support size. The
+    absolute scale only matters relative to [Rebalance]'s migration
+    cost. *)
+
 val take_loads : t -> (string * float) list
 (** Drain the per-class demand accumulated since the previous call:
     sorted [(class, load)] pairs with every drained cell reset to zero,

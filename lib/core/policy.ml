@@ -4,17 +4,33 @@ type event =
   | Update of { ell : int }
 type decision = Stay | Join | Leave
 
+type machine_state = {
+  ms_machine : int;
+  ms_counter : float;
+  ms_k : float;
+  ms_member : bool;
+}
+
 type t = {
   name : string;
   on_event : machine:int -> cls:string -> is_member:bool -> event -> decision;
   reset_machine : machine:int -> unit;
+  clone : unit -> t;
+  export_class : cls:string -> machine_state list;
+  import_class : cls:string -> machine_state list -> unit;
 }
 
-let static =
+(* [clone] must return [static] itself: the hot paths skip policy
+   dispatch on physical equality with [static], and a per-shard clone
+   must keep that shortcut. *)
+let rec static =
   {
     name = "static";
     on_event = (fun ~machine:_ ~cls:_ ~is_member:_ _ -> Stay);
     reset_machine = (fun ~machine:_ -> ());
+    clone = (fun () -> static);
+    export_class = (fun ~cls:_ -> []);
+    import_class = (fun ~cls:_ _ -> ());
   }
 
 let pp_event ppf = function

@@ -25,6 +25,16 @@ type event =
 
 type decision = Stay | Join | Leave
 
+type machine_state = {
+  ms_machine : int;
+  ms_counter : float;  (** the §5.1 counter value c *)
+  ms_k : float;  (** the join-cost estimate K (tuned live by doubling) *)
+  ms_member : bool;  (** the counter's view of write-group membership *)
+}
+(** Portable per-(machine, class) policy state: what the counter-family
+    policies carry when a class migrates between shards. The static
+    policy exports none. *)
+
 type t = {
   name : string;
   on_event : machine:int -> cls:string -> is_member:bool -> event -> decision;
@@ -33,6 +43,19 @@ type t = {
           machine is in the class's basic support B(C). *)
   reset_machine : machine:int -> unit;
       (** The machine crashed: forget its counters. *)
+  clone : unit -> t;
+      (** A fresh instance of the same policy with empty state. The
+          sharded engine gives each shard its own clone so no counter
+          table is shared across domains; [static]'s clone is [static]
+          itself (hot paths skip dispatch on physical equality). *)
+  export_class : cls:string -> machine_state list;
+      (** Extract-and-remove every machine's state for the class,
+          sorted by machine — the policy half of a class migration.
+          Subsequent events for the class start from blank counters
+          (the class is gone from this shard anyway). *)
+  import_class : cls:string -> machine_state list -> unit;
+      (** Install previously exported state for a class, replacing any
+          existing entries, so a migrated hot class keeps its counters. *)
 }
 
 val static : t

@@ -1,0 +1,71 @@
+(* The live adaptive-replication layer: policy dispatch plus the
+   per-replica failure history behind the BGOP read ordering. *)
+
+type t = {
+  policy : Policy.t;
+  is_static : bool;
+  bgop : bool;
+  n : int;
+  mem : Membership.t;
+  last_failure : int array; (* crash clock of the machine's last crash; -1 = never *)
+  failure_count : int array;
+  mutable clock : int; (* total crashes observed so far *)
+}
+
+let create ~policy ~bgop_reads ~n ~mem =
+  {
+    policy;
+    (* Physical equality with [Policy.static] is exact for every
+       construction path in the repo (config default, Runner's "static"
+       decoding, [Policy.static.clone]); a hand-rolled no-op policy
+       merely misses the shortcut. *)
+    is_static = policy == Policy.static;
+    bgop = bgop_reads;
+    n;
+    mem;
+    last_failure = Array.make n (-1);
+    failure_count = Array.make n 0;
+    clock = 0;
+  }
+
+let is_static t = t.is_static
+let policy t = t.policy
+
+let feed t ~machine ~cls event =
+  Membership.apply_policy t.mem ~policy:t.policy ~machine ~cls event
+
+let machine_crashed t ~machine =
+  t.policy.Policy.reset_machine ~machine;
+  t.clock <- t.clock + 1;
+  t.last_failure.(machine) <- t.clock;
+  t.failure_count.(machine) <- t.failure_count.(machine) + 1
+
+(* The BGOP tiers of [Adaptive.Support_selection], over this system's
+   observed crash history (the adaptive library sits above this one, so
+   the tier rule is restated rather than imported): 0 = never failed,
+   1 = below-average lifetime failure frequency, 2 = merely quiet for
+   the last n crashes, 3 = the rest. *)
+let tier t ~machine ~ncand ~total =
+  if t.last_failure.(machine) < 0 then 0
+  else if t.failure_count.(machine) * ncand < total then 1
+  else if t.clock - t.last_failure.(machine) > t.n then 2
+  else 3
+
+let order_reads t members =
+  if (not t.bgop) || t.clock = 0 then members
+  else begin
+    let ncand = List.length members in
+    let total = List.fold_left (fun acc m -> acc + t.failure_count.(m)) 0 members in
+    (* Stable, and keyed only on (tier, last_failure): machines with no
+       failure history compare equal and keep member order, so the
+       ordering is the identity until real crashes differ — the same
+       discipline as the router's latency-aware sort. *)
+    List.stable_sort
+      (fun a b ->
+        compare
+          (tier t ~machine:a ~ncand ~total, t.last_failure.(a))
+          (tier t ~machine:b ~ncand ~total, t.last_failure.(b)))
+      members
+  end
+
+let failure_counts t = Array.copy t.failure_count

@@ -1,0 +1,59 @@
+(** The live adaptive-replication layer (§5).
+
+    Owns the two adaptive mechanisms the core consults at run time:
+
+    - {e policy dispatch}: feeding access-pattern events to the
+      configured {!Policy.t} and executing its join/leave verdicts
+      against {!Membership} — plus the crash-time counter reset the
+      policies rely on (a crashed machine's memory, counters included,
+      is gone);
+    - {e BGOP read ordering}: a per-replica crash history (last-failure
+      clock and lifetime count per machine, fed by {!machine_crashed})
+      that ranks read candidates by the tiered best→good→ok→poor
+      reliability rule of [Adaptive.Support_selection.Bgop]. The
+      {!Router} applies {!order_reads} to read-restriction candidates
+      when [config.bgop_reads] is on; off (the default), the history is
+      never consulted and every pick is byte-identical to the unordered
+      router.
+
+    [System] owns none of this anymore: it forwards events here, and
+    its [crash] calls {!machine_crashed}. *)
+
+type t
+
+val create : policy:Policy.t -> bgop_reads:bool -> n:int -> mem:Membership.t -> t
+
+val is_static : t -> bool
+(** Whether the policy is the no-op {!Policy.static} (by physical
+    equality — exact for every construction path in the repo). The hot
+    paths skip event construction and dispatch entirely when true. *)
+
+val policy : t -> Policy.t
+
+val feed : t -> machine:int -> cls:string -> Policy.event -> unit
+(** Feed one access-pattern event to the policy and act on its verdict
+    ({!Membership.apply_policy}): [Join] brings the machine into the
+    class's write group, [Leave] removes it — refused for
+    basic-support members. Callers guard with {!is_static} so the
+    static policy pays nothing. *)
+
+val machine_crashed : t -> machine:int -> unit
+(** The machine crashed: reset its policy counters and record the
+    failure in the BGOP history (advance the crash clock, stamp the
+    machine's last failure, bump its count). *)
+
+val tier : t -> machine:int -> ncand:int -> total:int -> int
+(** The machine's BGOP reliability tier among [ncand] candidates with
+    [total] lifetime failures between them: 0 = never failed, 1 =
+    below-average failure frequency, 2 = quiet for the last n crashes,
+    3 = the rest. Exposed for tests; {!order_reads} is the consumer. *)
+
+val order_reads : t -> int list -> int list
+(** Stably order read candidates best-tier-first, ties broken by least
+    recent failure then member order. The identity when [bgop_reads]
+    is off or no crash has been observed, and for any machines whose
+    histories agree — so determinism pins are byte-identical until
+    real failures differ. *)
+
+val failure_counts : t -> int array
+(** Per-machine lifetime crash counts (a copy), for tests and demos. *)

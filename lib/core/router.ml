@@ -18,6 +18,13 @@ type t = {
   topology : topology;
   batching : bool;
   latency_aware : bool;
+  (* Reliability ordering of read candidates, supplied by
+     [Replication.order_reads] (BGOP tiers over observed crash
+     history). The identity unless [config.bgop_reads] is on AND
+     failure histories actually differ, so the default pick is
+     byte-identical to the unordered router. *)
+  order_reads : int list -> int list;
+  cluster_markers : bool;
   (* Per-machine EWMA of observed read-response latency (virtual time),
      fed by [fan_out_read] when [latency_aware]; [lat_n.(m) = 0] means
      never observed, which sorts as 0 — optimistic, so unprobed
@@ -42,13 +49,16 @@ type t = {
   c_marker_placements : Sim.Stats.counter;
 }
 
-let create ~classing ~lambda ~topology ~batching ~latency_aware ~n ~mem ~stats =
+let create ~classing ~lambda ~topology ~batching ~latency_aware ~order_reads
+    ~cluster_markers ~n ~mem ~stats =
   {
     classing;
     lambda;
     topology;
     batching;
     latency_aware;
+    order_reads;
+    cluster_markers;
     lat = Array.make n 0.0;
     lat_n = Array.make n 0;
     mem;
@@ -197,10 +207,14 @@ let read_restrict r ~basic ~machine =
     else List.filteri (fun i _ -> i <= r.lambda) members
   in
   match r.topology with
-  | Lan -> basic_rg
+  (* [order_reads] (BGOP reliability tiers) runs after the latency
+     order, so reliability is the primary key and observed latency
+     breaks ties within a tier. Both orderings are stable identities
+     until their inputs actually differ. *)
+  | Lan -> fun members -> basic_rg (r.order_reads members)
   | Wan { clusters; _ } ->
       fun members ->
-        let members = order members in
+        let members = r.order_reads (order members) in
         let near = List.filter (fun m -> clusters.(m) = clusters.(machine)) members in
         if near <> [] then List.filteri (fun i _ -> i <= r.lambda) near
         else basic_rg members
@@ -293,6 +307,24 @@ let place_markers r (w : Op.waiter) =
       gcast_marker r ~machine:w.w_machine
         (Server.Place_marker { cls; mid = w.w_id; machine = w.w_machine; tmpl = w.w_tmpl }))
     (marker_classes r w.w_tmpl)
+
+(* The member that serves a marker's wake-up once a matching store
+   fires it. Markers are replicated to the full write group (a marker
+   missing at a future leader would lose the wake), so every member may
+   volunteer; by default the leader — the head of the member list —
+   does. Under [cluster_markers] on a WAN the preference moves to the
+   first member in the waiter's own cluster, keeping the α-cost wake
+   message off the remote links. Deterministic: every replica computes
+   the same agent from the same view, so exactly one member sends. *)
+let wake_agent r ~group ~machine =
+  let members = Vsync.members (vs r) ~group in
+  let default = match members with m :: _ -> m | [] -> -1 in
+  match r.topology with
+  | Wan { clusters; _ } when r.cluster_markers -> (
+      match List.find_opt (fun m -> clusters.(m) = clusters.(machine)) members with
+      | Some m -> m
+      | None -> default)
+  | Wan _ | Lan -> default
 
 let cancel_markers r (w : Op.waiter) =
   if Vsync.is_up (vs r) w.w_machine then

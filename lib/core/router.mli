@@ -36,11 +36,22 @@ val create :
   topology:topology ->
   batching:bool ->
   latency_aware:bool ->
+  order_reads:(int list -> int list) ->
+  cluster_markers:bool ->
   n:int ->
   mem:Membership.t ->
   stats:Sim.Stats.t ->
   t
-(** [latency_aware] turns on latency-weighted replica
+(** [order_reads] is the reliability ordering
+    of read candidates — [System] wires {!Replication.order_reads}, the
+    BGOP tiers over observed crash history, which is itself the
+    identity unless [config.bgop_reads] is on and failure histories
+    differ. It is applied {e after} the latency order, so reliability
+    is the primary key and latency breaks ties within a tier.
+    [cluster_markers] (default off) moves a marker's wake-up duty to a
+    member in the waiter's own cluster — see {!wake_agent}.
+
+    [latency_aware] turns on latency-weighted replica
     choice for WAN reads: the router keeps a per-machine EWMA of
     observed read-response latency (virtual time, fed by its own read
     fan-outs) and orders restriction candidates fastest-first before
@@ -143,6 +154,16 @@ val marker_classes : t -> Template.t -> string list
 val place_markers : t -> Op.waiter -> unit
 (** Gcast a marker placement to every known candidate class's write
     group (each placement counted under ["paso.marker_placements"]). *)
+
+val wake_agent : t -> group:string -> machine:int -> int
+(** The member that serves a marker's wake-up when a matching store
+    fires it (markers are replicated to the whole write group, so any
+    member could; exactly one must). The group leader — the head of
+    the live member list — by default, and byte-identical to the
+    pre-existing leader rule; under [cluster_markers] on a WAN, the
+    first member in the waiter [machine]'s own cluster when one
+    exists, keeping the wake message off the remote links. [-1] if
+    the group has no members. *)
 
 val cancel_markers : t -> Op.waiter -> unit
 (** Gcast marker cancellations for a satisfied or expired waiter; a

@@ -56,7 +56,18 @@ let create ?(tracing = false) ~shards ?(domains = 1) ?rebalance cfg =
   if domains < 1 then invalid_arg "Shard.create: domains < 1";
   let sys =
     Array.init shards (fun k ->
-        System.create ~tracing { cfg with System.seed = Sim.Rng.derive cfg.System.seed ~stream:k })
+        (* Per-shard policy instance: counters are keyed (machine, class)
+           inside a policy, and shards partition classes, so sharing one
+           instance would be a cross-domain data race at D > 1. Cloning
+           changes nothing observable — the key spaces are disjoint —
+           and [Policy.static]'s clone is [static] itself, preserving
+           the physical-equality fast path. *)
+        System.create ~tracing
+          {
+            cfg with
+            System.seed = Sim.Rng.derive cfg.System.seed ~stream:k;
+            policy = cfg.System.policy.Policy.clone ();
+          })
   in
   {
     cfg;

@@ -60,6 +60,16 @@ val create :
     byte-identical at any [domains]. A 1-shard composition never
     migrates (there is nowhere to go), keeping it byte-identical to a
     bare {!System}.
+
+    Each shard gets its own adaptive-policy instance
+    ({!Policy.t.clone} of [config.policy]) — counters are keyed
+    (machine, class) and shards partition classes, so sharing one
+    instance would be a cross-domain data race at [domains > 1];
+    cloning changes nothing observable. When a class migrates, its
+    live counters travel with it ([System.migrated.mg_policy]), so a
+    hot class's join/leave behaviour is identical to an unmigrated
+    run. Policy joins/leaves surface through {!stat_count} as
+    ["policy.joins"] / ["policy.leaves"] like every other merged stat.
     @raise Invalid_argument if [shards < 1] or [domains < 1]. *)
 
 val shard_count : t -> int

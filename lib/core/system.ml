@@ -1,8 +1,10 @@
 include Config
 
-(* The composition root: [Membership] owns classes/groups/probation and
-   policy dispatch, [Router] candidate derivation + fan-out + markers,
-   [Op] per-operation lifecycle and the blocking-op waiter registry. *)
+(* The composition root: [Membership] owns classes/groups/probation,
+   [Replication] live policy dispatch and the BGOP failure history,
+   [Router] candidate derivation + fan-out + markers, [Snapshot] the
+   atomic multi-class scan, [Op] per-operation lifecycle and the
+   blocking-op waiter registry. *)
 type t = {
   cfg : config;
   eng : Sim.Engine.t;
@@ -15,15 +17,15 @@ type t = {
   mutable durable : durability option;
   has_recovered : bool array; (* rebuilt durable state since last crash *)
   mem : Membership.t;
+  repl : Replication.t;
   router : Router.t;
   opctl : Op.ctl;
   waiters : Op.Waiters.t;
+  snap : Snapshot.t;
   serials : int array; (* per-machine uid serials; survive crashes *)
   repair_state : Repair.t;
   hist : History.t;
   hs : hot_stats;
-  mutable snap_seq : int;
-  mutable snaps : snapshot_record list; (* newest first; see [snapshots] *)
 }
 
 let engine t = t.eng
@@ -56,23 +58,12 @@ let waiter_count t = Op.Waiters.count t.waiters
 let wan_cost t = Sim.Stats.total t.sstats "net.wan_cost"
 let check_quiescent t = Vsync.pending_groups t.vs
 
-let apply_policy t ~machine ~cls event =
-  Membership.apply_policy t.mem ~policy:t.cfg.policy ~machine ~cls event
-
+let apply_policy t ~machine ~cls event = Replication.feed t.repl ~machine ~cls event
 let take_class_loads t = Membership.take_loads t.mem
 
-(* §4 cost-model weight of one replicated op against the class: the
-   message term of α(2g+1), with g its basic-support size. The absolute
-   scale only matters relative to [Rebalance]'s migration cost. *)
-let op_weight cs = float_of_int ((2 * List.length cs.Membership.basic) + 1)
-
-(* The default policy ignores every event, yet feeding it costs a
-   class lookup, a live-object count and an event allocation on every
-   delivered mutation and every read response. Physical equality with
-   [Policy.static] is exact for every construction path in the repo
-   (config default, Runner's "static" decoding); a hand-rolled no-op
-   policy merely misses the shortcut. *)
-let static_policy t = t.cfg.policy == Policy.static
+let static_policy t = Replication.is_static t.repl
+let read_order t members = Replication.order_reads t.repl members
+let failure_counts t = Replication.failure_counts t.repl
 
 let require_up t machine op =
   if machine < 0 || machine >= t.cfg.n then invalid_arg (op ^ ": bad machine id");
@@ -97,7 +88,7 @@ let insert t ~machine fields ~on_done =
   let o = Pobj.make ~uid fields in
   let info = Router.classify t.router o in
   let cs = ensure_class t info in
-  Membership.note_load_cs cs (op_weight cs);
+  Membership.note_load_cs cs (Membership.op_weight cs);
   let r = History.begin_op t.hist ~machine ~kind:History.Insert ~obj:o ~now:(now t) () in
   History.note_inserted t.hist o ~cls:info.Obj_class.name ~now:(now t);
   Sim.Stats.incr_counter t.hs.h_ops_insert;
@@ -184,7 +175,7 @@ let read_gen t ~machine ~kind tmpl ~on_done =
                              { ell = Server.live_count t.servers.(machine) ~cls });
                       match resp with Some o -> finish (Some o) | None -> go rest)
               | History.Read ->
-                  Membership.note_load_cs cs (op_weight cs);
+                  Membership.note_load_cs cs (Membership.op_weight cs);
                   let msg = Server.Mem_read { cls; tmpl } in
                   (* [fast]: restrict to a single replica, tagging the
                      request with the class's freshness token; a stale or
@@ -266,7 +257,7 @@ let read_gen t ~machine ~kind tmpl ~on_done =
                   in
                   attempt ~fast:t.cfg.fast_read
               | History.Read_del | History.Insert ->
-                  Membership.note_load_cs cs (op_weight cs);
+                  Membership.note_load_cs cs (Membership.op_weight cs);
                   let msg = Server.Remove { cls; tmpl } in
                   let straddled = Membership.straddle_guard t.mem cs.Membership.group in
                   Sim.Stats.incr_counter t.hs.h_removes;
@@ -314,134 +305,13 @@ let read_del_blocking_ttl t ~ttl ~machine tmpl ~on_done =
   require_up t machine "System.blocking";
   Op.Waiters.blocking_ttl t.waiters ~ttl ~machine ~kind:`Take tmpl ~on_done
 
-(* --- snapshot: atomic multi-class scan ----------------------------------- *)
+(* --- snapshot: atomic multi-class scan (state machine in [Snapshot]) ----- *)
 
-let snapshots t = List.rev t.snaps
+let snapshots t = Snapshot.records t.snap
 
-(* Two-phase collect/confirm over per-class mutation serials. Collect
-   reads every candidate class (local when a member, quorum-restricted
-   gcast otherwise), capturing each class's serial at issue. Once all
-   classes answered, confirm re-reads every serial at one instant:
-   classes whose serial moved — and only those — are re-collected, and
-   the confirm repeats. When no serial moved, every response was
-   computed against exactly the class state of the confirm instant, so
-   the results form one atomic cut; the per-class evidence is recorded
-   for [Check.Invariants]. Amortisation follows Garg et al.: a retry
-   re-pays only the moved classes, not the whole scan. *)
 let snapshot t ~machine tmpl ~on_done =
   require_up t machine "System.snapshot";
-  Sim.Stats.incr_counter t.hs.h_ops_snapshot;
-  let sid = t.snap_seq in
-  t.snap_seq <- sid + 1;
-  ignore (Sim.Failpoint.hit t.fps ~site:"paso.op.issued" ~node:machine ~aux:sid ());
-  let op = Op.make t.opctl ~machine ~op_id:sid in
-  let candidates = Router.sc_list t.router tmpl |> List.filter (Membership.knows t.mem) in
-  let acc : (string, snapshot_class) Hashtbl.t = Hashtbl.create 8 in
-  let finish result = if Op.finish op ~ok:(result <> None) then on_done result in
-  Op.arm_deadline op ~on_expire:(fun () -> on_done None);
-  let retry k = if not (Op.retry op k) then finish None in
-  let rec confirm () =
-    if not (Op.terminal op) then begin
-      let moved =
-        List.filter
-          (fun cls ->
-            match Hashtbl.find_opt acc cls with
-            | Some sc -> Membership.mutation_serial t.mem ~cls <> sc.sn_serial
-            | None -> true)
-          candidates
-      in
-      match moved with
-      | [] ->
-          let classes =
-            List.map
-              (fun cls ->
-                let sc = Hashtbl.find acc cls in
-                { sc with sn_confirm = Membership.mutation_serial t.mem ~cls })
-              candidates
-          in
-          t.snaps <-
-            { sn_id = sid; sn_machine = machine; sn_accept = now t;
-              sn_retries = Op.retries op; sn_classes = classes }
-            :: t.snaps;
-          finish (Some (List.map (fun sc -> (sc.sn_cls, sc.sn_result)) classes))
-      | _ :: _ ->
-          Sim.Stats.incr_counter t.hs.h_snapshot_retries;
-          retry (fun () -> collect moved)
-    end
-  and collect classes =
-    if Op.terminal op then ()
-    else if classes = [] then confirm ()
-    else begin
-      let outstanding = ref (List.length classes) in
-      let done_one () =
-        decr outstanding;
-        if !outstanding = 0 && not (Op.terminal op) then begin
-          Op.collecting op;
-          confirm ()
-        end
-      in
-      let collect_one cls =
-        let record serial0 issue_time resp =
-          Hashtbl.replace acc cls
-            { sn_cls = cls; sn_serial = serial0; sn_confirm = serial0;
-              sn_issue = issue_time; sn_result = resp };
-          done_one ()
-        in
-        let rec one () =
-          if Op.terminal op then ()
-          else
-            match Membership.find t.mem cls with
-            | None -> record (Membership.mutation_serial t.mem ~cls) (now t) None
-            | Some cs when Membership.probational t.mem cs.Membership.group ->
-                Membership.defer_probation t.mem ~machine ~group:cs.Membership.group one
-            | Some cs ->
-                let serial0 = Membership.mutation_serial t.mem ~cls in
-                let issue_time = now t in
-                let straddled = Membership.straddle_guard t.mem cs.Membership.group in
-                if Vsync.is_member t.vs ~group:cs.Membership.group ~node:machine then begin
-                  let work =
-                    Server.query_work t.servers.(machine) ~cls *. t.cfg.unit_work
-                  in
-                  Vsync.exec_local t.vs ~node:machine ~work (fun () ->
-                      let resp, _ = Server.local_read t.servers.(machine) ~cls tmpl in
-                      Sim.Stats.incr_counter t.hs.h_local_reads;
-                      record serial0 issue_time resp)
-                end
-                else begin
-                  let msg = Server.Mem_read { cls; tmpl } in
-                  let restrict =
-                    if t.cfg.use_read_groups then
-                      Router.read_restrict t.router ~basic:cs.Membership.basic ~machine
-                    else fun members -> members
-                  in
-                  Sim.Stats.incr_counter t.hs.h_remote_reads;
-                  let handle resp responders =
-                    match resp with
-                    | Some _ -> record serial0 issue_time resp
-                    | None ->
-                        (* Same distrust rules as [read_gen]: a miss across
-                           a loss, or a zero-responder gcast against a
-                           non-empty group, is re-collected. *)
-                        if
-                          straddled ()
-                          || responders = 0
-                             && Vsync.members t.vs ~group:cs.Membership.group <> []
-                        then retry one
-                        else record serial0 issue_time None
-                  in
-                  Router.coalesced_issue t.router ~machine ~cls tmpl ~handle
-                    ~issue:(fun h ->
-                      Router.fan_out_read t.router ~restrict ~eager:t.cfg.eager_reads
-                        ~group:cs.Membership.group ~from:machine msg ~on_done:h)
-                end
-        in
-        one ()
-      in
-      Op.fan_out op;
-      List.iter collect_one classes
-    end
-  in
-  collect candidates
+  Snapshot.snapshot t.snap ~machine tmpl ~on_done
 
 (* --- faults ------------------------------------------------------------- *)
 
@@ -453,10 +323,10 @@ let crash t ~machine =
     Vsync.crash t.vs ~node:machine;
     Server.wipe t.servers.(machine);
     t.has_recovered.(machine) <- false;
-    (* The simulated disk survives (its unsynced tail may be damaged by
-       an armed ["durable.crash.tail"]). *)
+    (* The simulated disk survives (tail damage: ["durable.crash.tail"]). *)
     (match t.durable with Some d -> d.du_crash ~machine | None -> ());
-    t.cfg.policy.Policy.reset_machine ~machine;
+    (* Counters die with the machine; feeds the BGOP history too. *)
+    Replication.machine_crashed t.repl ~machine;
     Repair.note_failure t.repair_state ~machine ~now:(now t);
     (match t.cfg.repair with
     | Some strategy -> Membership.repair_all t.mem t.repair_state strategy ~failed:machine
@@ -530,6 +400,9 @@ type migrated = {
   mg_marks : Server.marker list;  (* armed markers travel with the class *)
   mg_lands : (float * float option * float option) list;
       (* per object: (insert_issue, first_store, all_stored) *)
+  mg_policy : Policy.machine_state list;
+      (* live policy counters: a hot class keeps its adaptive state
+         when rebalanced (identical join/leave to an unmigrated run) *)
 }
 
 let class_migratable t ~cls =
@@ -574,6 +447,7 @@ let extract_class t ~cls =
       mg_objs = objs;
       mg_marks = marks;
       mg_lands = lands;
+      mg_policy = t.cfg.policy.Policy.export_class ~cls;
     }
   in
   let view_id = Vsync.admin_dissolve t.vs ~group in
@@ -584,10 +458,9 @@ let extract_class t ~cls =
   | Some d -> List.iter (fun m -> d.du_resync ~machine:m) members
   | None -> ());
   (* End the migrated objects' alive intervals in THIS history: later
-     template-matched fails here must not be judged against objects
-     that now live on another shard. (The objects are not lost — the
-     target installs them under fresh lifecycles — so the durability
-     audit must not flag them if the class ever migrates back.) *)
+     template-matched fails here must not be judged against objects now
+     on another shard (the target installs fresh lifecycles, so the
+     durability audit stays clean if the class ever migrates back). *)
   History.note_class_migrated t.hist ~cls ~now:(now t);
   Membership.forget t.mem ~cls;
   Router.invalidate t.router;
@@ -604,13 +477,10 @@ let install_class t mg =
   let group = cs.Membership.group in
   Vsync.admin_form t.vs ~group ~members:mg.mg_members ~view_id:mg.mg_view_id;
   (* Uid serials are per-System: a migrated object's source uid may
-     collide with one this System already issued (or will issue) for
-     its own machine/serial stream. Re-key every object onto this
-     System's allocator — fields, class and landmarks are what identify
-     it to users and to the §2 checker; the uid is plumbing. Source
-     tombstones are dropped for the same reason (their uids are
-     meaningless here, and the removals they witness never happened in
-     this System). *)
+     collide with one this System already issued. Re-key every object
+     onto this System's allocator — fields, class and landmarks are
+     what identify it to users and the §2 checker; the uid is plumbing.
+     Source tombstones are dropped for the same reason. *)
   let tnow = now t in
   let objs =
     List.map2
@@ -638,6 +508,7 @@ let install_class t mg =
   | None -> ());
   Router.invalidate t.router;
   Router.arm_new_class t.router (Op.Waiters.sorted t.waiters) ~cls;
+  t.cfg.policy.Policy.import_class ~cls mg.mg_policy;
   tracef t "class %s migrated in (%d objects, serial %d)" cls (List.length objs)
     mg.mg_mut
 
@@ -668,10 +539,12 @@ let create ?(tracing = false) ?failpoints cfg =
       ~use_read_groups:cfg.use_read_groups ~group_map:cfg.group_map ~servers ~engine:eng
       ~stats:sstats ~trace:strace
   in
+  let repl = Replication.create ~policy:cfg.policy ~bgop_reads:cfg.bgop_reads ~n:cfg.n ~mem in
   let router =
     Router.create ~classing:cfg.classing ~lambda:cfg.lambda ~topology:cfg.topology
-      ~batching:(cfg.batch <> None) ~latency_aware:cfg.wan_latency_aware ~n:cfg.n ~mem
-      ~stats:sstats
+      ~batching:(cfg.batch <> None) ~latency_aware:cfg.wan_latency_aware
+      ~order_reads:(Replication.order_reads repl) ~cluster_markers:cfg.cluster_markers
+      ~n:cfg.n ~mem ~stats:sstats
   in
   let opctl =
     Op.ctl ~engine:eng ~stats:sstats ~trace:strace
@@ -679,6 +552,12 @@ let create ?(tracing = false) ?failpoints cfg =
         retry_backoff = cfg.retry_backoff }
   in
   let waiters = Op.Waiters.create ~engine:eng ~stats:sstats in
+  let hs = hot_stats sstats in
+  let snap =
+    Snapshot.create ~engine:eng ~failpoints:fps ~mem ~router ~servers ~opctl ~hs
+      ~use_read_groups:cfg.use_read_groups ~eager_reads:cfg.eager_reads
+      ~unit_work:cfg.unit_work
+  in
   let tref = ref None in
   let deliver ~node ~group ~from:_ msg =
     (* Recovery-quorum gate, exec-time twin of the issue-time check in
@@ -706,17 +585,19 @@ let create ?(tracing = false) ?failpoints cfg =
             _ ) ->
             ());
         (* Every replica consumed the fired markers deterministically;
-           the leader alone sends the wake-ups (one α-cost msg each). *)
+           the marker's wake agent ([Router.wake_agent]) alone sends
+           the wake-up (one α-cost msg each). *)
         (match (msg, woken) with
         | Server.Store _, _ :: _ ->
-            let leader = match Vsync.members t.vs ~group with m :: _ -> m | [] -> -1 in
-            if node = leader then
-              List.iter
-                (fun mk ->
+            List.iter
+              (fun mk ->
+                if node = Router.wake_agent t.router ~group ~machine:mk.Server.mk_machine
+                then begin
                   Sim.Stats.incr_counter t.hs.h_marker_wakeups;
                   Vsync.send_direct t.vs ~from:node ~dst:mk.Server.mk_machine ~size:24
-                    (fun () -> Op.Waiters.wake waiters mk.Server.mk_id))
-                woken
+                    (fun () -> Op.Waiters.wake waiters mk.Server.mk_id)
+                end)
+              woken
         | _ -> ());
         match msg with
         | Server.Store _ | Server.Remove _ ->
@@ -799,10 +680,9 @@ let create ?(tracing = false) ?failpoints cfg =
   Router.attach_vsync router vs;
   let t =
     { cfg; eng; fabric; fps; sstats; strace; vs; servers; durable = None;
-      has_recovered = Array.make cfg.n false; mem; router; opctl; waiters;
+      has_recovered = Array.make cfg.n false; mem; repl; router; opctl; waiters; snap;
       serials = Array.make cfg.n 0;
-      repair_state = Repair.create ~n:cfg.n ~seed:(cfg.seed + 1); hist;
-      hs = hot_stats sstats; snap_seq = 0; snaps = [] }
+      repair_state = Repair.create ~n:cfg.n ~seed:(cfg.seed + 1); hist; hs }
   in
   tref := Some t;
   (* Wiring the waiter fan-outs after [t] exists is what lets the vsync

@@ -64,6 +64,26 @@ type config = {
           [false] (the default) never consults or feeds the tables,
           leaving every pick byte-identical to the latency-blind
           router. *)
+  bgop_reads : bool;
+      (** BGOP reliability-ordered reads (§5.2, live): the
+          {!Replication} layer keeps a per-machine crash history
+          (last-failure clock + lifetime count, fed by {!crash}) and
+          stably orders read-restriction candidates by the
+          [Adaptive.Support_selection.Bgop] tier rule —
+          best/good/ok/poor — before the router's subset selection,
+          with observed latency breaking ties under
+          [wan_latency_aware]. [false] (the default) never consults
+          the history, leaving every pick byte-identical; on, picks
+          only move once real crash histories differ. *)
+  cluster_markers : bool;
+      (** cluster-local marker wake-ups on a WAN: a fired marker's
+          wake message is sent by a write-group member in the waiter's
+          own cluster when one exists ({!Router.wake_agent}), instead
+          of always by the group leader — keeping the per-wake α-cost
+          message off the remote links. Markers themselves are still
+          replicated to the whole write group (a marker missing at a
+          future leader would lose the wake). [false] (the default)
+          keeps the leader rule, byte-identical. No effect on LAN. *)
   batch : Net.Batch.cfg option;
       (** opt-in gcast batching: inserts, marker traffic and remote
           read fan-outs join a per-group accumulation window
@@ -321,6 +341,11 @@ type migrated = {
   mg_marks : Server.marker list;  (** armed markers travel with the class *)
   mg_lands : (float * float option * float option) list;
       (** per object: insert issue, first store, all-stored landmarks *)
+  mg_policy : Policy.machine_state list;
+      (** live per-machine adaptive-policy counters for the class
+          ({!Policy.t.export_class}): a hot class keeps its counters
+          (and, for doubling, its tuned K) when rebalanced, so its
+          join/leave behaviour is identical to an unmigrated run *)
 }
 
 val class_migratable : t -> cls:string -> bool
@@ -428,6 +453,16 @@ val audit_replicas : t -> (string * string) list
 
 val wan_cost : t -> float
 (** Total inter-cluster message cost so far (0 under {!Lan}). *)
+
+val read_order : t -> int list -> int list
+(** The {!Replication.order_reads} ordering this system's router
+    applies to read candidates: stable BGOP reliability tiers over the
+    observed crash history. The identity when [config.bgop_reads] is
+    off or no crash has happened yet. Exposed for tests and demos. *)
+
+val failure_counts : t -> int array
+(** Per-machine lifetime crash counts as observed by the
+    {!Replication} layer (a copy). *)
 
 val check_fault_tolerance : t -> (string * int) list
 (** Classes currently violating the §4.1 fault-tolerance condition,

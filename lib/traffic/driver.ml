@@ -20,6 +20,9 @@ type outcome = {
   o_shard_loads : float array;
   o_migrations : int;
   o_deferred : int;
+  o_policy : string;
+  o_policy_joins : int;
+  o_policy_leaves : int;
 }
 
 (* The backend facade: the one deterministic call surface the replay
@@ -124,6 +127,10 @@ let config_of (sc : Scenario.t) =
     topology;
     op_deadline = sc.sc_deadline;
     wan_latency_aware = sc.sc_wan_latency_aware;
+    (* A fresh policy instance per run: live policies carry mutable
+       counters, so sharing one across runs would leak state. The
+       sharded backend further clones it per shard. *)
+    policy = Check.Runner.policy_of_string sc.sc_policy;
     seed = sc.sc_seed;
   }
 
@@ -240,6 +247,9 @@ let run_be ?(tracing = false) ?(shards = 0) ?(domains = 1) ?rebalance (sc : Scen
       o_shard_loads = be.b_shard_loads ();
       o_migrations = be.b_stat_count "rebalance.migrations";
       o_deferred = be.b_stat_count "rebalance.deferred";
+      o_policy = sc.sc_policy;
+      o_policy_joins = be.b_stat_count "policy.joins";
+      o_policy_leaves = be.b_stat_count "policy.leaves";
     },
     be )
 
@@ -280,10 +290,19 @@ let to_json o =
            ( "shard_loads",
              J.Arr (Array.to_list (Array.map (fun x -> J.Num x) o.o_shard_loads)) );
          ])
+    @ (if not o.o_rebalanced then []
+       else
+         [
+           ("rebalance_migrations", J.Num (float_of_int o.o_migrations));
+           ("rebalance_deferred", J.Num (float_of_int o.o_deferred));
+         ])
     @
-    if not o.o_rebalanced then []
+    (* Like the scenario field: emitted only when non-static, so every
+       pre-existing outcome document is unchanged. *)
+    if o.o_policy = "static" then []
     else
       [
-        ("rebalance_migrations", J.Num (float_of_int o.o_migrations));
-        ("rebalance_deferred", J.Num (float_of_int o.o_deferred));
+        ("policy", J.Str o.o_policy);
+        ("policy_joins", J.Num (float_of_int o.o_policy_joins));
+        ("policy_leaves", J.Num (float_of_int o.o_policy_leaves));
       ])

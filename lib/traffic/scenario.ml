@@ -27,6 +27,7 @@ type t = {
   sc_clusters : int list;
   sc_remote_mult : float;
   sc_wan_latency_aware : bool;
+  sc_policy : string;
   sc_deadline : float option;
   sc_faults : faults;
   sc_phases : phase list;
@@ -124,6 +125,13 @@ let validate t =
           "cluster sizes do not sum to n"
   in
   let* () = check (t.sc_remote_mult >= 1.0) "remote_mult < 1" in
+  let* () =
+    (* Same spelling as [paso-sim check]: static | counter[:K] | doubling. *)
+    try
+      ignore (Check.Runner.policy_of_string t.sc_policy);
+      Ok ()
+    with Invalid_argument _ -> Error (Printf.sprintf "unknown policy %S" t.sc_policy)
+  in
   let* () =
     match t.sc_deadline with
     | Some d when d <= 0.0 -> Error "non-positive deadline"
@@ -248,6 +256,9 @@ let to_json t =
     @ (match t.sc_deadline with
       | Some d -> [ ("deadline", J.Num d) ]
       | None -> [])
+    (* Back-compat: the policy field only appears when non-static, so
+       pre-existing scenario JSON (and its digests) is unchanged. *)
+    @ (if t.sc_policy <> "static" then [ ("policy", J.Str t.sc_policy) ] else [])
     @ [
         ("faults", faults_to_json t.sc_faults);
         ("phases", J.Arr (List.map phase_to_json t.sc_phases));
@@ -348,6 +359,11 @@ let of_json j =
   let* sc_clusters = map_result J.to_int cl in
   let* sc_remote_mult = num j "remote_mult" in
   let* sc_wan_latency_aware = bool_f j "wan_latency_aware" in
+  let* sc_policy =
+    match J.get j "policy" with
+    | None | Some J.Null -> Ok "static"
+    | Some v -> J.to_str v
+  in
   let* sc_deadline =
     match J.get j "deadline" with
     | None | Some J.Null -> Ok None
@@ -373,6 +389,7 @@ let of_json j =
       sc_clusters;
       sc_remote_mult;
       sc_wan_latency_aware;
+      sc_policy;
       sc_deadline;
       sc_faults;
       sc_phases;
@@ -414,6 +431,7 @@ let base name ~seed =
     sc_clusters = [];
     sc_remote_mult = 1.0;
     sc_wan_latency_aware = false;
+    sc_policy = "static";
     sc_deadline = None;
     sc_faults = No_faults;
     sc_phases = [];

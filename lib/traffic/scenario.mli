@@ -56,6 +56,13 @@ type t = {
       (** WAN inter-cluster cost multiplier over the §3.3 defaults *)
   sc_wan_latency_aware : bool;
       (** arm {!Paso.Router}'s latency-weighted WAN replica choice *)
+  sc_policy : string;
+      (** adaptive replication policy, [Check.Runner.policy_of_string]
+          spelling: ["static"] (the default), ["counter"],
+          ["counter:K"] or ["doubling"]. The driver instantiates a
+          fresh policy per run. JSON back-compat: the field is emitted
+          only when non-static, so pre-existing scenario documents and
+          digests are unchanged. *)
   sc_deadline : float option;  (** per-op deadline ([System.op_deadline]) *)
   sc_faults : faults;
   sc_phases : phase list;

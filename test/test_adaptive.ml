@@ -442,6 +442,76 @@ let test_live_counter_policy_semantics_clean () =
   let violations = Paso.Semantics.check (Paso.System.history sys) in
   Alcotest.(check int) "no violations under adaptive policy" 0 (List.length violations)
 
+(* A machine's §5.1 counters die with it: a reader two-thirds of the
+   way to joining loses that progress across a crash/recover cycle, so
+   one more read is not enough — it must re-earn the full K. *)
+let test_live_crash_resets_counters () =
+  let policy = Live_policy.counter ~k:10.0 () in
+  let sys =
+    Paso.System.create { Paso.System.default_config with n = 8; lambda = 2; policy }
+  in
+  let tmpl = Paso.Template.headed "hot" [ Paso.Template.Any ] in
+  Paso.System.insert sys ~machine:0 [ Paso.Value.Sym "hot"; Paso.Value.Int 1 ]
+    ~on_done:(fun () -> ());
+  Paso.System.run sys;
+  let cls = (List.hd (Paso.System.known_classes sys)).Paso.Obj_class.name in
+  let basic = Paso.System.basic_support sys ~cls in
+  let reader = List.find (fun m -> not (List.mem m basic)) (List.init 8 Fun.id) in
+  let read () =
+    Paso.System.read sys ~machine:reader tmpl ~on_done:(fun _ -> ());
+    Paso.System.run sys
+  in
+  (* Each remote read adds q·(λ+1) = 3; three reads leave the counter
+     at 9, one short of K = 10. *)
+  for _ = 1 to 3 do read () done;
+  Alcotest.(check bool) "not yet a member" false
+    (List.mem reader (Paso.System.write_group sys ~cls));
+  Paso.System.crash sys ~machine:reader;
+  Paso.System.run sys;
+  Paso.System.recover sys ~machine:reader;
+  Paso.System.run sys;
+  (* Had the counter survived, this read would cross K and join. *)
+  read ();
+  Alcotest.(check bool) "one post-crash read does not rejoin" false
+    (List.mem reader (Paso.System.write_group sys ~cls));
+  (* The policy is still live: re-earning the full K joins as usual. *)
+  for _ = 1 to 4 do read () done;
+  Alcotest.(check bool) "rejoined after re-earning K" true
+    (List.mem reader (Paso.System.write_group sys ~cls))
+
+(* The BGOP-backed read-group ordering: replicas with crash history are
+   demoted behind never-failed ones, and the whole feature is inert by
+   default (identity ordering, so every existing pin holds). *)
+let test_live_bgop_tier_demotion () =
+  let make bgop_reads =
+    Paso.System.create { Paso.System.default_config with n = 8; lambda = 2; bgop_reads }
+  in
+  let sys = make true in
+  let flaky = 5 in
+  for _ = 1 to 3 do
+    Paso.System.crash sys ~machine:flaky;
+    Paso.System.run sys;
+    Paso.System.recover sys ~machine:flaky;
+    Paso.System.run sys
+  done;
+  Alcotest.(check int) "failure history recorded" 3
+    (Paso.System.failure_counts sys).(flaky);
+  Alcotest.(check (list int)) "flaky replica demoted behind clean ones" [ 1; 6; flaky ]
+    (Paso.System.read_order sys [ flaky; 1; 6 ]);
+  Alcotest.(check (list int)) "clean replicas keep their order" [ 2; 7; 3 ]
+    (Paso.System.read_order sys [ 2; 7; 3 ]);
+  (* Default off: same crash history, but the ordering hook is the
+     identity — the determinism contract every replay pin leans on. *)
+  let off = make false in
+  for _ = 1 to 3 do
+    Paso.System.crash off ~machine:flaky;
+    Paso.System.run off;
+    Paso.System.recover off ~machine:flaky;
+    Paso.System.run off
+  done;
+  Alcotest.(check (list int)) "bgop_reads off is identity" [ flaky; 1; 6 ]
+    (Paso.System.read_order off [ flaky; 1; 6 ])
+
 let () =
   Alcotest.run "adaptive"
     [
@@ -504,5 +574,9 @@ let () =
             test_live_counter_policy_joins_and_leaves;
           Alcotest.test_case "semantics clean under adaptivity" `Quick
             test_live_counter_policy_semantics_clean;
+          Alcotest.test_case "crash resets counters" `Quick
+            test_live_crash_resets_counters;
+          Alcotest.test_case "bgop read ordering demotes flaky replicas" `Quick
+            test_live_bgop_tier_demotion;
         ] );
     ]

@@ -378,6 +378,59 @@ let test_rebalance_fast_read_token () =
   Alcotest.(check bool) "fast path works after the move" true
     (Sim.Stats.count (System.stats sys) "paso.fast_reads" > fr0)
 
+(* ------------------------------------------------------------------ *)
+(* Live adaptive policies under the sharded engine                     *)
+(* ------------------------------------------------------------------ *)
+
+let make_policy_run ?rebalance ~domains () =
+  let cfg =
+    { System.default_config with
+      n = 6;
+      lambda = 1;
+      policy = Adaptive.Live_policy.counter ~k:2.0 () }
+  in
+  let t = Shard.create ~tracing:true ~shards:4 ~domains ?rebalance cfg in
+  let hot, cold, _ = colocated_heads cfg ~shards:4 ~hot:3 ~cold:4 in
+  drive_skewed ~tracing:true ~domains t hot cold;
+  t
+
+(* Live counters ride migration: a rebalanced run executes exactly the
+   joins and leaves of a rebalance-off run — the (machine, class)
+   counters travel with the class, so which shard hosts it is invisible
+   to the §5.1 machines. *)
+let test_policy_rides_migration () =
+  let on = make_policy_run ~rebalance:Rebalance.default_cfg ~domains:1 () in
+  let off = make_policy_run ~domains:1 () in
+  Alcotest.(check bool) "hot classes migrated" true (Shard.migrations on > 0);
+  Alcotest.(check bool) "policy active" true (Shard.stat_count on "policy.joins" > 0);
+  Alcotest.(check int) "joins identical to unmigrated run"
+    (Shard.stat_count off "policy.joins")
+    (Shard.stat_count on "policy.joins");
+  Alcotest.(check int) "leaves identical to unmigrated run"
+    (Shard.stat_count off "policy.leaves")
+    (Shard.stat_count on "policy.leaves");
+  Alcotest.(check (list (pair string string))) "replica audit clean" []
+    (Shard.audit_replicas on);
+  Alcotest.(check (list (pair string string))) "quiescent" [] (Shard.check_quiescent on)
+
+(* And the whole policy-plus-rebalance composition stays a pure
+   function of the round sequence: byte-identical merged traces and
+   identical join/leave counts at any domain count. *)
+let test_policy_domain_independence () =
+  let t1 = make_policy_run ~rebalance:Rebalance.default_cfg ~domains:1 () in
+  let t2 = make_policy_run ~rebalance:Rebalance.default_cfg ~domains:2 () in
+  let t4 = make_policy_run ~rebalance:Rebalance.default_cfg ~domains:4 () in
+  let d t = Digest.to_hex (Digest.string (Shard.rendered_trace t)) in
+  Alcotest.(check bool) "joins happened" true (Shard.stat_count t1 "policy.joins" > 0);
+  Alcotest.(check int) "same joins at D=2" (Shard.stat_count t1 "policy.joins")
+    (Shard.stat_count t2 "policy.joins");
+  Alcotest.(check int) "same joins at D=4" (Shard.stat_count t1 "policy.joins")
+    (Shard.stat_count t4 "policy.joins");
+  Alcotest.(check int) "same leaves at D=4" (Shard.stat_count t1 "policy.leaves")
+    (Shard.stat_count t4 "policy.leaves");
+  Alcotest.(check string) "same merged trace at D=2" (d t1) (d t2);
+  Alcotest.(check string) "same merged trace at D=4" (d t1) (d t4)
+
 let () =
   Alcotest.run "shard"
     [
@@ -415,5 +468,12 @@ let () =
             test_rebalance_single_shard_noop;
           Alcotest.test_case "freshness token survives migration" `Quick
             test_rebalance_fast_read_token;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "live counters ride migration" `Quick
+            test_policy_rides_migration;
+          Alcotest.test_case "policy runs independent of D" `Quick
+            test_policy_domain_independence;
         ] );
     ]

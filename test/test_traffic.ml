@@ -100,6 +100,20 @@ let test_scenario_roundtrip () =
             (Traffic.Scenario.to_string sc'))
     Traffic.Scenario.all;
   Alcotest.(check int) "seven shipped scenarios" 7 (List.length Traffic.Scenario.all);
+  (* a non-static policy survives the round-trip; the field is emitted
+     only then, so every pre-policy document parses as "static" *)
+  let sc = { (List.hd Traffic.Scenario.all) with Traffic.Scenario.sc_policy = "doubling" } in
+  (match Traffic.Scenario.parse (Traffic.Scenario.to_string sc) with
+  | Ok sc' ->
+      Alcotest.(check string) "policy survives round-trip" "doubling"
+        sc'.Traffic.Scenario.sc_policy
+  | Error e -> Alcotest.failf "policy round-trip failed: %s" e);
+  (match
+     Traffic.Scenario.parse
+       (Traffic.Scenario.to_string { sc with Traffic.Scenario.sc_policy = "bogus" })
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown policy spelling accepted");
   List.iter
     (fun sc ->
       match Traffic.Scenario.validate sc with
@@ -185,6 +199,7 @@ let small =
     sc_clusters = [ 3; 3 ];
     sc_remote_mult = 2.0;
     sc_wan_latency_aware = false;
+    sc_policy = "static";
     sc_deadline = Some 1.5e5;
     sc_faults = Storm { at = 8.0e5; down = 2; outage = 3.0e5; stagger = 5.0e4 };
     sc_phases =

@@ -20,4 +20,8 @@ if [ "$bad" -ne 0 ]; then
   echo "module-size lint failed: split the offending module(s)"
   exit 1
 fi
-echo "module-size lint OK (cap $cap)"
+echo "module-size lint OK (cap $cap); largest implementation files:"
+# Surface drift before it fails: the top-5 largest lib/**/*.ml.
+for f in $(find lib -name '*.ml' | sort); do
+  printf '%8d %s\n' "$(wc -l < "$f")" "$f"
+done | sort -rn | head -5
